@@ -1,0 +1,186 @@
+// Command earlctl runs one EARL query end to end on the simulated
+// cluster: it generates a synthetic dataset (or uses values piped via a
+// file of numbers handled by -input), runs the requested statistic with
+// an error bound, and prints the early result next to the exact one.
+//
+//	earlctl -job mean -dist uniform -n 1000000 -sigma 0.05
+//	earlctl -job median -dist pareto -n 500000 -sigma 0.03 -sampler post-map
+//	earlctl -job p99 -dist zipf -n 1000000
+//	earlctl -job kmeans -n 200000 -k 5
+//	earlctl -job mean -n 400000 -kill 3,4   # fault-tolerance demo (§3.4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/earl"
+	"repro/internal/jobs"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		jobName = flag.String("job", "mean", "mean|sum|count|median|variance|stddev|proportion|p90|p99|kmeans")
+		dist    = flag.String("dist", "uniform", "uniform|gaussian|zipf|pareto (numeric jobs)")
+		n       = flag.Int("n", 1_000_000, "records to generate")
+		sigma   = flag.Float64("sigma", 0.05, "target error bound σ")
+		sampler = flag.String("sampler", "pre-map", "pre-map|post-map")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		k       = flag.Int("k", 4, "clusters (kmeans)")
+		kill    = flag.String("kill", "", "comma-separated node ids to kill mid-job")
+		nodes   = flag.Int("nodes", 5, "cluster size")
+	)
+	flag.Parse()
+
+	cluster, err := earl.NewCluster(earl.ClusterConfig{DataNodes: *nodes, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jobName == "kmeans" {
+		runKMeans(cluster, *n, *k, *sigma, *seed)
+		return
+	}
+
+	job, err := pickJob(*jobName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *n <= 0 {
+		log.Fatal("need -n > 0")
+	}
+	var xs []float64
+	if *jobName == "proportion" {
+		xs, err = workload.CategoricalSpec{P: 0.35, N: *n, Seed: *seed}.Generate()
+	} else {
+		xs, err = workload.NumericSpec{Dist: workload.Dist(*dist), N: *n, Seed: *seed}.Generate()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.WriteValues("/data", xs); err != nil {
+		log.Fatal(err)
+	}
+	cluster.ResetMetrics()
+
+	if *kill != "" {
+		go func() {
+			for cluster.Metrics().RecordsMapped < 100 {
+			}
+			for _, tok := range strings.Split(*kill, ",") {
+				id, err := strconv.Atoi(strings.TrimSpace(tok))
+				if err != nil {
+					log.Printf("bad node id %q", tok)
+					continue
+				}
+				if err := cluster.KillNode(id); err != nil {
+					log.Print(err)
+				} else {
+					fmt.Printf("!! killed node %d mid-job\n", id)
+				}
+			}
+		}()
+	}
+
+	rep, err := cluster.Run(job, "/data", earl.Options{
+		Sigma:   *sigma,
+		Sampler: earl.PreMapSampling,
+		Seed:    *seed + 7,
+	})
+	if *sampler == "post-map" {
+		rep, err = cluster.Run(job, "/data", earl.Options{
+			Sigma: *sigma, Sampler: earl.PostMapSampling, Seed: *seed + 7,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := cluster.Metrics()
+
+	fmt.Printf("job          : %s over %d %s records (σ=%.3g, %s sampling)\n",
+		job.Name, *n, *dist, *sigma, *sampler)
+	fmt.Printf("early result : %.6g  (cv %.4f, 95%% CI [%.6g, %.6g])\n",
+		rep.Estimate, rep.CV, rep.CILo, rep.CIHi)
+	fmt.Printf("sample       : %d records (%.3f%% of input), B=%d, %d iteration(s), converged=%v\n",
+		rep.SampleSize, 100*rep.FractionP, rep.B, rep.Iterations, rep.Converged)
+	if rep.UsedFull {
+		fmt.Println("mode         : exact full-data run (sampling could not pay off)")
+	}
+	if rep.FailedMaps > 0 {
+		fmt.Printf("failures     : %d mapper task(s) lost, job finished anyway (§3.4)\n", rep.FailedMaps)
+	}
+	fmt.Printf("I/O          : %.2f MB read of %.2f MB input\n",
+		float64(m.BytesRead)/(1<<20), float64(*n*19)/(1<<20))
+
+	exact, _, err := cluster.RunExact(job, "/data")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := 0.0
+	if exact != 0 {
+		rel = (rep.Estimate - exact) / exact
+		if rel < 0 {
+			rel = -rel
+		}
+	}
+	fmt.Printf("exact        : %.6g  (early result off by %.3f%%)\n", exact, 100*rel)
+}
+
+func pickJob(name string) (earl.Job, error) {
+	switch name {
+	case "mean":
+		return earl.Mean(), nil
+	case "sum":
+		return earl.Sum(), nil
+	case "count":
+		return earl.Count(), nil
+	case "median":
+		return earl.Median(), nil
+	case "variance":
+		return earl.Variance(), nil
+	case "stddev":
+		return earl.StdDev(), nil
+	case "proportion":
+		return earl.Proportion(), nil
+	case "p90":
+		return earl.Quantile(0.90)
+	case "p99":
+		return earl.Quantile(0.99)
+	default:
+		return earl.Job{}, fmt.Errorf("unknown job %q", name)
+	}
+}
+
+func runKMeans(cluster *earl.Cluster, n, k int, sigma float64, seed uint64) {
+	pts, truth, err := workload.MixtureSpec{
+		K: k, Dim: 2, N: n, Spread: 2, Sep: 120, Seed: seed,
+	}.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.WriteFile("/pts", workload.EncodePoints(pts)); err != nil {
+		log.Fatal(err)
+	}
+	cluster.ResetMetrics()
+	rep, err := cluster.RunKMeans("/pts", earl.KMeans{K: k, Seed: seed + 1}, earl.KMeansOptions{Sigma: sigma, Seed: seed + 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	errRel, err := jobs.CentroidError(rep.Centers, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("early K-Means: k=%d over %d points, sample %d (%.2f%%), cost cv %.4f, converged=%v\n",
+		k, n, rep.SampleSize, 100*float64(rep.SampleSize)/float64(n), rep.CV, rep.Converged)
+	fmt.Printf("centroid error vs generator truth: %.2f%% (paper bound: 5%%)\n", 100*errRel)
+	for i, c := range rep.Centers {
+		fmt.Printf("  center %d: %v\n", i, c)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,166 @@
+// Package earl is the public API of this EARL reproduction — the Early
+// Accurate Result Library of Laptev, Zeng & Zaniolo, "Early Accurate
+// Results for Advanced Analytics on MapReduce" (PVLDB 5(10), 2012) —
+// rebuilt in Go on a simulated Hadoop substrate.
+//
+// EARL answers analytics queries on massive data sets early: it samples,
+// runs the user's job on B bootstrap resamples, estimates the error of
+// the approximate answer, and expands the sample until a user-specified
+// error bound σ is met — usually touching a tiny fraction of the data.
+//
+// Quickstart:
+//
+//	cluster, _ := earl.NewCluster(earl.ClusterConfig{})
+//	_ = cluster.WriteFile("/data", workloadBytes) // one number per line
+//	rep, _ := cluster.Run(earl.Mean(), "/data", earl.Options{Sigma: 0.05})
+//	fmt.Printf("mean ≈ %.3f ± %.1f%% (from %d of ~%d records)\n",
+//		rep.Estimate, 100*rep.CV, rep.SampleSize, rep.EstTotalN)
+//
+// The heavy lifting lives in internal packages: internal/dfs (simulated
+// HDFS), internal/mr (the MapReduce engine with EARL's pipelining and
+// incremental-reduce extensions), internal/sampling (pre-map/post-map
+// samplers), internal/bootstrap + internal/delta (resampling and its
+// optimizations), internal/aes (accuracy estimation and SSABE), and
+// internal/core (the driver). This package re-exports the surface a
+// downstream user needs.
+package earl
+
+import (
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/simcost"
+	"repro/internal/workload"
+)
+
+// Options re-exports core.Options: the knobs of one EARL run (σ, τ,
+// sampler choice, expansion cap, …).
+type Options = core.Options
+
+// Report re-exports core.Report: the early result with its achieved
+// error, confidence interval and provenance.
+type Report = core.Report
+
+// Job re-exports jobs.Numeric: a scalar statistic expressed through the
+// incremental reduce API.
+type Job = jobs.Numeric
+
+// Sampler kinds (§3.3 of the paper).
+const (
+	PreMapSampling  = core.PreMapSampling
+	PostMapSampling = core.PostMapSampling
+)
+
+// Built-in jobs.
+var (
+	// Mean is the arithmetic-mean job (Fig. 5's workload).
+	Mean = jobs.Mean
+	// Median is the median job (Fig. 6's workload).
+	Median = jobs.Median
+	// Sum is the total, corrected by 1/p when sampled.
+	Sum = jobs.Sum
+	// Count is the record count, corrected by 1/p.
+	Count = jobs.Count
+	// Variance is the unbiased sample variance.
+	Variance = jobs.Variance
+	// StdDev is the sample standard deviation.
+	StdDev = jobs.StdDev
+	// Proportion estimates the share of 1-records in 0/1 data
+	// (Appendix A's categorical path).
+	Proportion = jobs.Proportion
+)
+
+// Quantile builds the q-th quantile job (0 < q < 1).
+func Quantile(q float64) (Job, error) { return jobs.Quantile(q) }
+
+// ClusterConfig shapes the simulated deployment.
+type ClusterConfig = core.EnvConfig
+
+// Cluster is a simulated Hadoop deployment: a replicated DFS plus a
+// MapReduce engine with EARL's extensions. All EARL runs execute
+// against a Cluster.
+type Cluster struct {
+	env *core.Env
+}
+
+// NewCluster builds a cluster (default: the paper's 5 nodes).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	env, err := core.NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{env: env}, nil
+}
+
+// WriteFile stores data in the cluster's DFS.
+func (c *Cluster) WriteFile(path string, data []byte) error {
+	return c.env.FS.WriteFile(path, data)
+}
+
+// WriteValues encodes numeric values one-per-line in a fixed-width
+// format and stores them. Fixed-width records make pre-map sampling
+// exactly uniform (variable-width lines are sampled in proportion to
+// their length — the mild bias §3.3 of the paper accepts). Use WriteFile
+// to store pre-encoded data in any layout.
+func (c *Cluster) WriteValues(path string, values []float64) error {
+	return c.env.FS.WriteFile(path, workload.EncodeLinesFixed(values))
+}
+
+// Run executes job over path with early accurate results.
+func (c *Cluster) Run(job Job, path string, opts Options) (Report, error) {
+	return core.Run(c.env, job, path, opts)
+}
+
+// RunExact executes job exactly over every record (the stock-Hadoop
+// baseline); it returns the result and the records processed.
+func (c *Cluster) RunExact(job Job, path string) (float64, int, error) {
+	return core.RunExactJob(c.env, job, path, 0)
+}
+
+// KMeans configures the clustering job.
+type KMeans = jobs.KMeans
+
+// KMeansOptions tunes an early K-Means run.
+type KMeansOptions = core.KMeansOptions
+
+// KMeansReport is the early K-Means outcome.
+type KMeansReport = core.KMeansReport
+
+// RunKMeans clusters the comma-separated point file at path early, with
+// a bootstrap error bound on the clustering cost (§6.3).
+func (c *Cluster) RunKMeans(path string, k KMeans, opts KMeansOptions) (KMeansReport, error) {
+	return core.RunKMeans(c.env, path, k, opts)
+}
+
+// KillNode fails one simulated machine (its DataNode and task slots) —
+// EARL keeps answering through failures (§3.4).
+func (c *Cluster) KillNode(id int) error { return c.env.KillNode(id) }
+
+// ReviveNode brings a machine back.
+func (c *Cluster) ReviveNode(id int) error { return c.env.ReviveNode(id) }
+
+// Metrics exposes the cluster's cost counters.
+func (c *Cluster) Metrics() simcost.Snapshot { return c.env.Metrics.Snapshot() }
+
+// ResetMetrics zeroes the cost counters (between experiments).
+func (c *Cluster) ResetMetrics() { c.env.Metrics.Reset() }
+
+// Env exposes the underlying environment for advanced use (the
+// benchmark harness reaches through this).
+func (c *Cluster) Env() *core.Env { return c.env }
+
+// ParseKV decodes one line into a (group key, value) pair for grouped
+// runs; TabKV handles "key\tvalue" records.
+type ParseKV = core.ParseKV
+
+// TabKV parses "key\tvalue" lines.
+var TabKV ParseKV = core.TabKV
+
+// GroupedReport holds per-key early estimates.
+type GroupedReport = core.GroupedReport
+
+// RunGrouped computes job per group key with an error bound on every
+// group — EARL applied to the native keyed shape of MapReduce data (an
+// extension beyond the paper's global aggregates; see core.RunGrouped).
+func (c *Cluster) RunGrouped(job Job, parse ParseKV, path string, opts Options) (GroupedReport, error) {
+	return core.RunGrouped(c.env, job, parse, path, opts)
+}

@@ -1,0 +1,109 @@
+package earl_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/earl"
+	"repro/internal/workload"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cluster, err := earl.NewCluster(earl.ClusterConfig{BlockSize: 1 << 14, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := workload.NumericSpec{Dist: workload.Uniform, N: 100_000, Seed: 2}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.WriteValues("/data", xs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cluster.Run(earl.Mean(), "/data", earl.Options{Sigma: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, n, err := cluster.RunExact(earl.Mean(), "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(xs) {
+		t.Fatalf("exact processed %d records", n)
+	}
+	if rel := math.Abs(rep.Estimate-exact) / exact; rel > 0.1 {
+		t.Fatalf("early %v vs exact %v", rep.Estimate, exact)
+	}
+	if rep.SampleSize >= n/2 {
+		t.Fatalf("no sampling advantage: %d of %d", rep.SampleSize, n)
+	}
+	if m := cluster.Metrics(); m.JobStartups == 0 {
+		t.Fatal("metrics not wired")
+	}
+	cluster.ResetMetrics()
+	if m := cluster.Metrics(); m.JobStartups != 0 {
+		t.Fatal("reset did not clear metrics")
+	}
+}
+
+func TestPublicQuantile(t *testing.T) {
+	if _, err := earl.Quantile(0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := earl.Quantile(2); err == nil {
+		t.Fatal("bad q should error")
+	}
+}
+
+func TestPublicNodeControl(t *testing.T) {
+	cluster, err := earl.NewCluster(earl.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.ReviveNode(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleCluster_Run() {
+	cluster, _ := earl.NewCluster(earl.ClusterConfig{Seed: 7})
+	xs := make([]float64, 50_000)
+	for i := range xs {
+		xs[i] = float64(i % 1000)
+	}
+	_ = cluster.WriteValues("/numbers", xs)
+	rep, _ := cluster.Run(earl.Mean(), "/numbers", earl.Options{Sigma: 0.05, Seed: 8})
+	fmt.Println(rep.Converged, rep.UsedFull)
+	// Output: true false
+}
+
+func TestPublicKMeans(t *testing.T) {
+	cluster, err := earl.NewCluster(earl.ClusterConfig{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, _, err := workload.MixtureSpec{K: 3, Dim: 2, N: 30_000, Spread: 1, Sep: 90, Seed: 22}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.WriteFile("/pts", workload.EncodePoints(pts)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cluster.RunKMeans("/pts", earl.KMeans{K: 3, Seed: 23}, earl.KMeansOptions{Sigma: 0.06, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Centers) != 3 {
+		t.Fatalf("centers = %d", len(rep.Centers))
+	}
+	if !rep.Converged {
+		t.Fatalf("kmeans did not converge: %+v", rep)
+	}
+	if cluster.Env() == nil {
+		t.Fatal("Env accessor broken")
+	}
+}

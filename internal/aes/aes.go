@@ -1,0 +1,279 @@
+// Package aes implements EARL's Accuracy Estimation Stage (§3.1) and the
+// Sample Size And Bootstrap Estimation algorithm, SSABE (§3.2).
+//
+// The AES consumes the result distribution — the B values of the user's
+// statistic computed on B bootstrap resamples — and reduces it to an
+// error measure. The default measure is the coefficient of variation
+// cv = stddev/|mean|, but the stage is measure-agnostic (§3: "Our
+// approach is independent of the error measure"), so variance, standard
+// error and relative half-width measures are provided too.
+//
+// SSABE is the two-phase pilot that runs in "local mode" before the
+// cluster job starts (§3.2):
+//
+//	phase 1 — grow the number of bootstraps B over a small pilot sample
+//	          until the error estimate stabilises: |cv_i − cv_{i−1}| < τ;
+//	phase 2 — split the pilot into l=5 geometrically growing subsamples
+//	          n_i = n/2^(l−i), measure cv(n_i) with B resamples (reusing
+//	          work via delta maintenance), least-squares fit the curve
+//	          cv(n) = a + b/√n, and solve it for the n achieving the
+//	          target σ.
+//
+// If B×n ≥ N, EARL tells the caller that early approximation cannot beat
+// the exact job and the full data set should be processed instead.
+package aes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/delta"
+	"repro/internal/mr"
+	"repro/internal/simcost"
+	"repro/internal/stats"
+)
+
+// Measure reduces a result distribution to a scalar error.
+type Measure func(values []float64) (float64, error)
+
+// CV is the default error measure: stddev/|mean| of the distribution.
+func CV(values []float64) (float64, error) { return stats.CV(values) }
+
+// StdErr is the plain standard deviation of the result distribution.
+func StdErr(values []float64) (float64, error) { return stats.StdDev(values) }
+
+// Variance is the variance of the result distribution.
+func Variance(values []float64) (float64, error) { return stats.Variance(values) }
+
+// Config parameterises the stage.
+type Config struct {
+	Reducer mr.IncrementalReducer
+	Sigma   float64 // user-desired error bound σ
+	// Tau is the stability threshold τ: phase 1 stops once the error
+	// estimate's *relative* step |cv_i − cv_{i−1}| / cv_i has stayed
+	// below τ for Stable consecutive B's. (The paper states τ as an
+	// absolute difference; a relative criterion is the scale-free
+	// equivalent — the pilot's cv magnitude depends on the pilot size,
+	// which the user shouldn't have to know.) Defaults to 0.03, which
+	// lands B in the paper's "roughly 30" regime (§3.1).
+	Tau     float64
+	L       int // subsample count for phase 2 (paper: 5)
+	MaxB    int // cap on bootstraps (default 2/τ)
+	Stable  int // consecutive stable steps required (robustness; ≥1)
+	Seed    uint64
+	Metrics *simcost.Metrics
+	Measure Measure // CV if nil
+	Key     string  // reduce key handed to Initialize
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Reducer == nil {
+		return c, errors.New("aes: Config.Reducer is required")
+	}
+	if c.Sigma <= 0 {
+		return c, fmt.Errorf("aes: Sigma must be positive, got %v", c.Sigma)
+	}
+	if c.Tau < 0 {
+		return c, fmt.Errorf("aes: Tau must be positive, got %v", c.Tau)
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.03
+	}
+	if c.L <= 0 {
+		c.L = 5
+	}
+	if c.MaxB <= 0 {
+		c.MaxB = int(math.Ceil(2 / c.Tau))
+	}
+	if c.MaxB < 3 {
+		c.MaxB = 3
+	}
+	if c.Stable <= 0 {
+		c.Stable = 3
+	}
+	if c.Measure == nil {
+		c.Measure = CV
+	}
+	return c, nil
+}
+
+// statistic computes the reducer's value on one item slice.
+func statistic(red mr.IncrementalReducer, key string, items []float64) (float64, error) {
+	st, err := red.Initialize(key, items)
+	if err != nil {
+		return 0, err
+	}
+	return red.Finalize(st)
+}
+
+// EstimateB runs phase 1 on the pilot sample: resamples are added one at
+// a time (each new candidate B reuses all previous resamples, the
+// incremental-processing observation of §4), and the loop stops once the
+// error measure has moved less than τ for cfg.Stable consecutive steps.
+// It returns the chosen B and the cv trace indexed by B−2.
+func EstimateB(pilot []float64, cfg Config) (int, []float64, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(pilot) < 2 {
+		return 0, nil, stats.ErrShortInput
+	}
+	rng := newRNG(cfg.Seed)
+	values := make([]float64, 0, cfg.MaxB)
+	buf := make([]float64, len(pilot))
+	drawValue := func() error {
+		for i := range buf {
+			buf[i] = pilot[rng.IntN(len(pilot))]
+		}
+		v, err := statistic(cfg.Reducer, cfg.Key, buf)
+		if err != nil {
+			return err
+		}
+		values = append(values, v)
+		return nil
+	}
+	for i := 0; i < 2; i++ {
+		if err := drawValue(); err != nil {
+			return 0, nil, err
+		}
+	}
+	trace := []float64{}
+	prev, err := cfg.Measure(values)
+	if err != nil {
+		return 0, nil, err
+	}
+	trace = append(trace, prev)
+	stable := 0
+	for b := 3; b <= cfg.MaxB; b++ {
+		if err := drawValue(); err != nil {
+			return 0, nil, err
+		}
+		cur, err := cfg.Measure(values)
+		if err != nil {
+			return 0, nil, err
+		}
+		trace = append(trace, cur)
+		scale := math.Abs(cur)
+		if scale == 0 {
+			scale = 1e-12
+		}
+		if math.Abs(cur-prev)/scale < cfg.Tau {
+			stable++
+			if stable >= cfg.Stable {
+				return b, trace, nil
+			}
+		} else {
+			stable = 0
+		}
+		prev = cur
+	}
+	return cfg.MaxB, trace, nil
+}
+
+// CurvePoint is one (subsample size, error) observation from phase 2.
+type CurvePoint struct {
+	N  int
+	CV float64
+}
+
+// EstimateN runs phase 2: the pilot is split into cfg.L geometrically
+// growing prefixes n_i = len(pilot)/2^(L−i); the error is measured on
+// each with B resamples using a delta.Maintainer (so each step reuses the
+// previous step's resamples), the curve cv(n) = a + b/√n is fitted and
+// solved for σ. ok=false means the fitted curve never reaches σ — the
+// caller should fall back to the full data set.
+func EstimateN(pilot []float64, b int, cfg Config) (n int, ok bool, curve stats.CVCurve, points []CurvePoint, err error) {
+	cfg, err = cfg.withDefaults()
+	if err != nil {
+		return 0, false, stats.CVCurve{}, nil, err
+	}
+	if b < 2 {
+		return 0, false, stats.CVCurve{}, nil, fmt.Errorf("aes: need B ≥ 2, got %d", b)
+	}
+	minSize := 1 << (cfg.L - 1)
+	if len(pilot) < minSize*2 {
+		return 0, false, stats.CVCurve{}, nil, fmt.Errorf("aes: pilot of %d too small for L=%d subsamples", len(pilot), cfg.L)
+	}
+	maint, err := delta.New(delta.Config{
+		Reducer: cfg.Reducer,
+		B:       b,
+		Seed:    cfg.Seed + 1,
+		Metrics: cfg.Metrics,
+		Key:     cfg.Key,
+	})
+	if err != nil {
+		return 0, false, stats.CVCurve{}, nil, err
+	}
+	prevEnd := 0
+	for i := 1; i <= cfg.L; i++ {
+		end := len(pilot) >> (cfg.L - i) // n_i = n / 2^(L-i)
+		if end <= prevEnd {
+			continue
+		}
+		if err := maint.Grow(pilot[prevEnd:end]); err != nil {
+			return 0, false, stats.CVCurve{}, nil, err
+		}
+		prevEnd = end
+		vals, err := maint.Results()
+		if err != nil {
+			return 0, false, stats.CVCurve{}, nil, err
+		}
+		cv, err := cfg.Measure(vals)
+		if err != nil {
+			return 0, false, stats.CVCurve{}, nil, err
+		}
+		points = append(points, CurvePoint{N: end, CV: cv})
+	}
+	ns := make([]int, len(points))
+	cvs := make([]float64, len(points))
+	for i, pt := range points {
+		ns[i] = pt.N
+		cvs[i] = pt.CV
+	}
+	curve, err = stats.FitCVCurve(ns, cvs)
+	if err != nil {
+		return 0, false, curve, points, err
+	}
+	n, ok = curve.SolveN(cfg.Sigma)
+	return n, ok, curve, points, nil
+}
+
+// Plan is SSABE's output: either run the user job with B bootstraps over
+// a sample of size N, or run it exactly over the whole data set.
+type Plan struct {
+	B       int
+	N       int
+	UseFull bool // B×N ≥ total: early approximation will not pay off
+	Curve   stats.CVCurve
+	BTrace  []float64    // cv trace from phase 1 (Fig. 2a's series)
+	Points  []CurvePoint // phase-2 observations (Fig. 2b's series)
+}
+
+// SSABE runs both phases over the pilot sample and applies the
+// B×n ≥ N cutoff (§3.1) against totalN, the full data-set size.
+func SSABE(pilot []float64, totalN int64, cfg Config) (Plan, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Plan{}, err
+	}
+	b, trace, err := EstimateB(pilot, cfg)
+	if err != nil {
+		return Plan{}, fmt.Errorf("aes: phase 1: %w", err)
+	}
+	n, ok, curve, points, err := EstimateN(pilot, b, cfg)
+	if err != nil {
+		return Plan{}, fmt.Errorf("aes: phase 2: %w", err)
+	}
+	plan := Plan{B: b, N: n, Curve: curve, BTrace: trace, Points: points}
+	if !ok || int64(b)*int64(n) >= totalN {
+		plan.UseFull = true
+	}
+	return plan, nil
+}
+
+// Stability measures τ-stability of consecutive error estimates: it
+// returns |cv_i − cv_{i−1}| given the previous and current estimates —
+// the quantity the paper defines as τ's operational meaning.
+func Stability(prev, cur float64) float64 { return math.Abs(cur - prev) }

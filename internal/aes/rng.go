@@ -1,0 +1,8 @@
+package aes
+
+import "math/rand/v2"
+
+// newRNG builds the package's deterministic PCG stream for a seed.
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x71374491428a2f98))
+}

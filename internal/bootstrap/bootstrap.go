@@ -1,0 +1,397 @@
+// Package bootstrap implements the resampling machinery of §3: the
+// Monte-Carlo bootstrap EARL uses for error estimation of arbitrary
+// functions, the jackknife it compares against (and which fails for the
+// median — the paper's reason to prefer the bootstrap), exact small-n
+// bootstrap enumeration for validation, percentile and BCa confidence
+// intervals, and the moving-block bootstrap of Appendix A for dependent
+// data.
+//
+// Everything operates on a plain []float64 sample and a Statistic — "the
+// function of interest f" in the paper's notation. Randomness is always
+// an explicit *rand.Rand.
+package bootstrap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Statistic is the function of interest computed on a (re)sample.
+type Statistic func(xs []float64) (float64, error)
+
+// Common statistics, exported for convenience and used throughout the
+// experiments.
+var (
+	// Mean is the sample mean.
+	Mean Statistic = stats.Mean
+	// Median is the sample median.
+	Median Statistic = stats.Median
+	// Sum is the sample sum (needs 1/p correction when sampled).
+	Sum Statistic = func(xs []float64) (float64, error) {
+		if len(xs) == 0 {
+			return 0, stats.ErrEmpty
+		}
+		return stats.Sum(xs), nil
+	}
+	// StdDev is the sample standard deviation.
+	StdDev Statistic = stats.StdDev
+)
+
+// Result summarises the result distribution produced by resampling: the
+// B per-resample values of f and the accuracy measures derived from them
+// (§3.1). CV — stddev over |mean| of the distribution — is EARL's default
+// error measure.
+type Result struct {
+	Values   []float64 // f on each resample, in draw order
+	Estimate float64   // mean of Values (θ̂*)
+	StdErr   float64   // standard deviation of Values (σ̂_B)
+	CV       float64   // StdErr / |Estimate|
+	Bias     float64   // Estimate − f(original sample)
+}
+
+func summarize(values []float64, original float64) (Result, error) {
+	est, err := stats.Mean(values)
+	if err != nil {
+		return Result{}, err
+	}
+	var se float64
+	if len(values) > 1 {
+		se, err = stats.StdDev(values)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	cv := 0.0
+	if est != 0 {
+		cv = se / math.Abs(est)
+	}
+	return Result{
+		Values:   values,
+		Estimate: est,
+		StdErr:   se,
+		CV:       cv,
+		Bias:     est - original,
+	}, nil
+}
+
+// Resample fills out with a uniform with-replacement draw from s (one
+// bootstrap resample b). len(out) may differ from len(s) for the m-out-
+// of-n variants.
+func Resample(rng *rand.Rand, s []float64, out []float64) {
+	for i := range out {
+		out[i] = s[rng.IntN(len(s))]
+	}
+}
+
+// MonteCarlo runs the standard Monte-Carlo approximation of the
+// bootstrap (§3): B resamples of size len(s) drawn with replacement,
+// f computed on each.
+func MonteCarlo(rng *rand.Rand, s []float64, f Statistic, B int) (Result, error) {
+	if len(s) == 0 {
+		return Result{}, stats.ErrEmpty
+	}
+	if B < 2 {
+		return Result{}, fmt.Errorf("bootstrap: need B ≥ 2, got %d", B)
+	}
+	orig, err := f(s)
+	if err != nil {
+		return Result{}, fmt.Errorf("bootstrap: f on original sample: %w", err)
+	}
+	values := make([]float64, B)
+	buf := make([]float64, len(s))
+	for b := 0; b < B; b++ {
+		Resample(rng, s, buf)
+		v, err := f(buf)
+		if err != nil {
+			return Result{}, fmt.Errorf("bootstrap: f on resample %d: %w", b, err)
+		}
+		values[b] = v
+	}
+	return summarize(values, orig)
+}
+
+// Jackknife computes the delete-1 jackknife estimate of f's sampling
+// distribution: n recomputations, each leaving one observation out. The
+// returned StdErr uses the jackknife variance formula
+// (n-1)/n · Σ(θ̂(i) − θ̂(·))². The jackknife has a fixed resample count
+// and is cheaper than the bootstrap, but "does not work for many
+// functions such as the median" (§3) — TestJackknifeFailsForMedian shows
+// exactly that failure.
+func Jackknife(s []float64, f Statistic) (Result, error) {
+	n := len(s)
+	if n < 2 {
+		return Result{}, stats.ErrShortInput
+	}
+	orig, err := f(s)
+	if err != nil {
+		return Result{}, err
+	}
+	values := make([]float64, n)
+	buf := make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		copy(buf, s[:i])
+		copy(buf[i:], s[i+1:])
+		v, err := f(buf)
+		if err != nil {
+			return Result{}, fmt.Errorf("bootstrap: jackknife leave-%d: %w", i, err)
+		}
+		values[i] = v
+	}
+	mean, _ := stats.Mean(values)
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	se := math.Sqrt(float64(n-1) / float64(n) * ss)
+	cv := 0.0
+	if mean != 0 {
+		cv = se / math.Abs(mean)
+	}
+	return Result{
+		Values:   values,
+		Estimate: mean,
+		StdErr:   se,
+		CV:       cv,
+		Bias:     float64(n-1) * (mean - orig),
+	}, nil
+}
+
+// Exact enumerates every bootstrap resample of s as a multiset (the
+// C(2n−1, n−1) resamples of §3) and returns the exactly-weighted result
+// distribution moments. Only feasible for tiny n — it exists so tests can
+// verify that MonteCarlo converges to the truth it approximates.
+func Exact(s []float64, f Statistic) (mean, variance float64, err error) {
+	n := len(s)
+	if n == 0 {
+		return 0, 0, stats.ErrEmpty
+	}
+	if n > 12 {
+		return 0, 0, fmt.Errorf("bootstrap: exact enumeration infeasible for n=%d", n)
+	}
+	// Enumerate multiset counts (c_1..c_n), Σc=n, weight n!/(Πc_i!)/nⁿ.
+	logNFact := logFactorial(n)
+	logNn := float64(n) * math.Log(float64(n))
+	buf := make([]float64, 0, n)
+	counts := make([]int, n)
+	var m1, m2, wsum float64
+	var rec func(idx, left int, logW float64) error
+	rec = func(idx, left int, logW float64) error {
+		if idx == n-1 {
+			counts[idx] = left
+			w := math.Exp(logW - logFactorial(left) - logNn)
+			buf = buf[:0]
+			for i, c := range counts {
+				for j := 0; j < c; j++ {
+					buf = append(buf, s[i])
+				}
+			}
+			v, err := f(buf)
+			if err != nil {
+				return err
+			}
+			m1 += w * v
+			m2 += w * v * v
+			wsum += w
+			return nil
+		}
+		for c := 0; c <= left; c++ {
+			counts[idx] = c
+			if err := rec(idx+1, left-c, logW-logFactorial(c)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, n, logNFact); err != nil {
+		return 0, 0, err
+	}
+	// wsum is 1 up to floating point; normalise anyway.
+	m1 /= wsum
+	m2 /= wsum
+	return m1, m2 - m1*m1, nil
+}
+
+func logFactorial(n int) float64 {
+	lf := 0.0
+	for i := 2; i <= n; i++ {
+		lf += math.Log(float64(i))
+	}
+	return lf
+}
+
+// PercentileCI returns the percentile bootstrap confidence interval at
+// the given confidence level from the result distribution.
+func (r Result) PercentileCI(confidence float64) (lo, hi float64, err error) {
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, errors.New("bootstrap: confidence must be in (0,1)")
+	}
+	if len(r.Values) == 0 {
+		return 0, 0, stats.ErrEmpty
+	}
+	sorted := make([]float64, len(r.Values))
+	copy(sorted, r.Values)
+	sort.Float64s(sorted)
+	alpha := (1 - confidence) / 2
+	lo, err = stats.QuantileSorted(sorted, alpha)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = stats.QuantileSorted(sorted, 1-alpha)
+	return lo, hi, err
+}
+
+// BCa computes the bias-corrected and accelerated bootstrap confidence
+// interval (Efron 1987, the paper's [12]) — the "better bootstrap
+// confidence interval" that corrects the percentile interval for bias
+// and skewness using a jackknife acceleration estimate.
+func BCa(rng *rand.Rand, s []float64, f Statistic, B int, confidence float64) (lo, hi float64, err error) {
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, errors.New("bootstrap: confidence must be in (0,1)")
+	}
+	res, err := MonteCarlo(rng, s, f, B)
+	if err != nil {
+		return 0, 0, err
+	}
+	orig, err := f(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Bias correction z0: fraction of resample values below the original.
+	below := 0
+	for _, v := range res.Values {
+		if v < orig {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(res.Values))
+	if frac <= 0 {
+		frac = 0.5 / float64(len(res.Values))
+	}
+	if frac >= 1 {
+		frac = 1 - 0.5/float64(len(res.Values))
+	}
+	z0, err := stats.NormalQuantile(frac)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Acceleration a from jackknife skewness.
+	jack, err := Jackknife(s, f)
+	if err != nil {
+		return 0, 0, err
+	}
+	jmean, _ := stats.Mean(jack.Values)
+	var num, den float64
+	for _, v := range jack.Values {
+		d := jmean - v
+		num += d * d * d
+		den += d * d
+	}
+	a := 0.0
+	if den > 0 {
+		a = num / (6 * math.Pow(den, 1.5))
+	}
+	zAlpha, err := stats.NormalQuantile((1 - confidence) / 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	adj := func(z float64) float64 {
+		w := z0 + z
+		return stats.NormalCDF(z0 + w/(1-a*w))
+	}
+	sorted := make([]float64, len(res.Values))
+	copy(sorted, res.Values)
+	sort.Float64s(sorted)
+	lo, err = stats.QuantileSorted(sorted, clamp01(adj(zAlpha)))
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = stats.QuantileSorted(sorted, clamp01(adj(-zAlpha)))
+	return lo, hi, err
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// MovingBlock runs the moving-block bootstrap for b-dependent data
+// (Appendix A): resamples are built from random contiguous blocks of
+// length blockLen so within-block dependence is preserved.
+func MovingBlock(rng *rand.Rand, s []float64, blockLen int, f Statistic, B int) (Result, error) {
+	n := len(s)
+	if n == 0 {
+		return Result{}, stats.ErrEmpty
+	}
+	if blockLen <= 0 || blockLen > n {
+		return Result{}, fmt.Errorf("bootstrap: block length %d outside [1,%d]", blockLen, n)
+	}
+	if B < 2 {
+		return Result{}, fmt.Errorf("bootstrap: need B ≥ 2, got %d", B)
+	}
+	orig, err := f(s)
+	if err != nil {
+		return Result{}, err
+	}
+	values := make([]float64, B)
+	buf := make([]float64, 0, n+blockLen)
+	nStarts := n - blockLen + 1
+	for b := 0; b < B; b++ {
+		buf = buf[:0]
+		for len(buf) < n {
+			start := rng.IntN(nStarts)
+			buf = append(buf, s[start:start+blockLen]...)
+		}
+		v, err := f(buf[:n])
+		if err != nil {
+			return Result{}, err
+		}
+		values[b] = v
+	}
+	return summarize(values, orig)
+}
+
+// AutoBlockLength picks a moving-block length for series of length n
+// with the standard n^(1/3) growth rate (Politis & White's rule up to
+// its constant), clamped to [1, n].
+func AutoBlockLength(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	b := int(math.Ceil(math.Pow(float64(n), 1.0/3.0)))
+	if b < 1 {
+		b = 1
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// Proportion is the categorical-data path of Appendix A: successes are
+// values equal to 1, and the z-based normal interval applies because the
+// binomial proportion is asymptotically normal.
+func Proportion(xs []float64, confidence float64) (p, halfWidth float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, stats.ErrEmpty
+	}
+	successes := 0
+	for _, x := range xs {
+		if x == 1 {
+			successes++
+		} else if x != 0 {
+			return 0, 0, fmt.Errorf("bootstrap: categorical data must be 0/1, got %v", x)
+		}
+	}
+	return stats.ProportionInterval(successes, len(xs), confidence)
+}

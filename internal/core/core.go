@@ -1,0 +1,152 @@
+// Package core is EARL itself: the Early Accurate Result Library driver
+// that ties the substrates together into the paper's architecture
+// (Fig. 1) —
+//
+//	sampling stage  →  user's job on B resamples  →  accuracy estimation
+//	        ↑  expand Δs and iterate while cv > σ  ↓
+//
+// A Run proceeds exactly as §2–§4 describe:
+//
+//  1. A pilot sample is drawn and SSABE (§3.2) estimates the number of
+//     bootstraps B and the sample size n in cheap local mode, before any
+//     cluster job starts. If B×n ≥ N the driver falls back to the exact
+//     job over the full data set.
+//  2. A pipelined MR job starts: long-lived mapper tasks sample records
+//     from their owned splits (pre-map, Algorithm 2) or from pooled
+//     parsed records (post-map, Algorithm 1) and push them to the
+//     reducer while running.
+//  3. The reducer maintains B bootstrap resamples and their incremental
+//     states (delta maintenance, §4.1), and after each growth writes the
+//     current error and a timestamp to an error file on the DFS.
+//  4. Mappers poll the error files (the reducer→mapper feedback layer of
+//     §2.1/§3.3), and either terminate the job — accuracy reached — or
+//     actively expand the sample and keep feeding.
+//  5. The final result is corrected for the sampling fraction p via the
+//     user job's correct() and reported with its cv and a percentile
+//     confidence interval.
+//
+// Node failures during the job do not abort it: surviving data yields a
+// result with its achieved accuracy (§3.4).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+	"repro/internal/mr"
+	"repro/internal/simcost"
+)
+
+// Env bundles the simulated deployment a driver runs against.
+type Env struct {
+	FS      *dfs.FileSystem
+	Engine  *mr.Engine
+	Metrics *simcost.Metrics
+}
+
+// EnvConfig shapes a simulated deployment.
+type EnvConfig struct {
+	DataNodes    int   // cluster size; 5 (the paper's testbed) if 0
+	SlotsPerNode int   // concurrent tasks per node; 2 if 0
+	BlockSize    int64 // DFS block size; dfs.DefaultBlockSize if 0
+	Replication  int   // block replicas; 3 if 0
+	Seed         uint64
+}
+
+// NewEnv builds a fresh simulated cluster: DFS, MR engine and a shared
+// metrics sink.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	if cfg.DataNodes <= 0 {
+		cfg.DataNodes = 5
+	}
+	if cfg.SlotsPerNode <= 0 {
+		cfg.SlotsPerNode = 2
+	}
+	metrics := &simcost.Metrics{}
+	fsys := dfs.New(dfs.Config{
+		BlockSize:   cfg.BlockSize,
+		Replication: cfg.Replication,
+		DataNodes:   cfg.DataNodes,
+		Metrics:     metrics,
+		Seed:        cfg.Seed,
+	})
+	cluster, err := mr.NewCluster(cfg.DataNodes, cfg.SlotsPerNode)
+	if err != nil {
+		return nil, err
+	}
+	eng := &mr.Engine{FS: fsys, Cluster: cluster, Metrics: metrics}
+	return &Env{FS: fsys, Engine: eng, Metrics: metrics}, nil
+}
+
+// KillNode kills both the DataNode and the compute node with the given
+// id — a whole-machine failure, the §3.4 scenario.
+func (e *Env) KillNode(id int) error {
+	if err := e.FS.KillDataNode(id); err != nil {
+		return err
+	}
+	return e.Engine.Cluster.KillNode(id)
+}
+
+// ReviveNode brings a machine back.
+func (e *Env) ReviveNode(id int) error {
+	if err := e.FS.ReviveDataNode(id); err != nil {
+		return err
+	}
+	return e.Engine.Cluster.ReviveNode(id)
+}
+
+// errorFile is the payload of one reducer error file: the current cv and
+// a logical timestamp (the reducer's growth generation), §3.3.
+type errorFile struct {
+	CV  float64
+	Gen int64
+}
+
+func formatErrorFile(e errorFile) []byte {
+	return []byte(fmt.Sprintf("%g\t%d\n", e.CV, e.Gen))
+}
+
+func parseErrorFile(b []byte) (errorFile, error) {
+	var e errorFile
+	if _, err := fmt.Sscanf(string(b), "%g\t%d", &e.CV, &e.Gen); err != nil {
+		return errorFile{}, fmt.Errorf("core: bad error file %q: %w", b, err)
+	}
+	return e, nil
+}
+
+// readErrors lists and parses all error files under prefix, returning
+// the average cv across reducers and the *maximum* generation seen.
+// Mappers act once per new maximum: with several reducers, only the one
+// that crosses a growth trigger rewrites its file, so waiting for every
+// reducer to reach a generation can stall forever. Averaging in a stale
+// (higher) cv from a quieter reducer is safe — it can only delay
+// termination, and final convergence is re-checked per group from the
+// states themselves.
+func readErrors(fsys *dfs.FileSystem, prefix string) (avgCV float64, maxGen int64, ok bool) {
+	paths := fsys.List(prefix)
+	if len(paths) == 0 {
+		return 0, 0, false
+	}
+	var sum float64
+	n := 0
+	maxGen = -1
+	for _, p := range paths {
+		b, err := fsys.ReadFile(p)
+		if err != nil {
+			continue // a replica-less file during failures: skip
+		}
+		e, err := parseErrorFile(b)
+		if err != nil {
+			continue
+		}
+		sum += e.CV
+		n++
+		if e.Gen > maxGen {
+			maxGen = e.Gen
+		}
+	}
+	if maxGen < 0 || n == 0 {
+		return 0, 0, false
+	}
+	return sum / float64(n), maxGen, true
+}

@@ -1,0 +1,562 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aes"
+	"repro/internal/bootstrap"
+	"repro/internal/delta"
+	"repro/internal/dfs"
+	"repro/internal/jobs"
+	"repro/internal/mr"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// SamplerKind selects the sampling stage implementation (§3.3).
+type SamplerKind string
+
+// The two samplers of §3.3.
+const (
+	PreMapSampling  SamplerKind = "pre-map"  // Algorithm 2: sample split offsets before loading
+	PostMapSampling SamplerKind = "post-map" // Algorithm 1: load, pool, draw without replacement
+)
+
+// Options tunes a Run. Zero values take the paper's defaults.
+type Options struct {
+	Sigma         float64     // target error bound σ; 0.05 (the paper's 5%) if 0
+	Tau           float64     // SSABE relative stability threshold τ; aes default (0.03) if 0
+	PilotFraction float64     // pilot sample fraction p; 0.01 (§3.2) if 0
+	MinPilot      int         // pilot floor; 512 if 0
+	MaxPilot      int         // pilot cap; 65536 if 0 (a pilot needs statistical resolution, not a fixed fraction of ever-larger data)
+	Sampler       SamplerKind // PreMapSampling if empty
+	NumMappers    int         // long-lived sampling mappers; 4 if 0
+	SplitSize     int64       // input split size; DFS block size if 0
+	Confidence    float64     // CI level for the report; 0.95 if 0
+	Seed          uint64
+	// ForceB / ForceN skip SSABE and use the given resample count /
+	// initial sample size (experiment hooks; both must be set).
+	ForceB int
+	ForceN int
+	// MaxSampleFraction caps sample expansion at this fraction of the
+	// (estimated) data size before giving up on convergence; 0.5 if 0.
+	MaxSampleFraction float64
+	// Measure overrides the error measure (aes.CV if nil).
+	Measure aes.Measure
+	// DisableDeltaMaintenance switches the reducer to the naive
+	// recompute-everything resampler (§4.1's baseline; Fig. 10 ablation).
+	DisableDeltaMaintenance bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sigma <= 0 {
+		o.Sigma = 0.05
+	}
+	if o.PilotFraction <= 0 {
+		o.PilotFraction = 0.01
+	}
+	if o.MinPilot <= 0 {
+		o.MinPilot = 512
+	}
+	if o.MaxPilot <= 0 {
+		o.MaxPilot = 65536
+	}
+	if o.MaxPilot < o.MinPilot {
+		o.MaxPilot = o.MinPilot
+	}
+	if o.Sampler == "" {
+		o.Sampler = PreMapSampling
+	}
+	if o.NumMappers <= 0 {
+		o.NumMappers = 4
+	}
+	if o.Confidence <= 0 {
+		o.Confidence = 0.95
+	}
+	if o.MaxSampleFraction <= 0 {
+		o.MaxSampleFraction = 0.5
+	}
+	if o.Measure == nil {
+		o.Measure = aes.CV
+	}
+	return o
+}
+
+// Report is the outcome of one EARL run.
+type Report struct {
+	Job         string
+	Estimate    float64 // corrected final result
+	Uncorrected float64 // raw bootstrap estimate before correct()
+	CV          float64 // achieved error at termination
+	CILo, CIHi  float64 // percentile interval over the result distribution
+	B           int     // bootstraps used
+	SampleSize  int     // records actually consumed by the reducer
+	PlannedN    int     // SSABE's initial sample size
+	Iterations  int     // reducer growth generations (1 = SSABE got it right)
+	UsedFull    bool    // fell back to the exact full-data job
+	Converged   bool    // final error ≤ σ
+	FractionP   float64 // sampling fraction handed to correct()
+	FailedMaps  int     // mapper tasks lost to failures (§3.4 path)
+	EstTotalN   int64   // estimated total records in the input
+}
+
+// resampler abstracts the optimized and naive reducers (Fig. 10).
+type resampler interface {
+	Grow([]float64) error
+	Results() ([]float64, error)
+	N() int
+}
+
+// Run executes job over the line-encoded numeric file at path with early
+// approximate results per the paper's full workflow.
+func Run(env *Env, job jobs.Numeric, path string, opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	if env == nil || env.FS == nil || env.Engine == nil {
+		return Report{}, errors.New("core: incomplete Env")
+	}
+	if job.Reducer == nil || job.Parse == nil {
+		return Report{}, errors.New("core: job needs Reducer and Parse")
+	}
+
+	// ---- Local-mode pilot + SSABE (§3.2). -----------------------------
+	pilotSampler, err := sampling.NewPreMap(env.FS, path, opts.SplitSize, opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	probe, err := pilotSampler.Sample(256)
+	if errors.Is(err, sampling.ErrExhausted) {
+		// Tiny data set: just run it exactly.
+		return runExact(env, job, path, opts)
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	estTotal := pilotSampler.EstimatedTotalRecords()
+	pilotN := int(opts.PilotFraction * float64(estTotal))
+	if pilotN < opts.MinPilot {
+		pilotN = opts.MinPilot
+	}
+	if pilotN > opts.MaxPilot {
+		pilotN = opts.MaxPilot
+	}
+	pilot := make([]float64, 0, pilotN)
+	for _, r := range probe {
+		v, err := job.Parse(r.Line)
+		if err != nil {
+			return Report{}, fmt.Errorf("core: pilot parse: %w", err)
+		}
+		pilot = append(pilot, v)
+	}
+	forced := opts.ForceB > 1 && opts.ForceN > 0
+	if forced {
+		pilotN = len(pilot) // plan is forced: the probe alone suffices for estTotal
+	}
+	if pilotN > len(pilot) {
+		more, err := pilotSampler.Sample(pilotN - len(pilot))
+		if err != nil && !errors.Is(err, sampling.ErrExhausted) {
+			return Report{}, err
+		}
+		for _, r := range more {
+			v, err := job.Parse(r.Line)
+			if err != nil {
+				return Report{}, fmt.Errorf("core: pilot parse: %w", err)
+			}
+			pilot = append(pilot, v)
+		}
+	}
+	estTotal = pilotSampler.EstimatedTotalRecords() // refined by the larger pilot
+
+	var plan aes.Plan
+	if forced {
+		plan = aes.Plan{B: opts.ForceB, N: opts.ForceN}
+	} else {
+		plan, err = aes.SSABE(pilot, estTotal, aes.Config{
+			Reducer: job.Reducer,
+			Sigma:   opts.Sigma,
+			Tau:     opts.Tau,
+			Seed:    opts.Seed + 17,
+			Metrics: env.Metrics,
+			Measure: opts.Measure,
+			Key:     job.Name,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+	}
+	if plan.UseFull {
+		// "EARL informs the user that an early estimation with the
+		// specified accuracy is not faster than computing f over N" —
+		// §3.1: switch back to the standard workflow.
+		rep, err := runExact(env, job, path, opts)
+		rep.EstTotalN = estTotal
+		return rep, err
+	}
+
+	// ---- Pipelined sampling job (§2.1's modified Hadoop flow). --------
+	rep, err := runSampledJob(env, job, path, opts, plan, estTotal)
+	rep.EstTotalN = estTotal
+	return rep, err
+}
+
+// shareOf splits a total target across m mappers.
+func shareOf(target int64, m, idx int) int64 {
+	base := target / int64(m)
+	if int64(idx) < target%int64(m) {
+		base++
+	}
+	return base
+}
+
+func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan aes.Plan, estTotal int64) (Report, error) {
+	splits, err := env.FS.Splits(path, opts.SplitSize)
+	if err != nil {
+		return Report{}, err
+	}
+	m := opts.NumMappers
+	if m > len(splits) {
+		m = len(splits)
+	}
+	if m < 1 {
+		m = 1
+	}
+	// Round-robin split ownership, one pre-map sampler per mapper.
+	owned := make([][]dfs.Split, m)
+	for i, sp := range splits {
+		owned[i%m] = append(owned[i%m], sp)
+	}
+
+	maxSample := int64(opts.MaxSampleFraction * float64(estTotal))
+	if maxSample < int64(plan.N) {
+		maxSample = int64(plan.N)
+	}
+
+	ctrl := &mr.Controller{}
+	ctrl.RequestExpansion(int64(plan.N))
+
+	errPrefix := "/earl/" + job.Name + "/errors/"
+	for _, p := range env.FS.List(errPrefix) {
+		if err := env.FS.Delete(p); err != nil {
+			return Report{}, err
+		}
+	}
+
+	// Shared progress counters (the coordination state that in Hadoop
+	// lives in task heartbeats and the shared JobID file space).
+	var emitted, received, buffered atomic.Int64
+	var exhausted atomic.Int32 // count of dry mappers
+	sent := make([]atomic.Int64, m)
+	dry := make([]atomic.Bool, m)
+
+	var maint resampler
+	var maintErr error
+	if opts.DisableDeltaMaintenance {
+		maint, maintErr = delta.NewNaive(delta.Config{
+			Reducer: job.Reducer, B: plan.B, Seed: opts.Seed + 31,
+			Metrics: env.Metrics, Key: job.Name,
+		})
+	} else {
+		maint, maintErr = delta.New(delta.Config{
+			Reducer: job.Reducer, B: plan.B, Seed: opts.Seed + 31,
+			Metrics: env.Metrics, Key: job.Name,
+		})
+	}
+	if maintErr != nil {
+		return Report{}, maintErr
+	}
+
+	var gen atomic.Int64
+	var finalCV atomic.Uint64
+	finalCV.Store(math.Float64bits(math.Inf(1)))
+
+	grow := func(buf []float64) error {
+		if err := maint.Grow(buf); err != nil {
+			return err
+		}
+		g := gen.Add(1)
+		vals, err := maint.Results()
+		if err != nil {
+			return err
+		}
+		cv, err := opts.Measure(vals)
+		if err != nil {
+			// Degenerate distribution (e.g. zero mean): report +Inf so
+			// the loop keeps growing rather than mis-terminating.
+			cv = math.Inf(1)
+		}
+		finalCV.Store(math.Float64bits(cv))
+		ctrl.PublishError(cv)
+		return env.FS.WriteFile(errPrefix+"part-0", formatErrorFile(errorFile{CV: cv, Gen: g}))
+	}
+
+	sjob := &mr.StreamJob{
+		Name:        "earl-" + job.Name,
+		NumMappers:  m,
+		NumReducers: 1,
+		Control:     ctrl,
+		MapTask: func(ctx *mr.MapStream, idx int) error {
+			return mapTask(env, job, ctx, idx, mapTaskDeps{
+				owned:     owned[idx],
+				path:      path,
+				opts:      opts,
+				errPrefix: errPrefix,
+				maxSample: maxSample,
+				m:         m,
+				initialN:  int64(plan.N),
+				emitted:   &emitted,
+				sent:      &sent[idx],
+				dry:       &dry[idx],
+				exhausted: &exhausted,
+			})
+		},
+		ReduceTask: func(part int, in <-chan mr.KV) error {
+			var buf []float64
+			for kv := range in {
+				v, ok := kv.Value.(float64)
+				if !ok {
+					return fmt.Errorf("core: reducer got %T", kv.Value)
+				}
+				buf = append(buf, v)
+				received.Add(1)
+				buffered.Store(int64(len(buf)))
+				// Grow (and publish an error file) once the mappers have
+				// delivered everything they will deliver for the current
+				// target: either the target itself is met, or every
+				// mapper has settled (met its share or run dry) and the
+				// channel has drained.
+				target := ctrl.ExpansionTarget()
+				if received.Load() >= target ||
+					(received.Load() == emitted.Load() && allSettled(sent, dry, target, m)) {
+					if err := grow(buf); err != nil {
+						return err
+					}
+					buf = buf[:0]
+					buffered.Store(0)
+				}
+			}
+			if len(buf) > 0 {
+				if err := grow(buf); err != nil {
+					return err
+				}
+				buffered.Store(0)
+			}
+			return nil
+		},
+	}
+
+	// Watchdog: if every mapper ran dry and everything emitted has been
+	// folded in, nothing further can change — terminate so the pipeline
+	// drains (EARL's "finish with achieved accuracy").
+	stopWatch := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopWatch:
+				return
+			default:
+			}
+			if int(exhausted.Load()) == m &&
+				received.Load() == emitted.Load() &&
+				buffered.Load() == 0 {
+				ctrl.Terminate()
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	sres, err := env.Engine.RunPipelined(sjob)
+	close(stopWatch)
+	if err != nil {
+		return Report{}, err
+	}
+
+	vals, err := maint.Results()
+	if err != nil {
+		return Report{}, fmt.Errorf("core: no results (sample never arrived): %w", err)
+	}
+	est, err := stats.Mean(vals)
+	if err != nil {
+		return Report{}, err
+	}
+	cv := math.Float64frombits(finalCV.Load())
+	res := bootstrap.Result{Values: vals}
+	lo, hi, err := res.PercentileCI(opts.Confidence)
+	if err != nil {
+		return Report{}, err
+	}
+	p := float64(maint.N()) / float64(estTotal)
+	if p > 1 {
+		p = 1
+	}
+	corrected := job.Reducer.Correct(est, p)
+	return Report{
+		Job:         job.Name,
+		Estimate:    corrected,
+		Uncorrected: est,
+		CV:          cv,
+		CILo:        lo,
+		CIHi:        hi,
+		B:           plan.B,
+		SampleSize:  maint.N(),
+		PlannedN:    plan.N,
+		Iterations:  int(gen.Load()),
+		Converged:   cv <= opts.Sigma,
+		FractionP:   p,
+		FailedMaps:  len(sres.FailedMappers),
+	}, nil
+}
+
+// mapTaskDeps carries the per-mapper wiring.
+type mapTaskDeps struct {
+	owned     []dfs.Split
+	path      string
+	opts      Options
+	errPrefix string
+	maxSample int64
+	m         int
+	initialN  int64
+	emitted   *atomic.Int64
+	sent      *atomic.Int64
+	dry       *atomic.Bool
+	exhausted *atomic.Int32
+}
+
+// doubledTarget is the deterministic expansion schedule: after the
+// reducer's g-th error report the total target is initialN·2^g.
+func doubledTarget(initialN, g int64) int64 {
+	if g > 40 {
+		g = 40 // avoid overflow; the fraction cap clamps long before this
+	}
+	return initialN << uint(g)
+}
+
+// mapTask is one long-lived sampling mapper: feed records toward the
+// current target, then poll the reducers' error files and either
+// terminate the job or expand the sample (§2.1's active mapper).
+func mapTask(env *Env, job jobs.Numeric, ctx *mr.MapStream, idx int, d mapTaskDeps) error {
+	ctrl := ctx.Controller()
+
+	var drawBatch func(k int) ([]string, error)
+	switch d.opts.Sampler {
+	case PostMapSampling:
+		pool := sampling.NewPostMap(d.opts.Seed + uint64(idx)*7919)
+		for _, sp := range d.owned {
+			rd, err := env.FS.NewLineReader(sp, 0)
+			if err != nil {
+				return err
+			}
+			for rd.Next() {
+				pool.Add(fmt.Sprintf("%d", rd.RecordOffset()), rd.Text())
+			}
+			if rd.Err() != nil {
+				return rd.Err()
+			}
+		}
+		drawBatch = func(k int) ([]string, error) {
+			recs, err := pool.Draw(k)
+			lines := make([]string, len(recs))
+			for i, r := range recs {
+				lines[i] = r.Value
+			}
+			return lines, err
+		}
+	default: // pre-map
+		sampler, err := sampling.NewPreMapOwned(env.FS, d.path, d.owned, d.opts.Seed+uint64(idx)*104729)
+		if err != nil {
+			return err
+		}
+		drawBatch = func(k int) ([]string, error) {
+			recs, err := sampler.Sample(k)
+			lines := make([]string, len(recs))
+			for i, r := range recs {
+				lines[i] = r.Line
+			}
+			return lines, err
+		}
+	}
+
+	var lastGen int64
+	const batch = 128
+	for {
+		if ctx.Terminated() {
+			if !ctx.NodeAlive() {
+				return fmt.Errorf("core: node died under mapper %d", idx)
+			}
+			return nil
+		}
+		target := ctrl.ExpansionTarget()
+		share := shareOf(target, d.m, idx)
+		if !d.dry.Load() && d.sent.Load() < share {
+			k := share - d.sent.Load()
+			if k > batch {
+				k = batch
+			}
+			lines, err := drawBatch(int(k))
+			for _, line := range lines {
+				v, perr := job.Parse(line)
+				if perr != nil {
+					return fmt.Errorf("core: mapper %d parse: %w", idx, perr)
+				}
+				ctx.Emit(job.Name, v)
+				d.sent.Add(1)
+				d.emitted.Add(1)
+			}
+			if errors.Is(err, sampling.ErrExhausted) {
+				d.dry.Store(true)
+				d.exhausted.Add(1)
+			} else if err != nil {
+				return err
+			}
+			continue
+		}
+		// Feedback poll: average the reducers' error files (§3.3).
+		avg, g, ok := readErrors(env.FS, d.errPrefix)
+		if ok && g > lastGen {
+			lastGen = g
+			if avg <= d.opts.Sigma {
+				ctrl.Terminate()
+				return nil
+			}
+			// Deterministic doubling schedule keyed on the reducer
+			// generation, so every mapper reacting to the same error file
+			// requests the same expansion regardless of timing.
+			next := doubledTarget(d.initialN, g)
+			if next > d.maxSample {
+				next = d.maxSample
+			}
+			if next > target {
+				ctrl.RequestExpansion(next)
+				continue
+			}
+			if target >= d.maxSample {
+				// Cap reached and still above σ: stop expanding; the job
+				// finishes with the accuracy actually achieved.
+				ctrl.Terminate()
+				return nil
+			}
+			// Another mapper already requested this generation's
+			// expansion; fall through and keep feeding.
+			continue
+		}
+		runtime.Gosched()
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// allSettled reports whether every mapper has either met its share of
+// the target or run dry.
+func allSettled(sent []atomic.Int64, dry []atomic.Bool, target int64, m int) bool {
+	for i := 0; i < m; i++ {
+		if dry[i].Load() {
+			continue
+		}
+		if sent[i].Load() < shareOf(target, m, i) {
+			return false
+		}
+	}
+	return true
+}

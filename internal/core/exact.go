@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/jobs"
+	"repro/internal/mr"
+)
+
+// runExact executes job over the whole file as a standard batch MR job —
+// the "stock Hadoop" flow EARL switches back to when early approximation
+// cannot pay off (§3.1), and the baseline every Fig. 5–7 comparison runs.
+func runExact(env *Env, job jobs.Numeric, path string, opts Options) (Report, error) {
+	res, n, err := RunExactJob(env, job, path, opts.SplitSize)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Job:         job.Name,
+		Estimate:    res,
+		Uncorrected: res,
+		CV:          0,
+		CILo:        res,
+		CIHi:        res,
+		B:           1,
+		SampleSize:  n,
+		UsedFull:    true,
+		Converged:   true,
+		FractionP:   1,
+		Iterations:  1,
+	}, nil
+}
+
+// exactMapper parses each line and emits it under a single key.
+type exactMapper struct {
+	job  jobs.Numeric
+	seen *atomic.Int64
+}
+
+// Map implements mr.Mapper.
+func (m exactMapper) Map(off int64, line string, emit mr.Emitter) error {
+	v, err := m.job.Parse(line)
+	if err != nil {
+		return err
+	}
+	m.seen.Add(1)
+	emit.Emit("f", v)
+	return nil
+}
+
+// exactReducer computes the statistic over all values of the key.
+type exactReducer struct {
+	job jobs.Numeric
+}
+
+// Reduce implements mr.Reducer.
+func (r exactReducer) Reduce(key string, values []any, emit mr.Emitter) error {
+	xs := make([]float64, 0, len(values))
+	for _, v := range values {
+		f, ok := v.(float64)
+		if !ok {
+			return fmt.Errorf("core: exact reducer got %T", v)
+		}
+		xs = append(xs, f)
+	}
+	out, err := r.job.Statistic(xs)
+	if err != nil {
+		return err
+	}
+	emit.Emit(key, out)
+	return nil
+}
+
+// RunExactJob runs the user job exactly over every record of path on the
+// batch engine and returns the result plus the record count processed.
+// Exposed for the stock-Hadoop baselines of the benchmark harness.
+func RunExactJob(env *Env, job jobs.Numeric, path string, splitSize int64) (float64, int, error) {
+	if job.Statistic == nil || job.Parse == nil {
+		return 0, 0, fmt.Errorf("core: job %q needs Statistic and Parse", job.Name)
+	}
+	var seen atomic.Int64
+	mjob := &mr.Job{
+		Name:        "exact-" + job.Name,
+		InputPath:   path,
+		SplitSize:   splitSize,
+		Mapper:      exactMapper{job: job, seen: &seen},
+		Reducer:     exactReducer{job: job},
+		NumReducers: 1,
+	}
+	res, err := env.Engine.Run(mjob)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(res.Output) != 1 {
+		return 0, 0, fmt.Errorf("core: exact job emitted %d results", len(res.Output))
+	}
+	out, ok := res.Output[0].Value.(float64)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: exact result has type %T", res.Output[0].Value)
+	}
+	return out, int(seen.Load()), nil
+}

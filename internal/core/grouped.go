@@ -1,0 +1,388 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/delta"
+	"repro/internal/dfs"
+	"repro/internal/jobs"
+	"repro/internal/mr"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// ParseKV decodes one input line into a (group key, value) pair — the
+// native shape of MapReduce data ("key\tvalue" lines by default).
+type ParseKV func(line string) (key string, value float64, err error)
+
+// TabKV parses the "key\tvalue" records produced by workload.KVSpec.
+func TabKV(line string) (string, float64, error) {
+	i := strings.IndexByte(line, '\t')
+	if i < 0 {
+		return "", 0, fmt.Errorf("core: record %q has no tab", line)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("core: bad value in %q: %w", line, err)
+	}
+	return line[:i], v, nil
+}
+
+// GroupResult is one group's early estimate.
+type GroupResult struct {
+	Estimate   float64
+	CV         float64
+	SampleSize int
+}
+
+// GroupedReport is the outcome of a grouped early run.
+type GroupedReport struct {
+	Job        string
+	Groups     map[string]GroupResult
+	Iterations int
+	Converged  bool // every (sufficiently sampled) group reached σ
+	SampleSize int  // total records consumed
+	FailedMaps int
+}
+
+// RunGrouped is EARL for per-key aggregates — the natural MapReduce
+// workload the paper's driver treats as a single global statistic. Each
+// reduce partition maintains one resample set per group key; the job
+// terminates when every group's error is at or below σ. Expansion uses
+// the same error-file feedback protocol as Run, with each reducer
+// publishing the worst (largest) cv across its groups.
+//
+// Planning note: SSABE assumes one statistic, so grouped mode sizes its
+// initial sample from the pilot's distinct-key count (≈64 records per
+// group, floored at MinPilot) and relies on the expansion loop — a
+// documented extension beyond the paper.
+func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Options) (GroupedReport, error) {
+	opts = opts.withDefaults()
+	if env == nil || env.FS == nil || env.Engine == nil {
+		return GroupedReport{}, errors.New("core: incomplete Env")
+	}
+	if job.Reducer == nil {
+		return GroupedReport{}, errors.New("core: job needs a Reducer")
+	}
+	if parse == nil {
+		return GroupedReport{}, errors.New("core: RunGrouped needs a ParseKV")
+	}
+
+	// Pilot: estimate the distinct-key count to size the initial target.
+	pilotSampler, err := sampling.NewPreMap(env.FS, path, opts.SplitSize, opts.Seed)
+	if err != nil {
+		return GroupedReport{}, err
+	}
+	probe, err := pilotSampler.Sample(512)
+	if err != nil && !errors.Is(err, sampling.ErrExhausted) {
+		return GroupedReport{}, err
+	}
+	keys := map[string]struct{}{}
+	for _, r := range probe {
+		k, _, perr := parse(r.Line)
+		if perr != nil {
+			return GroupedReport{}, fmt.Errorf("core: pilot parse: %w", perr)
+		}
+		keys[k] = struct{}{}
+	}
+	if len(keys) == 0 {
+		return GroupedReport{}, errors.New("core: no records found")
+	}
+	estTotal := pilotSampler.EstimatedTotalRecords()
+
+	b := opts.ForceB
+	if b <= 1 {
+		b = 30
+	}
+	initialN := opts.ForceN
+	if initialN <= 0 {
+		initialN = 64 * len(keys)
+		if initialN < opts.MinPilot {
+			initialN = opts.MinPilot
+		}
+	}
+	maxSample := int64(opts.MaxSampleFraction * float64(estTotal))
+	if maxSample < int64(initialN) {
+		maxSample = int64(initialN)
+	}
+
+	splits, err := env.FS.Splits(path, opts.SplitSize)
+	if err != nil {
+		return GroupedReport{}, err
+	}
+	m := opts.NumMappers
+	if m > len(splits) {
+		m = len(splits)
+	}
+	if m < 1 {
+		m = 1
+	}
+	owned := make([][]dfs.Split, m)
+	for i, sp := range splits {
+		owned[i%m] = append(owned[i%m], sp)
+	}
+	r := 2 // grouped mode exercises the partitioned path
+	if r > len(keys) {
+		r = 1
+	}
+
+	ctrl := &mr.Controller{}
+	ctrl.RequestExpansion(int64(initialN))
+	errPrefix := "/earl/" + job.Name + "-grouped/errors/"
+	for _, p := range env.FS.List(errPrefix) {
+		if err := env.FS.Delete(p); err != nil {
+			return GroupedReport{}, err
+		}
+	}
+
+	var emitted, received, buffered atomic.Int64
+	var exhausted atomic.Int32
+	sent := make([]atomic.Int64, m)
+	dry := make([]atomic.Bool, m)
+	var gen atomic.Int64
+
+	type partState struct {
+		mu     sync.Mutex
+		maints map[string]*delta.Maintainer
+		seed   uint64
+	}
+	parts := make([]*partState, r)
+	for p := range parts {
+		parts[p] = &partState{maints: map[string]*delta.Maintainer{}, seed: opts.Seed + uint64(p)*31}
+	}
+
+	// minGroup is the smallest per-group sample before a cv is trusted.
+	const minGroup = 8
+
+	worstCV := func(ps *partState) float64 {
+		worst := 0.0
+		for _, mt := range ps.maints {
+			if mt.N() < minGroup {
+				return math.Inf(1)
+			}
+			cv, err := mt.CV()
+			if err != nil {
+				return math.Inf(1)
+			}
+			if cv > worst {
+				worst = cv
+			}
+		}
+		if len(ps.maints) == 0 {
+			return math.Inf(1)
+		}
+		return worst
+	}
+
+	sjob := &mr.StreamJob{
+		Name:        "earl-grouped-" + job.Name,
+		NumMappers:  m,
+		NumReducers: r,
+		Control:     ctrl,
+		MapTask: func(ctx *mr.MapStream, idx int) error {
+			sampler, err := sampling.NewPreMapOwned(env.FS, path, owned[idx], opts.Seed+uint64(idx)*7907)
+			if err != nil {
+				return err
+			}
+			var lastGen int64
+			const batch = 128
+			for {
+				if ctx.Terminated() {
+					if !ctx.NodeAlive() {
+						return fmt.Errorf("core: node died under mapper %d", idx)
+					}
+					return nil
+				}
+				target := ctrl.ExpansionTarget()
+				share := shareOf(target, m, idx)
+				if !dry[idx].Load() && sent[idx].Load() < share {
+					k := share - sent[idx].Load()
+					if k > batch {
+						k = batch
+					}
+					recs, err := sampler.Sample(int(k))
+					for _, rec := range recs {
+						key, v, perr := parse(rec.Line)
+						if perr != nil {
+							return fmt.Errorf("core: mapper %d parse: %w", idx, perr)
+						}
+						ctx.Emit(key, v)
+						sent[idx].Add(1)
+						emitted.Add(1)
+					}
+					if errors.Is(err, sampling.ErrExhausted) {
+						dry[idx].Store(true)
+						exhausted.Add(1)
+					} else if err != nil {
+						return err
+					}
+					continue
+				}
+				avg, g, ok := readErrors(env.FS, errPrefix)
+				if ok && g > lastGen {
+					lastGen = g
+					if avg <= opts.Sigma {
+						ctrl.Terminate()
+						return nil
+					}
+					next := doubledTarget(int64(initialN), g)
+					if next > maxSample {
+						next = maxSample
+					}
+					if next > target {
+						ctrl.RequestExpansion(next)
+						continue
+					}
+					if target >= maxSample {
+						ctrl.Terminate()
+						return nil
+					}
+					continue
+				}
+				runtime.Gosched()
+				time.Sleep(100 * time.Microsecond)
+			}
+		},
+		ReduceTask: func(part int, in <-chan mr.KV) error {
+			ps := parts[part]
+			buf := map[string][]float64{}
+			bufN := 0
+			growAll := func() error {
+				ps.mu.Lock()
+				defer ps.mu.Unlock()
+				for key, vals := range buf {
+					mt, ok := ps.maints[key]
+					if !ok {
+						var err error
+						mt, err = delta.New(delta.Config{
+							Reducer: job.Reducer, B: b,
+							Seed:    ps.seed + uint64(len(ps.maints))*97,
+							Metrics: env.Metrics, Key: key,
+						})
+						if err != nil {
+							return err
+						}
+						ps.maints[key] = mt
+					}
+					if len(vals) > 0 {
+						if err := mt.Grow(vals); err != nil {
+							return err
+						}
+					}
+				}
+				buf = map[string][]float64{}
+				bufN = 0
+				g := gen.Add(1)
+				cv := worstCV(ps)
+				ctrl.PublishError(cv)
+				return env.FS.WriteFile(
+					fmt.Sprintf("%spart-%d", errPrefix, part),
+					formatErrorFile(errorFile{CV: cv, Gen: g}))
+			}
+			for kv := range in {
+				v, ok := kv.Value.(float64)
+				if !ok {
+					return fmt.Errorf("core: grouped reducer got %T", kv.Value)
+				}
+				buf[kv.Key] = append(buf[kv.Key], v)
+				bufN++
+				received.Add(1)
+				buffered.Add(1)
+				target := ctrl.ExpansionTarget()
+				if received.Load() >= target ||
+					(received.Load() == emitted.Load() && allSettled(sent, dry, target, m)) {
+					if err := growAll(); err != nil {
+						return err
+					}
+					buffered.Store(0)
+				}
+			}
+			if bufN > 0 {
+				if err := growAll(); err != nil {
+					return err
+				}
+				buffered.Store(0)
+			}
+			return nil
+		},
+	}
+
+	stopWatch := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopWatch:
+				return
+			default:
+			}
+			if int(exhausted.Load()) == m &&
+				received.Load() == emitted.Load() &&
+				buffered.Load() == 0 {
+				ctrl.Terminate()
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	sres, err := env.Engine.RunPipelined(sjob)
+	close(stopWatch)
+	if err != nil {
+		return GroupedReport{}, err
+	}
+
+	rep := GroupedReport{
+		Job:        job.Name,
+		Groups:     map[string]GroupResult{},
+		Iterations: int(gen.Load()),
+		Converged:  true,
+		FailedMaps: len(sres.FailedMappers),
+	}
+	for _, ps := range parts {
+		ps.mu.Lock()
+		for key, mt := range ps.maints {
+			vals, err := mt.Results()
+			if err != nil {
+				ps.mu.Unlock()
+				return rep, err
+			}
+			est, err := stats.Mean(vals)
+			if err != nil {
+				ps.mu.Unlock()
+				return rep, err
+			}
+			cv, cvErr := mt.CV()
+			if cvErr != nil {
+				cv = math.Inf(1)
+			}
+			rep.Groups[key] = GroupResult{Estimate: est, CV: cv, SampleSize: mt.N()}
+			rep.SampleSize += mt.N()
+			if cv > opts.Sigma {
+				rep.Converged = false
+			}
+		}
+		ps.mu.Unlock()
+	}
+	if len(rep.Groups) == 0 {
+		return rep, errors.New("core: grouped run produced no groups")
+	}
+	return rep, nil
+}
+
+// SortedGroupKeys returns the report's keys in order, for stable output.
+func (g GroupedReport) SortedGroupKeys() []string {
+	keys := make([]string, 0, len(g.Groups))
+	for k := range g.Groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,340 @@
+// Package delta implements §4's resampling optimizations:
+//
+//   - inter-iteration maintenance (§4.1): when the sample s grows to
+//     s′ = s ∪ Δs, each bootstrap resample is *updated* instead of
+//     redrawn — the retained-part size follows Binomial(n′, n/n′)
+//     (Eq. 2), approximated for large n′ by the Gaussian of Eq. 3 —
+//     with random deletes/adds served from the two-layer sketches of
+//     package sketch, and the user-job states updated incrementally;
+//
+//   - intra-iteration sharing (§4.2): Eq. 4 gives the probability that
+//     a fraction y of a resample is identical to another's; the optimal
+//     y maximising expected saved work P(X=y)·y lets EARL compute a
+//     shared block of each resample once and reuse it.
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/mr"
+	"repro/internal/simcost"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+// RetainedSize draws |b′_s| — how many of a resample's n′ items come
+// from the old sample s of size n rather than from Δs — from
+// Binomial(n′, n/n′) (Eq. 2). stats.Binomial switches to the Eq. 3
+// Gaussian approximation exactly when the paper's argument applies
+// (large n′).
+func RetainedSize(rng *rand.Rand, n, nPrime int) (int, error) {
+	if n < 0 || nPrime < n {
+		return 0, fmt.Errorf("delta: need 0 ≤ n ≤ n′, got n=%d n′=%d", n, nPrime)
+	}
+	if nPrime == 0 {
+		return 0, nil
+	}
+	return stats.Binomial(rng, nPrime, float64(n)/float64(nPrime)), nil
+}
+
+// Maintainer owns B bootstrap resamples of a growing sample and the
+// per-resample user-job states, applying inter-iteration delta
+// maintenance on each Grow call. It is the engine behind EARL's cheap
+// sample-size expansion.
+type Maintainer struct {
+	red     mr.IncrementalReducer
+	b       int
+	c       float64
+	rng     *rand.Rand
+	metrics *simcost.Metrics
+
+	n          int             // current sample size
+	gens       [][]float64     // Δs_1 .. Δs_i
+	caches     []*sketch.Cache // sketch(Δs_k), for random adds from old data
+	resamples  []*resample
+	key        string
+	rebuilds   int   // states rebuilt because Remove was unsupported
+	updates    int64 // state add/remove operations performed (work measure)
+	generation int
+}
+
+type resample struct {
+	state mr.State
+	parts []*sketch.Part // parts[k] = b_Δs(k+1)
+}
+
+// Config configures a Maintainer.
+type Config struct {
+	Reducer mr.IncrementalReducer
+	B       int              // number of bootstrap resamples
+	C       float64          // sketch constant (sketch.DefaultC if 0)
+	Seed    uint64           // PCG seed
+	Metrics *simcost.Metrics // optional cost accounting
+	Key     string           // reduce key passed to Initialize
+}
+
+// New creates an empty Maintainer; call Grow with the initial sample
+// (the paper treats the first sample as Δs₁ added to an empty set).
+func New(cfg Config) (*Maintainer, error) {
+	if cfg.Reducer == nil {
+		return nil, errors.New("delta: Config.Reducer is required")
+	}
+	if cfg.B < 2 {
+		return nil, fmt.Errorf("delta: need B ≥ 2, got %d", cfg.B)
+	}
+	c := cfg.C
+	if c <= 0 {
+		c = sketch.DefaultC
+	}
+	return &Maintainer{
+		red:     cfg.Reducer,
+		b:       cfg.B,
+		c:       c,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x1f83d9abfb41bd6b)),
+		metrics: cfg.Metrics,
+		key:     cfg.Key,
+	}, nil
+}
+
+// B returns the number of maintained resamples.
+func (m *Maintainer) B() int { return m.b }
+
+// N returns the current sample size.
+func (m *Maintainer) N() int { return m.n }
+
+// Generation returns how many Grow calls have been applied.
+func (m *Maintainer) Generation() int { return m.generation }
+
+// Rebuilds reports how many times a state had to be rebuilt from scratch
+// because its reducer does not support Remove.
+func (m *Maintainer) Rebuilds() int { return m.rebuilds }
+
+// Updates reports the total number of per-item state operations (adds,
+// removes, rebuild re-adds) performed so far — the work that delta
+// maintenance saves relative to recomputing every resample from scratch
+// (§4, measured in Fig. 10). It is also charged to Metrics as
+// RecordsReduced so modeled job times include resampling CPU.
+func (m *Maintainer) Updates() int64 { return m.updates }
+
+// charge records n state operations.
+func (m *Maintainer) charge(n int64) {
+	m.updates += n
+	if m.metrics != nil {
+		m.metrics.RecordsReduced.Add(n)
+	}
+}
+
+// Grow applies one iteration: the sample becomes s ∪ deltaSample and all
+// B resamples (and their states) are updated in place per §4.1.
+func (m *Maintainer) Grow(deltaSample []float64) error {
+	if len(deltaSample) == 0 {
+		return errors.New("delta: empty delta sample")
+	}
+	ds := append([]float64(nil), deltaSample...)
+	nPrime := m.n + len(ds)
+	cache, err := sketch.NewCache(ds, m.c, m.rng, m.metrics)
+	if err != nil {
+		return err
+	}
+
+	if m.n == 0 {
+		// First iteration: each resample is n′ items drawn with
+		// replacement from Δs₁, which is memory-resident right now — no
+		// disk charge (the cache is kept for *future* iterations, when
+		// Δs₁ has been spilled).
+		m.resamples = make([]*resample, m.b)
+		for i := range m.resamples {
+			items := make([]float64, nPrime)
+			for j := range items {
+				items[j] = ds[m.rng.IntN(len(ds))]
+			}
+			st, err := m.red.Initialize(m.key, items)
+			if err != nil {
+				return fmt.Errorf("delta: initialize resample %d: %w", i, err)
+			}
+			m.charge(int64(len(items)))
+			m.resamples[i] = &resample{
+				state: st,
+				parts: []*sketch.Part{sketch.NewPart(items, m.c, m.rng, m.metrics)},
+			}
+		}
+	} else {
+		for i, r := range m.resamples {
+			if err := m.growResample(r, nPrime, ds); err != nil {
+				return fmt.Errorf("delta: grow resample %d: %w", i, err)
+			}
+		}
+	}
+	m.gens = append(m.gens, ds)
+	m.caches = append(m.caches, cache)
+	m.n = nPrime
+	m.generation++
+	for _, r := range m.resamples {
+		for _, p := range r.parts {
+			p.EndIteration()
+		}
+	}
+	return nil
+}
+
+func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64) error {
+	keep, err := RetainedSize(m.rng, m.n, nPrime)
+	if err != nil {
+		return err
+	}
+	switch {
+	case keep < m.n:
+		// Randomly delete (n − keep) items from the old parts, each part
+		// chosen with probability proportional to its size (a uniform
+		// deletion over the whole resample).
+		for d := 0; d < m.n-keep; d++ {
+			p := m.pickPartWeighted(r)
+			if p == nil {
+				break
+			}
+			v, err := p.DeleteRandom()
+			if err != nil {
+				return err
+			}
+			if err := m.removeFromState(r, v); err != nil {
+				return err
+			}
+			m.charge(1)
+		}
+	case keep > m.n:
+		// Add (keep − n) items drawn randomly from the old sample s:
+		// pick a generation weighted by size, draw from its cache.
+		for a := 0; a < keep-m.n; a++ {
+			k := m.pickGenWeighted()
+			v := m.caches[k].Next()
+			r.parts[k].Add(v)
+			st, err := m.red.Update(r.state, v)
+			if err != nil {
+				return err
+			}
+			r.state = st
+			m.charge(1)
+		}
+	}
+	// Fill to n′ with draws from Δs (the new generation) — memory-
+	// resident this iteration, so drawn directly.
+	add := nPrime - keep
+	items := make([]float64, add)
+	for j := range items {
+		items[j] = ds[m.rng.IntN(len(ds))]
+		st, err := m.red.Update(r.state, items[j])
+		if err != nil {
+			return err
+		}
+		r.state = st
+		m.charge(1)
+	}
+	r.parts = append(r.parts, sketch.NewPart(items, m.c, m.rng, m.metrics))
+	return nil
+}
+
+// pickPartWeighted picks one of r's non-empty parts with probability
+// proportional to its size.
+func (m *Maintainer) pickPartWeighted(r *resample) *sketch.Part {
+	total := 0
+	for _, p := range r.parts {
+		total += p.Size()
+	}
+	if total == 0 {
+		return nil
+	}
+	x := m.rng.IntN(total)
+	for _, p := range r.parts {
+		if x < p.Size() {
+			if p.Size() == 0 {
+				continue
+			}
+			return p
+		}
+		x -= p.Size()
+	}
+	return r.parts[len(r.parts)-1]
+}
+
+// pickGenWeighted picks a generation index with probability proportional
+// to |Δs_k| — a uniform draw over the old sample s.
+func (m *Maintainer) pickGenWeighted() int {
+	total := 0
+	for _, g := range m.gens {
+		total += len(g)
+	}
+	x := m.rng.IntN(total)
+	for k, g := range m.gens {
+		if x < len(g) {
+			return k
+		}
+		x -= len(g)
+	}
+	return len(m.gens) - 1
+}
+
+// removeFromState removes v from a resample's state, rebuilding the
+// state from the resample's surviving items when the state cannot
+// remove. The rebuild is the slow path the paper's design avoids for
+// moment-like statistics; it is charged as the full re-read it implies.
+func (m *Maintainer) removeFromState(r *resample, v float64) error {
+	if rem, ok := r.state.(mr.RemovableState); ok {
+		return rem.Remove(v)
+	}
+	m.rebuilds++
+	var all []float64
+	for _, p := range r.parts {
+		all = append(all, p.Items()...) // Items() charges the disk read
+	}
+	st, err := m.red.Initialize(m.key, all)
+	if err != nil {
+		return err
+	}
+	m.charge(int64(len(all)))
+	r.state = st
+	return nil
+}
+
+// Results finalizes every resample state and returns the B values of the
+// statistic — the result distribution handed to the accuracy estimation
+// stage.
+func (m *Maintainer) Results() ([]float64, error) {
+	if m.n == 0 {
+		return nil, errors.New("delta: no sample yet")
+	}
+	out := make([]float64, len(m.resamples))
+	for i, r := range m.resamples {
+		v, err := m.red.Finalize(r.state)
+		if err != nil {
+			return nil, fmt.Errorf("delta: finalize resample %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// CV finalizes all resamples and returns the coefficient of variation of
+// the result distribution — EARL's error measure.
+func (m *Maintainer) CV() (float64, error) {
+	vals, err := m.Results()
+	if err != nil {
+		return 0, err
+	}
+	return stats.CV(vals)
+}
+
+// ResampleSizes returns each resample's current item count (each should
+// equal N); exposed for invariant tests.
+func (m *Maintainer) ResampleSizes() []int {
+	out := make([]int, len(m.resamples))
+	for i, r := range m.resamples {
+		n := 0
+		for _, p := range r.parts {
+			n += p.Size()
+		}
+		out[i] = n
+	}
+	return out
+}

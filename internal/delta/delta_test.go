@@ -1,0 +1,421 @@
+package delta
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/mr"
+	"repro/internal/simcost"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// welfordReducer is the mean statistic as an IncrementalReducer with
+// Remove support — the happy path for delta maintenance.
+type welfordReducer struct{}
+
+type welfordState struct {
+	w stats.Welford
+}
+
+func (s *welfordState) Remove(v float64) error {
+	s.w.Remove(v)
+	return nil
+}
+
+func (welfordReducer) Initialize(key string, values []float64) (mr.State, error) {
+	st := &welfordState{}
+	for _, v := range values {
+		st.w.Add(v)
+	}
+	return st, nil
+}
+
+func (welfordReducer) Update(state mr.State, input any) (mr.State, error) {
+	st, ok := state.(*welfordState)
+	if !ok {
+		return nil, mr.ErrBadState
+	}
+	switch x := input.(type) {
+	case float64:
+		st.w.Add(x)
+	case *welfordState:
+		st.w.Merge(x.w)
+	default:
+		return nil, mr.ErrBadInput
+	}
+	return st, nil
+}
+
+func (welfordReducer) Finalize(state mr.State) (float64, error) {
+	st, ok := state.(*welfordState)
+	if !ok {
+		return 0, mr.ErrBadState
+	}
+	return st.w.Mean(), nil
+}
+
+func (welfordReducer) Correct(result, p float64) float64 { return result }
+
+// noRemoveReducer is the same statistic without Remove — exercises the
+// rebuild slow path.
+type noRemoveReducer struct{ welfordReducer }
+
+type plainState struct{ w stats.Welford }
+
+func (noRemoveReducer) Initialize(key string, values []float64) (mr.State, error) {
+	st := &plainState{}
+	for _, v := range values {
+		st.w.Add(v)
+	}
+	return st, nil
+}
+
+func (noRemoveReducer) Update(state mr.State, input any) (mr.State, error) {
+	st, ok := state.(*plainState)
+	if !ok {
+		return nil, mr.ErrBadState
+	}
+	switch x := input.(type) {
+	case float64:
+		st.w.Add(x)
+	case *plainState:
+		st.w.Merge(x.w)
+	default:
+		return nil, mr.ErrBadInput
+	}
+	return st, nil
+}
+
+func (noRemoveReducer) Finalize(state mr.State) (float64, error) {
+	st, ok := state.(*plainState)
+	if !ok {
+		return 0, mr.ErrBadState
+	}
+	return st.w.Mean(), nil
+}
+
+func sampleData(n int, seed uint64) []float64 {
+	xs, err := workload.NumericSpec{Dist: workload.Gaussian, N: n, Seed: seed}.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return xs
+}
+
+func TestRetainedSizeBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		k, err := RetainedSize(rng, 100, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k < 0 || k > 150 {
+			t.Fatalf("retained size %d out of [0,150]", k)
+		}
+	}
+	if _, err := RetainedSize(rng, 10, 5); err == nil {
+		t.Fatal("n > n' should error")
+	}
+	if k, err := RetainedSize(rng, 0, 0); err != nil || k != 0 {
+		t.Fatalf("empty case = %d, %v", k, err)
+	}
+}
+
+func TestRetainedSizeMean(t *testing.T) {
+	// E[|b'_s|] = n'·(n/n') = n.
+	rng := rand.New(rand.NewPCG(3, 4))
+	const n, nPrime, trials = 1000, 2000, 2000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		k, err := RetainedSize(rng, n, nPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(k)
+	}
+	mean := sum / trials
+	if math.Abs(mean-n) > 3 {
+		t.Fatalf("mean retained = %v, want ≈%d", mean, n)
+	}
+}
+
+func TestMaintainerConfigValidation(t *testing.T) {
+	if _, err := New(Config{B: 10}); err == nil {
+		t.Fatal("missing reducer should error")
+	}
+	if _, err := New(Config{Reducer: welfordReducer{}, B: 1}); err == nil {
+		t.Fatal("B=1 should error")
+	}
+}
+
+func TestMaintainerFirstGrow(t *testing.T) {
+	m, err := New(Config{Reducer: welfordReducer{}, B: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Grow(sampleData(500, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 500 || m.Generation() != 1 {
+		t.Fatalf("n=%d gen=%d", m.N(), m.Generation())
+	}
+	for _, sz := range m.ResampleSizes() {
+		if sz != 500 {
+			t.Fatalf("resample size %d, want 500", sz)
+		}
+	}
+	vals, err := m.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 20 {
+		t.Fatalf("got %d values", len(vals))
+	}
+}
+
+func TestMaintainerGrowKeepsSizesExact(t *testing.T) {
+	m, err := New(Config{Reducer: welfordReducer{}, B: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{200, 200, 400, 800}
+	total := 0
+	for gi, sz := range sizes {
+		if err := m.Grow(sampleData(sz, uint64(gi+10))); err != nil {
+			t.Fatal(err)
+		}
+		total += sz
+		if m.N() != total {
+			t.Fatalf("after gen %d: N=%d want %d", gi+1, m.N(), total)
+		}
+		for ri, rs := range m.ResampleSizes() {
+			if rs != total {
+				t.Fatalf("gen %d resample %d size %d, want %d", gi+1, ri, rs, total)
+			}
+		}
+	}
+}
+
+func TestMaintainerStateMatchesItems(t *testing.T) {
+	// Invariant: after arbitrary grows, each state's mean equals the mean
+	// of the items actually in its resample parts.
+	m, err := New(Config{Reducer: welfordReducer{}, B: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, sz := range []int{100, 150, 250} {
+		if err := m.Grow(sampleData(sz, uint64(gi+50))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals, err := m.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range m.resamples {
+		var all []float64
+		for _, p := range r.parts {
+			all = append(all, p.Items()...)
+		}
+		want, _ := stats.Mean(all)
+		if math.Abs(vals[i]-want) > 1e-8 {
+			t.Fatalf("resample %d state mean %v != item mean %v", i, vals[i], want)
+		}
+	}
+}
+
+func TestMaintainerCVDropsAsSampleGrows(t *testing.T) {
+	m, err := New(Config{Reducer: welfordReducer{}, B: 40, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Grow(sampleData(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cvSmall, err := m.CV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := m.Grow(sampleData(600, uint64(i+2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cvBig, err := m.CV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvBig >= cvSmall {
+		t.Fatalf("cv did not drop: %v → %v", cvSmall, cvBig)
+	}
+}
+
+func TestMaintainerEstimateAccuracy(t *testing.T) {
+	// The maintained bootstrap estimate must track the true mean of the
+	// accumulated sample.
+	m, err := New(Config{Reducer: welfordReducer{}, B: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for i := 0; i < 4; i++ {
+		d := sampleData(500, uint64(i+100))
+		all = append(all, d...)
+		if err := m.Grow(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals, err := m.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _ := stats.Mean(vals)
+	truth, _ := stats.Mean(all)
+	sd, _ := stats.StdDev(all)
+	se := sd / math.Sqrt(float64(len(all)))
+	if math.Abs(est-truth) > 5*se {
+		t.Fatalf("estimate %v vs sample mean %v (se %v)", est, truth, se)
+	}
+}
+
+func TestMaintainerSketchAvoidsDiskIO(t *testing.T) {
+	// With the default sketch constant, √n-scale deletions should cost no
+	// disk seeks across a realistic growth schedule (the point of §4.1).
+	var metrics simcost.Metrics
+	m, err := New(Config{Reducer: welfordReducer{}, B: 10, Seed: 10, Metrics: &metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Grow(sampleData(2000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Grow(sampleData(2000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s := metrics.Snapshot()
+	if s.DiskSeeks > 4 {
+		t.Fatalf("delta maintenance hit disk %d times; sketches should absorb it (%v)", s.DiskSeeks, s)
+	}
+	if m.Rebuilds() != 0 {
+		t.Fatalf("unexpected state rebuilds: %d", m.Rebuilds())
+	}
+}
+
+func TestMaintainerRebuildPathForNonRemovableStates(t *testing.T) {
+	m, err := New(Config{Reducer: noRemoveReducer{}, B: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Grow(sampleData(300, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Grow(sampleData(300, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Deletions almost surely happened across 6 resamples; each must have
+	// triggered a rebuild rather than failing.
+	vals, err := m.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 6 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	for _, sz := range m.ResampleSizes() {
+		if sz != 600 {
+			t.Fatalf("size %d, want 600", sz)
+		}
+	}
+	if m.Rebuilds() == 0 {
+		t.Skip("no deletions drawn this seed (legal but rare)")
+	}
+}
+
+func TestMaintainerGrowValidation(t *testing.T) {
+	m, _ := New(Config{Reducer: welfordReducer{}, B: 4, Seed: 1})
+	if err := m.Grow(nil); err == nil {
+		t.Fatal("empty delta should error")
+	}
+	if _, err := m.Results(); err == nil {
+		t.Fatal("Results before any Grow should error")
+	}
+	if _, err := m.CV(); err == nil {
+		t.Fatal("CV before any Grow should error")
+	}
+}
+
+func TestNaiveMaintainerMatchesSemantics(t *testing.T) {
+	m, err := NewNaive(Config{Reducer: welfordReducer{}, B: 30, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for i := 0; i < 3; i++ {
+		d := sampleData(400, uint64(i+200))
+		all = append(all, d...)
+		if err := m.Grow(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.N() != 1200 {
+		t.Fatalf("N = %d", m.N())
+	}
+	vals, err := m.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _ := stats.Mean(vals)
+	truth, _ := stats.Mean(all)
+	sd, _ := stats.StdDev(all)
+	if math.Abs(est-truth) > 5*sd/math.Sqrt(float64(len(all))) {
+		t.Fatalf("naive estimate %v vs %v", est, truth)
+	}
+	if _, err := m.CV(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveValidation(t *testing.T) {
+	if _, err := NewNaive(Config{B: 5}); err == nil {
+		t.Fatal("missing reducer should error")
+	}
+	if _, err := NewNaive(Config{Reducer: welfordReducer{}, B: 1}); err == nil {
+		t.Fatal("B=1 should error")
+	}
+	m, _ := NewNaive(Config{Reducer: welfordReducer{}, B: 4, Seed: 1})
+	if err := m.Grow(nil); err == nil {
+		t.Fatal("empty delta should error")
+	}
+	if _, err := m.Results(); err == nil {
+		t.Fatal("Results before Grow should error")
+	}
+}
+
+func TestDeltaDoesFarLessWorkThanNaive(t *testing.T) {
+	// The Fig. 10 contrast in work terms: growing a sample k times, the
+	// optimized maintainer performs ~B·(n_total + k·O(√n)) updates while
+	// the naive one performs ~B·Σ n_i = O(B·k·n) updates.
+	const B = 20
+	opt, err := New(Config{Reducer: welfordReducer{}, B: B, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewNaive(Config{Reducer: welfordReducer{}, B: B, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		d := sampleData(1000, uint64(i+300))
+		if err := opt.Grow(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := naive.Grow(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if opt.Updates() >= naive.Updates()/2 {
+		t.Fatalf("optimized updates %d not far below naive %d", opt.Updates(), naive.Updates())
+	}
+}

@@ -1,0 +1,162 @@
+package delta
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestProbIdenticalFractionPaperExample(t *testing.T) {
+	// §4.2: "if n = 29 and y = 0.3 … 35% of the time, resamples will
+	// contain 30% of identical data" — the formula gives ≈0.33–0.35
+	// depending on rounding of y·n; accept the paper's ballpark.
+	p, err := ProbIdenticalFraction(29, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.25 || p < 0.30 && p > 0.40 {
+		// direct band check below
+	}
+	if p < 0.25 || p > 0.45 {
+		t.Fatalf("P(29, 0.3) = %v, want ≈0.35", p)
+	}
+}
+
+func TestProbIdenticalFractionEdges(t *testing.T) {
+	p, err := ProbIdenticalFraction(10, 0)
+	if err != nil || p != 1 {
+		t.Fatalf("y=0 → P=%v, %v; want 1", p, err)
+	}
+	// y=1: probability all n draws distinct = n!/n^n, small but positive.
+	p, err = ProbIdenticalFraction(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(logFact(10) - 10*math.Log(10))
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("y=1 → %v, want %v", p, want)
+	}
+	if _, err := ProbIdenticalFraction(0, 0.5); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := ProbIdenticalFraction(10, 1.5); err == nil {
+		t.Fatal("y>1 should error")
+	}
+}
+
+func logFact(n int) float64 {
+	lf := 0.0
+	for i := 2; i <= n; i++ {
+		lf += math.Log(float64(i))
+	}
+	return lf
+}
+
+func TestProbMonotoneDecreasingInY(t *testing.T) {
+	prev := 2.0
+	for y := 0.0; y <= 1.0; y += 0.05 {
+		p, err := ProbIdenticalFraction(50, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("P not monotone at y=%v: %v > %v", y, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestOptimalYMaximises(t *testing.T) {
+	for _, n := range []int{5, 10, 29, 50, 100} {
+		y, s, err := OptimalY(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y <= 0 || y >= 1 {
+			t.Fatalf("n=%d: optimal y=%v outside (0,1)", n, y)
+		}
+		// No grid point should beat the optimum materially.
+		for g := 0.01; g < 1; g += 0.01 {
+			sg, err := ExpectedSavings(n, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sg > s+1e-3 {
+				t.Fatalf("n=%d: grid y=%v saves %v > optimum %v@%v", n, g, sg, s, y)
+			}
+		}
+	}
+	if _, _, err := OptimalY(0); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestSavingsShrinkWithN(t *testing.T) {
+	// Fig. 3's shape: expected savings fall as the sample size grows —
+	// the optimization is "best suited for small sample sizes" (§4.2).
+	_, s10, err := OptimalY(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s100, err := OptimalY(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s1000, err := OptimalY(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s10 > s100 && s100 > s1000) {
+		t.Fatalf("savings not decreasing: %v, %v, %v", s10, s100, s1000)
+	}
+}
+
+func TestSharedResamplerCorrectAndCheaper(t *testing.T) {
+	s := sampleData(200, 42)
+	rng := rand.New(rand.NewPCG(1, 2))
+	draw := func(k int) []float64 {
+		out := make([]float64, k)
+		for i := range out {
+			out[i] = s[rng.IntN(len(s))]
+		}
+		return out
+	}
+	sr, err := NewSharedResampler(welfordReducer{}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const B = 50
+	vals, work, err := sr.Draw(s, B, draw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != B {
+		t.Fatalf("got %d values", len(vals))
+	}
+	naive := NaiveWork(len(s), B)
+	if work >= naive {
+		t.Fatalf("shared work %d not below naive %d", work, naive)
+	}
+	// Estimate must still track the sample mean.
+	est, _ := stats.Mean(vals)
+	truth, _ := stats.Mean(s)
+	sd, _ := stats.StdDev(s)
+	if math.Abs(est-truth) > 5*sd/math.Sqrt(float64(len(s))) {
+		t.Fatalf("shared-resample estimate %v vs %v", est, truth)
+	}
+}
+
+func TestSharedResamplerValidation(t *testing.T) {
+	if _, err := NewSharedResampler(nil, "k"); err == nil {
+		t.Fatal("nil reducer should error")
+	}
+	sr, _ := NewSharedResampler(welfordReducer{}, "k")
+	if _, _, err := sr.Draw(nil, 10, func(k int) []float64 { return nil }); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, _, err := sr.Draw([]float64{1}, 1, func(k int) []float64 { return nil }); err == nil {
+		t.Fatal("B=1 should error")
+	}
+}

@@ -1,0 +1,113 @@
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/mr"
+	"repro/internal/simcost"
+	"repro/internal/stats"
+)
+
+// NaiveMaintainer is the §4.1 baseline: no delta maintenance. On every
+// Grow it re-reads the accumulated sample (charged as the disk I/O the
+// paper says makes this a bottleneck: "s and bi must be stored on the
+// HDFS file system … the disk I/O cost can be a major performance
+// bottleneck") and redraws all B resamples from scratch, recomputing
+// every state. Fig. 10's "without optimization" series runs on this.
+type NaiveMaintainer struct {
+	red     mr.IncrementalReducer
+	b       int
+	rng     *rand.Rand
+	metrics *simcost.Metrics
+	key     string
+
+	sample  []float64
+	values  []float64
+	updates int64
+}
+
+// NewNaive creates the baseline with the same Config surface as New.
+func NewNaive(cfg Config) (*NaiveMaintainer, error) {
+	if cfg.Reducer == nil {
+		return nil, errors.New("delta: Config.Reducer is required")
+	}
+	if cfg.B < 2 {
+		return nil, fmt.Errorf("delta: need B ≥ 2, got %d", cfg.B)
+	}
+	return &NaiveMaintainer{
+		red:     cfg.Reducer,
+		b:       cfg.B,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x5be0cd19137e2179)),
+		metrics: cfg.Metrics,
+		key:     cfg.Key,
+	}, nil
+}
+
+// N returns the current sample size.
+func (m *NaiveMaintainer) N() int { return len(m.sample) }
+
+// Updates reports total state operations performed (B×n per iteration).
+func (m *NaiveMaintainer) Updates() int64 { return m.updates }
+
+// Grow appends the delta and recomputes everything.
+func (m *NaiveMaintainer) Grow(deltaSample []float64) error {
+	if len(deltaSample) == 0 {
+		return errors.New("delta: empty delta sample")
+	}
+	m.sample = append(m.sample, deltaSample...)
+	n := len(m.sample)
+	if m.metrics != nil {
+		// Re-read s from HDFS (the old part was spilled) and write the
+		// refreshed resamples back — the round trip §4.1 eliminates.
+		m.metrics.DiskSeeks.Add(int64(m.b) + 1)
+		m.metrics.BytesRead.Add(int64(n) * bytesPerItem)
+		m.metrics.BytesWritten.Add(int64(m.b) * int64(n) * bytesPerItem)
+	}
+	m.values = make([]float64, m.b)
+	buf := make([]float64, n)
+	for i := 0; i < m.b; i++ {
+		for j := range buf {
+			buf[j] = m.sample[m.rng.IntN(n)]
+		}
+		st, err := m.red.Initialize(m.key, buf)
+		if err != nil {
+			return err
+		}
+		m.charge(int64(n))
+		v, err := m.red.Finalize(st)
+		if err != nil {
+			return err
+		}
+		m.values[i] = v
+	}
+	return nil
+}
+
+func (m *NaiveMaintainer) charge(n int64) {
+	m.updates += n
+	if m.metrics != nil {
+		m.metrics.RecordsReduced.Add(n)
+	}
+}
+
+// Results returns the current result distribution.
+func (m *NaiveMaintainer) Results() ([]float64, error) {
+	if len(m.values) == 0 {
+		return nil, errors.New("delta: no sample yet")
+	}
+	return append([]float64(nil), m.values...), nil
+}
+
+// CV returns the coefficient of variation of the result distribution.
+func (m *NaiveMaintainer) CV() (float64, error) {
+	vals, err := m.Results()
+	if err != nil {
+		return 0, err
+	}
+	return stats.CV(vals)
+}
+
+// bytesPerItem mirrors the sketch package's record size for charging.
+const bytesPerItem = 8

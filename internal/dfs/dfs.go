@@ -1,0 +1,438 @@
+// Package dfs is an in-process simulation of HDFS, the storage substrate
+// the paper's EARL prototype runs on. It reproduces the pieces of HDFS
+// that EARL's design actually leans on (§1, §2.1, §3.3 of the paper):
+//
+//   - files are split into fixed-size blocks (64 MB default) with
+//     metadata held by a NameNode and block bytes held by DataNodes;
+//   - blocks are replicated; reads fail over to surviving replicas, which
+//     is what lets EARL keep answering through node failures (§3.4);
+//   - a rebalancer distributes blocks uniformly across DataNodes — the
+//     property EARL's sampling exploits;
+//   - files expose *logical splits* (the "InputSplit" of MapReduce) and a
+//     LineRecordReader with Hadoop's exact split-boundary semantics: a
+//     reader whose split starts mid-line skips that partial line (its
+//     owner is the previous split) and reads past its split end to finish
+//     its last line;
+//   - random positioned reads, used by the pre-map sampler (Algorithm 2),
+//     are charged a disk seek in the cost metrics.
+//
+// Block payloads live in memory; the simcost.Metrics hooks account for
+// the I/O that a disk-backed deployment would perform.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simcost"
+)
+
+// DefaultBlockSize mirrors HDFS's classic 64 MB block.
+const DefaultBlockSize = 64 << 20
+
+// Errors returned by the filesystem.
+var (
+	ErrNotFound    = errors.New("dfs: file not found")
+	ErrExists      = errors.New("dfs: file already exists")
+	ErrUnavailable = errors.New("dfs: no live replica for block")
+	ErrNoDataNodes = errors.New("dfs: no live datanodes")
+)
+
+// Config configures a FileSystem.
+type Config struct {
+	BlockSize   int64            // bytes per block; DefaultBlockSize if zero
+	Replication int              // replicas per block; 3 if zero
+	DataNodes   int              // cluster size; 5 (the paper's testbed) if zero
+	Metrics     *simcost.Metrics // optional I/O accounting sink
+	Seed        uint64           // seed for replica placement decisions
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.DataNodes <= 0 {
+		c.DataNodes = 5
+	}
+	return c
+}
+
+// FileSystem is the simulated distributed filesystem: NameNode metadata
+// plus the DataNode block stores. All methods are safe for concurrent use.
+type FileSystem struct {
+	mu       sync.RWMutex
+	cfg      Config
+	rng      *rand.Rand // guarded by mu (write lock); used for placement only
+	readTick atomic.Int64
+	nextID   int64
+	nodes    []*dataNode
+	files    map[string]*fileMeta
+	metrics  *simcost.Metrics
+}
+
+type dataNode struct {
+	id     int
+	alive  bool
+	blocks map[int64][]byte
+}
+
+type fileMeta struct {
+	size   int64
+	blocks []*blockMeta
+}
+
+type blockMeta struct {
+	id       int64
+	offset   int64 // offset of this block within the file
+	size     int64
+	replicas []int // datanode ids holding a copy
+}
+
+// New creates a filesystem with cfg.
+func New(cfg Config) *FileSystem {
+	cfg = cfg.withDefaults()
+	fs := &FileSystem{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x6a09e667f3bcc908)),
+		files:   make(map[string]*fileMeta),
+		metrics: cfg.Metrics,
+	}
+	for i := 0; i < cfg.DataNodes; i++ {
+		fs.nodes = append(fs.nodes, &dataNode{id: i, alive: true, blocks: make(map[int64][]byte)})
+	}
+	return fs
+}
+
+// BlockSize returns the configured block size.
+func (fs *FileSystem) BlockSize() int64 { return fs.cfg.BlockSize }
+
+// NumDataNodes returns the cluster size (live or not).
+func (fs *FileSystem) NumDataNodes() int { return len(fs.nodes) }
+
+// LiveDataNodes returns the ids of DataNodes currently alive.
+func (fs *FileSystem) LiveDataNodes() []int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var ids []int
+	for _, n := range fs.nodes {
+		if n.alive {
+			ids = append(ids, n.id)
+		}
+	}
+	return ids
+}
+
+// WriteFile stores data at path, replacing any existing file. Data is
+// partitioned into blocks and each block is replicated across distinct
+// live DataNodes (fewer if the cluster is smaller than the replication
+// factor). Write I/O is charged once per replica.
+func (fs *FileSystem) WriteFile(path string, data []byte) error {
+	if path == "" {
+		return errors.New("dfs: empty path")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	live := fs.liveLocked()
+	if len(live) == 0 {
+		return ErrNoDataNodes
+	}
+	if old, ok := fs.files[path]; ok {
+		fs.dropBlocksLocked(old)
+	}
+	meta := &fileMeta{size: int64(len(data))}
+	for off := int64(0); off < int64(len(data)) || (off == 0 && len(data) == 0); off += fs.cfg.BlockSize {
+		end := off + fs.cfg.BlockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		blk := &blockMeta{id: fs.nextID, offset: off, size: end - off}
+		fs.nextID++
+		payload := make([]byte, end-off)
+		copy(payload, data[off:end])
+		// Replica placement: random distinct live nodes, like HDFS's
+		// rack-unaware placement on a flat topology.
+		perm := fs.rng.Perm(len(live))
+		nrep := fs.cfg.Replication
+		if nrep > len(live) {
+			nrep = len(live)
+		}
+		for _, pi := range perm[:nrep] {
+			node := fs.nodes[live[pi]]
+			node.blocks[blk.id] = payload
+			blk.replicas = append(blk.replicas, node.id)
+			if fs.metrics != nil {
+				fs.metrics.BytesWritten.Add(blk.size)
+			}
+		}
+		meta.blocks = append(meta.blocks, blk)
+		if len(data) == 0 {
+			break
+		}
+	}
+	fs.files[path] = meta
+	return nil
+}
+
+func (fs *FileSystem) liveLocked() []int {
+	var ids []int
+	for _, n := range fs.nodes {
+		if n.alive {
+			ids = append(ids, n.id)
+		}
+	}
+	return ids
+}
+
+func (fs *FileSystem) dropBlocksLocked(meta *fileMeta) {
+	for _, blk := range meta.blocks {
+		for _, nid := range blk.replicas {
+			delete(fs.nodes[nid].blocks, blk.id)
+		}
+	}
+}
+
+// Delete removes path.
+func (fs *FileSystem) Delete(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	meta, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	fs.dropBlocksLocked(meta)
+	delete(fs.files, path)
+	return nil
+}
+
+// Stat returns the size of the file at path.
+func (fs *FileSystem) Stat(path string) (size int64, err error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	meta, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return meta.size, nil
+}
+
+// Exists reports whether path exists.
+func (fs *FileSystem) Exists(path string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// List returns all paths with the given prefix, sorted. EARL's feedback
+// protocol (§3.3) lists the per-reducer error files sharing a job prefix.
+func (fs *FileSystem) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReadFile returns the whole contents of path, failing over across
+// replicas per block. A sequential whole-file read is charged one seek.
+func (fs *FileSystem) ReadFile(path string) ([]byte, error) {
+	size, err := fs.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if size == 0 {
+		return buf, nil
+	}
+	if _, err := fs.readAt(path, 0, buf, 1); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadAt fills p with file bytes starting at off, charging one disk seek
+// (this is the random-access path the pre-map sampler uses). It returns
+// the number of bytes read; n < len(p) with a nil error means EOF was
+// reached.
+func (fs *FileSystem) ReadAt(path string, off int64, p []byte) (int, error) {
+	return fs.readAt(path, off, p, 1)
+}
+
+func (fs *FileSystem) readAt(path string, off int64, p []byte, seeks int64) (int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	meta, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if off < 0 {
+		return 0, errors.New("dfs: negative offset")
+	}
+	if off >= meta.size {
+		return 0, nil
+	}
+	if fs.metrics != nil && seeks > 0 {
+		fs.metrics.DiskSeeks.Add(seeks)
+	}
+	want := int64(len(p))
+	if off+want > meta.size {
+		want = meta.size - off
+	}
+	var n int64
+	for n < want {
+		pos := off + n
+		bi := int(pos / fs.cfg.BlockSize)
+		if bi >= len(meta.blocks) {
+			break
+		}
+		blk := meta.blocks[bi]
+		payload, err := fs.replicaPayloadLocked(blk)
+		if err != nil {
+			return int(n), err
+		}
+		inBlk := pos - blk.offset
+		c := int64(copy(p[n:want], payload[inBlk:]))
+		n += c
+		if fs.metrics != nil {
+			fs.metrics.BytesRead.Add(c)
+		}
+	}
+	return int(n), nil
+}
+
+// replicaPayloadLocked returns a live replica's bytes for blk, spreading
+// load across live replicas round-robin (fs.rng cannot be used here: the
+// read path holds only the read lock, so it must not mutate shared
+// random state).
+func (fs *FileSystem) replicaPayloadLocked(blk *blockMeta) ([]byte, error) {
+	liveIdx := make([]int, 0, len(blk.replicas))
+	for _, nid := range blk.replicas {
+		if fs.nodes[nid].alive {
+			liveIdx = append(liveIdx, nid)
+		}
+	}
+	if len(liveIdx) == 0 {
+		return nil, fmt.Errorf("%w: block %d", ErrUnavailable, blk.id)
+	}
+	nid := liveIdx[int(fs.readTick.Add(1))%len(liveIdx)]
+	payload, ok := fs.nodes[nid].blocks[blk.id]
+	if !ok {
+		return nil, fmt.Errorf("%w: block %d missing on node %d", ErrUnavailable, blk.id, nid)
+	}
+	return payload, nil
+}
+
+// KillDataNode marks a node dead. Blocks whose every replica is dead
+// become unavailable — exactly the failure mode §3.4 tolerates by
+// finishing with an accuracy estimate instead of restarting.
+func (fs *FileSystem) KillDataNode(id int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if id < 0 || id >= len(fs.nodes) {
+		return fmt.Errorf("dfs: no datanode %d", id)
+	}
+	fs.nodes[id].alive = false
+	return nil
+}
+
+// ReviveDataNode brings a dead node (and its blocks) back.
+func (fs *FileSystem) ReviveDataNode(id int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if id < 0 || id >= len(fs.nodes) {
+		return fmt.Errorf("dfs: no datanode %d", id)
+	}
+	fs.nodes[id].alive = true
+	return nil
+}
+
+// Rebalance redistributes replicas so block counts are as even as
+// possible across live DataNodes — the HDFS balancer the paper notes
+// makes uniform sampling from blocks sound (§1). Returns the number of
+// replica moves performed.
+func (fs *FileSystem) Rebalance() (moves int, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	live := fs.liveLocked()
+	if len(live) == 0 {
+		return 0, ErrNoDataNodes
+	}
+	count := make(map[int]int, len(live))
+	for _, nid := range live {
+		count[nid] = len(fs.nodes[nid].blocks)
+	}
+	for {
+		// Find the most and least loaded live nodes.
+		maxN, minN := live[0], live[0]
+		for _, nid := range live {
+			if count[nid] > count[maxN] {
+				maxN = nid
+			}
+			if count[nid] < count[minN] {
+				minN = nid
+			}
+		}
+		if count[maxN]-count[minN] <= 1 {
+			return moves, nil
+		}
+		// Move one block from maxN to minN (any block minN lacks).
+		moved := false
+		for bid, payload := range fs.nodes[maxN].blocks {
+			if _, has := fs.nodes[minN].blocks[bid]; has {
+				continue
+			}
+			fs.nodes[minN].blocks[bid] = payload
+			delete(fs.nodes[maxN].blocks, bid)
+			fs.retargetReplicaLocked(bid, maxN, minN)
+			count[maxN]--
+			count[minN]++
+			moves++
+			moved = true
+			break
+		}
+		if !moved {
+			return moves, nil // nothing movable without violating distinctness
+		}
+	}
+}
+
+func (fs *FileSystem) retargetReplicaLocked(blockID int64, from, to int) {
+	for _, meta := range fs.files {
+		for _, blk := range meta.blocks {
+			if blk.id != blockID {
+				continue
+			}
+			for i, nid := range blk.replicas {
+				if nid == from {
+					blk.replicas[i] = to
+					return
+				}
+			}
+		}
+	}
+}
+
+// BlockCounts returns, per DataNode id, how many block replicas it holds.
+// Used by tests and by the rebalancer experiment.
+func (fs *FileSystem) BlockCounts() map[int]int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make(map[int]int, len(fs.nodes))
+	for _, n := range fs.nodes {
+		out[n.id] = len(n.blocks)
+	}
+	return out
+}

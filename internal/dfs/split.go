@@ -1,0 +1,304 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Split is a logical input split: a byte range of a file handed to one
+// map task. Splits usually coincide with blocks but, as in Hadoop, a
+// block "can be further subdivided into input splits" (§3.3), so the
+// split size is independent of the block size.
+type Split struct {
+	Path   string
+	Index  int
+	Offset int64
+	Length int64
+}
+
+// End returns the first byte offset past the split.
+func (s Split) End() int64 { return s.Offset + s.Length }
+
+// String implements fmt.Stringer for log lines.
+func (s Split) String() string {
+	return fmt.Sprintf("%s[%d: %d+%d]", s.Path, s.Index, s.Offset, s.Length)
+}
+
+// Splits partitions the file at path into logical splits of at most
+// splitSize bytes (the file's block size when splitSize <= 0).
+func (fs *FileSystem) Splits(path string, splitSize int64) ([]Split, error) {
+	size, err := fs.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if splitSize <= 0 {
+		splitSize = fs.cfg.BlockSize
+	}
+	if size == 0 {
+		return []Split{{Path: path, Index: 0, Offset: 0, Length: 0}}, nil
+	}
+	var out []Split
+	for off := int64(0); off < size; off += splitSize {
+		l := splitSize
+		if off+l > size {
+			l = size - off
+		}
+		out = append(out, Split{Path: path, Index: len(out), Offset: off, Length: l})
+	}
+	return out, nil
+}
+
+// LineReader iterates the records of one split with Hadoop's
+// LineRecordReader semantics:
+//
+//   - if the split starts at offset > 0, the (possibly partial) line in
+//     progress at the start position is skipped — it belongs to the
+//     previous split;
+//   - lines that *begin* inside the split are fully consumed even when
+//     they end beyond the split boundary.
+//
+// Together these rules give every line exactly one owner, which is what
+// makes per-split sampling uniform over records. The reader pulls data
+// through FileSystem.ReadAt in buffered chunks; the initial positioning
+// costs one seek (charged by ReadAt) and subsequent reads are sequential.
+type LineReader struct {
+	fs      *FileSystem
+	split   Split
+	fileLen int64
+	pos     int64 // next byte offset to fetch from the file
+	bufOff  int64 // file offset of window[0]
+	window  []byte
+	started bool
+	err     error
+	line    []byte
+	lineOff int64 // file offset where the current line starts
+	chunk   int
+}
+
+// NewLineReader opens a reader over split. chunkSize controls the I/O
+// granularity (64 KiB when <= 0).
+func (fs *FileSystem) NewLineReader(split Split, chunkSize int) (*LineReader, error) {
+	size, err := fs.Stat(split.Path)
+	if err != nil {
+		return nil, err
+	}
+	if split.Offset < 0 || split.Length < 0 || split.Offset > size {
+		return nil, fmt.Errorf("dfs: split %v out of file bounds (size %d)", split, size)
+	}
+	if chunkSize <= 0 {
+		chunkSize = 64 << 10
+	}
+	return &LineReader{
+		fs:      fs,
+		split:   split,
+		fileLen: size,
+		pos:     split.Offset,
+		chunk:   chunkSize,
+	}, nil
+}
+
+// fill appends the next chunk of the file to the window.
+func (r *LineReader) fill() error {
+	if r.pos >= r.fileLen {
+		return io.EOF
+	}
+	want := int64(r.chunk)
+	if r.pos+want > r.fileLen {
+		want = r.fileLen - r.pos
+	}
+	buf := make([]byte, want)
+	n, err := r.fs.ReadAt(r.split.Path, r.pos, buf)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return io.EOF
+	}
+	if len(r.window) == 0 {
+		r.bufOff = r.pos
+	}
+	r.window = append(r.window, buf[:n]...)
+	r.pos += int64(n)
+	return nil
+}
+
+// Next advances to the next record. It returns false at the end of the
+// split or on error; check Err afterwards.
+func (r *LineReader) Next() bool {
+	if r.err != nil {
+		return false
+	}
+	if !r.started {
+		r.started = true
+		if r.split.Offset > 0 {
+			// Skip the partial line owned by the previous split: discard
+			// bytes through the first newline at or after Offset-1. We
+			// back up one byte so that a split starting exactly at a line
+			// start still skips correctly only when the previous byte is
+			// not a newline (Hadoop reads from Offset and always skips
+			// the first "line", having started the scan at Offset; the
+			// equivalent single-owner rule is: the first record of this
+			// split is the one starting after the first newline found at
+			// position >= Offset-1).
+			r.pos = r.split.Offset - 1
+			r.window = nil
+			if err := r.skipToNewline(); err != nil {
+				if err != io.EOF {
+					r.err = err
+				}
+				return false
+			}
+		}
+	}
+	// The current record must *start* strictly before split end.
+	start := r.bufOff
+	if start >= r.split.End() || start >= r.fileLen {
+		return false
+	}
+	// Scan for the newline terminating this record, filling as needed.
+	for {
+		if i := bytes.IndexByte(r.window, '\n'); i >= 0 {
+			r.line = r.window[:i]
+			r.lineOff = r.bufOff
+			r.window = r.window[i+1:]
+			r.bufOff += int64(i + 1)
+			return true
+		}
+		if err := r.fill(); err != nil {
+			if err == io.EOF {
+				// Final, newline-less record at EOF.
+				if len(r.window) > 0 {
+					r.line = r.window
+					r.lineOff = r.bufOff
+					r.bufOff += int64(len(r.window))
+					r.window = nil
+					return true
+				}
+				return false
+			}
+			r.err = err
+			return false
+		}
+	}
+}
+
+// skipToNewline discards bytes until just past the next '\n'.
+func (r *LineReader) skipToNewline() error {
+	for {
+		if len(r.window) == 0 {
+			if err := r.fill(); err != nil {
+				return err
+			}
+		}
+		if i := bytes.IndexByte(r.window, '\n'); i >= 0 {
+			r.window = r.window[i+1:]
+			r.bufOff = r.bufOff + int64(i+1)
+			return nil
+		}
+		r.bufOff += int64(len(r.window))
+		r.window = nil
+	}
+}
+
+// Text returns the current record without its trailing newline.
+func (r *LineReader) Text() string { return string(r.line) }
+
+// Bytes returns the current record's bytes; valid until the next call to
+// Next.
+func (r *LineReader) Bytes() []byte { return r.line }
+
+// RecordOffset returns the file offset at which the current record starts.
+// The pre-map sampler's bit-vector of already-sampled line starts is keyed
+// on this.
+func (r *LineReader) RecordOffset() int64 { return r.lineOff }
+
+// Err returns the first error encountered (nil on clean end-of-split).
+func (r *LineReader) Err() error { return r.err }
+
+// ReadLineAt returns the full line containing file offset pos, applying
+// the paper's backtracking rule (Algorithm 2): if pos is not the start of
+// a line, back up to the previous newline. It returns the line, the
+// offset at which it starts, and charges the underlying seek. Used by the
+// pre-map sampler to turn a random byte offset into a whole record.
+func (fs *FileSystem) ReadLineAt(path string, pos int64, chunkSize int) (line string, lineStart int64, err error) {
+	size, err := fs.Stat(path)
+	if err != nil {
+		return "", 0, err
+	}
+	if size == 0 {
+		return "", 0, io.EOF
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	if pos >= size {
+		pos = size - 1
+	}
+	if chunkSize <= 0 {
+		chunkSize = 256
+	}
+	// Read one window around pos, growing it geometrically until it
+	// contains both the preceding newline (or file start) and the
+	// terminating newline (or EOF). Short records resolve in a single
+	// positioned read — one seek, a few hundred bytes — which is what
+	// makes pre-map sampling a sub-scan operation.
+	back, fwd := int64(chunkSize), int64(chunkSize)
+	for {
+		lo := pos - back
+		if lo < 0 {
+			lo = 0
+		}
+		hi := pos + fwd
+		if hi > size {
+			hi = size
+		}
+		buf := make([]byte, hi-lo)
+		if _, err := fs.ReadAt(path, lo, buf); err != nil {
+			return "", 0, err
+		}
+		// The record containing pos starts after the last '\n' strictly
+		// before pos (a '\n' at pos belongs to the record it terminates).
+		rel := pos - lo
+		start := int64(0)
+		if i := bytes.LastIndexByte(buf[:rel], '\n'); i >= 0 {
+			start = int64(i) + 1
+		} else if lo > 0 {
+			back *= 4
+			continue
+		}
+		end := int64(len(buf))
+		terminated := false
+		if i := bytes.IndexByte(buf[rel:], '\n'); i >= 0 {
+			end = rel + int64(i)
+			terminated = true
+		}
+		if !terminated && hi < size {
+			fwd *= 4
+			continue
+		}
+		return string(buf[start:end]), lo + start, nil
+	}
+}
+
+// CountLines returns the number of records in the file (used by tests and
+// by exact baselines that need the true N).
+func (fs *FileSystem) CountLines(path string) (int64, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	var n int64
+	for _, b := range data {
+		if b == '\n' {
+			n++
+		}
+	}
+	if data[len(data)-1] != '\n' {
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,88 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§6). Each FigN function runs the corresponding experiment on the
+// simulated cluster and returns a Table with the same series the paper
+// plots; cmd/earlbench prints them and bench_test.go wraps them in
+// testing.B benchmarks.
+//
+// Time columns: "real" is measured in-process wall time at laptop scale;
+// "modeled" converts the run's cost counters (bytes scanned, records
+// processed, seeks, task/job launches) into wall-clock time on the
+// paper's 5-node 2012 testbed via simcost.Hadoop2012. Shape claims —
+// who wins, crossovers, speedup factors — are read off the modeled
+// column, which is deterministic.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output: a titled grid plus free-form notes.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fms formats a duration as fractional seconds.
+func fms(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// f3 formats a float at 3 decimals; f4/f1 likewise.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/delta"
+	"repro/internal/jobs"
+	"repro/internal/simcost"
+	"repro/internal/workload"
+)
+
+// Fig10 reproduces Figure 10: total processing time of the mean with and
+// without the incremental update optimization (§4). The sample grows by
+// a constant Δs each iteration (the paper's expansion pattern); at each
+// of the paper's data sizes,
+//
+//   - "without" recomputes the function from scratch: it re-reads the
+//     whole accumulated data and redraws/recomputes all B bootstrap
+//     states, paying the §4.1 HDFS round trips;
+//   - "with" processes only the new Δs and updates the saved states in
+//     place through the sketch layer.
+//
+// The paper measures ≈300% speedup at its largest size (4 GB).
+func Fig10(seed uint64) (*Table, error) {
+	model := simcost.Hadoop2012()
+	const B = 30
+	job := jobs.Mean()
+
+	// Constant growth increments. Laptop scale: stepRecs per iteration;
+	// paper scale: stepGB per iteration, with rows at the paper's sizes.
+	const stepRecs = 1 << 15
+	const stepGB = 0.5
+	rows := map[int]bool{1: true, 2: true, 4: true, 8: true} // steps → 0.5,1,2,4 GB
+
+	var mOpt, mNaive simcost.Metrics
+	opt, err := delta.New(delta.Config{Reducer: job.Reducer, B: B, Seed: seed, Metrics: &mOpt, Key: "fig10"})
+	if err != nil {
+		return nil, err
+	}
+	naive, err := delta.NewNaive(delta.Config{Reducer: job.Reducer, B: B, Seed: seed, Metrics: &mNaive, Key: "fig10"})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:   "Figure 10 — update procedure: with vs without delta maintenance (mean, B=30, constant Δs growth, modeled at paper sizes)",
+		Columns: []string{"data processed", "without opt", "with opt", "speedup", "state updates (naive/opt)"},
+	}
+	var prevOptS, prevNaiveS simcost.Snapshot
+	var realOpt, realNaive time.Duration
+	var tOptCum, tNaiveCum time.Duration
+	for step := 1; step <= 8; step++ {
+		ds, err := workload.NumericSpec{Dist: workload.Uniform, N: stepRecs, Seed: seed + uint64(step)}.Generate()
+		if err != nil {
+			return nil, err
+		}
+		st := time.Now()
+		if err := opt.Grow(ds); err != nil {
+			return nil, err
+		}
+		realOpt += time.Since(st)
+		st = time.Now()
+		if err := naive.Grow(ds); err != nil {
+			return nil, err
+		}
+		realNaive += time.Since(st)
+
+		// Per-iteration cost deltas, scaled from laptop records to the
+		// paper's gigabyte increments.
+		optS := mOpt.Snapshot()
+		naiveS := mNaive.Snapshot()
+		dOpt := optS.Sub(prevOptS)
+		dNaive := naiveS.Sub(prevNaiveS)
+		prevOptS, prevNaiveS = optS, naiveS
+
+		stepBytes := stepGB * (1 << 30)
+		stepPaperRecs := stepBytes / recordBytes
+		f := stepPaperRecs / stepRecs
+
+		// Scans: "without" re-reads everything accumulated so far;
+		// "with" reads only the incoming Δs.
+		cumBytes := int64(float64(step) * stepBytes)
+		naiveScan := simcost.Snapshot{BytesRead: cumBytes, RecordsRead: int64(float64(step) * stepPaperRecs)}
+		optScan := simcost.Snapshot{BytesRead: int64(stepBytes), RecordsRead: int64(stepPaperRecs)}
+
+		tOptCum += model.Duration(dOpt.ScaleBytes(f).Add(optScan))
+		tNaiveCum += model.Duration(dNaive.ScaleBytes(f).Add(naiveScan))
+
+		if rows[step] {
+			t.AddRow(
+				fmt.Sprintf("%gGB", float64(step)*stepGB),
+				fms(tNaiveCum), fms(tOptCum),
+				f1(float64(tNaiveCum)/float64(tOptCum))+"x",
+				fmt.Sprintf("%d / %d", naive.Updates(), opt.Updates()),
+			)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("laptop-scale run: %d records accumulated over 8 iterations; real maintenance time with opt %.0f ms, without %.0f ms",
+			8*stepRecs, realOpt.Seconds()*1000, realNaive.Seconds()*1000),
+		"paper: ≈300% speedup at 4 GB — 'without' reprocesses the entire accumulated data and every resample each iteration",
+		"'with' touches only Δs plus O(√n) sketch traffic per resample (§4.1)")
+	return t, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/delta"
+	"repro/internal/jobs"
+)
+
+// Fig3 reproduces Figure 3: the work saved by the intra-iteration
+// optimization (§4.2) versus sample size — the model P(X=y)·y from
+// Eq. 4 for several fixed y, the optimal y* found by search, and the
+// savings actually measured by running the shared resampler.
+func Fig3(seed uint64) (*Table, error) {
+	t := &Table{
+		Title: "Figure 3 — work saved by intra-iteration optimization vs sample size n",
+		Columns: []string{
+			"n", "save(y=0.1)", "save(y=0.2)", "save(y=0.3)", "save(y=0.5)",
+			"y*", "save(y*)", "measured",
+		},
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xf3))
+	sr, err := delta.NewSharedResampler(jobs.Mean().Reducer, "fig3")
+	if err != nil {
+		return nil, err
+	}
+	var sumOpt float64
+	var rows int
+	for _, n := range []int{5, 10, 20, 29, 50, 100, 200} {
+		cells := []string{fmt.Sprintf("%d", n)}
+		for _, y := range []float64{0.1, 0.2, 0.3, 0.5} {
+			s, err := delta.ExpectedSavings(n, y)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, f3(s))
+		}
+		yOpt, sOpt, err := delta.OptimalY(n)
+		if err != nil {
+			return nil, err
+		}
+		sumOpt += sOpt
+		rows++
+
+		// Measured: fraction of per-item state updates avoided by the
+		// shared resampler versus the standard B×n bootstrap.
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = rng.Float64() * 100
+		}
+		const B = 40
+		draw := func(k int) []float64 {
+			out := make([]float64, k)
+			for i := range out {
+				out[i] = sample[rng.IntN(n)]
+			}
+			return out
+		}
+		_, work, err := sr.Draw(sample, B, draw)
+		if err != nil {
+			return nil, err
+		}
+		measured := 1 - float64(work)/float64(delta.NaiveWork(n, B))
+		cells = append(cells, f3(yOpt), f3(sOpt), f3(measured))
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean modeled savings at y* over the sweep: %.1f%% (paper: \"over 20%% on average\", §4.2)", 100*sumOpt/float64(rows)),
+		"savings shrink with n — the optimization targets small samples, as the paper states",
+		"'measured' is the reduction in per-item state updates from sharing the y* block across resamples")
+	return t, nil
+}

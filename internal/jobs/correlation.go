@@ -1,0 +1,130 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// CorrState accumulates the five sums needed for a Pearson correlation
+// incrementally, with exact pair removal — the shape of state EARL keeps
+// for structure-capturing analytics ("the independence assumption also
+// makes sampling applicable to algorithms relying on capturing
+// data-structure such as correlation analysis", §3.3).
+type CorrState struct {
+	n                     int64
+	sx, sy, sxx, syy, sxy float64
+}
+
+// AddPair folds one (x, y) observation in.
+func (s *CorrState) AddPair(x, y float64) {
+	s.n++
+	s.sx += x
+	s.sy += y
+	s.sxx += x * x
+	s.syy += y * y
+	s.sxy += x * y
+}
+
+// RemovePair removes a previously added observation.
+func (s *CorrState) RemovePair(x, y float64) error {
+	if s.n == 0 {
+		return errors.New("jobs: remove from empty correlation state")
+	}
+	s.n--
+	s.sx -= x
+	s.sy -= y
+	s.sxx -= x * x
+	s.syy -= y * y
+	s.sxy -= x * y
+	return nil
+}
+
+// Merge combines another state.
+func (s *CorrState) Merge(o CorrState) {
+	s.n += o.n
+	s.sx += o.sx
+	s.sy += o.sy
+	s.sxx += o.sxx
+	s.syy += o.syy
+	s.sxy += o.sxy
+}
+
+// N returns the number of pairs accumulated.
+func (s *CorrState) N() int64 { return s.n }
+
+// Pearson returns the correlation coefficient, erroring when either
+// marginal is degenerate.
+func (s *CorrState) Pearson() (float64, error) {
+	if s.n < 2 {
+		return 0, stats.ErrShortInput
+	}
+	n := float64(s.n)
+	cov := s.sxy - s.sx*s.sy/n
+	vx := s.sxx - s.sx*s.sx/n
+	vy := s.syy - s.sy*s.sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0, errors.New("jobs: degenerate variance in correlation")
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}
+
+// Pair is one (x, y) observation.
+type Pair struct{ X, Y float64 }
+
+// ParsePair decodes an "x,y" line.
+func ParsePair(line string) (Pair, error) {
+	parts := strings.Split(strings.TrimSpace(line), ",")
+	if len(parts) != 2 {
+		return Pair{}, fmt.Errorf("jobs: pair record needs 2 fields, got %q", line)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return Pair{}, fmt.Errorf("jobs: bad x in %q: %w", line, err)
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return Pair{}, fmt.Errorf("jobs: bad y in %q: %w", line, err)
+	}
+	return Pair{X: x, Y: y}, nil
+}
+
+// PearsonOf computes the correlation of a pair slice.
+func PearsonOf(pairs []Pair) (float64, error) {
+	var st CorrState
+	for _, p := range pairs {
+		st.AddPair(p.X, p.Y)
+	}
+	return st.Pearson()
+}
+
+// BootstrapPearson draws B pair-resamples (resampling whole pairs keeps
+// the joint structure) and returns the B correlation values plus their
+// cv — the error estimate EARL would attach to an early correlation.
+func BootstrapPearson(rng *rand.Rand, pairs []Pair, b int) (values []float64, cv float64, err error) {
+	if len(pairs) < 2 {
+		return nil, 0, stats.ErrShortInput
+	}
+	if b < 2 {
+		return nil, 0, fmt.Errorf("jobs: need B ≥ 2, got %d", b)
+	}
+	values = make([]float64, b)
+	buf := make([]Pair, len(pairs))
+	for i := 0; i < b; i++ {
+		for j := range buf {
+			buf[j] = pairs[rng.IntN(len(pairs))]
+		}
+		v, err := PearsonOf(buf)
+		if err != nil {
+			return nil, 0, err
+		}
+		values[i] = v
+	}
+	cv, err = stats.CV(values)
+	return values, cv, err
+}

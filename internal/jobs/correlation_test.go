@@ -1,0 +1,138 @@
+package jobs
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func corrPairs(n int, rho float64, seed uint64) []Pair {
+	rng := rand.New(rand.NewPCG(seed, 0x1011))
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		x := rng.NormFloat64()
+		e := rng.NormFloat64()
+		y := rho*x + math.Sqrt(1-rho*rho)*e
+		pairs[i] = Pair{X: x, Y: y}
+	}
+	return pairs
+}
+
+func TestPearsonRecoversRho(t *testing.T) {
+	pairs := corrPairs(20000, 0.7, 1)
+	r, err := PearsonOf(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.7) > 0.02 {
+		t.Fatalf("r = %v, want ≈0.7", r)
+	}
+}
+
+func TestPearsonPerfectAndDegenerate(t *testing.T) {
+	var st CorrState
+	for i := 0; i < 10; i++ {
+		st.AddPair(float64(i), 2*float64(i)+1)
+	}
+	r, err := st.Pearson()
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect r = %v, %v", r, err)
+	}
+	var deg CorrState
+	deg.AddPair(1, 1)
+	deg.AddPair(1, 2)
+	if _, err := deg.Pearson(); err == nil {
+		t.Fatal("degenerate x should error")
+	}
+	var short CorrState
+	short.AddPair(1, 1)
+	if _, err := short.Pearson(); err == nil {
+		t.Fatal("n=1 should error")
+	}
+}
+
+func TestCorrStateRemoveInverts(t *testing.T) {
+	pairs := corrPairs(100, 0.5, 2)
+	var st CorrState
+	for _, p := range pairs {
+		st.AddPair(p.X, p.Y)
+	}
+	want, err := st.Pearson()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddPair(5, -5)
+	st.AddPair(2, 2)
+	if err := st.RemovePair(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RemovePair(5, -5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Pearson()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("after remove %v != %v", got, want)
+	}
+	var empty CorrState
+	if err := empty.RemovePair(1, 1); err == nil {
+		t.Fatal("remove from empty should error")
+	}
+}
+
+func TestCorrStateMerge(t *testing.T) {
+	pairs := corrPairs(200, 0.3, 3)
+	var all, a, b CorrState
+	for i, p := range pairs {
+		all.AddPair(p.X, p.Y)
+		if i%2 == 0 {
+			a.AddPair(p.X, p.Y)
+		} else {
+			b.AddPair(p.X, p.Y)
+		}
+	}
+	a.Merge(b)
+	ra, _ := a.Pearson()
+	rAll, _ := all.Pearson()
+	if math.Abs(ra-rAll) > 1e-12 {
+		t.Fatalf("merged %v != direct %v", ra, rAll)
+	}
+	if a.N() != all.N() {
+		t.Fatalf("merged n = %d", a.N())
+	}
+}
+
+func TestParsePair(t *testing.T) {
+	p, err := ParsePair(" 1.5 , -2 ")
+	if err != nil || p.X != 1.5 || p.Y != -2 {
+		t.Fatalf("pair = %v, %v", p, err)
+	}
+	for _, bad := range []string{"1", "1,2,3", "a,1", "1,b"} {
+		if _, err := ParsePair(bad); err == nil {
+			t.Fatalf("%q should error", bad)
+		}
+	}
+}
+
+func TestBootstrapPearson(t *testing.T) {
+	pairs := corrPairs(500, 0.6, 4)
+	rng := rand.New(rand.NewPCG(9, 10))
+	values, cv, err := BootstrapPearson(rng, pairs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 100 {
+		t.Fatalf("got %d values", len(values))
+	}
+	if cv <= 0 || cv > 0.2 {
+		t.Fatalf("cv = %v, want small positive", cv)
+	}
+	if _, _, err := BootstrapPearson(rng, pairs[:1], 10); err == nil {
+		t.Fatal("short input should error")
+	}
+	if _, _, err := BootstrapPearson(rng, pairs, 1); err == nil {
+		t.Fatal("B=1 should error")
+	}
+}

@@ -1,0 +1,457 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+
+	"repro/internal/mr"
+	"repro/internal/workload"
+)
+
+// KMeans configures the clustering job of the paper's Fig. 7 experiment.
+// EARL speeds K-Means up two ways (§6.3): the algorithm runs over a small
+// sample, and it converges in fewer iterations on smaller data — without
+// changing the algorithm itself.
+type KMeans struct {
+	K       int
+	MaxIter int     // Lloyd iteration cap; 50 if 0
+	Tol     float64 // centroid-movement convergence threshold; 1e-6 if 0
+	Seed    uint64
+}
+
+func (c KMeans) withDefaults() (KMeans, error) {
+	if c.K <= 0 {
+		return c, fmt.Errorf("jobs: KMeans needs K > 0, got %d", c.K)
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 50
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	return c, nil
+}
+
+// FitResult is a completed clustering.
+type FitResult struct {
+	Centers    []workload.Point
+	WCSS       float64 // within-cluster sum of squares over the fitted data
+	Iterations int
+}
+
+func sqDist(a, b workload.Point) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return d2
+}
+
+// nearest returns the index of the closest center and the squared
+// distance to it.
+func nearest(p workload.Point, centers []workload.Point) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for i, c := range centers {
+		if d := sqDist(p, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// seedCenters picks initial centers with the k-means++ heuristic.
+func (c KMeans) seedCenters(rng *rand.Rand, pts []workload.Point) []workload.Point {
+	centers := make([]workload.Point, 0, c.K)
+	centers = append(centers, pts[rng.IntN(len(pts))])
+	d2 := make([]float64, len(pts))
+	for len(centers) < c.K {
+		var total float64
+		for i, p := range pts {
+			_, d := nearest(p, centers)
+			d2[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with existing centers; duplicate one.
+			centers = append(centers, centers[0])
+			continue
+		}
+		x := rng.Float64() * total
+		pick := len(pts) - 1
+		for i, d := range d2 {
+			if x < d {
+				pick = i
+				break
+			}
+			x -= d
+		}
+		centers = append(centers, append(workload.Point(nil), pts[pick]...))
+	}
+	return centers
+}
+
+// Fit runs Lloyd's algorithm with k-means++ initialisation over the
+// points in memory — the computation EARL executes on its sample.
+func (c KMeans) Fit(pts []workload.Point) (FitResult, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return FitResult{}, err
+	}
+	if len(pts) == 0 {
+		return FitResult{}, errors.New("jobs: KMeans on empty point set")
+	}
+	if len(pts) < c.K {
+		return FitResult{}, fmt.Errorf("jobs: %d points < K=%d", len(pts), c.K)
+	}
+	rng := rand.New(rand.NewPCG(c.Seed, 0x59f111f1b605d019))
+	dim := len(pts[0])
+	centers := c.seedCenters(rng, pts)
+	sums := make([]workload.Point, c.K)
+	counts := make([]int, c.K)
+	var iter int
+	for iter = 1; iter <= c.MaxIter; iter++ {
+		for k := range sums {
+			sums[k] = make(workload.Point, dim)
+			counts[k] = 0
+		}
+		for _, p := range pts {
+			k, _ := nearest(p, centers)
+			for d := range p {
+				sums[k][d] += p[d]
+			}
+			counts[k]++
+		}
+		moved := 0.0
+		for k := range centers {
+			if counts[k] == 0 {
+				continue // keep the old center for an empty cluster
+			}
+			next := make(workload.Point, dim)
+			for d := range next {
+				next[d] = sums[k][d] / float64(counts[k])
+			}
+			moved += math.Sqrt(sqDist(centers[k], next))
+			centers[k] = next
+		}
+		if moved < c.Tol {
+			break
+		}
+	}
+	if iter > c.MaxIter {
+		iter = c.MaxIter
+	}
+	var wcss float64
+	for _, p := range pts {
+		_, d := nearest(p, centers)
+		wcss += d
+	}
+	return FitResult{Centers: centers, WCSS: wcss, Iterations: iter}, nil
+}
+
+// FitMR runs the same algorithm as iterated MapReduce jobs over a DFS
+// file of comma-separated points — the stock-Hadoop flow of Fig. 7: one
+// MR job per Lloyd iteration (map: assign to nearest centroid; combine:
+// partial sums; reduce: recompute centroids), paying the per-job startup
+// cost the paper's comparison highlights.
+func (c KMeans) FitMR(eng *mr.Engine, path string, splitSize int64) (FitResult, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return FitResult{}, err
+	}
+	// Seed with k-means++ over a small prefix of the file — the usual
+	// Hadoop practice of initialising from a tiny local sample instead of
+	// a full pass.
+	prefixN := 50 * c.K
+	if prefixN < 200 {
+		prefixN = 200
+	}
+	prefix, err := readFirstPoints(eng, path, prefixN)
+	if err != nil {
+		return FitResult{}, err
+	}
+	if len(prefix) < c.K {
+		return FitResult{}, fmt.Errorf("jobs: file has %d points < K=%d", len(prefix), c.K)
+	}
+	rng := rand.New(rand.NewPCG(c.Seed, 0x923f82a4af194f9b))
+	centers := c.seedCenters(rng, prefix)
+	var iter int
+	for iter = 1; iter <= c.MaxIter; iter++ {
+		cur := centers
+		job := &mr.Job{
+			Name:        fmt.Sprintf("kmeans-iter%d", iter),
+			InputPath:   path,
+			SplitSize:   splitSize,
+			Mapper:      &kmeansMapper{centers: cur},
+			Combiner:    kmeansCombiner{},
+			Reducer:     kmeansReducer{},
+			NumReducers: c.K,
+		}
+		res, err := eng.Run(job)
+		if err != nil {
+			return FitResult{}, fmt.Errorf("jobs: kmeans iteration %d: %w", iter, err)
+		}
+		next := make([]workload.Point, len(centers))
+		copy(next, centers)
+		for _, kv := range res.Output {
+			k, err := strconv.Atoi(kv.Key)
+			if err != nil || k < 0 || k >= len(next) {
+				return FitResult{}, fmt.Errorf("jobs: bad kmeans reduce key %q", kv.Key)
+			}
+			next[k] = kv.Value.(workload.Point)
+		}
+		moved := 0.0
+		for k := range centers {
+			moved += math.Sqrt(sqDist(centers[k], next[k]))
+		}
+		centers = next
+		if moved < c.Tol {
+			break
+		}
+	}
+	if iter > c.MaxIter {
+		iter = c.MaxIter
+	}
+	// Final WCSS pass as one more MR job.
+	wcssJob := &mr.Job{
+		Name:      "kmeans-wcss",
+		InputPath: path,
+		SplitSize: splitSize,
+		Mapper:    &wcssMapper{centers: centers},
+		Combiner:  sumCombiner{},
+		Reducer:   sumAllReducer{},
+	}
+	res, err := eng.Run(wcssJob)
+	if err != nil {
+		return FitResult{}, err
+	}
+	var wcss float64
+	if len(res.Output) > 0 {
+		wcss = res.Output[0].Value.(float64)
+	}
+	return FitResult{Centers: centers, WCSS: wcss, Iterations: iter}, nil
+}
+
+func readFirstPoints(eng *mr.Engine, path string, k int) ([]workload.Point, error) {
+	splits, err := eng.FS.Splits(path, 0)
+	if err != nil {
+		return nil, err
+	}
+	var pts []workload.Point
+	for _, sp := range splits {
+		rd, err := eng.FS.NewLineReader(sp, 0)
+		if err != nil {
+			return nil, err
+		}
+		for rd.Next() {
+			p, err := workload.DecodePoint(rd.Text())
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, p)
+			if len(pts) == k {
+				return pts, nil
+			}
+		}
+		if rd.Err() != nil {
+			return nil, rd.Err()
+		}
+	}
+	return pts, nil
+}
+
+// kmeansMapper assigns each point to its nearest centroid.
+type kmeansMapper struct {
+	centers []workload.Point
+}
+
+// Map implements mr.Mapper.
+func (m *kmeansMapper) Map(off int64, line string, emit mr.Emitter) error {
+	p, err := workload.DecodePoint(line)
+	if err != nil {
+		return err
+	}
+	k, _ := nearest(p, m.centers)
+	emit.Emit(strconv.Itoa(k), p)
+	return nil
+}
+
+// pointSum is a partial centroid: coordinate sums plus a count.
+type pointSum struct {
+	sum workload.Point
+	n   int64
+}
+
+func foldPoints(values []any) (*pointSum, error) {
+	acc := &pointSum{}
+	for _, v := range values {
+		switch x := v.(type) {
+		case workload.Point:
+			if acc.sum == nil {
+				acc.sum = make(workload.Point, len(x))
+			}
+			for d := range x {
+				acc.sum[d] += x[d]
+			}
+			acc.n++
+		case *pointSum:
+			if acc.sum == nil {
+				acc.sum = make(workload.Point, len(x.sum))
+			}
+			for d := range x.sum {
+				acc.sum[d] += x.sum[d]
+			}
+			acc.n += x.n
+		default:
+			return nil, fmt.Errorf("jobs: unexpected kmeans value %T", v)
+		}
+	}
+	return acc, nil
+}
+
+// kmeansCombiner pre-aggregates assignments into partial sums.
+type kmeansCombiner struct{}
+
+// Combine implements mr.Combiner.
+func (kmeansCombiner) Combine(key string, values []any, emit mr.Emitter) error {
+	acc, err := foldPoints(values)
+	if err != nil {
+		return err
+	}
+	emit.Emit(key, acc)
+	return nil
+}
+
+// kmeansReducer emits the new centroid for its cluster.
+type kmeansReducer struct{}
+
+// Reduce implements mr.Reducer.
+func (kmeansReducer) Reduce(key string, values []any, emit mr.Emitter) error {
+	acc, err := foldPoints(values)
+	if err != nil {
+		return err
+	}
+	if acc.n == 0 {
+		return nil
+	}
+	c := make(workload.Point, len(acc.sum))
+	for d := range c {
+		c[d] = acc.sum[d] / float64(acc.n)
+	}
+	emit.Emit(key, c)
+	return nil
+}
+
+// wcssMapper emits each point's squared distance to its centroid.
+type wcssMapper struct {
+	centers []workload.Point
+}
+
+// Map implements mr.Mapper.
+func (m *wcssMapper) Map(off int64, line string, emit mr.Emitter) error {
+	p, err := workload.DecodePoint(line)
+	if err != nil {
+		return err
+	}
+	_, d := nearest(p, m.centers)
+	emit.Emit("wcss", d)
+	return nil
+}
+
+type sumCombiner struct{}
+
+// Combine implements mr.Combiner.
+func (sumCombiner) Combine(key string, values []any, emit mr.Emitter) error {
+	var s float64
+	for _, v := range values {
+		s += v.(float64)
+	}
+	emit.Emit(key, s)
+	return nil
+}
+
+type sumAllReducer struct{}
+
+// Reduce implements mr.Reducer.
+func (sumAllReducer) Reduce(key string, values []any, emit mr.Emitter) error {
+	var s float64
+	for _, v := range values {
+		s += v.(float64)
+	}
+	emit.Emit(key, s)
+	return nil
+}
+
+// CentroidError greedily matches fitted centers to true centers and
+// returns the mean matched distance divided by the mean pairwise scale
+// of the truth — the "within 5% of the optimal" check of §6.3.
+func CentroidError(got, truth []workload.Point) (float64, error) {
+	if len(got) == 0 || len(truth) == 0 {
+		return 0, errors.New("jobs: empty center sets")
+	}
+	used := make([]bool, len(truth))
+	var total float64
+	for _, g := range got {
+		best, bestD := -1, math.Inf(1)
+		for i, tr := range truth {
+			if used[i] {
+				continue
+			}
+			if d := sqDist(g, tr); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 { // more fitted centers than truth: match to nearest
+			_, bestD = nearest(g, truth)
+		} else {
+			used[best] = true
+		}
+		total += math.Sqrt(bestD)
+	}
+	meanDist := total / float64(len(got))
+	// Scale: mean distance between distinct true centers.
+	var scale float64
+	var pairs int
+	for i := range truth {
+		for j := i + 1; j < len(truth); j++ {
+			scale += math.Sqrt(sqDist(truth[i], truth[j]))
+			pairs++
+		}
+	}
+	if pairs == 0 || scale == 0 {
+		return meanDist, nil
+	}
+	return meanDist / (scale / float64(pairs)), nil
+}
+
+// ParsePoints decodes a slice of point lines.
+func ParsePoints(lines []string) ([]workload.Point, error) {
+	pts := make([]workload.Point, 0, len(lines))
+	for _, l := range lines {
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		p, err := workload.DecodePoint(l)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// WCSSOf evaluates the within-cluster sum of squares of centers over pts
+// — the scalar statistic EARL bootstraps to attach an error bound to an
+// early K-Means result.
+func WCSSOf(centers []workload.Point, pts []workload.Point) float64 {
+	var wcss float64
+	for _, p := range pts {
+		_, d := nearest(p, centers)
+		wcss += d
+	}
+	return wcss
+}

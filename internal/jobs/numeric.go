@@ -1,0 +1,364 @@
+// Package jobs is the library of user analytics jobs the EARL
+// reproduction runs: the aggregates of the paper's experiments (mean in
+// Fig. 5, median in Fig. 6, K-Means in Fig. 7) plus the wider set the
+// design supports — sum/count with 1/p correction (§2.1's example),
+// variance, arbitrary quantiles, categorical proportions (Appendix A)
+// and Pearson correlation.
+//
+// Every numeric job is expressed once as an mr.IncrementalReducer (the
+// initialize/update/finalize/correct API of §2.1) so it can run under
+// EARL's resample maintenance, and once as a plain bootstrap.Statistic
+// for pilot estimation. States implement mr.RemovableState wherever the
+// statistic supports O(1)/O(log n) deletion, which is what makes
+// inter-iteration delta maintenance cheap.
+package jobs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bootstrap"
+	"repro/internal/mr"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Numeric bundles everything the EARL driver needs to run one scalar
+// statistic over line-encoded numeric records.
+type Numeric struct {
+	Name      string
+	Reducer   mr.IncrementalReducer
+	Statistic bootstrap.Statistic
+	// Parse decodes one input line into the job's value.
+	Parse func(line string) (float64, error)
+}
+
+// Mean returns the mean job (identity correction).
+func Mean() Numeric {
+	return Numeric{
+		Name:      "mean",
+		Reducer:   meanReducer{},
+		Statistic: bootstrap.Mean,
+		Parse:     workload.DecodeLine,
+	}
+}
+
+// Sum returns the sum job; Correct scales by 1/p (§2.1's SUM example).
+func Sum() Numeric {
+	return Numeric{
+		Name:      "sum",
+		Reducer:   sumReducer{},
+		Statistic: bootstrap.Sum,
+		Parse:     workload.DecodeLine,
+	}
+}
+
+// Count returns the record-count job (scales by 1/p).
+func Count() Numeric {
+	return Numeric{
+		Name:    "count",
+		Reducer: countReducer{},
+		Statistic: func(xs []float64) (float64, error) {
+			return float64(len(xs)), nil
+		},
+		Parse: workload.DecodeLine,
+	}
+}
+
+// Variance returns the sample-variance job.
+func Variance() Numeric {
+	return Numeric{
+		Name:      "variance",
+		Reducer:   varianceReducer{},
+		Statistic: stats.Variance,
+		Parse:     workload.DecodeLine,
+	}
+}
+
+// StdDev returns the standard-deviation job.
+func StdDev() Numeric {
+	return Numeric{
+		Name:      "stddev",
+		Reducer:   stddevReducer{},
+		Statistic: bootstrap.StdDev,
+		Parse:     workload.DecodeLine,
+	}
+}
+
+// Median returns the median job — the paper's showcase for statistics
+// where the jackknife fails and closed-form error analysis is hopeless.
+func Median() Numeric {
+	return Numeric{
+		Name:      "median",
+		Reducer:   quantileReducer{q: 0.5},
+		Statistic: bootstrap.Median,
+		Parse:     workload.DecodeLine,
+	}
+}
+
+// Quantile returns the q-th quantile job (0 < q < 1).
+func Quantile(q float64) (Numeric, error) {
+	if q <= 0 || q >= 1 {
+		return Numeric{}, fmt.Errorf("jobs: quantile q=%v outside (0,1)", q)
+	}
+	return Numeric{
+		Name:    fmt.Sprintf("quantile-%g", q),
+		Reducer: quantileReducer{q: q},
+		Statistic: func(xs []float64) (float64, error) {
+			return stats.Quantile(xs, q)
+		},
+		Parse: workload.DecodeLine,
+	}, nil
+}
+
+// Proportion returns the categorical proportion-of-successes job of
+// Appendix A over 0/1 records.
+func Proportion() Numeric {
+	return Numeric{
+		Name:      "proportion",
+		Reducer:   meanReducer{}, // the proportion is the mean of 0/1 data
+		Statistic: bootstrap.Mean,
+		Parse:     workload.DecodeLine,
+	}
+}
+
+// ---------------------------------------------------------------------
+// Welford-backed moment reducers.
+
+// welfordState is shared by mean/sum/count/variance/stddev reducers.
+type welfordState struct{ w stats.Welford }
+
+// Remove implements mr.RemovableState.
+func (s *welfordState) Remove(v float64) error {
+	s.w.Remove(v)
+	return nil
+}
+
+func initWelford(values []float64) *welfordState {
+	st := &welfordState{}
+	for _, v := range values {
+		st.w.Add(v)
+	}
+	return st
+}
+
+func updateWelford(state mr.State, input any) (*welfordState, error) {
+	st, ok := state.(*welfordState)
+	if !ok {
+		return nil, mr.ErrBadState
+	}
+	switch x := input.(type) {
+	case float64:
+		st.w.Add(x)
+	case *welfordState:
+		st.w.Merge(x.w)
+	default:
+		return nil, mr.ErrBadInput
+	}
+	return st, nil
+}
+
+type meanReducer struct{}
+
+// Initialize implements mr.IncrementalReducer.
+func (meanReducer) Initialize(key string, values []float64) (mr.State, error) {
+	return initWelford(values), nil
+}
+
+// Update implements mr.IncrementalReducer.
+func (meanReducer) Update(state mr.State, input any) (mr.State, error) {
+	return updateWelford(state, input)
+}
+
+// Finalize implements mr.IncrementalReducer.
+func (meanReducer) Finalize(state mr.State) (float64, error) {
+	st, ok := state.(*welfordState)
+	if !ok {
+		return 0, mr.ErrBadState
+	}
+	return st.w.Mean(), nil
+}
+
+// Correct implements mr.IncrementalReducer: the mean is p-invariant.
+func (meanReducer) Correct(result, p float64) float64 { return mr.IdentityCorrect(result, p) }
+
+type sumReducer struct{ meanReducer }
+
+// Finalize implements mr.IncrementalReducer.
+func (sumReducer) Finalize(state mr.State) (float64, error) {
+	st, ok := state.(*welfordState)
+	if !ok {
+		return 0, mr.ErrBadState
+	}
+	return st.w.Sum(), nil
+}
+
+// Correct implements mr.IncrementalReducer: SUM scales by 1/p.
+func (sumReducer) Correct(result, p float64) float64 { return mr.ScaleCorrect(result, p) }
+
+type countReducer struct{ meanReducer }
+
+// Finalize implements mr.IncrementalReducer.
+func (countReducer) Finalize(state mr.State) (float64, error) {
+	st, ok := state.(*welfordState)
+	if !ok {
+		return 0, mr.ErrBadState
+	}
+	return float64(st.w.N()), nil
+}
+
+// Correct implements mr.IncrementalReducer: COUNT scales by 1/p.
+func (countReducer) Correct(result, p float64) float64 { return mr.ScaleCorrect(result, p) }
+
+type varianceReducer struct{ meanReducer }
+
+// Finalize implements mr.IncrementalReducer.
+func (varianceReducer) Finalize(state mr.State) (float64, error) {
+	st, ok := state.(*welfordState)
+	if !ok {
+		return 0, mr.ErrBadState
+	}
+	return st.w.Variance(), nil
+}
+
+type stddevReducer struct{ meanReducer }
+
+// Finalize implements mr.IncrementalReducer.
+func (stddevReducer) Finalize(state mr.State) (float64, error) {
+	st, ok := state.(*welfordState)
+	if !ok {
+		return 0, mr.ErrBadState
+	}
+	return st.w.StdDev(), nil
+}
+
+// ---------------------------------------------------------------------
+// Order-statistic reducer: a counted multiset supporting removal.
+
+// multisetState keeps the sample as a value→count map plus a lazily
+// rebuilt sorted view; Add/Remove are O(1), Finalize is O(k log k) in the
+// number of distinct values.
+type multisetState struct {
+	counts map[float64]int64
+	n      int64
+	sorted []float64 // distinct values, ascending; nil when dirty
+}
+
+func newMultiset(values []float64) *multisetState {
+	st := &multisetState{counts: make(map[float64]int64, len(values))}
+	for _, v := range values {
+		st.counts[v]++
+		st.n++
+	}
+	return st
+}
+
+func (s *multisetState) add(v float64) {
+	s.counts[v]++
+	s.n++
+	s.sorted = nil
+}
+
+// Remove implements mr.RemovableState.
+func (s *multisetState) Remove(v float64) error {
+	c, ok := s.counts[v]
+	if !ok || c <= 0 {
+		return fmt.Errorf("jobs: remove of absent value %v", v)
+	}
+	if c == 1 {
+		delete(s.counts, v)
+	} else {
+		s.counts[v] = c - 1
+	}
+	s.n--
+	s.sorted = nil
+	return nil
+}
+
+func (s *multisetState) merge(o *multisetState) {
+	for v, c := range o.counts {
+		s.counts[v] += c
+	}
+	s.n += o.n
+	s.sorted = nil
+}
+
+// quantile computes the type-7 quantile over the counted multiset.
+func (s *multisetState) quantile(q float64) (float64, error) {
+	if s.n == 0 {
+		return 0, stats.ErrEmpty
+	}
+	if s.sorted == nil {
+		s.sorted = make([]float64, 0, len(s.counts))
+		for v := range s.counts {
+			s.sorted = append(s.sorted, v)
+		}
+		sort.Float64s(s.sorted)
+	}
+	h := q * float64(s.n-1)
+	lo := int64(h)
+	frac := h - float64(lo)
+	vLo, err := s.kth(lo)
+	if err != nil {
+		return 0, err
+	}
+	if frac == 0 || lo+1 >= s.n {
+		return vLo, nil
+	}
+	vHi, err := s.kth(lo + 1)
+	if err != nil {
+		return 0, err
+	}
+	return vLo*(1-frac) + vHi*frac, nil
+}
+
+// kth returns the k-th (0-based) order statistic.
+func (s *multisetState) kth(k int64) (float64, error) {
+	if k < 0 || k >= s.n {
+		return 0, fmt.Errorf("jobs: order statistic %d out of range", k)
+	}
+	var cum int64
+	for _, v := range s.sorted {
+		cum += s.counts[v]
+		if k < cum {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("jobs: corrupt multiset")
+}
+
+type quantileReducer struct{ q float64 }
+
+// Initialize implements mr.IncrementalReducer.
+func (r quantileReducer) Initialize(key string, values []float64) (mr.State, error) {
+	return newMultiset(values), nil
+}
+
+// Update implements mr.IncrementalReducer.
+func (r quantileReducer) Update(state mr.State, input any) (mr.State, error) {
+	st, ok := state.(*multisetState)
+	if !ok {
+		return nil, mr.ErrBadState
+	}
+	switch x := input.(type) {
+	case float64:
+		st.add(x)
+	case *multisetState:
+		st.merge(x)
+	default:
+		return nil, mr.ErrBadInput
+	}
+	return st, nil
+}
+
+// Finalize implements mr.IncrementalReducer.
+func (r quantileReducer) Finalize(state mr.State) (float64, error) {
+	st, ok := state.(*multisetState)
+	if !ok {
+		return 0, mr.ErrBadState
+	}
+	return st.quantile(r.q)
+}
+
+// Correct implements mr.IncrementalReducer: quantiles are p-invariant.
+func (r quantileReducer) Correct(result, p float64) float64 { return mr.IdentityCorrect(result, p) }

@@ -1,0 +1,196 @@
+package jobs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mr"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func runReducer(t *testing.T, n Numeric, values []float64) float64 {
+	t.Helper()
+	st, err := n.Reducer.Initialize("k", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Reducer.Finalize(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestReducersMatchStatistics(t *testing.T) {
+	xs, err := workload.NumericSpec{Dist: workload.Gaussian, N: 500, Seed: 3}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q25, err := Quantile(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Numeric{Mean(), Sum(), Count(), Variance(), StdDev(), Median(), q25, Proportion()}
+	for _, job := range cases {
+		gotReducer := runReducer(t, job, xs)
+		gotStat, err := job.Statistic(xs)
+		if err != nil {
+			t.Fatalf("%s statistic: %v", job.Name, err)
+		}
+		if math.Abs(gotReducer-gotStat) > 1e-8*(1+math.Abs(gotStat)) {
+			t.Fatalf("%s: reducer %v != statistic %v", job.Name, gotReducer, gotStat)
+		}
+	}
+}
+
+func TestReducerIncrementalEqualsBatch(t *testing.T) {
+	xs, _ := workload.NumericSpec{Dist: workload.Uniform, N: 200, Seed: 4}.Generate()
+	for _, job := range []Numeric{Mean(), Sum(), Variance(), Median()} {
+		batch := runReducer(t, job, xs)
+		st, err := job.Reducer.Initialize("k", xs[:50])
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err = mr.UpdateAll(job.Reducer, st, xs[50:150])
+		if err != nil {
+			t.Fatal(err)
+		}
+		other, err := job.Reducer.Initialize("k", xs[150:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err = job.Reducer.Update(st, other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := job.Reducer.Finalize(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(batch-inc) > 1e-8*(1+math.Abs(batch)) {
+			t.Fatalf("%s: incremental %v != batch %v", job.Name, inc, batch)
+		}
+	}
+}
+
+func TestReducerRemoveInvertsAdd(t *testing.T) {
+	xs, _ := workload.NumericSpec{Dist: workload.Uniform, N: 100, Seed: 5}.Generate()
+	for _, job := range []Numeric{Mean(), Sum(), Variance(), Median()} {
+		want := runReducer(t, job, xs)
+		st, err := job.Reducer.Initialize("k", xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extra := []float64{3.25, -17, 42}
+		st, err = mr.UpdateAll(job.Reducer, st, extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rem, ok := st.(mr.RemovableState)
+		if !ok {
+			t.Fatalf("%s state is not removable", job.Name)
+		}
+		for _, v := range extra {
+			if err := rem.Remove(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := job.Reducer.Finalize(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("%s: after remove %v != %v", job.Name, got, want)
+		}
+	}
+}
+
+func TestCorrections(t *testing.T) {
+	if got := Sum().Reducer.Correct(10, 0.1); got != 100 {
+		t.Fatalf("sum correction = %v, want 100", got)
+	}
+	if got := Count().Reducer.Correct(50, 0.5); got != 100 {
+		t.Fatalf("count correction = %v, want 100", got)
+	}
+	if got := Mean().Reducer.Correct(10, 0.1); got != 10 {
+		t.Fatalf("mean correction = %v, want 10", got)
+	}
+	if got := Median().Reducer.Correct(7, 0.01); got != 7 {
+		t.Fatalf("median correction = %v, want 7", got)
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		if _, err := Quantile(q); err == nil {
+			t.Fatalf("q=%v should error", q)
+		}
+	}
+}
+
+func TestMultisetRemoveAbsent(t *testing.T) {
+	st := newMultiset([]float64{1, 2, 2})
+	if err := st.Remove(5); err == nil {
+		t.Fatal("removing absent value should error")
+	}
+	if err := st.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove(2); err == nil {
+		t.Fatal("third remove of 2 should error")
+	}
+}
+
+func TestMultisetQuantileMatchesSorted(t *testing.T) {
+	f := func(seed uint64) bool {
+		xs, err := workload.NumericSpec{Dist: workload.Zipf, N: 60, Seed: seed}.Generate()
+		if err != nil {
+			return false
+		}
+		st := newMultiset(xs)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.9} {
+			got, err := st.quantile(q)
+			if err != nil {
+				return false
+			}
+			want, err := stats.Quantile(xs, q)
+			if err != nil {
+				return false
+			}
+			if math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultisetEmptyQuantile(t *testing.T) {
+	st := newMultiset(nil)
+	if _, err := st.quantile(0.5); err == nil {
+		t.Fatal("empty quantile should error")
+	}
+}
+
+func TestReducersRejectWrongStates(t *testing.T) {
+	for _, job := range []Numeric{Mean(), Median()} {
+		if _, err := job.Reducer.Update("bogus", 1.0); err != mr.ErrBadState {
+			t.Fatalf("%s: err = %v", job.Name, err)
+		}
+		st, _ := job.Reducer.Initialize("k", nil)
+		if _, err := job.Reducer.Update(st, "bogus"); err != mr.ErrBadInput {
+			t.Fatalf("%s: err = %v", job.Name, err)
+		}
+		if _, err := job.Reducer.Finalize("bogus"); err != mr.ErrBadState {
+			t.Fatalf("%s: err = %v", job.Name, err)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package mr
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dfs"
+	"repro/internal/simcost"
+)
+
+// Engine executes jobs against a DFS and a cluster. Zero-value fields are
+// filled with defaults at Run time: a 5-node cluster with 2 slots per
+// node (the paper's testbed shape) and a discard Metrics.
+type Engine struct {
+	FS      *dfs.FileSystem
+	Cluster *Cluster
+	Metrics *simcost.Metrics
+	Fault   FaultInjector
+
+	initOnce sync.Once
+	initErr  error
+}
+
+// NewEngine builds an engine over fs with the paper's 5-node topology.
+func NewEngine(fs *dfs.FileSystem, metrics *simcost.Metrics) (*Engine, error) {
+	cl, err := NewCluster(5, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{FS: fs, Cluster: cl, Metrics: metrics}, nil
+}
+
+func (e *Engine) init() error {
+	e.initOnce.Do(func() {
+		if e.Cluster == nil {
+			e.Cluster, e.initErr = NewCluster(5, 2)
+			if e.initErr != nil {
+				return
+			}
+		}
+		if e.Metrics == nil {
+			e.Metrics = &simcost.Metrics{}
+		}
+	})
+	return e.initErr
+}
+
+// Run executes job in batch mode — the stock-Hadoop flow the paper
+// compares against: all map tasks run to completion, their output is
+// shuffled, then reduce tasks run. Returns reduce output ordered by
+// (partition, key).
+func (e *Engine) Run(job *Job) (*Result, error) {
+	if err := e.init(); err != nil {
+		return nil, err
+	}
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	e.Metrics.JobStartups.Add(1)
+
+	mapOut, err := e.runMapPhase(job)
+	if err != nil {
+		return nil, err
+	}
+	return e.runReducePhase(job, mapOut)
+}
+
+// inputSplit is one unit of map work: either a DFS split or a slice of
+// in-memory records with their starting offset index.
+type inputSplit struct {
+	dfsSplit *dfs.Split
+	records  []string
+	base     int64
+}
+
+func (e *Engine) splitsFor(job *Job) ([]inputSplit, error) {
+	if job.InputPath != "" {
+		if e.FS == nil {
+			return nil, fmt.Errorf("mr: job %q has InputPath but engine has no FS", job.Name)
+		}
+		ss, err := e.FS.Splits(job.InputPath, job.SplitSize)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]inputSplit, len(ss))
+		for i := range ss {
+			sp := ss[i]
+			out[i] = inputSplit{dfsSplit: &sp}
+		}
+		return out, nil
+	}
+	nsplits := job.MemorySplits
+	if nsplits <= 0 {
+		nsplits = 1
+	}
+	if nsplits > len(job.MemoryInput) {
+		nsplits = len(job.MemoryInput)
+	}
+	if nsplits == 0 {
+		return []inputSplit{{records: nil, base: 0}}, nil
+	}
+	var out []inputSplit
+	per := (len(job.MemoryInput) + nsplits - 1) / nsplits
+	for i := 0; i < len(job.MemoryInput); i += per {
+		end := i + per
+		if end > len(job.MemoryInput) {
+			end = len(job.MemoryInput)
+		}
+		out = append(out, inputSplit{records: job.MemoryInput[i:end], base: int64(i)})
+	}
+	return out, nil
+}
+
+// mapEmitter partitions map output into per-reducer buffers.
+type mapEmitter struct {
+	partition Partitioner
+	r         int
+	parts     [][]KV
+}
+
+func newMapEmitter(p Partitioner, r int) *mapEmitter {
+	return &mapEmitter{partition: p, r: r, parts: make([][]KV, r)}
+}
+
+// Emit implements Emitter.
+func (m *mapEmitter) Emit(key string, value any) {
+	p := m.partition(key, m.r)
+	if p < 0 || p >= m.r {
+		p = 0
+	}
+	m.parts[p] = append(m.parts[p], KV{Key: key, Value: value})
+}
+
+func (e *Engine) runMapPhase(job *Job) ([][][]KV, error) {
+	splits, err := e.splitsFor(job)
+	if err != nil {
+		return nil, err
+	}
+	r := job.numReducers()
+	outputs := make([][][]KV, len(splits)) // [task][partition][]KV
+	errs := make([]error, len(splits))
+	var wg sync.WaitGroup
+	for i := range splits {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			outputs[idx], errs[idx] = e.runMapTask(job, splits[idx], idx, r)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outputs, nil
+}
+
+func (e *Engine) runMapTask(job *Job, sp inputSplit, idx, r int) ([][]KV, error) {
+	var lastErr error
+	for attempt := 0; attempt < job.maxAttempts(); attempt++ {
+		nid, release, err := e.Cluster.acquireSlot(MapTask)
+		if err != nil {
+			return nil, err
+		}
+		e.Metrics.MapTasks.Add(1)
+		info := TaskInfo{Job: job.Name, Kind: MapTask, Index: idx, Attempt: attempt, Node: nid}
+		out, err := e.mapAttempt(job, sp, info, r)
+		release()
+		if err == nil {
+			// Charge shuffle traffic for the surviving attempt's output.
+			var bytes int64
+			for _, part := range out {
+				for _, kv := range part {
+					bytes += int64(len(kv.Key)) + ValueSize(kv.Value)
+				}
+			}
+			e.Metrics.BytesShuffled.Add(bytes)
+			return out, nil
+		}
+		lastErr = err
+		e.Metrics.TaskRestarts.Add(1)
+	}
+	return nil, fmt.Errorf("%w: map[%d] of %q: %v", ErrTooManyFailures, idx, job.Name, lastErr)
+}
+
+func (e *Engine) mapAttempt(job *Job, sp inputSplit, info TaskInfo, r int) ([][]KV, error) {
+	if e.Fault != nil && e.Fault.ShouldFail(info) {
+		return nil, fmt.Errorf("mr: injected failure at %s", info)
+	}
+	em := newMapEmitter(job.partitioner(), r)
+	consume := func(offset int64, line string) error {
+		e.Metrics.RecordsRead.Add(1)
+		before := recordCount(em)
+		if err := job.Mapper.Map(offset, line, em); err != nil {
+			return fmt.Errorf("mr: mapper at %s offset %d: %w", info, offset, err)
+		}
+		e.Metrics.RecordsMapped.Add(recordCount(em) - before)
+		return nil
+	}
+	const livenessEvery = 256
+	seen := 0
+	checkAlive := func() error {
+		seen++
+		if seen%livenessEvery == 0 && !e.Cluster.NodeAlive(info.Node) {
+			return fmt.Errorf("mr: node %d died during %s", info.Node, info)
+		}
+		return nil
+	}
+	if sp.dfsSplit != nil {
+		rd, err := e.FS.NewLineReader(*sp.dfsSplit, 0)
+		if err != nil {
+			return nil, err
+		}
+		for rd.Next() {
+			if err := checkAlive(); err != nil {
+				return nil, err
+			}
+			if err := consume(rd.RecordOffset(), rd.Text()); err != nil {
+				return nil, err
+			}
+		}
+		if rd.Err() != nil {
+			return nil, rd.Err()
+		}
+	} else {
+		for i, rec := range sp.records {
+			if err := checkAlive(); err != nil {
+				return nil, err
+			}
+			if err := consume(sp.base+int64(i), rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if job.Combiner != nil {
+		return e.combine(job, em.parts)
+	}
+	return em.parts, nil
+}
+
+func recordCount(em *mapEmitter) int64 {
+	var n int64
+	for _, p := range em.parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// combine runs the job's combiner over each partition of one map task's
+// output, grouping by key first (Hadoop combines spills the same way).
+func (e *Engine) combine(job *Job, parts [][]KV) ([][]KV, error) {
+	out := make([][]KV, len(parts))
+	for pi, part := range parts {
+		grouped := groupByKey(part)
+		em := &sliceEmitter{}
+		for _, g := range grouped {
+			if err := job.Combiner.Combine(g.key, g.values, em); err != nil {
+				return nil, fmt.Errorf("mr: combiner: %w", err)
+			}
+		}
+		out[pi] = em.kvs
+	}
+	return out, nil
+}
+
+type sliceEmitter struct {
+	kvs []KV
+}
+
+// Emit implements Emitter.
+func (s *sliceEmitter) Emit(key string, value any) {
+	s.kvs = append(s.kvs, KV{Key: key, Value: value})
+}
+
+type keyGroup struct {
+	key    string
+	values []any
+}
+
+// groupByKey groups kvs by key, with groups ordered by key and values in
+// arrival order (Hadoop's sort-merge guarantees key order, not value
+// order).
+func groupByKey(kvs []KV) []keyGroup {
+	idx := make(map[string]int)
+	var groups []keyGroup
+	for _, kv := range kvs {
+		gi, ok := idx[kv.Key]
+		if !ok {
+			gi = len(groups)
+			idx[kv.Key] = gi
+			groups = append(groups, keyGroup{key: kv.Key})
+		}
+		groups[gi].values = append(groups[gi].values, kv.Value)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	return groups
+}
+
+func (e *Engine) runReducePhase(job *Job, mapOut [][][]KV) (*Result, error) {
+	r := job.numReducers()
+	partOutputs := make([][]KV, r)
+	errs := make([]error, r)
+	var wg sync.WaitGroup
+	for p := 0; p < r; p++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			// Gather this partition's pairs from every map task, in task
+			// order for determinism.
+			var in []KV
+			for _, taskOut := range mapOut {
+				in = append(in, taskOut[part]...)
+			}
+			partOutputs[part], errs[part] = e.runReduceTask(job, part, in)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{}
+	for _, po := range partOutputs {
+		res.Output = append(res.Output, po...)
+	}
+	if job.OutputPath != "" {
+		if err := e.writeOutput(job.OutputPath, res.Output); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) runReduceTask(job *Job, part int, in []KV) ([]KV, error) {
+	var lastErr error
+	for attempt := 0; attempt < job.maxAttempts(); attempt++ {
+		nid, release, err := e.Cluster.acquireSlot(ReduceTask)
+		if err != nil {
+			return nil, err
+		}
+		e.Metrics.ReduceTasks.Add(1)
+		info := TaskInfo{Job: job.Name, Kind: ReduceTask, Index: part, Attempt: attempt, Node: nid}
+		out, err := e.reduceAttempt(job, info, in)
+		release()
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		e.Metrics.TaskRestarts.Add(1)
+	}
+	return nil, fmt.Errorf("%w: reduce[%d] of %q: %v", ErrTooManyFailures, part, job.Name, lastErr)
+}
+
+func (e *Engine) reduceAttempt(job *Job, info TaskInfo, in []KV) ([]KV, error) {
+	if e.Fault != nil && e.Fault.ShouldFail(info) {
+		return nil, fmt.Errorf("mr: injected failure at %s", info)
+	}
+	groups := groupByKey(in)
+	em := &sliceEmitter{}
+	seen := 0
+	for _, g := range groups {
+		seen += len(g.values)
+		if seen >= 256 {
+			seen = 0
+			if !e.Cluster.NodeAlive(info.Node) {
+				return nil, fmt.Errorf("mr: node %d died during %s", info.Node, info)
+			}
+		}
+		e.Metrics.RecordsReduced.Add(int64(len(g.values)))
+		if err := job.Reducer.Reduce(g.key, g.values, em); err != nil {
+			return nil, fmt.Errorf("mr: reducer for key %q: %w", g.key, err)
+		}
+	}
+	return em.kvs, nil
+}
+
+func (e *Engine) writeOutput(path string, kvs []KV) error {
+	if e.FS == nil {
+		return fmt.Errorf("mr: OutputPath set but engine has no FS")
+	}
+	var buf bytes.Buffer
+	for _, kv := range kvs {
+		fmt.Fprintf(&buf, "%s\t%v\n", kv.Key, kv.Value)
+	}
+	return e.FS.WriteFile(path, buf.Bytes())
+}

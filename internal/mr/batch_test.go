@@ -1,0 +1,437 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/simcost"
+)
+
+// wordCount pieces — the canonical MR job, used across engine tests.
+type wcMapper struct{}
+
+func (wcMapper) Map(off int64, line string, emit Emitter) error {
+	for _, w := range strings.Fields(line) {
+		emit.Emit(w, 1)
+	}
+	return nil
+}
+
+type wcReducer struct{}
+
+func (wcReducer) Reduce(key string, values []any, emit Emitter) error {
+	n := 0
+	for _, v := range values {
+		n += v.(int)
+	}
+	emit.Emit(key, n)
+	return nil
+}
+
+type wcCombiner struct{}
+
+func (wcCombiner) Combine(key string, values []any, emit Emitter) error {
+	return wcReducer{}.Reduce(key, values, emit)
+}
+
+func newTestEngine(t *testing.T, nodes, slots int) (*Engine, *dfs.FileSystem, *simcost.Metrics) {
+	t.Helper()
+	var m simcost.Metrics
+	fsys := dfs.New(dfs.Config{BlockSize: 64, Replication: 2, DataNodes: nodes, Metrics: &m, Seed: 1})
+	cl, err := NewCluster(nodes, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Engine{FS: fsys, Cluster: cl, Metrics: &m}, fsys, &m
+}
+
+func outputMap(res *Result) map[string]any {
+	out := make(map[string]any, len(res.Output))
+	for _, kv := range res.Output {
+		out[kv.Key] = kv.Value
+	}
+	return out
+}
+
+func TestWordCountMemoryInput(t *testing.T) {
+	e, _, _ := newTestEngine(t, 3, 2)
+	job := &Job{
+		Name:        "wc",
+		MemoryInput: []string{"a b a", "b c", "a"},
+		Mapper:      wcMapper{},
+		Reducer:     wcReducer{},
+		NumReducers: 3,
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputMap(res)
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("count[%s] = %v, want %d (all: %v)", k, got[k], w, got)
+		}
+	}
+}
+
+func TestWordCountDFSInputManySplits(t *testing.T) {
+	e, fsys, _ := newTestEngine(t, 5, 2)
+	var sb strings.Builder
+	want := map[string]int{}
+	for i := 0; i < 500; i++ {
+		w := fmt.Sprintf("w%d", i%17)
+		sb.WriteString(w + "\n")
+		want[w]++
+	}
+	if err := fsys.WriteFile("/in", []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{
+		Name:        "wc-dfs",
+		InputPath:   "/in",
+		SplitSize:   97, // deliberately unaligned with lines and blocks
+		Mapper:      wcMapper{},
+		Reducer:     wcReducer{},
+		NumReducers: 4,
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputMap(res)
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("count[%s] = %v, want %d", k, got[k], w)
+		}
+	}
+}
+
+func TestCombinerReducesShuffleBytes(t *testing.T) {
+	input := make([]string, 200)
+	for i := range input {
+		input[i] = "x y z"
+	}
+	run := func(withCombiner bool) int64 {
+		e, _, m := newTestEngine(t, 3, 2)
+		job := &Job{
+			Name:         "wc",
+			MemoryInput:  input,
+			MemorySplits: 4,
+			Mapper:       wcMapper{},
+			Reducer:      wcReducer{},
+		}
+		if withCombiner {
+			job.Combiner = wcCombiner{}
+		}
+		res, err := e.Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := outputMap(res); got["x"] != 200 {
+			t.Fatalf("combiner changed semantics: %v", got)
+		}
+		return m.Snapshot().BytesShuffled
+	}
+	plain := run(false)
+	combined := run(true)
+	if combined >= plain {
+		t.Fatalf("combiner did not cut shuffle: %d vs %d", combined, plain)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	e, _, _ := newTestEngine(t, 2, 1)
+	cases := []*Job{
+		{Name: "no-mapper", MemoryInput: []string{"x"}, Reducer: wcReducer{}},
+		{Name: "no-reducer", MemoryInput: []string{"x"}, Mapper: wcMapper{}},
+		{Name: "no-input", Mapper: wcMapper{}, Reducer: wcReducer{}},
+		{Name: "two-inputs", InputPath: "/a", MemoryInput: []string{"x"}, Mapper: wcMapper{}, Reducer: wcReducer{}},
+	}
+	for _, job := range cases {
+		if _, err := e.Run(job); err == nil {
+			t.Errorf("job %q should fail validation", job.Name)
+		}
+	}
+}
+
+func TestMapperErrorPropagates(t *testing.T) {
+	e, _, _ := newTestEngine(t, 2, 1)
+	boom := errors.New("boom")
+	job := &Job{
+		Name:        "bad-map",
+		MemoryInput: []string{"x"},
+		Mapper: MapperFunc(func(off int64, line string, emit Emitter) error {
+			return boom
+		}),
+		Reducer: wcReducer{},
+	}
+	_, err := e.Run(job)
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("err = %v, want ErrTooManyFailures", err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err should carry cause: %v", err)
+	}
+}
+
+func TestReducerErrorPropagates(t *testing.T) {
+	e, _, _ := newTestEngine(t, 2, 1)
+	job := &Job{
+		Name:        "bad-reduce",
+		MemoryInput: []string{"x"},
+		Mapper:      wcMapper{},
+		Reducer: ReducerFunc(func(key string, values []any, emit Emitter) error {
+			return errors.New("reduce-boom")
+		}),
+	}
+	if _, err := e.Run(job); !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("err = %v, want ErrTooManyFailures", err)
+	}
+}
+
+func TestTransientTaskFailureIsRetried(t *testing.T) {
+	e, _, m := newTestEngine(t, 3, 2)
+	// Fail the first two attempts of map task 0 only.
+	e.Fault = FaultFunc(func(ti TaskInfo) bool {
+		return ti.Kind == MapTask && ti.Index == 0 && ti.Attempt < 2
+	})
+	job := &Job{
+		Name:         "flaky",
+		MemoryInput:  []string{"a", "b", "c", "d"},
+		MemorySplits: 2,
+		Mapper:       wcMapper{},
+		Reducer:      wcReducer{},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outputMap(res); got["a"] != 1 || got["d"] != 1 {
+		t.Fatalf("output wrong after retries: %v", got)
+	}
+	if m.Snapshot().TaskRestarts != 2 {
+		t.Fatalf("TaskRestarts = %d, want 2", m.Snapshot().TaskRestarts)
+	}
+}
+
+func TestPermanentFailureExhaustsAttempts(t *testing.T) {
+	e, _, _ := newTestEngine(t, 2, 1)
+	e.Fault = FaultFunc(func(ti TaskInfo) bool { return ti.Kind == ReduceTask })
+	job := &Job{
+		Name:        "doomed",
+		MemoryInput: []string{"x"},
+		Mapper:      wcMapper{},
+		Reducer:     wcReducer{},
+		MaxAttempts: 3,
+	}
+	if _, err := e.Run(job); !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("err = %v, want ErrTooManyFailures", err)
+	}
+}
+
+func TestOutputPathWritesToDFS(t *testing.T) {
+	e, fsys, _ := newTestEngine(t, 3, 2)
+	job := &Job{
+		Name:        "wc-out",
+		MemoryInput: []string{"b a", "a"},
+		Mapper:      wcMapper{},
+		Reducer:     wcReducer{},
+		OutputPath:  "/out/part-0",
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile("/out/part-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a\t2\nb\t1\n" {
+		t.Fatalf("output file = %q", data)
+	}
+}
+
+func TestDeterministicOutputOrder(t *testing.T) {
+	// Key order within partitions must be deterministic across runs.
+	var prev []KV
+	for i := 0; i < 5; i++ {
+		e, _, _ := newTestEngine(t, 4, 2)
+		job := &Job{
+			Name:         "det",
+			MemoryInput:  []string{"q w e r t y u i o p", "a s d f g h j k l"},
+			MemorySplits: 2,
+			Mapper:       wcMapper{},
+			Reducer:      wcReducer{},
+			NumReducers:  3,
+		}
+		res, err := e.Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if len(prev) != len(res.Output) {
+				t.Fatal("output length varies across runs")
+			}
+			for j := range prev {
+				if prev[j] != res.Output[j] {
+					t.Fatalf("run %d output[%d] = %v, was %v", i, j, res.Output[j], prev[j])
+				}
+			}
+		}
+		prev = res.Output
+	}
+}
+
+func TestMetricsCharged(t *testing.T) {
+	e, _, m := newTestEngine(t, 3, 2)
+	job := &Job{
+		Name:         "metrics",
+		MemoryInput:  []string{"a b", "c"},
+		MemorySplits: 2,
+		Mapper:       wcMapper{},
+		Reducer:      wcReducer{},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.JobStartups != 1 {
+		t.Fatalf("JobStartups = %d", s.JobStartups)
+	}
+	if s.MapTasks != 2 || s.ReduceTasks != 1 {
+		t.Fatalf("tasks = %d/%d, want 2/1", s.MapTasks, s.ReduceTasks)
+	}
+	if s.RecordsRead != 2 {
+		t.Fatalf("RecordsRead = %d, want 2", s.RecordsRead)
+	}
+	if s.RecordsMapped != 3 {
+		t.Fatalf("RecordsMapped = %d, want 3", s.RecordsMapped)
+	}
+	if s.RecordsReduced != 3 {
+		t.Fatalf("RecordsReduced = %d, want 3", s.RecordsReduced)
+	}
+	if s.BytesShuffled == 0 {
+		t.Fatal("BytesShuffled = 0")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	e, _, _ := newTestEngine(t, 2, 1)
+	job := &Job{
+		Name:        "empty",
+		MemoryInput: []string{},
+		Mapper:      wcMapper{},
+		Reducer:     wcReducer{},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 0 {
+		t.Fatalf("output = %v, want empty", res.Output)
+	}
+}
+
+func TestHashPartitionStableAndInRange(t *testing.T) {
+	for r := 1; r <= 7; r++ {
+		for i := 0; i < 100; i++ {
+			k := strconv.Itoa(i)
+			p := HashPartition(k, r)
+			if p < 0 || p >= r {
+				t.Fatalf("partition %d out of range [0,%d)", p, r)
+			}
+			if p != HashPartition(k, r) {
+				t.Fatal("partition not stable")
+			}
+		}
+	}
+}
+
+func TestValueSize(t *testing.T) {
+	if ValueSize("hello") != 5 {
+		t.Fatal("string size")
+	}
+	if ValueSize([]byte{1, 2, 3}) != 3 {
+		t.Fatal("bytes size")
+	}
+	if ValueSize([]float64{1, 2}) != 16 {
+		t.Fatal("float slice size")
+	}
+	if ValueSize(3.14) != 8 {
+		t.Fatal("scalar size")
+	}
+}
+
+func TestGroupByKeyPreservesValueOrder(t *testing.T) {
+	kvs := []KV{{"b", 1}, {"a", 2}, {"b", 3}, {"a", 4}}
+	groups := groupByKey(kvs)
+	if len(groups) != 2 || groups[0].key != "a" || groups[1].key != "b" {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if groups[0].values[0] != 2 || groups[0].values[1] != 4 {
+		t.Fatalf("value order not preserved: %+v", groups[0])
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, 1); err == nil {
+		t.Fatal("0 nodes should error")
+	}
+	if _, err := NewCluster(1, 0); err == nil {
+		t.Fatal("0 slots should error")
+	}
+}
+
+func TestClusterKillRevive(t *testing.T) {
+	c, err := NewCluster(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.NodeAlive(1) {
+		t.Fatal("node 1 should be dead")
+	}
+	if live := c.LiveNodes(); len(live) != 2 {
+		t.Fatalf("live = %v", live)
+	}
+	if err := c.ReviveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.NodeAlive(1) {
+		t.Fatal("node 1 should be alive")
+	}
+	if err := c.KillNode(99); err == nil {
+		t.Fatal("bad id should error")
+	}
+	if c.NodeAlive(99) {
+		t.Fatal("unknown node must read dead")
+	}
+}
+
+func TestRunWithAllNodesDead(t *testing.T) {
+	e, _, _ := newTestEngine(t, 2, 1)
+	e.Cluster.KillNode(0)
+	e.Cluster.KillNode(1)
+	job := &Job{Name: "dead", MemoryInput: []string{"x"}, Mapper: wcMapper{}, Reducer: wcReducer{}}
+	if _, err := e.Run(job); err == nil {
+		t.Fatal("job on dead cluster should fail")
+	}
+}
+
+func TestEngineDefaults(t *testing.T) {
+	e := &Engine{}
+	job := &Job{Name: "defaults", MemoryInput: []string{"a"}, Mapper: wcMapper{}, Reducer: wcReducer{}}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("output = %v", res.Output)
+	}
+}

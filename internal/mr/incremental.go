@@ -1,0 +1,91 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is an opaque summary of a user function f after processing some
+// data — "a representation of a user's function f after processing s on
+// f" (§2.1). Saving states instead of raw data is what makes EARL's
+// resample maintenance memory-resident.
+type State any
+
+// IncrementalReducer is the paper's finer-grained reduce interface. It
+// decomposes a reduce into four methods so that EARL can (a) keep one
+// state per bootstrap resample, (b) grow states when the sample expands
+// (delta maintenance), and (c) rescale results computed from a fraction
+// p of the data:
+//
+//	initialize: <k,v1>,...,<k,vk> → state
+//	update:     state × (state | value) → state
+//	finalize:   state → (result, error estimate input)
+//	correct:    result × p → corrected result
+type IncrementalReducer interface {
+	// Initialize reduces a batch of raw values into a fresh state.
+	Initialize(key string, values []float64) (State, error)
+	// Update folds input — either another State produced by this reducer
+	// or a single raw value — into state, returning the new state. The
+	// returned state may alias the argument.
+	Update(state State, input any) (State, error)
+	// Finalize extracts the current result from a state.
+	Finalize(state State) (float64, error)
+	// Correct rescales a result computed from fraction p (0 < p ≤ 1) of
+	// the data. Mean-like statistics return the result unchanged; SUM and
+	// COUNT scale by 1/p (§2.1's example). The system cannot know the
+	// user function's semantics, so correction is user logic.
+	Correct(result float64, p float64) float64
+}
+
+// RemovableState is implemented by states that additionally support
+// removing a previously-added value — the primitive needed by the
+// inter-iteration delta maintenance when the binomial resize shrinks a
+// resample (§4.1). States that cannot remove force a rebuild.
+type RemovableState interface {
+	Remove(value float64) error
+}
+
+// ErrBadState is returned when an IncrementalReducer is handed a state of
+// the wrong concrete type.
+var ErrBadState = errors.New("mr: state has wrong type for this reducer")
+
+// ErrBadInput is returned when Update receives an input that is neither a
+// compatible State nor a raw value.
+var ErrBadInput = errors.New("mr: update input is neither state nor value")
+
+// UpdateAll folds a slice of raw values into state via r.Update.
+func UpdateAll(r IncrementalReducer, state State, values []float64) (State, error) {
+	var err error
+	for _, v := range values {
+		state, err = r.Update(state, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return state, nil
+}
+
+// Correctable wraps a user correction function.
+type Correctable func(result, p float64) float64
+
+// IdentityCorrect is the correction for statistics that are invariant to
+// sampling fraction (mean, median, quantiles, variance).
+func IdentityCorrect(result, p float64) float64 { return result }
+
+// ScaleCorrect is the correction for extensive statistics (SUM, COUNT):
+// scale by 1/p.
+func ScaleCorrect(result, p float64) float64 {
+	if p <= 0 {
+		return result
+	}
+	return result / p
+}
+
+// ValidateCorrection sanity-checks a sampling fraction before Correct is
+// applied.
+func ValidateCorrection(p float64) error {
+	if p <= 0 || p > 1 {
+		return fmt.Errorf("mr: sampling fraction p=%v outside (0,1]", p)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package mr
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Controller is the mapper⇄reducer communication layer of §2.1: EARL's
+// mappers stay alive until explicitly terminated, actively monitor the
+// current approximation error, and expand the sample when it is too
+// high. Reducer-side code (or the driving client) publishes the current
+// error; mapper-side code polls Terminated and the expansion target.
+// All methods are safe for concurrent use.
+type Controller struct {
+	terminated atomic.Bool
+	target     atomic.Int64 // requested total sample size
+	errBits    atomic.Uint64
+	errSet     atomic.Bool
+}
+
+// Terminate tells all long-lived mappers to stop after their current
+// batch — the required accuracy has been reached.
+func (c *Controller) Terminate() { c.terminated.Store(true) }
+
+// Terminated reports whether termination has been requested.
+func (c *Controller) Terminated() bool { return c.terminated.Load() }
+
+// RequestExpansion raises the target total sample size mappers should
+// produce. Values lower than the current target are ignored.
+func (c *Controller) RequestExpansion(total int64) {
+	for {
+		cur := c.target.Load()
+		if total <= cur {
+			return
+		}
+		if c.target.CompareAndSwap(cur, total) {
+			return
+		}
+	}
+}
+
+// ExpansionTarget returns the current requested total sample size.
+func (c *Controller) ExpansionTarget() int64 { return c.target.Load() }
+
+// PublishError records the most recent error estimate from the accuracy
+// estimation stage (mirrors the reducers' error files on HDFS).
+func (c *Controller) PublishError(cv float64) {
+	c.errBits.Store(math.Float64bits(cv))
+	c.errSet.Store(true)
+}
+
+// LastError returns the most recently published error estimate, with
+// ok=false if none has been published yet.
+func (c *Controller) LastError() (cv float64, ok bool) {
+	if !c.errSet.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(c.errBits.Load()), true
+}
+
+// StreamJob describes a pipelined job: NumMappers long-lived map tasks
+// push pairs directly to NumReducers reduce tasks while both run — the
+// Hadoop-Online-style pipelining EARL adopts, with the addition that the
+// transfer is *active*: the map side decides when to send more and when
+// to stop, guided by the Controller.
+type StreamJob struct {
+	Name        string
+	NumMappers  int
+	NumReducers int
+	Partition   Partitioner
+
+	// MapTask runs once per mapper index. It should emit pairs via ctx
+	// and poll ctx.Terminated() between batches, returning nil when done.
+	MapTask func(ctx *MapStream, index int) error
+
+	// ReduceTask consumes one partition's stream until it is closed.
+	ReduceTask func(part int, in <-chan KV) error
+
+	// Control connects the two sides; a fresh Controller is used if nil.
+	Control *Controller
+}
+
+// MapStream is the context handed to a pipelined map task.
+type MapStream struct {
+	eng   *Engine
+	job   *StreamJob
+	node  int
+	chans []chan KV
+	ctrl  *Controller
+	part  Partitioner
+}
+
+// Emit routes one pair to its reduce partition, blocking if the reducer
+// is behind (backpressure stands in for the TCP transfer windows of the
+// real pipelined Hadoop).
+func (m *MapStream) Emit(key string, value any) {
+	p := m.part(key, len(m.chans))
+	if p < 0 || p >= len(m.chans) {
+		p = 0
+	}
+	m.eng.Metrics.RecordsMapped.Add(1)
+	m.eng.Metrics.BytesShuffled.Add(int64(len(key)) + ValueSize(value))
+	m.chans[p] <- KV{Key: key, Value: value}
+}
+
+// Terminated reports whether the controller has requested termination or
+// this task's node has died.
+func (m *MapStream) Terminated() bool {
+	if m.ctrl.Terminated() {
+		return true
+	}
+	return !m.eng.Cluster.NodeAlive(m.node)
+}
+
+// NodeAlive reports whether this task's node is still up; EARL's fault
+// tolerance path uses it to distinguish "done" from "dead".
+func (m *MapStream) NodeAlive() bool { return m.eng.Cluster.NodeAlive(m.node) }
+
+// Controller exposes the shared control bus (for publishing map-side
+// progress or reading the expansion target).
+func (m *MapStream) Controller() *Controller { return m.ctrl }
+
+// StreamResult reports how a pipelined job ended.
+type StreamResult struct {
+	// FailedMappers lists map task indices that returned an error or died
+	// with their node. In EARL these are NOT restarted — the job finishes
+	// on surviving data and reports achieved accuracy (§3.4).
+	FailedMappers []int
+	// MapperErrs holds the corresponding errors, parallel to FailedMappers.
+	MapperErrs []error
+}
+
+// RunPipelined executes a StreamJob. Unlike Run, map failures do not fail
+// the job: the failed task's remaining input is simply absent, which is
+// the failure model EARL's approximation tolerates. Reduce failures fail
+// the job, as reducers hold the states.
+func (e *Engine) RunPipelined(job *StreamJob) (*StreamResult, error) {
+	if err := e.init(); err != nil {
+		return nil, err
+	}
+	if job.MapTask == nil || job.ReduceTask == nil {
+		return nil, fmt.Errorf("mr: stream job needs MapTask and ReduceTask")
+	}
+	nm := job.NumMappers
+	if nm <= 0 {
+		nm = 1
+	}
+	nr := job.NumReducers
+	if nr <= 0 {
+		nr = 1
+	}
+	part := job.Partition
+	if part == nil {
+		part = HashPartition
+	}
+	ctrl := job.Control
+	if ctrl == nil {
+		ctrl = &Controller{}
+	}
+	e.Metrics.JobStartups.Add(1)
+
+	chans := make([]chan KV, nr)
+	for i := range chans {
+		chans[i] = make(chan KV, 1024)
+	}
+
+	// Reducers are placed first — they must be consuming before mappers
+	// push, so their slots are acquired synchronously here.
+	var rwg sync.WaitGroup
+	rerrs := make([]error, nr)
+	type placement struct {
+		nid     int
+		release func()
+	}
+	placements := make([]placement, nr)
+	for p := 0; p < nr; p++ {
+		nid, release, err := e.Cluster.acquireSlot(ReduceTask)
+		if err != nil {
+			for q := 0; q < p; q++ {
+				placements[q].release()
+			}
+			return nil, fmt.Errorf("mr: placing reduce[%d] of %q: %w", p, job.Name, err)
+		}
+		placements[p] = placement{nid: nid, release: release}
+	}
+	for p := 0; p < nr; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			nid := placements[p].nid
+			defer placements[p].release()
+			e.Metrics.ReduceTasks.Add(1)
+			info := TaskInfo{Job: job.Name, Kind: ReduceTask, Index: p, Attempt: 0, Node: nid}
+			if e.Fault != nil && e.Fault.ShouldFail(info) {
+				rerrs[p] = fmt.Errorf("mr: injected failure at %s", info)
+				for range chans[p] {
+				}
+				return
+			}
+			counted := make(chan KV, 64)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				rerrs[p] = job.ReduceTask(p, counted)
+			}()
+			for kv := range chans[p] {
+				e.Metrics.RecordsReduced.Add(1)
+				counted <- kv
+			}
+			close(counted)
+			<-done
+		}(p)
+	}
+
+	// Mappers.
+	var mwg sync.WaitGroup
+	merrs := make([]error, nm)
+	for i := 0; i < nm; i++ {
+		mwg.Add(1)
+		go func(i int) {
+			defer mwg.Done()
+			nid, release, err := e.Cluster.acquireSlot(MapTask)
+			if err != nil {
+				merrs[i] = err
+				return
+			}
+			defer release()
+			e.Metrics.MapTasks.Add(1)
+			info := TaskInfo{Job: job.Name, Kind: MapTask, Index: i, Attempt: 0, Node: nid}
+			if e.Fault != nil && e.Fault.ShouldFail(info) {
+				merrs[i] = fmt.Errorf("mr: injected failure at %s", info)
+				return
+			}
+			ctx := &MapStream{eng: e, job: job, node: nid, chans: chans, ctrl: ctrl, part: part}
+			merrs[i] = job.MapTask(ctx, i)
+		}(i)
+	}
+	mwg.Wait()
+	for _, ch := range chans {
+		close(ch)
+	}
+	rwg.Wait()
+
+	res := &StreamResult{}
+	for i, err := range merrs {
+		if err != nil {
+			res.FailedMappers = append(res.FailedMappers, i)
+			res.MapperErrs = append(res.MapperErrs, err)
+		}
+	}
+	for p, err := range rerrs {
+		if err != nil {
+			return res, fmt.Errorf("mr: reduce[%d] of %q: %w", p, job.Name, err)
+		}
+	}
+	return res, nil
+}

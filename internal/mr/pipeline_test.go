@@ -1,0 +1,207 @@
+package mr
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPipelinedSumWithTermination(t *testing.T) {
+	e, _, m := newTestEngine(t, 3, 2)
+	ctrl := &Controller{}
+	var sum atomic.Int64
+	job := &StreamJob{
+		Name:        "pipe-sum",
+		NumMappers:  3,
+		NumReducers: 2,
+		Control:     ctrl,
+		MapTask: func(ctx *MapStream, idx int) error {
+			// Long-lived mapper: emit batches until terminated.
+			for batch := 0; ; batch++ {
+				if ctx.Terminated() {
+					return nil
+				}
+				for i := 0; i < 10; i++ {
+					ctx.Emit(fmt.Sprintf("k%d", i%4), 1)
+				}
+				if batch > 1000 {
+					return fmt.Errorf("termination never arrived")
+				}
+			}
+		},
+		ReduceTask: func(part int, in <-chan KV) error {
+			for kv := range in {
+				sum.Add(int64(kv.Value.(int)))
+				if sum.Load() >= 300 {
+					ctrl.Terminate() // reducer-side feedback, as in EARL
+				}
+			}
+			return nil
+		},
+	}
+	res, err := e.RunPipelined(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FailedMappers) != 0 {
+		t.Fatalf("unexpected failures: %v", res.MapperErrs)
+	}
+	if sum.Load() < 300 {
+		t.Fatalf("sum = %d, want ≥ 300", sum.Load())
+	}
+	if m.Snapshot().MapTasks != 3 || m.Snapshot().ReduceTasks != 2 {
+		t.Fatalf("task counts = %d/%d", m.Snapshot().MapTasks, m.Snapshot().ReduceTasks)
+	}
+}
+
+func TestPipelinedMapFailureDoesNotFailJob(t *testing.T) {
+	e, _, _ := newTestEngine(t, 3, 2)
+	e.Fault = FaultFunc(func(ti TaskInfo) bool {
+		return ti.Kind == MapTask && ti.Index == 1
+	})
+	var got atomic.Int64
+	job := &StreamJob{
+		Name:        "lossy",
+		NumMappers:  3,
+		NumReducers: 1,
+		MapTask: func(ctx *MapStream, idx int) error {
+			for i := 0; i < 5; i++ {
+				ctx.Emit("k", 1)
+			}
+			return nil
+		},
+		ReduceTask: func(part int, in <-chan KV) error {
+			for range in {
+				got.Add(1)
+			}
+			return nil
+		},
+	}
+	res, err := e.RunPipelined(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FailedMappers) != 1 || res.FailedMappers[0] != 1 {
+		t.Fatalf("FailedMappers = %v", res.FailedMappers)
+	}
+	// Two surviving mappers delivered their data — EARL finishes on it.
+	if got.Load() != 10 {
+		t.Fatalf("records = %d, want 10", got.Load())
+	}
+}
+
+func TestPipelinedReduceFailureFailsJob(t *testing.T) {
+	e, _, _ := newTestEngine(t, 2, 2)
+	e.Fault = FaultFunc(func(ti TaskInfo) bool { return ti.Kind == ReduceTask })
+	job := &StreamJob{
+		Name:       "red-dead",
+		NumMappers: 1,
+		MapTask: func(ctx *MapStream, idx int) error {
+			ctx.Emit("k", 1)
+			return nil
+		},
+		ReduceTask: func(part int, in <-chan KV) error {
+			for range in {
+			}
+			return nil
+		},
+	}
+	if _, err := e.RunPipelined(job); err == nil {
+		t.Fatal("reduce failure should fail the job")
+	}
+}
+
+func TestPipelinedValidation(t *testing.T) {
+	e, _, _ := newTestEngine(t, 2, 1)
+	if _, err := e.RunPipelined(&StreamJob{Name: "nil-tasks"}); err == nil {
+		t.Fatal("missing tasks should error")
+	}
+}
+
+func TestControllerExpansionMonotonic(t *testing.T) {
+	var c Controller
+	c.RequestExpansion(100)
+	c.RequestExpansion(50) // ignored: lower than current
+	if got := c.ExpansionTarget(); got != 100 {
+		t.Fatalf("target = %d, want 100", got)
+	}
+	c.RequestExpansion(200)
+	if got := c.ExpansionTarget(); got != 200 {
+		t.Fatalf("target = %d, want 200", got)
+	}
+}
+
+func TestControllerErrorPublishing(t *testing.T) {
+	var c Controller
+	if _, ok := c.LastError(); ok {
+		t.Fatal("no error published yet")
+	}
+	c.PublishError(0.042)
+	cv, ok := c.LastError()
+	if !ok || cv != 0.042 {
+		t.Fatalf("LastError = %v, %v", cv, ok)
+	}
+}
+
+func TestControllerConcurrentUse(t *testing.T) {
+	var c Controller
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.RequestExpansion(int64(i*100 + j))
+				c.PublishError(float64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.ExpansionTarget(); got != 799 {
+		t.Fatalf("target = %d, want 799 (max requested)", got)
+	}
+}
+
+func TestPipelinedMapperSeesNodeDeath(t *testing.T) {
+	e, _, _ := newTestEngine(t, 1, 2)
+	started := make(chan struct{})
+	job := &StreamJob{
+		Name:       "node-death",
+		NumMappers: 1,
+		MapTask: func(ctx *MapStream, idx int) error {
+			close(started)
+			deadline := time.After(5 * time.Second)
+			for {
+				select {
+				case <-deadline:
+					return fmt.Errorf("node death never observed")
+				default:
+				}
+				if ctx.Terminated() {
+					if !ctx.NodeAlive() {
+						return fmt.Errorf("node died") // EARL records the loss
+					}
+					return nil
+				}
+			}
+		},
+		ReduceTask: func(part int, in <-chan KV) error {
+			for range in {
+			}
+			return nil
+		},
+	}
+	go func() {
+		<-started
+		e.Cluster.KillNode(0)
+	}()
+	res, err := e.RunPipelined(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FailedMappers) != 1 {
+		t.Fatalf("expected the mapper to report node death, got %v", res.FailedMappers)
+	}
+}

@@ -1,0 +1,78 @@
+package sampling
+
+import (
+	"math/rand/v2"
+)
+
+// KVPair is one key/value record pooled by the post-map sampler.
+type KVPair struct {
+	Key   string
+	Value string
+}
+
+// PostMap implements the paper's Algorithm 1: the map side reads and
+// parses *all* input, pools the pairs in a hash structure keyed by
+// random hashes, and then repeatedly sends uniform without-replacement
+// subsets downstream until the error is low enough. Compared to PreMap it
+// pays the full load cost but knows the exact record count, so result
+// correction is exact (§3.3, §6.5).
+type PostMap struct {
+	pool  []KVPair
+	drawn int // pool[:drawn] has been sent already
+	total int
+	rng   *rand.Rand
+}
+
+// NewPostMap creates an empty post-map sampler.
+func NewPostMap(seed uint64) *PostMap {
+	return &PostMap{rng: rand.New(rand.NewPCG(seed, 0x3c6ef372fe94f82b))}
+}
+
+// Add pools one record (the "hash[key] ← value" of Algorithm 1; the pool
+// is the hash table's value set, which is all the sampler ever draws
+// from, so it is stored directly).
+func (s *PostMap) Add(key, value string) {
+	s.pool = append(s.pool, KVPair{Key: key, Value: value})
+	s.total++
+}
+
+// Total returns the exact number of records pooled — the count that makes
+// post-map correction exact.
+func (s *PostMap) Total() int { return s.total }
+
+// Remaining returns how many records have not been drawn yet.
+func (s *PostMap) Remaining() int { return len(s.pool) - s.drawn }
+
+// Draw returns n records uniformly at random without replacement across
+// calls ("the key, value pairs already sent are removed from the
+// hashmap"). It returns fewer than n with ErrExhausted when the pool runs
+// dry.
+func (s *PostMap) Draw(n int) ([]KVPair, error) {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]KVPair, 0, n)
+	for len(out) < n {
+		if s.drawn >= len(s.pool) {
+			return out, ErrExhausted
+		}
+		// Partial Fisher–Yates: swap a random undrawn element into the
+		// drawn prefix.
+		j := s.drawn + s.rng.IntN(len(s.pool)-s.drawn)
+		s.pool[s.drawn], s.pool[j] = s.pool[j], s.pool[s.drawn]
+		out = append(out, s.pool[s.drawn])
+		s.drawn++
+	}
+	return out, nil
+}
+
+// Fraction returns the exact fraction of pooled records drawn so far.
+func (s *PostMap) Fraction() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.drawn) / float64(s.total)
+}
+
+// Reset returns all drawn records to the pool.
+func (s *PostMap) Reset() { s.drawn = 0 }

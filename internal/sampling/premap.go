@@ -1,0 +1,230 @@
+// Package sampling implements EARL's two samplers over the simulated DFS
+// — pre-map sampling (Algorithm 2 of the paper: random line offsets read
+// directly from file splits before any mapper sees them) and post-map
+// sampling (Algorithm 1: hash-pooled key/value pairs drawn without
+// replacement after the map-side read) — together with the baselines the
+// paper discusses in §7: reservoir sampling (uniform but reads
+// everything), block sampling (fast but biased under clustered layouts),
+// and a 2-file ARHASH-style sampler.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"repro/internal/dfs"
+)
+
+// ErrExhausted is returned when a sampler cannot produce more distinct
+// records than the file contains.
+var ErrExhausted = errors.New("sampling: sample space exhausted")
+
+// Record is one sampled line with its provenance.
+type Record struct {
+	Line   string
+	Split  int   // index of the split it came from
+	Offset int64 // file offset where the line starts
+}
+
+// PreMap samples whole lines directly from a DFS file *before* map-side
+// loading — the paper's fastest path, because no full scan is needed.
+// It maintains, per logical split, the set of line-start offsets already
+// included (the paper's "bit-vector representing the start byte locations
+// of the lines we had already included", §3.3), so repeated Sample calls
+// extend the sample without replacement — the Δs expansions of the EARL
+// iteration.
+//
+// Uniformity caveat (also the paper's): positions are drawn uniformly
+// over bytes and backtracked to line starts, so a line's inclusion
+// probability is proportional to its length. For fixed-width records —
+// the common case for numeric data — this is exactly uniform; for
+// variable-length records the paper accepts the approximation, and so do
+// we (documented here, measured in the Fig. 9 ablation).
+type PreMap struct {
+	fs     *dfs.FileSystem
+	path   string
+	splits []dfs.Split          // the splits this sampler owns
+	size   int64                // whole-file size
+	owned  int64                // total bytes of owned splits
+	taken  []map[int64]struct{} // per split: sampled line-start offsets
+	nTaken int
+	bytes  int64 // total bytes of sampled lines (for fraction estimates)
+	rng    *rand.Rand
+	chunk  int
+}
+
+// NewPreMap opens a pre-map sampler over path, using splits of splitSize
+// bytes (DFS block size if 0).
+func NewPreMap(fsys *dfs.FileSystem, path string, splitSize int64, seed uint64) (*PreMap, error) {
+	splits, err := fsys.Splits(path, splitSize)
+	if err != nil {
+		return nil, err
+	}
+	return NewPreMapOwned(fsys, path, splits, seed)
+}
+
+// NewPreMapOwned opens a pre-map sampler restricted to the given splits
+// of path — the per-mapper ownership EARL uses so that parallel map
+// tasks sample disjoint regions without coordination. A drawn line is
+// accepted only if it *starts* inside an owned split, so two samplers
+// with disjoint split sets can never sample the same record.
+func NewPreMapOwned(fsys *dfs.FileSystem, path string, splits []dfs.Split, seed uint64) (*PreMap, error) {
+	if len(splits) == 0 {
+		return nil, errors.New("sampling: no splits owned")
+	}
+	size, err := fsys.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	taken := make([]map[int64]struct{}, len(splits))
+	for i := range taken {
+		taken[i] = make(map[int64]struct{})
+	}
+	var owned int64
+	for _, sp := range splits {
+		owned += sp.Length
+	}
+	return &PreMap{
+		fs:     fsys,
+		path:   path,
+		splits: splits,
+		size:   size,
+		owned:  owned,
+		taken:  taken,
+		rng:    rand.New(rand.NewPCG(seed, 0xbb67ae8584caa73b)),
+		chunk:  256,
+	}, nil
+}
+
+// Sample draws n additional distinct lines uniformly at random, extending
+// the sample drawn so far (sampling without replacement across calls). It
+// returns fewer than n records only with ErrExhausted.
+func (s *PreMap) Sample(n int) ([]Record, error) {
+	if s.size == 0 || s.owned == 0 {
+		if n == 0 {
+			return nil, nil
+		}
+		return nil, ErrExhausted
+	}
+	out := make([]Record, 0, n)
+	// Retry budget: rejection sampling against the already-taken set. As
+	// the sampled fraction approaches 1 the rejection rate rises; the
+	// budget scales generously so legitimate draws still succeed, and a
+	// truly exhausted file terminates via the budget.
+	budget := 64*n + 4096
+	for len(out) < n && budget > 0 {
+		budget--
+		// Pick a random byte position uniformly over the *owned* splits
+		// (a random split weighted by its length, then a random position
+		// inside it — the paper's per-split bookkeeping).
+		pos := s.ownedPos(s.rng.Int64N(s.owned))
+		line, start, err := s.fs.ReadLineAt(s.path, pos, s.chunk)
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return out, err
+		}
+		// Backtracking can cross a split boundary: accept the line only
+		// if it starts inside an owned split, so samplers with disjoint
+		// ownership stay disjoint.
+		osi, ok := s.splitFor(start)
+		if !ok {
+			continue
+		}
+		if _, dup := s.taken[osi][start]; dup {
+			continue
+		}
+		s.taken[osi][start] = struct{}{}
+		s.nTaken++
+		s.bytes += int64(len(line)) + 1
+		out = append(out, Record{Line: line, Split: osi, Offset: start})
+	}
+	if len(out) < n {
+		return out, ErrExhausted
+	}
+	return out, nil
+}
+
+// ownedPos maps x ∈ [0, owned) to a file offset inside the owned splits.
+func (s *PreMap) ownedPos(x int64) int64 {
+	for i := range s.splits {
+		if x < s.splits[i].Length {
+			return s.splits[i].Offset + x
+		}
+		x -= s.splits[i].Length
+	}
+	return s.splits[len(s.splits)-1].End() - 1
+}
+
+// splitFor returns the index of the owned split containing pos.
+func (s *PreMap) splitFor(pos int64) (int, bool) {
+	for i := range s.splits {
+		if pos >= s.splits[i].Offset && pos < s.splits[i].End() {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Taken returns how many distinct lines have been sampled so far.
+func (s *PreMap) Taken() int { return s.nTaken }
+
+// OwnedBytes returns the total byte length of the splits this sampler
+// owns (the whole file for NewPreMap).
+func (s *PreMap) OwnedBytes() int64 { return s.owned }
+
+// EstimatedOwnedRecords estimates the number of records within the owned
+// splits from the mean sampled line length.
+func (s *PreMap) EstimatedOwnedRecords() int64 {
+	if s.nTaken == 0 {
+		return 0
+	}
+	avg := float64(s.bytes) / float64(s.nTaken)
+	if avg <= 0 {
+		return 0
+	}
+	return int64(float64(s.owned)/avg + 0.5)
+}
+
+// EstimatedTotalRecords estimates the file's record count from the mean
+// length of sampled lines — the "estimate of the number of the key,value
+// pairs produced by the pre-map sampling" the paper calls good enough for
+// result correction (§3.3).
+func (s *PreMap) EstimatedTotalRecords() int64 {
+	if s.nTaken == 0 {
+		return 0
+	}
+	avg := float64(s.bytes) / float64(s.nTaken)
+	if avg <= 0 {
+		return 0
+	}
+	return int64(float64(s.size)/avg + 0.5)
+}
+
+// EstimatedFraction estimates the fraction p of the data sampled so far;
+// the correction function receives this.
+func (s *PreMap) EstimatedFraction() float64 {
+	total := s.EstimatedTotalRecords()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.nTaken) / float64(total)
+}
+
+// Reset forgets everything sampled, restarting the without-replacement
+// stream (used between independent experiment repetitions).
+func (s *PreMap) Reset() {
+	for i := range s.taken {
+		s.taken[i] = make(map[int64]struct{})
+	}
+	s.nTaken = 0
+	s.bytes = 0
+}
+
+// String describes the sampler state.
+func (s *PreMap) String() string {
+	return fmt.Sprintf("premap(%s: %d splits, %d taken)", s.path, len(s.splits), s.nTaken)
+}

@@ -1,0 +1,140 @@
+package simcost
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotAddSub(t *testing.T) {
+	var m Metrics
+	m.BytesRead.Add(100)
+	m.MapTasks.Add(2)
+	a := m.Snapshot()
+	m.BytesRead.Add(50)
+	b := m.Snapshot()
+	d := b.Sub(a)
+	if d.BytesRead != 50 || d.MapTasks != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	sum := a.Add(d)
+	if sum != b {
+		t.Fatalf("add(sub) not identity: %+v vs %+v", sum, b)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.RecordsRead.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.RecordsRead.Load(); got != 16000 {
+		t.Fatalf("concurrent adds lost updates: %d", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var m Metrics
+	m.BytesRead.Add(5)
+	m.JobStartups.Add(1)
+	m.Reset()
+	if s := m.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("reset left %+v", s)
+	}
+}
+
+func TestHadoop2012Valid(t *testing.T) {
+	if err := Hadoop2012().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []CostModel{
+		{ClusterNodes: 0, DiskMBps: 1, NetMBps: 1},
+		{ClusterNodes: 1, DiskMBps: 0, NetMBps: 1},
+		{ClusterNodes: 1, DiskMBps: 1, NetMBps: 1, PipelineDiscount: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestDurationComponents(t *testing.T) {
+	c := CostModel{
+		ClusterNodes: 1,
+		DiskMBps:     100,
+		NetMBps:      100,
+		SeekLatency:  time.Millisecond,
+		RecordCPU:    time.Microsecond,
+		TaskStartup:  time.Second,
+		JobStartup:   5 * time.Second,
+	}
+	// 100 MB read at 100 MB/s = 1 s; 1 job = 5 s; 2 tasks = 2 s.
+	s := Snapshot{BytesRead: 100 << 20, JobStartups: 1, MapTasks: 2}
+	got := c.Duration(s)
+	want := 8 * time.Second
+	if diff := got - want; diff < -50*time.Millisecond || diff > 50*time.Millisecond {
+		t.Fatalf("Duration = %v, want ≈%v", got, want)
+	}
+}
+
+func TestParallelismDividesDataTerms(t *testing.T) {
+	c1 := Hadoop2012()
+	c1.ClusterNodes = 1
+	c5 := Hadoop2012() // 5 nodes
+	s := Snapshot{BytesRead: 1 << 30, RecordsRead: 10_000_000}
+	d1 := c1.Duration(s)
+	d5 := c5.Duration(s)
+	ratio := float64(d1) / float64(d5)
+	if ratio < 4.5 || ratio > 5.5 {
+		t.Fatalf("5-node speedup on data terms = %v, want ≈5", ratio)
+	}
+	// Job startup must NOT parallelise.
+	sj := Snapshot{JobStartups: 3}
+	if c1.Duration(sj) != c5.Duration(sj) {
+		t.Fatal("job startup should be serial")
+	}
+}
+
+func TestPipelinedDurationHidesShuffle(t *testing.T) {
+	c := Hadoop2012()
+	s := Snapshot{BytesShuffled: 1 << 30}
+	batch := c.Duration(s)
+	pipe := c.PipelinedDuration(s)
+	if pipe >= batch {
+		t.Fatalf("pipelined %v should be < batch %v", pipe, batch)
+	}
+	wantRatio := 1 - c.PipelineDiscount
+	gotRatio := float64(pipe) / float64(batch)
+	if gotRatio < wantRatio-0.01 || gotRatio > wantRatio+0.01 {
+		t.Fatalf("pipeline ratio = %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestScaleBytes(t *testing.T) {
+	s := Snapshot{BytesRead: 100, RecordsRead: 10, MapTasks: 3, JobStartups: 1}
+	sc := s.ScaleBytes(10)
+	if sc.BytesRead != 1000 || sc.RecordsRead != 100 {
+		t.Fatalf("scaled = %+v", sc)
+	}
+	if sc.MapTasks != 3 || sc.JobStartups != 1 {
+		t.Fatal("fixed overheads must not scale")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if (Snapshot{}).String() == "" {
+		t.Fatal("String should render something")
+	}
+}

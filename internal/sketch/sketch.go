@@ -1,0 +1,224 @@
+// Package sketch implements the two-layer memory/disk structure of §4.1:
+// for each resample partition b_Δsk and each delta sample Δs_k, a small
+// random "sketch" of c·√n items is held in memory while the full data
+// set conceptually lives on HDFS. Random deletions and additions during
+// delta maintenance are served sequentially from the sketches; only when
+// a sketch is used up does the structure touch "disk" — committing the
+// changes and resampling a fresh sketch, charged to the cost metrics.
+//
+// The paper's sizing argument: when a sample of size n grows to n′, the
+// number of items a resample must shed or gain concentrates (Eq. 3)
+// within a few σ₀ = √(n(1−n/n′)) < √n of zero, so a sketch of c·√n
+// items absorbs almost every iteration's updates without disk I/O (the
+// 3-sigma rule — c=3 covers 99.7% of iterations).
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/simcost"
+)
+
+// DefaultC is the default sketch-size constant; 3 matches the paper's
+// 3-sigma sizing argument.
+const DefaultC = 3.0
+
+// ErrEmpty is returned when an operation needs items and none remain.
+var ErrEmpty = errors.New("sketch: no items remain")
+
+// bytesPerItem is the charged size of one float64 record on disk.
+const bytesPerItem = 8
+
+// Part is one resample partition b_Δsk: the multiset of items a resample
+// drew from delta-generation k. It supports uniform random deletion
+// without replacement (served from the in-memory sketch region) and
+// random-position insertion. The full multiset is conceptually HDFS-
+// resident; only sketch refreshes are charged I/O.
+type Part struct {
+	items     []float64 // live multiset, randomly shuffled up to sketchEnd
+	sketchEnd int       // items[:sketchEnd] is the in-memory sketch region
+	c         float64
+	rng       *rand.Rand
+	metrics   *simcost.Metrics
+	refreshes int
+}
+
+// NewPart builds a partition over the given items (the slice is copied).
+// c is the sketch constant (DefaultC if <= 0); metrics may be nil.
+func NewPart(items []float64, c float64, rng *rand.Rand, metrics *simcost.Metrics) *Part {
+	if c <= 0 {
+		c = DefaultC
+	}
+	p := &Part{
+		items:   append([]float64(nil), items...),
+		c:       c,
+		rng:     rng,
+		metrics: metrics,
+	}
+	// The initial sketch rides along with the data that produced the
+	// partition (it is in memory already when the resample is built), so
+	// no I/O charge here.
+	p.shuffleSketch()
+	return p
+}
+
+func (p *Part) sketchSize() int {
+	n := len(p.items)
+	if n == 0 {
+		return 0
+	}
+	s := int(math.Ceil(p.c * math.Sqrt(float64(n))))
+	if s > n {
+		s = n
+	}
+	return s
+}
+
+// shuffleSketch makes items[:sketchSize] a uniform random subset in
+// random order by a partial Fisher–Yates pass.
+func (p *Part) shuffleSketch() {
+	k := p.sketchSize()
+	for i := 0; i < k; i++ {
+		j := i + p.rng.IntN(len(p.items)-i)
+		p.items[i], p.items[j] = p.items[j], p.items[i]
+	}
+	p.sketchEnd = k
+}
+
+// Size returns the number of items currently in the partition.
+func (p *Part) Size() int { return len(p.items) }
+
+// Refreshes returns how many disk-layer refreshes have occurred — the
+// quantity the sketch exists to minimise.
+func (p *Part) Refreshes() int { return p.refreshes }
+
+// DeleteRandom removes and returns one uniformly random item. The draw
+// is served from the sketch region; when the sketch is exhausted the
+// change set is committed and a new sketch is resampled from "disk",
+// charging a seek plus the sketch read.
+func (p *Part) DeleteRandom() (float64, error) {
+	if len(p.items) == 0 {
+		return 0, ErrEmpty
+	}
+	if p.sketchEnd == 0 {
+		p.refresh()
+	}
+	// Take the first sketch item; keep the remaining sketch contiguous.
+	v := p.items[0]
+	p.items[0] = p.items[p.sketchEnd-1]
+	p.items[p.sketchEnd-1] = p.items[len(p.items)-1]
+	p.items = p.items[:len(p.items)-1]
+	p.sketchEnd--
+	return v, nil
+}
+
+// Add inserts an item at a uniformly random live position, keeping
+// subsequent DeleteRandom draws uniform even before the next refresh.
+func (p *Part) Add(v float64) {
+	p.items = append(p.items, v)
+	// Swap into a random position; if it lands inside the sketch region
+	// it becomes deletable this iteration, matching a true re-shuffle.
+	j := p.rng.IntN(len(p.items))
+	p.items[len(p.items)-1], p.items[j] = p.items[j], p.items[len(p.items)-1]
+}
+
+// refresh commits outstanding changes and draws a fresh sketch from the
+// disk layer (§4.1's "commit the changes … resample a new sketch").
+func (p *Part) refresh() {
+	p.refreshes++
+	p.shuffleSketch()
+	if p.metrics != nil {
+		p.metrics.DiskSeeks.Add(1)
+		p.metrics.BytesRead.Add(int64(p.sketchEnd) * bytesPerItem)
+		p.metrics.BytesWritten.Add(int64(p.sketchEnd) * bytesPerItem)
+	}
+}
+
+// EndIteration performs the paper's end-of-iteration bookkeeping: used
+// sketch entries are replaced by substituting unused data items reservoir-
+// style so the sketch remains a uniform random subset. In this
+// representation a partial Fisher–Yates reshuffle of the sketch region
+// achieves exactly that distribution; it is memory-only, hence free.
+func (p *Part) EndIteration() {
+	p.shuffleSketch()
+}
+
+// Items returns a copy of the current multiset (test hook; conceptually
+// a full disk read, so it charges accordingly).
+func (p *Part) Items() []float64 {
+	if p.metrics != nil {
+		p.metrics.DiskSeeks.Add(1)
+		p.metrics.BytesRead.Add(int64(len(p.items)) * bytesPerItem)
+	}
+	return append([]float64(nil), p.items...)
+}
+
+// String describes the part.
+func (p *Part) String() string {
+	return fmt.Sprintf("part(n=%d, sketch=%d, refreshes=%d)", len(p.items), p.sketchEnd, p.refreshes)
+}
+
+// Cache serves with-replacement random draws from a backing data set
+// (a delta sample Δs_k) through a prefetched sketch: sketch(Δs_k) in the
+// paper. Draw cost is memory-only until the prefetched batch is used up;
+// each refill charges one seek plus the batch read.
+type Cache struct {
+	backing []float64
+	buf     []float64
+	pos     int
+	c       float64
+	rng     *rand.Rand
+	metrics *simcost.Metrics
+	refills int
+}
+
+// NewCache builds a cache over backing (not copied; treated as
+// immutable). The first sketch is free — the data just arrived in memory
+// when the delta sample was drawn.
+func NewCache(backing []float64, c float64, rng *rand.Rand, metrics *simcost.Metrics) (*Cache, error) {
+	if len(backing) == 0 {
+		return nil, ErrEmpty
+	}
+	if c <= 0 {
+		c = DefaultC
+	}
+	cc := &Cache{backing: backing, c: c, rng: rng, metrics: metrics}
+	cc.fill(false)
+	return cc, nil
+}
+
+func (c *Cache) fill(charge bool) {
+	k := int(math.Ceil(c.c * math.Sqrt(float64(len(c.backing)))))
+	if k < 1 {
+		k = 1
+	}
+	if cap(c.buf) < k {
+		c.buf = make([]float64, k)
+	}
+	c.buf = c.buf[:k]
+	for i := range c.buf {
+		c.buf[i] = c.backing[c.rng.IntN(len(c.backing))]
+	}
+	c.pos = 0
+	if charge && c.metrics != nil {
+		c.metrics.DiskSeeks.Add(1)
+		c.metrics.BytesRead.Add(int64(k) * bytesPerItem)
+	}
+}
+
+// Next returns one with-replacement random draw from the backing set.
+func (c *Cache) Next() float64 {
+	if c.pos >= len(c.buf) {
+		c.refills++
+		c.fill(true)
+	}
+	v := c.buf[c.pos]
+	c.pos++
+	return v
+}
+
+// Refills returns how many disk-layer refills have occurred.
+func (c *Cache) Refills() int { return c.refills }

@@ -1,0 +1,265 @@
+// Package stats provides the numerical routines EARL is built on:
+// descriptive statistics, streaming (Welford) accumulators, quantiles,
+// least-squares model fitting, and the probability distributions used by
+// the resampling machinery (normal, binomial) together with z-tests for
+// categorical data.
+//
+// All functions are pure and allocation-conscious; none of them seed or
+// hold global random state. Randomized routines accept a *rand.Rand so
+// callers control determinism.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that require at least one observation.
+var ErrEmpty = errors.New("stats: empty input")
+
+// ErrShortInput is returned by estimators that require more observations
+// than were supplied (for example sample variance on fewer than two points).
+var ErrShortInput = errors.New("stats: not enough observations")
+
+// Sum returns the sum of xs using Kahan compensated summation, which keeps
+// the error bounded even over the long, skewed datasets EARL samples from.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance of xs.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrShortInput
+	}
+	m, _ := Mean(xs)
+	var ss, comp float64
+	for _, x := range xs {
+		d := x - m
+		y := d*d - comp
+		t := ss + y
+		comp = (t - ss) - y
+		ss = t
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// PopVariance returns the population (n denominator) variance of xs.
+func PopVariance(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(len(xs))
+	return v * (n - 1) / n, nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// CV returns the coefficient of variation stddev/|mean| of xs — the error
+// measure EARL reports from its accuracy estimation stage. It returns an
+// error when the mean is zero, since cv is undefined there.
+func CV(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return 0, errors.New("stats: cv undefined for zero mean")
+	}
+	return sd / math.Abs(m), nil
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) (float64, error) {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of range [0,1]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile for data already in ascending order; it does
+// not allocate. Behaviour is undefined if xs is unsorted.
+func QuantileSorted(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of range [0,1]")
+	}
+	if len(xs) == 1 {
+		return xs[0], nil
+	}
+	h := q * float64(len(xs)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(xs) {
+		return xs[len(xs)-1], nil
+	}
+	frac := h - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac, nil
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Welford is a streaming accumulator for count, mean and variance using
+// Welford's online algorithm. It is the state representation used by the
+// incremental reduce API for moment-based statistics: two Welford states
+// can be merged exactly, which is what Update() does during EARL's delta
+// maintenance.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// AddN folds n copies of x into the accumulator. Bootstrap resamples drawn
+// with replacement contain repeated items; counting multiplicities lets the
+// caller fold them in O(distinct) time.
+func (w *Welford) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	var other Welford
+	other.n = n
+	other.mean = x
+	other.m2 = 0
+	w.Merge(other)
+}
+
+// Merge combines another accumulator into w (Chan et al. parallel update).
+// The result is exactly the accumulator that would have been obtained by
+// adding the two observation streams in sequence.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// Remove subtracts one observation that was previously added. This is the
+// primitive EARL's inter-iteration delta maintenance relies on when the
+// binomial resize (Eq. 2 of the paper) deletes items from a resample.
+// Removing a value that was never added leaves the accumulator in a
+// statistically meaningless state; callers must pair Add/Remove correctly.
+func (w *Welford) Remove(x float64) {
+	if w.n <= 1 {
+		*w = Welford{}
+		return
+	}
+	n1 := float64(w.n - 1)
+	oldMean := (float64(w.n)*w.mean - x) / n1
+	w.m2 -= (x - w.mean) * (x - oldMean)
+	if w.m2 < 0 {
+		w.m2 = 0 // clamp accumulated floating-point error
+	}
+	w.mean = oldMean
+	w.n--
+}
+
+// N returns the number of observations folded in so far.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Sum returns n*mean, the reconstructed total.
+func (w *Welford) Sum() float64 { return float64(w.n) * w.mean }
+
+// CV returns the coefficient of variation of the accumulated stream,
+// or 0 when the mean is zero.
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Abs(w.mean)
+}
