@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"testing"
 
@@ -108,6 +109,72 @@ func BenchmarkBootstrapMonteCarloMedian(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Parallel bootstrap engine: sequential vs sharded worker pool. The p1
+// variants run the engine on one worker (its sequential floor); pMax
+// uses GOMAXPROCS. Values are bit-identical across parallelism for a
+// fixed seed, so the speedup is pure scheduling.
+
+func benchParallelMC(b *testing.B, n, B, par int, f bootstrap.Statistic) {
+	b.Helper()
+	xs, err := workload.NumericSpec{Dist: workload.Gaussian, N: n, Seed: 1}.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewPCG(1, 2))
+		if _, err := bootstrap.ParallelMonteCarlo(rng, xs, f, B, par); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLabel(par int) string {
+	if par == 0 {
+		return fmt.Sprintf("pmax=%d", bootstrap.Workers(0))
+	}
+	return fmt.Sprintf("p=%d", par)
+}
+
+func BenchmarkBootstrapParallelMean(b *testing.B) {
+	for _, sz := range []struct{ n, B int }{
+		{10_000, 4000},
+		{100_000, 400},
+		{1_000_000, 100},
+	} {
+		for _, par := range []int{1, 2, 4, 0} {
+			name := fmt.Sprintf("n=%d/B=%d/%s", sz.n, sz.B, benchLabel(par))
+			b.Run(name, func(b *testing.B) { benchParallelMC(b, sz.n, sz.B, par, bootstrap.Mean) })
+		}
+	}
+}
+
+func BenchmarkBootstrapParallelMedian(b *testing.B) {
+	for _, par := range []int{1, 4, 0} {
+		name := fmt.Sprintf("n=10000/B=1000/%s", benchLabel(par))
+		b.Run(name, func(b *testing.B) { benchParallelMC(b, 10_000, 1000, par, bootstrap.Median) })
+	}
+}
+
+func BenchmarkBootstrapParallelMovingBlock(b *testing.B) {
+	xs, err := workload.NumericSpec{Dist: workload.Gaussian, N: 100_000, Seed: 1}.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	blockLen := bootstrap.AutoBlockLength(len(xs))
+	for _, par := range []int{1, 4, 0} {
+		b.Run(fmt.Sprintf("n=100000/B=400/%s", benchLabel(par)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewPCG(1, 2))
+				if _, err := bootstrap.ParallelMovingBlock(rng, xs, blockLen, bootstrap.Mean, 400, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkPreMapSample(b *testing.B) {
 	fsys := dfs.New(dfs.Config{BlockSize: 1 << 16, Replication: 2, DataNodes: 5, Seed: 1})
 	xs, err := workload.NumericSpec{Dist: workload.Uniform, N: 200_000, Seed: 1}.Generate()
@@ -164,6 +231,44 @@ func BenchmarkNaiveMaintainerGrow(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkBootstrapParallelDeltaGrow measures the EARL incremental loop
+// (update + re-bootstrap per delta batch) on the per-resample worker
+// pool, optimized and naive maintainers alike.
+func BenchmarkBootstrapParallelDeltaGrow(b *testing.B) {
+	ds, err := workload.NumericSpec{Dist: workload.Gaussian, N: 16_384, Seed: 1}.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 4, 0} {
+		b.Run(fmt.Sprintf("opt/B=100/%s", benchLabel(par)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := delta.New(delta.Config{Reducer: jobs.Mean().Reducer, B: 100, Seed: 1, Key: "b", Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for g := 0; g < 4; g++ {
+					if err := m.Grow(ds); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("naive/B=100/%s", benchLabel(par)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := delta.NewNaive(delta.Config{Reducer: jobs.Mean().Reducer, B: 100, Seed: 1, Key: "b", Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for g := 0; g < 4; g++ {
+					if err := m.Grow(ds); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -8,9 +8,12 @@
 //
 // Flags:
 //
-//	-seed N     deterministic seed (default 1)
-//	-records N  laptop-scale measurement size where applicable
-//	-quick      smaller measurement sizes (CI-friendly)
+//	-seed N         deterministic seed (default 1)
+//	-records N      laptop-scale measurement size where applicable
+//	-quick          smaller measurement sizes (CI-friendly)
+//	-parallelism N  resampling worker-pool size (0 = GOMAXPROCS,
+//	                1 = sequential engine); tables are identical for a
+//	                fixed seed at any value
 package main
 
 import (
@@ -26,8 +29,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	records := flag.Int("records", 1<<20, "laptop-scale record count for measured runs")
 	quick := flag.Bool("quick", false, "use smaller measurement sizes")
+	parallelism := flag.Int("parallelism", 0, "resampling worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
+	experiments.Parallelism = *parallelism
 	recs := *records
 	if *quick {
 		recs = 1 << 17

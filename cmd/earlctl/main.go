@@ -35,6 +35,7 @@ func main() {
 		k       = flag.Int("k", 4, "clusters (kmeans)")
 		kill    = flag.String("kill", "", "comma-separated node ids to kill mid-job")
 		nodes   = flag.Int("nodes", 5, "cluster size")
+		par     = flag.Int("parallelism", 0, "resampling worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -88,16 +89,16 @@ func main() {
 		}()
 	}
 
-	rep, err := cluster.Run(job, "/data", earl.Options{
-		Sigma:   *sigma,
-		Sampler: earl.PreMapSampling,
-		Seed:    *seed + 7,
-	})
+	samplerKind := earl.PreMapSampling
 	if *sampler == "post-map" {
-		rep, err = cluster.Run(job, "/data", earl.Options{
-			Sigma: *sigma, Sampler: earl.PostMapSampling, Seed: *seed + 7,
-		})
+		samplerKind = earl.PostMapSampling
 	}
+	rep, err := cluster.Run(job, "/data", earl.Options{
+		Sigma:       *sigma,
+		Sampler:     samplerKind,
+		Seed:        *seed + 7,
+		Parallelism: *par,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

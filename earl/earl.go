@@ -16,6 +16,17 @@
 //	fmt.Printf("mean ≈ %.3f ± %.1f%% (from %d of ~%d records)\n",
 //		rep.Estimate, 100*rep.CV, rep.SampleSize, rep.EstTotalN)
 //
+// Resampling — EARL's CPU hot path — runs on a parallel bootstrap
+// engine: Options.Parallelism sets the worker-pool size that SSABE's
+// phase-2 error-curve resampling and the reducer's per-delta-batch
+// resample updates are sharded across (0 means runtime.GOMAXPROCS, 1
+// forces the sequential path; SSABE's phase 1 stays sequential — it
+// adds one resample at a time and early-stops on stability). The
+// engine's reproducible-seeding contract: every shard of work owns an
+// rng stream derived only from the run's Seed and the shard index —
+// never from worker identity or scheduling — so a run with a fixed Seed
+// produces bit-identical results at any Parallelism.
+//
 // The heavy lifting lives in internal packages: internal/dfs (simulated
 // HDFS), internal/mr (the MapReduce engine with EARL's pipelining and
 // incremental-reduce extensions), internal/sampling (pre-map/post-map

@@ -65,6 +65,20 @@ type Config struct {
 	Metrics *simcost.Metrics
 	Measure Measure // CV if nil
 	Key     string  // reduce key handed to Initialize
+	// Parallelism is the worker-pool size for phase 2's delta-maintained
+	// resampling: 0 (or negative) means runtime.GOMAXPROCS, 1 forces the
+	// sequential path. Plan output is identical at any value for a fixed
+	// Seed. (Phase 1 is inherently sequential: it adds one resample at a
+	// time and early-stops on τ-stability.)
+	Parallelism int
+	// Replicates is how many independent delta-maintained runs phase 2
+	// averages each curve point over (default 3). A single run measures
+	// each cv from only B values (relative noise ≈ 1/√(2(B−1)), ~17% at
+	// the paper's B≈30), and SolveN amplifies intercept noise badly;
+	// averaging a few replicates stabilises the fitted curve at pilot
+	// scale, where the extra resampling is cheap and rides the parallel
+	// engine.
+	Replicates int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -94,6 +108,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Measure == nil {
 		c.Measure = CV
+	}
+	if c.Replicates <= 0 {
+		c.Replicates = 3
 	}
 	return c, nil
 }
@@ -183,7 +200,9 @@ type CurvePoint struct {
 // each with B resamples using a delta.Maintainer (so each step reuses the
 // previous step's resamples), the curve cv(n) = a + b/√n is fitted and
 // solved for σ. ok=false means the fitted curve never reaches σ — the
-// caller should fall back to the full data set.
+// caller should fall back to the full data set. Each curve point is
+// averaged over cfg.Replicates independent maintained runs to tame the
+// B-value noise of a single cv measurement before the fit.
 func EstimateN(pilot []float64, b int, cfg Config) (n int, ok bool, curve stats.CVCurve, points []CurvePoint, err error) {
 	cfg, err = cfg.withDefaults()
 	if err != nil {
@@ -196,35 +215,21 @@ func EstimateN(pilot []float64, b int, cfg Config) (n int, ok bool, curve stats.
 	if len(pilot) < minSize*2 {
 		return 0, false, stats.CVCurve{}, nil, fmt.Errorf("aes: pilot of %d too small for L=%d subsamples", len(pilot), cfg.L)
 	}
-	maint, err := delta.New(delta.Config{
-		Reducer: cfg.Reducer,
-		B:       b,
-		Seed:    cfg.Seed + 1,
-		Metrics: cfg.Metrics,
-		Key:     cfg.Key,
-	})
-	if err != nil {
-		return 0, false, stats.CVCurve{}, nil, err
+	for r := 0; r < cfg.Replicates; r++ {
+		rep, err := estimateNReplicate(pilot, b, cfg, r)
+		if err != nil {
+			return 0, false, stats.CVCurve{}, nil, err
+		}
+		if points == nil {
+			points = rep
+		} else {
+			for i := range points {
+				points[i].CV += rep[i].CV
+			}
+		}
 	}
-	prevEnd := 0
-	for i := 1; i <= cfg.L; i++ {
-		end := len(pilot) >> (cfg.L - i) // n_i = n / 2^(L-i)
-		if end <= prevEnd {
-			continue
-		}
-		if err := maint.Grow(pilot[prevEnd:end]); err != nil {
-			return 0, false, stats.CVCurve{}, nil, err
-		}
-		prevEnd = end
-		vals, err := maint.Results()
-		if err != nil {
-			return 0, false, stats.CVCurve{}, nil, err
-		}
-		cv, err := cfg.Measure(vals)
-		if err != nil {
-			return 0, false, stats.CVCurve{}, nil, err
-		}
-		points = append(points, CurvePoint{N: end, CV: cv})
+	for i := range points {
+		points[i].CV /= float64(cfg.Replicates)
 	}
 	ns := make([]int, len(points))
 	cvs := make([]float64, len(points))
@@ -238,6 +243,45 @@ func EstimateN(pilot []float64, b int, cfg Config) (n int, ok bool, curve stats.
 	}
 	n, ok = curve.SolveN(cfg.Sigma)
 	return n, ok, curve, points, nil
+}
+
+// estimateNReplicate runs one delta-maintained pass over the phase-2
+// growth schedule and returns the cv at each prefix size. Replicate r
+// owns a fixed seed offset, so the averaged curve is deterministic.
+func estimateNReplicate(pilot []float64, b int, cfg Config, r int) ([]CurvePoint, error) {
+	maint, err := delta.New(delta.Config{
+		Reducer:     cfg.Reducer,
+		B:           b,
+		Seed:        cfg.Seed + 1 + uint64(r)*0x9e37,
+		Metrics:     cfg.Metrics,
+		Key:         cfg.Key,
+		Parallelism: cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var points []CurvePoint
+	prevEnd := 0
+	for i := 1; i <= cfg.L; i++ {
+		end := len(pilot) >> (cfg.L - i) // n_i = n / 2^(L-i)
+		if end <= prevEnd {
+			continue
+		}
+		if err := maint.Grow(pilot[prevEnd:end]); err != nil {
+			return nil, err
+		}
+		prevEnd = end
+		vals, err := maint.Results()
+		if err != nil {
+			return nil, err
+		}
+		cv, err := cfg.Measure(vals)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, CurvePoint{N: end, CV: cv})
+	}
+	return points, nil
 }
 
 // Plan is SSABE's output: either run the user job with B bootstraps over

@@ -9,6 +9,12 @@
 // Everything operates on a plain []float64 sample and a Statistic — "the
 // function of interest f" in the paper's notation. Randomness is always
 // an explicit *rand.Rand.
+//
+// The B resamples of a Monte-Carlo run are independent, so the hot path
+// also exists in a sharded form: ParallelMonteCarlo and
+// ParallelMovingBlock (parallel.go) split the B draws across a worker
+// pool with deterministic per-shard rng streams, producing bit-identical
+// Result.Values at any parallelism level.
 package bootstrap
 
 import (
@@ -19,6 +25,17 @@ import (
 	"sort"
 
 	"repro/internal/stats"
+)
+
+// Sentinel errors shared by every resampling variant, so callers can
+// branch with errors.Is instead of matching message text.
+var (
+	// ErrTooFewResamples is returned when B < 2: with fewer than two
+	// resamples the result distribution has no spread to measure.
+	ErrTooFewResamples = errors.New("bootstrap: need B ≥ 2")
+	// ErrBlockLength is returned by the moving-block variants when the
+	// block length falls outside [1, n].
+	ErrBlockLength = errors.New("bootstrap: block length out of range")
 )
 
 // Statistic is the function of interest computed on a (re)sample.
@@ -66,17 +83,28 @@ func summarize(values []float64, original float64) (Result, error) {
 			return Result{}, err
 		}
 	}
-	cv := 0.0
-	if est != 0 {
-		cv = se / math.Abs(est)
-	}
 	return Result{
 		Values:   values,
 		Estimate: est,
 		StdErr:   se,
-		CV:       cv,
+		CV:       safeCV(est, se),
 		Bias:     est - original,
 	}, nil
+}
+
+// safeCV is stderr/|estimate| with the zero-mean case made explicit: a
+// zero estimate with nonzero spread is maximally unconverged (+Inf), not
+// perfectly converged (0) — returning 0 there would make the driver's
+// cv ≤ σ accuracy check terminate a run that has learned nothing.
+func safeCV(est, se float64) float64 {
+	switch {
+	case est != 0:
+		return se / math.Abs(est)
+	case se > 0:
+		return math.Inf(1)
+	default:
+		return 0
+	}
 }
 
 // Resample fills out with a uniform with-replacement draw from s (one
@@ -96,7 +124,7 @@ func MonteCarlo(rng *rand.Rand, s []float64, f Statistic, B int) (Result, error)
 		return Result{}, stats.ErrEmpty
 	}
 	if B < 2 {
-		return Result{}, fmt.Errorf("bootstrap: need B ≥ 2, got %d", B)
+		return Result{}, fmt.Errorf("%w, got %d", ErrTooFewResamples, B)
 	}
 	orig, err := f(s)
 	if err != nil {
@@ -149,15 +177,11 @@ func Jackknife(s []float64, f Statistic) (Result, error) {
 		ss += d * d
 	}
 	se := math.Sqrt(float64(n-1) / float64(n) * ss)
-	cv := 0.0
-	if mean != 0 {
-		cv = se / math.Abs(mean)
-	}
 	return Result{
 		Values:   values,
 		Estimate: mean,
 		StdErr:   se,
-		CV:       cv,
+		CV:       safeCV(mean, se),
 		Bias:     float64(n-1) * (mean - orig),
 	}, nil
 }
@@ -334,10 +358,10 @@ func MovingBlock(rng *rand.Rand, s []float64, blockLen int, f Statistic, B int) 
 		return Result{}, stats.ErrEmpty
 	}
 	if blockLen <= 0 || blockLen > n {
-		return Result{}, fmt.Errorf("bootstrap: block length %d outside [1,%d]", blockLen, n)
+		return Result{}, fmt.Errorf("%w: %d outside [1,%d]", ErrBlockLength, blockLen, n)
 	}
 	if B < 2 {
-		return Result{}, fmt.Errorf("bootstrap: need B ≥ 2, got %d", B)
+		return Result{}, fmt.Errorf("%w, got %d", ErrTooFewResamples, B)
 	}
 	orig, err := f(s)
 	if err != nil {

@@ -1,0 +1,124 @@
+package bootstrap
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/pool"
+	"repro/internal/stats"
+)
+
+// The parallel engine shards the B resamples of a Monte-Carlo bootstrap
+// across a worker pool. Reproducibility contract: the work is cut into
+// fixed-size shards (shardSize resamples each, independent of the worker
+// count), each shard owns a deterministic rng stream derived from two
+// seed words drawn once from the caller's rng, and each shard writes its
+// values into its own segment of the result slice — so Result.Values is
+// bit-identical at parallelism 1, 4, or GOMAXPROCS for the same caller
+// rng state.
+
+// shardSize is the number of resamples evaluated per rng shard. It is a
+// fixed constant — never derived from the parallelism — because the
+// shard decomposition defines the value stream.
+const shardSize = 64
+
+// Workers resolves a parallelism request: p itself when positive,
+// otherwise runtime.GOMAXPROCS(0).
+func Workers(p int) int { return pool.Workers(p) }
+
+// runShards evaluates B statistic values across a pool of Workers(
+// parallelism) goroutines. newEval is called once per worker so each can
+// own scratch buffers; the returned eval computes the value of resample
+// b using the shard's rng. The first error in shard order is returned.
+func runShards(seed1, seed2 uint64, B, parallelism int, newEval func() func(rng *rand.Rand, b int) (float64, error)) ([]float64, error) {
+	values := make([]float64, B)
+	nShards := (B + shardSize - 1) / shardSize
+	err := pool.ForEachWorker(nShards, Workers(parallelism), func() func(int) error {
+		eval := newEval()
+		return func(k int) error {
+			rng := stats.SplitRNG(seed1, seed2, k)
+			lo := k * shardSize
+			hi := min(lo+shardSize, B)
+			for b := lo; b < hi; b++ {
+				v, err := eval(rng, b)
+				if err != nil {
+					return fmt.Errorf("bootstrap: f on resample %d: %w", b, err)
+				}
+				values[b] = v
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return values, nil
+}
+
+// ParallelMonteCarlo is MonteCarlo with the B resamples sharded across a
+// worker pool of Workers(parallelism) goroutines. The two seed words for
+// the per-shard streams are drawn from rng up front (exactly two
+// Uint64s), so the caller's rng advances the same way at any
+// parallelism and Result.Values is reproducible per the engine contract
+// above.
+func ParallelMonteCarlo(rng *rand.Rand, s []float64, f Statistic, B, parallelism int) (Result, error) {
+	if len(s) == 0 {
+		return Result{}, stats.ErrEmpty
+	}
+	if B < 2 {
+		return Result{}, fmt.Errorf("%w, got %d", ErrTooFewResamples, B)
+	}
+	orig, err := f(s)
+	if err != nil {
+		return Result{}, fmt.Errorf("bootstrap: f on original sample: %w", err)
+	}
+	seed1, seed2 := rng.Uint64(), rng.Uint64()
+	values, err := runShards(seed1, seed2, B, parallelism, func() func(*rand.Rand, int) (float64, error) {
+		buf := make([]float64, len(s))
+		return func(shardRNG *rand.Rand, _ int) (float64, error) {
+			Resample(shardRNG, s, buf)
+			return f(buf)
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return summarize(values, orig)
+}
+
+// ParallelMovingBlock is MovingBlock (Appendix A's dependent-data
+// bootstrap) on the parallel engine, with the same reproducible-seeding
+// contract as ParallelMonteCarlo.
+func ParallelMovingBlock(rng *rand.Rand, s []float64, blockLen int, f Statistic, B, parallelism int) (Result, error) {
+	n := len(s)
+	if n == 0 {
+		return Result{}, stats.ErrEmpty
+	}
+	if blockLen <= 0 || blockLen > n {
+		return Result{}, fmt.Errorf("%w: %d outside [1,%d]", ErrBlockLength, blockLen, n)
+	}
+	if B < 2 {
+		return Result{}, fmt.Errorf("%w, got %d", ErrTooFewResamples, B)
+	}
+	orig, err := f(s)
+	if err != nil {
+		return Result{}, fmt.Errorf("bootstrap: f on original sample: %w", err)
+	}
+	seed1, seed2 := rng.Uint64(), rng.Uint64()
+	nStarts := n - blockLen + 1
+	values, err := runShards(seed1, seed2, B, parallelism, func() func(*rand.Rand, int) (float64, error) {
+		buf := make([]float64, 0, n+blockLen)
+		return func(shardRNG *rand.Rand, _ int) (float64, error) {
+			buf = buf[:0]
+			for len(buf) < n {
+				start := shardRNG.IntN(nStarts)
+				buf = append(buf, s[start:start+blockLen]...)
+			}
+			return f(buf[:n])
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return summarize(values, orig)
+}

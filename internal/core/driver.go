@@ -51,6 +51,11 @@ type Options struct {
 	// DisableDeltaMaintenance switches the reducer to the naive
 	// recompute-everything resampler (§4.1's baseline; Fig. 10 ablation).
 	DisableDeltaMaintenance bool
+	// Parallelism is the worker-pool size of the parallel resampling
+	// engine (SSABE's pilot bootstraps and the reducer's delta-update
+	// loop); runtime.GOMAXPROCS(0) if 0, 1 forces the sequential path.
+	// Results are reproducible for a fixed Seed at any parallelism.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +88,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Measure == nil {
 		o.Measure = aes.CV
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -176,13 +184,14 @@ func Run(env *Env, job jobs.Numeric, path string, opts Options) (Report, error) 
 		plan = aes.Plan{B: opts.ForceB, N: opts.ForceN}
 	} else {
 		plan, err = aes.SSABE(pilot, estTotal, aes.Config{
-			Reducer: job.Reducer,
-			Sigma:   opts.Sigma,
-			Tau:     opts.Tau,
-			Seed:    opts.Seed + 17,
-			Metrics: env.Metrics,
-			Measure: opts.Measure,
-			Key:     job.Name,
+			Reducer:     job.Reducer,
+			Sigma:       opts.Sigma,
+			Tau:         opts.Tau,
+			Seed:        opts.Seed + 17,
+			Metrics:     env.Metrics,
+			Measure:     opts.Measure,
+			Key:         job.Name,
+			Parallelism: opts.Parallelism,
 		})
 		if err != nil {
 			return Report{}, err
@@ -258,11 +267,13 @@ func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan a
 		maint, maintErr = delta.NewNaive(delta.Config{
 			Reducer: job.Reducer, B: plan.B, Seed: opts.Seed + 31,
 			Metrics: env.Metrics, Key: job.Name,
+			Parallelism: opts.Parallelism,
 		})
 	} else {
 		maint, maintErr = delta.New(delta.Config{
 			Reducer: job.Reducer, B: plan.B, Seed: opts.Seed + 31,
 			Metrics: env.Metrics, Key: job.Name,
+			Parallelism: opts.Parallelism,
 		})
 	}
 	if maintErr != nil {

@@ -267,6 +267,7 @@ func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Opt
 							Reducer: job.Reducer, B: b,
 							Seed:    ps.seed + uint64(len(ps.maints))*97,
 							Metrics: env.Metrics, Key: key,
+							Parallelism: opts.Parallelism,
 						})
 						if err != nil {
 							return err

@@ -11,18 +11,29 @@
 //     a fraction y of a resample is identical to another's; the optimal
 //     y maximising expected saved work P(X=y)·y lets EARL compute a
 //     shared block of each resample once and reuse it.
+//
+// The B resamples are mutually independent, so each owns its own rng
+// stream (derived deterministically from Config.Seed) and its own
+// sketches; Grow shards the per-resample update work across a worker
+// pool of Config.Parallelism goroutines and produces identical results
+// at any parallelism level.
 package delta
 
 import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"repro/internal/mr"
+	"repro/internal/pool"
 	"repro/internal/simcost"
 	"repro/internal/sketch"
 	"repro/internal/stats"
 )
+
+// seed2Base is the second PCG seed word for per-resample streams.
+const seed2Base = 0x1f83d9abfb41bd6b
 
 // RetainedSize draws |b′_s| — how many of a resample's n′ items come
 // from the old sample s of size n rather than from Δs — from
@@ -47,22 +58,28 @@ type Maintainer struct {
 	red     mr.IncrementalReducer
 	b       int
 	c       float64
-	rng     *rand.Rand
+	par     int
+	seed    uint64
 	metrics *simcost.Metrics
 
-	n          int             // current sample size
-	gens       [][]float64     // Δs_1 .. Δs_i
-	caches     []*sketch.Cache // sketch(Δs_k), for random adds from old data
+	n          int
+	gens       [][]float64 // Δs_1 .. Δs_i
 	resamples  []*resample
 	key        string
-	rebuilds   int   // states rebuilt because Remove was unsupported
-	updates    int64 // state add/remove operations performed (work measure)
+	rebuilds   atomic.Int64 // states rebuilt because Remove was unsupported
+	updates    atomic.Int64 // state add/remove operations performed (work measure)
 	generation int
 }
 
+// resample is one of the B maintained resamples. Each owns its rng
+// stream and its per-generation sketches, so growing it touches no state
+// shared with the other resamples (beyond read-only delta data and the
+// atomic cost counters) — the property the parallel Grow relies on.
 type resample struct {
-	state mr.State
-	parts []*sketch.Part // parts[k] = b_Δs(k+1)
+	rng    *rand.Rand
+	state  mr.State
+	parts  []*sketch.Part  // parts[k] = b_Δs(k+1)
+	caches []*sketch.Cache // caches[k] = this resample's sketch(Δs_(k+1))
 }
 
 // Config configures a Maintainer.
@@ -73,6 +90,12 @@ type Config struct {
 	Seed    uint64           // PCG seed
 	Metrics *simcost.Metrics // optional cost accounting
 	Key     string           // reduce key passed to Initialize
+	// Parallelism is the worker-pool size Grow shards the B resamples
+	// across: 0 (or negative) means runtime.GOMAXPROCS, 1 forces the
+	// sequential path — the same convention as core.Options.Parallelism.
+	// Results are identical at any value because every resample owns a
+	// deterministic rng stream.
+	Parallelism int
 }
 
 // New creates an empty Maintainer; call Grow with the initial sample
@@ -92,7 +115,8 @@ func New(cfg Config) (*Maintainer, error) {
 		red:     cfg.Reducer,
 		b:       cfg.B,
 		c:       c,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x1f83d9abfb41bd6b)),
+		par:     pool.Workers(cfg.Parallelism),
+		seed:    cfg.Seed,
 		metrics: cfg.Metrics,
 		key:     cfg.Key,
 	}, nil
@@ -109,78 +133,107 @@ func (m *Maintainer) Generation() int { return m.generation }
 
 // Rebuilds reports how many times a state had to be rebuilt from scratch
 // because its reducer does not support Remove.
-func (m *Maintainer) Rebuilds() int { return m.rebuilds }
+func (m *Maintainer) Rebuilds() int { return int(m.rebuilds.Load()) }
 
 // Updates reports the total number of per-item state operations (adds,
 // removes, rebuild re-adds) performed so far — the work that delta
 // maintenance saves relative to recomputing every resample from scratch
 // (§4, measured in Fig. 10). It is also charged to Metrics as
 // RecordsReduced so modeled job times include resampling CPU.
-func (m *Maintainer) Updates() int64 { return m.updates }
+func (m *Maintainer) Updates() int64 { return m.updates.Load() }
 
 // charge records n state operations.
 func (m *Maintainer) charge(n int64) {
-	m.updates += n
+	m.updates.Add(n)
 	if m.metrics != nil {
 		m.metrics.RecordsReduced.Add(n)
 	}
 }
 
 // Grow applies one iteration: the sample becomes s ∪ deltaSample and all
-// B resamples (and their states) are updated in place per §4.1.
+// B resamples (and their states) are updated in place per §4.1, sharded
+// across the configured worker pool.
 func (m *Maintainer) Grow(deltaSample []float64) error {
 	if len(deltaSample) == 0 {
 		return errors.New("delta: empty delta sample")
 	}
 	ds := append([]float64(nil), deltaSample...)
 	nPrime := m.n + len(ds)
-	cache, err := sketch.NewCache(ds, m.c, m.rng, m.metrics)
-	if err != nil {
-		return err
-	}
 
-	if m.n == 0 {
-		// First iteration: each resample is n′ items drawn with
-		// replacement from Δs₁, which is memory-resident right now — no
-		// disk charge (the cache is kept for *future* iterations, when
-		// Δs₁ has been spilled).
+	first := m.n == 0
+	if first {
 		m.resamples = make([]*resample, m.b)
 		for i := range m.resamples {
-			items := make([]float64, nPrime)
-			for j := range items {
-				items[j] = ds[m.rng.IntN(len(ds))]
-			}
-			st, err := m.red.Initialize(m.key, items)
-			if err != nil {
-				return fmt.Errorf("delta: initialize resample %d: %w", i, err)
-			}
-			m.charge(int64(len(items)))
-			m.resamples[i] = &resample{
-				state: st,
-				parts: []*sketch.Part{sketch.NewPart(items, m.c, m.rng, m.metrics)},
-			}
-		}
-	} else {
-		for i, r := range m.resamples {
-			if err := m.growResample(r, nPrime, ds); err != nil {
-				return fmt.Errorf("delta: grow resample %d: %w", i, err)
-			}
+			m.resamples[i] = &resample{rng: stats.SplitRNG(m.seed, seed2Base, i)}
 		}
 	}
-	m.gens = append(m.gens, ds)
-	m.caches = append(m.caches, cache)
-	m.n = nPrime
-	m.generation++
-	for _, r := range m.resamples {
+	err := m.forEachResample(func(r *resample) error {
+		if first {
+			// First iteration: the resample is n′ items drawn with
+			// replacement from Δs₁, which is memory-resident right now —
+			// no disk charge (sketches are kept for *future* iterations,
+			// when Δs₁ has been spilled).
+			if err := m.initResample(r, nPrime, ds); err != nil {
+				return err
+			}
+		} else if err := m.growResample(r, nPrime, ds); err != nil {
+			return err
+		}
+		// End-of-iteration sketch bookkeeping, and this resample's cache
+		// over the new delta generation for future random adds. Note the
+		// cost-model consequence of per-resample caches: each gets its
+		// initial c·√|Δs| prefetch free (Δs is memory-resident this
+		// iteration for every resample alike), so the charged refills of
+		// the old one-shared-cache layout largely disappear — the modeled
+		// disk cost of the optimized path drops accordingly.
+		cache, err := sketch.NewCache(ds, m.c, r.rng, m.metrics)
+		if err != nil {
+			return err
+		}
+		r.caches = append(r.caches, cache)
 		for _, p := range r.parts {
 			p.EndIteration()
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	m.gens = append(m.gens, ds)
+	m.n = nPrime
+	m.generation++
+	return nil
+}
+
+// forEachResample runs fn over every resample, sharded across the
+// configured worker pool. The first error in resample order is returned.
+func (m *Maintainer) forEachResample(fn func(*resample) error) error {
+	return pool.ForEach(len(m.resamples), m.par, func(i int) error {
+		if err := fn(m.resamples[i]); err != nil {
+			return fmt.Errorf("delta: resample %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
+// initResample builds one resample for the first iteration.
+func (m *Maintainer) initResample(r *resample, nPrime int, ds []float64) error {
+	items := make([]float64, nPrime)
+	for j := range items {
+		items[j] = ds[r.rng.IntN(len(ds))]
+	}
+	st, err := m.red.Initialize(m.key, items)
+	if err != nil {
+		return fmt.Errorf("initialize: %w", err)
+	}
+	m.charge(int64(len(items)))
+	r.state = st
+	r.parts = []*sketch.Part{sketch.NewPart(items, m.c, r.rng, m.metrics)}
 	return nil
 }
 
 func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64) error {
-	keep, err := RetainedSize(m.rng, m.n, nPrime)
+	keep, err := RetainedSize(r.rng, m.n, nPrime)
 	if err != nil {
 		return err
 	}
@@ -190,7 +243,7 @@ func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64) error {
 		// chosen with probability proportional to its size (a uniform
 		// deletion over the whole resample).
 		for d := 0; d < m.n-keep; d++ {
-			p := m.pickPartWeighted(r)
+			p := pickPartWeighted(r)
 			if p == nil {
 				break
 			}
@@ -205,10 +258,11 @@ func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64) error {
 		}
 	case keep > m.n:
 		// Add (keep − n) items drawn randomly from the old sample s:
-		// pick a generation weighted by size, draw from its cache.
+		// pick a generation weighted by size, draw from this resample's
+		// cache over it.
 		for a := 0; a < keep-m.n; a++ {
-			k := m.pickGenWeighted()
-			v := m.caches[k].Next()
+			k := m.pickGenWeighted(r.rng)
+			v := r.caches[k].Next()
 			r.parts[k].Add(v)
 			st, err := m.red.Update(r.state, v)
 			if err != nil {
@@ -223,7 +277,7 @@ func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64) error {
 	add := nPrime - keep
 	items := make([]float64, add)
 	for j := range items {
-		items[j] = ds[m.rng.IntN(len(ds))]
+		items[j] = ds[r.rng.IntN(len(ds))]
 		st, err := m.red.Update(r.state, items[j])
 		if err != nil {
 			return err
@@ -231,13 +285,13 @@ func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64) error {
 		r.state = st
 		m.charge(1)
 	}
-	r.parts = append(r.parts, sketch.NewPart(items, m.c, m.rng, m.metrics))
+	r.parts = append(r.parts, sketch.NewPart(items, m.c, r.rng, m.metrics))
 	return nil
 }
 
 // pickPartWeighted picks one of r's non-empty parts with probability
 // proportional to its size.
-func (m *Maintainer) pickPartWeighted(r *resample) *sketch.Part {
+func pickPartWeighted(r *resample) *sketch.Part {
 	total := 0
 	for _, p := range r.parts {
 		total += p.Size()
@@ -245,7 +299,7 @@ func (m *Maintainer) pickPartWeighted(r *resample) *sketch.Part {
 	if total == 0 {
 		return nil
 	}
-	x := m.rng.IntN(total)
+	x := r.rng.IntN(total)
 	for _, p := range r.parts {
 		if x < p.Size() {
 			if p.Size() == 0 {
@@ -260,12 +314,12 @@ func (m *Maintainer) pickPartWeighted(r *resample) *sketch.Part {
 
 // pickGenWeighted picks a generation index with probability proportional
 // to |Δs_k| — a uniform draw over the old sample s.
-func (m *Maintainer) pickGenWeighted() int {
+func (m *Maintainer) pickGenWeighted(rng *rand.Rand) int {
 	total := 0
 	for _, g := range m.gens {
 		total += len(g)
 	}
-	x := m.rng.IntN(total)
+	x := rng.IntN(total)
 	for k, g := range m.gens {
 		if x < len(g) {
 			return k
@@ -283,7 +337,7 @@ func (m *Maintainer) removeFromState(r *resample, v float64) error {
 	if rem, ok := r.state.(mr.RemovableState); ok {
 		return rem.Remove(v)
 	}
-	m.rebuilds++
+	m.rebuilds.Add(1)
 	var all []float64
 	for _, p := range r.parts {
 		all = append(all, p.Items()...) // Items() charges the disk read

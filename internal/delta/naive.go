@@ -3,9 +3,10 @@ package delta
 import (
 	"errors"
 	"fmt"
-	"math/rand/v2"
+	"sync/atomic"
 
 	"repro/internal/mr"
+	"repro/internal/pool"
 	"repro/internal/simcost"
 	"repro/internal/stats"
 )
@@ -16,17 +17,27 @@ import (
 // HDFS file system … the disk I/O cost can be a major performance
 // bottleneck") and redraws all B resamples from scratch, recomputing
 // every state. Fig. 10's "without optimization" series runs on this.
+//
+// The B redraws are independent, so — like the optimized Maintainer —
+// Grow shards them across Config.Parallelism workers with a
+// deterministic per-(generation, resample) rng stream; results are
+// identical at any parallelism.
 type NaiveMaintainer struct {
 	red     mr.IncrementalReducer
 	b       int
-	rng     *rand.Rand
+	par     int
+	seed    uint64
 	metrics *simcost.Metrics
 	key     string
 
-	sample  []float64
-	values  []float64
-	updates int64
+	sample     []float64
+	values     []float64
+	generation int
+	updates    atomic.Int64
 }
+
+// naiveSeed2 is the second PCG seed word for the baseline's streams.
+const naiveSeed2 = 0x5be0cd19137e2179
 
 // NewNaive creates the baseline with the same Config surface as New.
 func NewNaive(cfg Config) (*NaiveMaintainer, error) {
@@ -39,7 +50,8 @@ func NewNaive(cfg Config) (*NaiveMaintainer, error) {
 	return &NaiveMaintainer{
 		red:     cfg.Reducer,
 		b:       cfg.B,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x5be0cd19137e2179)),
+		par:     pool.Workers(cfg.Parallelism),
+		seed:    cfg.Seed,
 		metrics: cfg.Metrics,
 		key:     cfg.Key,
 	}, nil
@@ -49,7 +61,7 @@ func NewNaive(cfg Config) (*NaiveMaintainer, error) {
 func (m *NaiveMaintainer) N() int { return len(m.sample) }
 
 // Updates reports total state operations performed (B×n per iteration).
-func (m *NaiveMaintainer) Updates() int64 { return m.updates }
+func (m *NaiveMaintainer) Updates() int64 { return m.updates.Load() }
 
 // Grow appends the delta and recomputes everything.
 func (m *NaiveMaintainer) Grow(deltaSample []float64) error {
@@ -66,27 +78,33 @@ func (m *NaiveMaintainer) Grow(deltaSample []float64) error {
 		m.metrics.BytesWritten.Add(int64(m.b) * int64(n) * bytesPerItem)
 	}
 	m.values = make([]float64, m.b)
-	buf := make([]float64, n)
-	for i := 0; i < m.b; i++ {
-		for j := range buf {
-			buf[j] = m.sample[m.rng.IntN(n)]
+	gen := m.generation
+	m.generation++
+
+	return pool.ForEachWorker(m.b, m.par, func() func(int) error {
+		buf := make([]float64, n)
+		return func(i int) error {
+			rng := stats.SplitRNG(m.seed, naiveSeed2, gen*m.b+i)
+			for j := range buf {
+				buf[j] = m.sample[rng.IntN(n)]
+			}
+			st, err := m.red.Initialize(m.key, buf)
+			if err != nil {
+				return fmt.Errorf("delta: resample %d: %w", i, err)
+			}
+			m.charge(int64(n))
+			v, err := m.red.Finalize(st)
+			if err != nil {
+				return fmt.Errorf("delta: resample %d: %w", i, err)
+			}
+			m.values[i] = v
+			return nil
 		}
-		st, err := m.red.Initialize(m.key, buf)
-		if err != nil {
-			return err
-		}
-		m.charge(int64(n))
-		v, err := m.red.Finalize(st)
-		if err != nil {
-			return err
-		}
-		m.values[i] = v
-	}
-	return nil
+	})
 }
 
 func (m *NaiveMaintainer) charge(n int64) {
-	m.updates += n
+	m.updates.Add(n)
 	if m.metrics != nil {
 		m.metrics.RecordsReduced.Add(n)
 	}

@@ -30,6 +30,7 @@ func AblationSketchC(seed uint64) (*Table, error) {
 		var m simcost.Metrics
 		maint, err := delta.New(delta.Config{
 			Reducer: jobs.Mean().Reducer, B: 20, C: c, Seed: seed, Metrics: &m, Key: "abl-c",
+			Parallelism: Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -85,6 +86,7 @@ func AblationSSABE(seed uint64) (*Table, error) {
 	pilot := drawSample(4096)
 	plan, err := aes.SSABE(pilot, int64(len(data)), aes.Config{
 		Reducer: jobs.Mean().Reducer, Sigma: sigma, Seed: seed + 1, Key: "abl",
+		Parallelism: Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -152,6 +154,7 @@ func AblationPipeline(laptopRecs int, seed uint64) (*Table, error) {
 	}
 	if _, err := core.Run(env, jobs.Mean(), "/data", core.Options{
 		Sigma: 0.05, Seed: seed + 1, ForceB: 30, ForceN: 4096,
+		Parallelism: Parallelism,
 	}); err != nil {
 		return nil, err
 	}
@@ -185,7 +188,7 @@ func AblationJackknife(seed uint64) (*Table, error) {
 				return nil, err
 			}
 			rng := rand.New(rand.NewPCG(seed+uint64(trial), 0x6a6b))
-			boot, err := bootstrap.MonteCarlo(rng, xs, stat.f, 400)
+			boot, err := bootstrap.ParallelMonteCarlo(rng, xs, stat.f, 400, Parallelism)
 			if err != nil {
 				return nil, err
 			}
@@ -239,12 +242,12 @@ func AppendixA(seed uint64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	iid, err := bootstrap.MonteCarlo(rng, series, bootstrap.Mean, 300)
+	iid, err := bootstrap.ParallelMonteCarlo(rng, series, bootstrap.Mean, 300, Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	blockLen := bootstrap.AutoBlockLength(len(series)) * 4
-	blk, err := bootstrap.MovingBlock(rng, series, blockLen, bootstrap.Mean, 300)
+	blk, err := bootstrap.ParallelMovingBlock(rng, series, blockLen, bootstrap.Mean, 300, Parallelism)
 	if err != nil {
 		return nil, err
 	}

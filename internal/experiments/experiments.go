@@ -19,6 +19,14 @@ import (
 	"time"
 )
 
+// Parallelism is the worker-pool size handed to every experiment's EARL
+// runs (core.Options.Parallelism / aes.Config.Parallelism). 0 keeps the
+// core default (runtime.GOMAXPROCS); 1 forces the sequential engine.
+// cmd/earlbench sets it from its -parallelism flag. Figures are
+// deterministic for a fixed seed at any value: the parallel engine's
+// per-shard rng streams don't depend on the worker count.
+var Parallelism int
+
 // Table is one experiment's output: a titled grid plus free-form notes.
 type Table struct {
 	Title   string

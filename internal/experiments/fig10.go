@@ -34,11 +34,11 @@ func Fig10(seed uint64) (*Table, error) {
 	rows := map[int]bool{1: true, 2: true, 4: true, 8: true} // steps → 0.5,1,2,4 GB
 
 	var mOpt, mNaive simcost.Metrics
-	opt, err := delta.New(delta.Config{Reducer: job.Reducer, B: B, Seed: seed, Metrics: &mOpt, Key: "fig10"})
+	opt, err := delta.New(delta.Config{Reducer: job.Reducer, B: B, Seed: seed, Metrics: &mOpt, Key: "fig10", Parallelism: Parallelism})
 	if err != nil {
 		return nil, err
 	}
-	naive, err := delta.NewNaive(delta.Config{Reducer: job.Reducer, B: B, Seed: seed, Metrics: &mNaive, Key: "fig10"})
+	naive, err := delta.NewNaive(delta.Config{Reducer: job.Reducer, B: B, Seed: seed, Metrics: &mNaive, Key: "fig10", Parallelism: Parallelism})
 	if err != nil {
 		return nil, err
 	}

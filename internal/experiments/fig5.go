@@ -77,6 +77,7 @@ func measureEarlPhases(job jobs.Numeric, n int, sigma float64, seed uint64) (*ea
 	}
 	plan, err := aes.SSABE(pilot, sampler.EstimatedTotalRecords(), aes.Config{
 		Reducer: job.Reducer, Sigma: sigma, Seed: seed + 2, Metrics: env.Metrics, Key: job.Name,
+		Parallelism: Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -92,6 +93,7 @@ func measureEarlPhases(job jobs.Numeric, n int, sigma float64, seed uint64) (*ea
 	start := time.Now()
 	rep, err := core.Run(env, job, "/data", core.Options{
 		Sigma: sigma, Seed: seed + 3, ForceB: plan.B, ForceN: plan.N,
+		Parallelism: Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -65,6 +65,7 @@ func Fig6(laptopRecs int, seed uint64) (*Table, error) {
 			Sigma: sigma, Seed: seed + 2,
 			ForceB: 30, ForceN: 256,
 			DisableDeltaMaintenance: v.disable,
+			Parallelism:             Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -127,11 +128,11 @@ func medianMaintenancePhase(seed uint64) (optTime, naiveTime time.Duration, optU
 	const B = 30
 	const step = 1 << 13
 	red := jobs.Median().Reducer
-	opt, err := delta.New(delta.Config{Reducer: red, B: B, Seed: seed, Key: "fig6"})
+	opt, err := delta.New(delta.Config{Reducer: red, B: B, Seed: seed, Key: "fig6", Parallelism: Parallelism})
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	naive, err := delta.NewNaive(delta.Config{Reducer: red, B: B, Seed: seed, Key: "fig6"})
+	naive, err := delta.NewNaive(delta.Config{Reducer: red, B: B, Seed: seed, Key: "fig6", Parallelism: Parallelism})
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}

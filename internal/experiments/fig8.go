@@ -35,7 +35,7 @@ func Fig8(seed uint64) (*Table, error) {
 	job := jobs.Mean()
 	for _, sigma := range []float64{0.01, 0.02, 0.05, 0.10} {
 		plan, err := aes.SSABE(pilot, totalN, aes.Config{
-			Reducer: job.Reducer, Sigma: sigma, Seed: seed + 5, Key: "fig8",
+			Reducer: job.Reducer, Sigma: sigma, Seed: seed + 5, Key: "fig8", Parallelism: Parallelism,
 		})
 		if err != nil {
 			return nil, err

@@ -45,7 +45,7 @@ func Fig9(laptopRecs int, seed uint64) (*Table, error) {
 		start := time.Now()
 		rep, err := core.Run(env, job, "/data", core.Options{
 			Sigma: 0.05, Seed: seed + 7, Sampler: v.kind,
-			ForceB: 30, ForceN: 2048,
+			ForceB: 30, ForceN: 2048, Parallelism: Parallelism,
 		})
 		if err != nil {
 			return nil, err

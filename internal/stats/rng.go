@@ -1,0 +1,23 @@
+package stats
+
+import "math/rand/v2"
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood 2014). It
+// bijectively scrambles a 64-bit word and is the standard way to expand
+// one seed into many decorrelated seed words.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SplitRNG derives the i-th member of a family of independent PCG
+// streams from two seed words. The stream depends only on (seed1, seed2,
+// i) — never on which goroutine or worker happens to run it — which is
+// what makes the parallel resampling engines reproducible at any
+// parallelism level.
+func SplitRNG(seed1, seed2 uint64, i int) *rand.Rand {
+	u := uint64(i)
+	return rand.New(rand.NewPCG(splitmix64(seed1^splitmix64(u)), splitmix64(seed2+u)))
+}
