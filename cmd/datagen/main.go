@@ -9,37 +9,59 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"repro/internal/workload"
 )
 
+// errUsage signals that the FlagSet already reported the problem (and
+// usage) to stderr; main exits non-zero without repeating it.
+var errUsage = errors.New("datagen: invalid arguments")
+
 func main() {
-	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flags in, encoded dataset out (to
+// stdout, or to -out with a summary on stderr).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	var (
-		kind      = flag.String("kind", "numeric", "numeric|categorical|points|ar1")
-		dist      = flag.String("dist", "uniform", "uniform|gaussian|zipf|pareto")
-		n         = flag.Int("n", 100_000, "records")
-		seed      = flag.Uint64("seed", 1, "seed")
-		clustered = flag.Bool("clustered", false, "sort records on disk (block-sampling adversary)")
-		p         = flag.Float64("p", 0.3, "success probability (categorical)")
-		k         = flag.Int("k", 4, "clusters (points)")
-		dim       = flag.Int("dim", 2, "dimensions (points)")
-		phi       = flag.Float64("phi", 0.8, "autocorrelation (ar1)")
-		out       = flag.String("out", "", "output file (stdout if empty)")
-		fixed     = flag.Bool("fixed", true, "fixed-width numeric encoding (exactly uniform pre-map sampling)")
+		kind      = fs.String("kind", "numeric", "numeric|categorical|points|ar1")
+		dist      = fs.String("dist", "uniform", "uniform|gaussian|zipf|pareto")
+		n         = fs.Int("n", 100_000, "records")
+		seed      = fs.Uint64("seed", 1, "seed")
+		clustered = fs.Bool("clustered", false, "sort records on disk (block-sampling adversary)")
+		p         = fs.Float64("p", 0.3, "success probability (categorical)")
+		k         = fs.Int("k", 4, "clusters (points)")
+		dim       = fs.Int("dim", 2, "dimensions (points)")
+		phi       = fs.Float64("phi", 0.8, "autocorrelation (ar1)")
+		out       = fs.String("out", "", "output file (stdout if empty)")
+		fixed     = fs.Bool("fixed", true, "fixed-width numeric encoding (exactly uniform pre-map sampling)")
 	)
-	flag.Parse()
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	var data []byte
 	switch *kind {
 	case "numeric":
 		xs, err := workload.NumericSpec{Dist: workload.Dist(*dist), N: *n, Seed: *seed, Clustered: *clustered}.Generate()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if *fixed {
 			data = workload.EncodeLinesFixed(xs)
@@ -49,33 +71,32 @@ func main() {
 	case "categorical":
 		xs, err := workload.CategoricalSpec{P: *p, N: *n, Seed: *seed}.Generate()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		data = workload.EncodeLinesFixed(xs)
 	case "points":
 		pts, _, err := workload.MixtureSpec{K: *k, Dim: *dim, N: *n, Spread: 2, Sep: 120, Seed: *seed}.Generate()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		data = workload.EncodePoints(pts)
 	case "ar1":
 		xs, err := workload.AR1Spec{Phi: *phi, Sigma: 1, Mu: 10, N: *n, Seed: *seed}.Generate()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		data = workload.EncodeLinesFixed(xs)
 	default:
-		log.Fatalf("unknown kind %q", *kind)
+		return fmt.Errorf("unknown kind %q", *kind)
 	}
 
 	if *out == "" {
-		if _, err := os.Stdout.Write(data); err != nil {
-			log.Fatal(err)
-		}
-		return
+		_, err := stdout.Write(data)
+		return err
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d bytes (%d records) to %s\n", len(data), *n, *out)
+	fmt.Fprintf(stderr, "wrote %d bytes (%d records) to %s\n", len(data), *n, *out)
+	return nil
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNumericFixedWidth(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-kind", "numeric", "-n", "100", "-seed", "2"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("%d records, want 100", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("fixed-width violated: %q vs %q", l, lines[0])
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	gen := func() string {
+		var out, errw strings.Builder
+		if err := run([]string{"-kind", "numeric", "-dist", "zipf", "-n", "50", "-seed", "9"}, &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if gen() != gen() {
+		t.Fatal("same seed produced different data")
+	}
+}
+
+func TestPointsKind(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-kind", "points", "-k", "3", "-n", "60"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if !strings.Contains(first, ",") {
+		t.Fatalf("points record %q not comma-separated", first)
+	}
+}
+
+func TestOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.txt")
+	var out, errw strings.Builder
+	if err := run([]string{"-kind", "ar1", "-n", "40", "-out", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("out file empty")
+	}
+	if !strings.Contains(errw.String(), "wrote") {
+		t.Fatalf("missing summary on stderr: %q", errw.String())
+	}
+}
+
+func TestRejectsBadKind(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-kind", "bogus"}, &out, &errw); err == nil {
+		t.Fatal("bad kind should fail")
+	}
+}

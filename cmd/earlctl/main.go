@@ -8,129 +8,252 @@
 //	earlctl -job p99 -dist zipf -n 1000000
 //	earlctl -job kmeans -n 200000 -k 5
 //	earlctl -job mean -n 400000 -kill 3,4   # fault-tolerance demo (§3.4)
+//	earlctl -job mean -n 500000 -watch 3    # continuous ingest: 3 append+refresh cycles
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/earl"
 	"repro/internal/jobs"
 	"repro/internal/workload"
 )
 
+// errUsage signals that the FlagSet already reported the problem (and
+// usage) to stderr; main exits non-zero without repeating it.
+var errUsage = errors.New("earlctl: invalid arguments")
+
 func main() {
-	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flags in, report text on stdout,
+// diagnostics (flag errors, usage) on stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("earlctl", flag.ContinueOnError)
 	var (
-		jobName = flag.String("job", "mean", "mean|sum|count|median|variance|stddev|proportion|p90|p99|kmeans")
-		dist    = flag.String("dist", "uniform", "uniform|gaussian|zipf|pareto (numeric jobs)")
-		n       = flag.Int("n", 1_000_000, "records to generate")
-		sigma   = flag.Float64("sigma", 0.05, "target error bound σ")
-		sampler = flag.String("sampler", "pre-map", "pre-map|post-map")
-		seed    = flag.Uint64("seed", 1, "deterministic seed")
-		k       = flag.Int("k", 4, "clusters (kmeans)")
-		kill    = flag.String("kill", "", "comma-separated node ids to kill mid-job")
-		nodes   = flag.Int("nodes", 5, "cluster size")
-		par     = flag.Int("parallelism", 0, "resampling worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+		jobName = fs.String("job", "mean", "mean|sum|count|median|variance|stddev|proportion|p90|p99|kmeans")
+		dist    = fs.String("dist", "uniform", "uniform|gaussian|zipf|pareto (numeric jobs)")
+		n       = fs.Int("n", 1_000_000, "records to generate")
+		sigma   = fs.Float64("sigma", 0.05, "target error bound σ")
+		sampler = fs.String("sampler", "pre-map", "pre-map|post-map")
+		seed    = fs.Uint64("seed", 1, "deterministic seed")
+		k       = fs.Int("k", 4, "clusters (kmeans)")
+		kill    = fs.String("kill", "", "comma-separated node ids to kill mid-job")
+		nodes   = fs.Int("nodes", 5, "cluster size")
+		par     = fs.Int("parallelism", 0, "resampling worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+		watch   = fs.Int("watch", 0, "continuous ingest: append+refresh cycles after the first answer")
+		appendN = fs.Int("append-n", 0, "records per appended batch (-watch); n/10 if 0")
 	)
-	flag.Parse()
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	cluster, err := earl.NewCluster(earl.ClusterConfig{DataNodes: *nodes, Seed: *seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *jobName == "kmeans" {
-		runKMeans(cluster, *n, *k, *sigma, *seed)
-		return
+		return runKMeans(stdout, cluster, *n, *k, *sigma, *seed)
 	}
 
 	job, err := pickJob(*jobName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *n <= 0 {
-		log.Fatal("need -n > 0")
+		return fmt.Errorf("need -n > 0")
 	}
-	var xs []float64
-	if *jobName == "proportion" {
-		xs, err = workload.CategoricalSpec{P: 0.35, N: *n, Seed: *seed}.Generate()
-	} else {
-		xs, err = workload.NumericSpec{Dist: workload.Dist(*dist), N: *n, Seed: *seed}.Generate()
+	var samplerKind earl.SamplerKind
+	switch *sampler {
+	case "pre-map":
+		samplerKind = earl.PreMapSampling
+	case "post-map":
+		samplerKind = earl.PostMapSampling
+	default:
+		return fmt.Errorf("unknown -sampler %q (pre-map|post-map)", *sampler)
 	}
+	xs, err := genValues(*jobName, *dist, *n, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := cluster.WriteValues("/data", xs); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cluster.ResetMetrics()
 
-	if *kill != "" {
+	// The kill goroutine shares stdout with the report printing below, so
+	// run() stops it and waits (killWait) before writing anything else —
+	// the injected io.Writer is not assumed to be safe for concurrent use.
+	killStop := make(chan struct{})
+	killDone := make(chan struct{})
+	killWait := func() {
+		close(killStop)
+		<-killDone
+	}
+	if *kill == "" {
+		close(killDone)
+	} else {
 		go func() {
+			defer close(killDone)
 			for cluster.Metrics().RecordsMapped < 100 {
+				select {
+				case <-killStop:
+					return
+				case <-time.After(50 * time.Microsecond):
+				}
 			}
 			for _, tok := range strings.Split(*kill, ",") {
 				id, err := strconv.Atoi(strings.TrimSpace(tok))
 				if err != nil {
-					log.Printf("bad node id %q", tok)
+					fmt.Fprintf(stderr, "bad node id %q\n", tok)
 					continue
 				}
 				if err := cluster.KillNode(id); err != nil {
-					log.Print(err)
+					fmt.Fprintln(stderr, err)
 				} else {
-					fmt.Printf("!! killed node %d mid-job\n", id)
+					fmt.Fprintf(stdout, "!! killed node %d mid-job\n", id)
 				}
 			}
 		}()
 	}
 
-	samplerKind := earl.PreMapSampling
-	if *sampler == "post-map" {
-		samplerKind = earl.PostMapSampling
-	}
-	rep, err := cluster.Run(job, "/data", earl.Options{
+	opts := earl.Options{
 		Sigma:       *sigma,
 		Sampler:     samplerKind,
 		Seed:        *seed + 7,
 		Parallelism: *par,
-	})
+	}
+	if *watch > 0 {
+		return runWatch(stdout, cluster, job, opts, killWait, watchParams{
+			jobName: *jobName, dist: *dist, n: *n, cycles: *watch,
+			appendN: *appendN, seed: *seed,
+		})
+	}
+
+	rep, err := cluster.Run(job, "/data", opts)
+	killWait()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	m := cluster.Metrics()
 
-	fmt.Printf("job          : %s over %d %s records (σ=%.3g, %s sampling)\n",
+	fmt.Fprintf(stdout, "job          : %s over %d %s records (σ=%.3g, %s sampling)\n",
 		job.Name, *n, *dist, *sigma, *sampler)
-	fmt.Printf("early result : %.6g  (cv %.4f, 95%% CI [%.6g, %.6g])\n",
+	fmt.Fprintf(stdout, "early result : %.6g  (cv %.4f, 95%% CI [%.6g, %.6g])\n",
 		rep.Estimate, rep.CV, rep.CILo, rep.CIHi)
-	fmt.Printf("sample       : %d records (%.3f%% of input), B=%d, %d iteration(s), converged=%v\n",
+	fmt.Fprintf(stdout, "sample       : %d records (%.3f%% of input), B=%d, %d iteration(s), converged=%v\n",
 		rep.SampleSize, 100*rep.FractionP, rep.B, rep.Iterations, rep.Converged)
 	if rep.UsedFull {
-		fmt.Println("mode         : exact full-data run (sampling could not pay off)")
+		fmt.Fprintln(stdout, "mode         : exact full-data run (sampling could not pay off)")
 	}
 	if rep.FailedMaps > 0 {
-		fmt.Printf("failures     : %d mapper task(s) lost, job finished anyway (§3.4)\n", rep.FailedMaps)
+		fmt.Fprintf(stdout, "failures     : %d mapper task(s) lost, job finished anyway (§3.4)\n", rep.FailedMaps)
 	}
-	fmt.Printf("I/O          : %.2f MB read of %.2f MB input\n",
+	fmt.Fprintf(stdout, "I/O          : %.2f MB read of %.2f MB input\n",
 		float64(m.BytesRead)/(1<<20), float64(*n*19)/(1<<20))
 
 	exact, _, err := cluster.RunExact(job, "/data")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	rel := 0.0
-	if exact != 0 {
-		rel = (rep.Estimate - exact) / exact
-		if rel < 0 {
-			rel = -rel
+	fmt.Fprintf(stdout, "exact        : %.6g  (early result off by %.3f%%)\n", exact, 100*relErr(rep.Estimate, exact))
+	return nil
+}
+
+// relErr returns |est-exact|/|exact| (0 when exact is 0).
+func relErr(est, exact float64) float64 {
+	if exact == 0 {
+		return 0
+	}
+	return math.Abs((est - exact) / exact)
+}
+
+// genValues materialises the synthetic numeric dataset for a job.
+func genValues(jobName, dist string, n int, seed uint64) ([]float64, error) {
+	if jobName == "proportion" {
+		return workload.CategoricalSpec{P: 0.35, N: n, Seed: seed}.Generate()
+	}
+	return workload.NumericSpec{Dist: workload.Dist(dist), N: n, Seed: seed}.Generate()
+}
+
+// watchParams bundles the continuous-ingest demo knobs.
+type watchParams struct {
+	jobName, dist string
+	n, cycles     int
+	appendN       int
+	seed          uint64
+}
+
+// runWatch demonstrates the maintained-query loop: one Watch, then
+// repeated Append + Refresh cycles, printing the refresh cost next to
+// what a from-scratch run over all data so far would read. killWait
+// settles the -kill goroutine before anything is printed.
+func runWatch(stdout io.Writer, cluster *earl.Cluster, job earl.Job, opts earl.Options, killWait func(), p watchParams) error {
+	w, err := cluster.Watch(job, "/data", opts)
+	killWait()
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	first := w.Report()
+	fmt.Fprintf(stdout, "watch        : %s over %d %s records (σ=%.3g)\n", job.Name, p.n, p.dist, opts.Sigma)
+	fmt.Fprintf(stdout, "first answer : %.6g  (cv %.4f, sample %d)\n", first.Estimate, first.CV, first.SampleSize)
+
+	appendN := p.appendN
+	if appendN <= 0 {
+		appendN = p.n / 10
+		if appendN < 1 {
+			appendN = 1
 		}
 	}
-	fmt.Printf("exact        : %.6g  (early result off by %.3f%%)\n", exact, 100*rel)
+	total := p.n
+	for cycle := 1; cycle <= p.cycles; cycle++ {
+		batch, err := genValues(p.jobName, p.dist, appendN, p.seed+uint64(100+cycle))
+		if err != nil {
+			return err
+		}
+		if err := cluster.AppendValues("/data", batch); err != nil {
+			return err
+		}
+		total += appendN
+		before := cluster.Metrics()
+		rep, err := w.Refresh()
+		if err != nil {
+			return err
+		}
+		cost := cluster.Metrics().Sub(before)
+		fmt.Fprintf(stdout,
+			"refresh %-2d   : +%d records → %.6g (cv %.4f, sample %d); read %d records / %.2f KB — vs %d records on disk\n",
+			cycle, appendN, rep.Estimate, rep.CV, rep.SampleSize,
+			cost.RecordsRead, float64(cost.BytesRead)/(1<<10), total)
+	}
+
+	exact, _, err := cluster.RunExact(job, "/data")
+	if err != nil {
+		return err
+	}
+	last := w.Report()
+	fmt.Fprintf(stdout, "exact        : %.6g  (maintained answer off by %.3f%%)\n", exact, 100*relErr(last.Estimate, exact))
+	return nil
 }
 
 func pickJob(name string) (earl.Job, error) {
@@ -158,30 +281,30 @@ func pickJob(name string) (earl.Job, error) {
 	}
 }
 
-func runKMeans(cluster *earl.Cluster, n, k int, sigma float64, seed uint64) {
+func runKMeans(stdout io.Writer, cluster *earl.Cluster, n, k int, sigma float64, seed uint64) error {
 	pts, truth, err := workload.MixtureSpec{
 		K: k, Dim: 2, N: n, Spread: 2, Sep: 120, Seed: seed,
 	}.Generate()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := cluster.WriteFile("/pts", workload.EncodePoints(pts)); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cluster.ResetMetrics()
 	rep, err := cluster.RunKMeans("/pts", earl.KMeans{K: k, Seed: seed + 1}, earl.KMeansOptions{Sigma: sigma, Seed: seed + 2})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	errRel, err := jobs.CentroidError(rep.Centers, truth)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("early K-Means: k=%d over %d points, sample %d (%.2f%%), cost cv %.4f, converged=%v\n",
+	fmt.Fprintf(stdout, "early K-Means: k=%d over %d points, sample %d (%.2f%%), cost cv %.4f, converged=%v\n",
 		k, n, rep.SampleSize, 100*float64(rep.SampleSize)/float64(n), rep.CV, rep.Converged)
-	fmt.Printf("centroid error vs generator truth: %.2f%% (paper bound: 5%%)\n", 100*errRel)
+	fmt.Fprintf(stdout, "centroid error vs generator truth: %.2f%% (paper bound: 5%%)\n", 100*errRel)
 	for i, c := range rep.Centers {
-		fmt.Printf("  center %d: %v\n", i, c)
+		fmt.Fprintf(stdout, "  center %d: %v\n", i, c)
 	}
-	os.Exit(0)
+	return nil
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// smoke runs earlctl's entry point with the given flags and returns its
+// output; every path uses a small -n so the suite stays fast.
+func smoke(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errw strings.Builder
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("earlctl %v: %v\noutput:\n%s%s", args, err, out.String(), errw.String())
+	}
+	return out.String()
+}
+
+func TestRunMeanPreMap(t *testing.T) {
+	out := smoke(t, "-job", "mean", "-n", "40000", "-seed", "3")
+	for _, want := range []string{"early result", "pre-map sampling", "exact"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunPostMapSampler is the regression test for the PR 1 fix: under
+// -sampler post-map, earlctl must run the post-map job (once), not the
+// pre-map job twice.
+func TestRunPostMapSampler(t *testing.T) {
+	out := smoke(t, "-job", "mean", "-n", "40000", "-sampler", "post-map", "-seed", "4")
+	if !strings.Contains(out, "post-map sampling") {
+		t.Fatalf("post-map run not reported as post-map:\n%s", out)
+	}
+	if strings.Contains(out, "pre-map sampling") {
+		t.Fatalf("post-map run reported pre-map sampling:\n%s", out)
+	}
+}
+
+func TestRunQuantileJob(t *testing.T) {
+	out := smoke(t, "-job", "p99", "-dist", "zipf", "-n", "40000", "-seed", "5")
+	if !strings.Contains(out, "quantile") && !strings.Contains(out, "p99") && !strings.Contains(out, "early result") {
+		t.Fatalf("p99 output unexpected:\n%s", out)
+	}
+}
+
+func TestRunWatchMode(t *testing.T) {
+	out := smoke(t, "-job", "mean", "-n", "60000", "-watch", "2", "-append-n", "10000", "-seed", "6")
+	if !strings.Contains(out, "first answer") {
+		t.Fatalf("watch mode missing first answer:\n%s", out)
+	}
+	if !strings.Contains(out, "refresh 1") || !strings.Contains(out, "refresh 2") {
+		t.Fatalf("watch mode missing refresh cycles:\n%s", out)
+	}
+	if !strings.Contains(out, "maintained answer off by") {
+		t.Fatalf("watch mode missing exact comparison:\n%s", out)
+	}
+}
+
+func TestRunParallelismFlag(t *testing.T) {
+	smoke(t, "-job", "mean", "-n", "40000", "-parallelism", "1", "-seed", "7")
+	smoke(t, "-job", "mean", "-n", "40000", "-parallelism", "4", "-seed", "7")
+}
+
+// TestRunKillNodes covers the -kill fault-tolerance path: the run must
+// finish with an answer, and the kill goroutine's output must be fully
+// flushed before the report (run waits for it, so the injected writer
+// needs no locking).
+func TestRunKillNodes(t *testing.T) {
+	out := smoke(t, "-job", "mean", "-n", "120000", "-kill", "3,4", "-seed", "8")
+	if !strings.Contains(out, "early result") {
+		t.Fatalf("kill run produced no answer:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-job", "nope", "-n", "1000"},
+		{"-sampler", "sideways", "-n", "1000"},
+		{"-n", "0"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out, errw strings.Builder
+		if err := run(args, &out, &errw); err == nil {
+			t.Fatalf("earlctl %v should fail", args)
+		}
+	}
+}

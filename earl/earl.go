@@ -39,6 +39,7 @@ package earl
 import (
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/live"
 	"repro/internal/simcost"
 	"repro/internal/workload"
 )
@@ -54,6 +55,9 @@ type Report = core.Report
 // Job re-exports jobs.Numeric: a scalar statistic expressed through the
 // incremental reduce API.
 type Job = jobs.Numeric
+
+// SamplerKind selects the sampling stage implementation (§3.3).
+type SamplerKind = core.SamplerKind
 
 // Sampler kinds (§3.3 of the paper).
 const (
@@ -116,6 +120,20 @@ func (c *Cluster) WriteValues(path string, values []float64) error {
 	return c.env.FS.WriteFile(path, workload.EncodeLinesFixed(values))
 }
 
+// Append adds record-aligned data (it must end with a newline) to the
+// end of path as fresh, replicated blocks. Existing blocks and splits
+// are untouched, so maintained queries (Watch) can process only the
+// appended region on their next Refresh.
+func (c *Cluster) Append(path string, data []byte) error {
+	return c.env.FS.Append(path, data)
+}
+
+// AppendValues appends numeric values in the same fixed-width encoding
+// as WriteValues.
+func (c *Cluster) AppendValues(path string, values []float64) error {
+	return c.env.FS.Append(path, workload.EncodeLinesFixed(values))
+}
+
 // Run executes job over path with early accurate results.
 func (c *Cluster) Run(job Job, path string, opts Options) (Report, error) {
 	return core.Run(c.env, job, path, opts)
@@ -175,3 +193,65 @@ type GroupedReport = core.GroupedReport
 func (c *Cluster) RunGrouped(job Job, parse ParseKV, path string, opts Options) (GroupedReport, error) {
 	return core.RunGrouped(c.env, job, parse, path, opts)
 }
+
+// Watch is a maintained query handle over continuously ingested data:
+// the initial Run's sample, per-resample sketch states and SSABE plan
+// stay alive, and Refresh processes only data appended since — EARL's
+// delta maintenance (§4.1) applied across the lifetime of a dataset
+// instead of within one run. See internal/live for the mechanics.
+type Watch struct{ q *live.Query }
+
+// Watch runs job over path once (exactly like Run) and keeps the result
+// maintainable: after Append, call Refresh to bring the early answer up
+// to date at o(N) cost. Close releases the handle.
+//
+//	w, _ := cluster.Watch(earl.Mean(), "/data", earl.Options{Sigma: 0.05})
+//	_ = cluster.AppendValues("/data", newBatch)
+//	rep, _ := w.Refresh() // samples only the appended blocks
+func (c *Cluster) Watch(job Job, path string, opts Options) (*Watch, error) {
+	q, err := live.Watch(c.env, job, path, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Watch{q: q}, nil
+}
+
+// Report returns the most recent result without doing any work.
+func (w *Watch) Report() Report { return w.q.Report() }
+
+// Refresh brings the maintained answer up to date with the watched
+// file, sampling only appended data and re-expanding only if the σ
+// bound is violated.
+func (w *Watch) Refresh() (Report, error) { return w.q.Refresh() }
+
+// Refreshes returns how many Refresh calls have been applied.
+func (w *Watch) Refreshes() int { return w.q.Refreshes() }
+
+// SampleSize returns the records currently held in the maintained sample.
+func (w *Watch) SampleSize() int { return w.q.SampleSize() }
+
+// Close releases the handle; the last report stays readable.
+func (w *Watch) Close() { w.q.Close() }
+
+// GroupedWatch is the per-key variant of Watch.
+type GroupedWatch struct{ q *live.GroupedQuery }
+
+// WatchGrouped runs the grouped workflow once and keeps every group's
+// resample set maintainable under appends — including groups that first
+// appear in appended data.
+func (c *Cluster) WatchGrouped(job Job, parse ParseKV, path string, opts Options) (*GroupedWatch, error) {
+	q, err := live.WatchGrouped(c.env, job, parse, path, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupedWatch{q: q}, nil
+}
+
+// Report returns the most recent grouped result without doing any work.
+func (w *GroupedWatch) Report() GroupedReport { return w.q.Report() }
+
+// Refresh brings every group up to date with the watched file.
+func (w *GroupedWatch) Refresh() (GroupedReport, error) { return w.q.Refresh() }
+
+// Close releases the handle; the last report stays readable.
+func (w *GroupedWatch) Close() { w.q.Close() }

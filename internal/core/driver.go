@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -113,36 +114,89 @@ type Report struct {
 	EstTotalN   int64   // estimated total records in the input
 }
 
-// resampler abstracts the optimized and naive reducers (Fig. 10).
-type resampler interface {
+// Resampler abstracts the optimized and naive bootstrap reducers
+// (Fig. 10): a growing sample whose B resample statistics can be read at
+// any time. It is exported so maintained queries (internal/live) can keep
+// growing the same resample set across ingest batches.
+type Resampler interface {
 	Grow([]float64) error
 	Results() ([]float64, error)
 	N() int
+	// Updates reports cumulative per-item state operations — the work
+	// measure delta maintenance minimises (§4, Fig. 10).
+	Updates() int64
+}
+
+// LiveState is the retained working state of one sampled run: the SSABE
+// plan, the delta-maintained resample set, and the per-mapper sampling
+// streams. Run discards it; RunLive hands it to the caller so a
+// maintained query can keep the early answer fresh as data is appended,
+// paying only for the delta.
+type LiveState struct {
+	Plan        aes.Plan
+	EstTotal    int64          // estimated records covered so far
+	SyncedBytes int64          // file bytes covered (the ingest high-water mark)
+	Maint       Resampler      // nil when the run fell back to the exact path
+	Sources     []RecordSource // retained per-mapper samplers (without-replacement across refreshes)
+	Opts        Options        // with defaults applied
+	Generations int            // Grow generations applied so far
 }
 
 // Run executes job over the line-encoded numeric file at path with early
 // approximate results per the paper's full workflow.
 func Run(env *Env, job jobs.Numeric, path string, opts Options) (Report, error) {
+	rep, _, err := RunLive(env, job, path, opts)
+	return rep, err
+}
+
+// RunLive is Run, but it additionally returns the run's retained working
+// state so the caller can maintain the result under appended data
+// (internal/live builds on this). The state's Maint is nil when the run
+// fell back to the exact full-data job.
+func RunLive(env *Env, job jobs.Numeric, path string, opts Options) (Report, *LiveState, error) {
+	return runLive(env, job, path, opts, false)
+}
+
+// RunLiveDeferExact is RunLive, except that a fall-back to the exact
+// path does NOT execute the exact MR job: the returned Report carries
+// only UsedFull/EstTotalN and the LiveState has Maint == nil. The caller
+// is expected to produce the exact answer itself — internal/live builds
+// an incremental exact state with a single scan instead of running a
+// whole-file job whose output it would throw away.
+func RunLiveDeferExact(env *Env, job jobs.Numeric, path string, opts Options) (Report, *LiveState, error) {
+	return runLive(env, job, path, opts, true)
+}
+
+func runLive(env *Env, job jobs.Numeric, path string, opts Options, deferExact bool) (Report, *LiveState, error) {
 	opts = opts.withDefaults()
 	if env == nil || env.FS == nil || env.Engine == nil {
-		return Report{}, errors.New("core: incomplete Env")
+		return Report{}, nil, errors.New("core: incomplete Env")
 	}
 	if job.Reducer == nil || job.Parse == nil {
-		return Report{}, errors.New("core: job needs Reducer and Parse")
+		return Report{}, nil, errors.New("core: job needs Reducer and Parse")
+	}
+	size, err := env.FS.Stat(path)
+	if err != nil {
+		return Report{}, nil, err
 	}
 
 	// ---- Local-mode pilot + SSABE (§3.2). -----------------------------
 	pilotSampler, err := sampling.NewPreMap(env.FS, path, opts.SplitSize, opts.Seed)
 	if err != nil {
-		return Report{}, err
+		return Report{}, nil, err
 	}
 	probe, err := pilotSampler.Sample(256)
 	if errors.Is(err, sampling.ErrExhausted) {
 		// Tiny data set: just run it exactly.
-		return runExact(env, job, path, opts)
+		if deferExact {
+			rep := Report{Job: job.Name, UsedFull: true}
+			return rep, exactLiveState(opts, aes.Plan{UseFull: true}, 0, size), nil
+		}
+		rep, err := runExact(env, job, path, opts)
+		return rep, exactLiveState(opts, aes.Plan{UseFull: true}, rep.EstTotalN, size), err
 	}
 	if err != nil {
-		return Report{}, err
+		return Report{}, nil, err
 	}
 	estTotal := pilotSampler.EstimatedTotalRecords()
 	pilotN := int(opts.PilotFraction * float64(estTotal))
@@ -156,7 +210,7 @@ func Run(env *Env, job jobs.Numeric, path string, opts Options) (Report, error) 
 	for _, r := range probe {
 		v, err := job.Parse(r.Line)
 		if err != nil {
-			return Report{}, fmt.Errorf("core: pilot parse: %w", err)
+			return Report{}, nil, fmt.Errorf("core: pilot parse: %w", err)
 		}
 		pilot = append(pilot, v)
 	}
@@ -167,12 +221,12 @@ func Run(env *Env, job jobs.Numeric, path string, opts Options) (Report, error) 
 	if pilotN > len(pilot) {
 		more, err := pilotSampler.Sample(pilotN - len(pilot))
 		if err != nil && !errors.Is(err, sampling.ErrExhausted) {
-			return Report{}, err
+			return Report{}, nil, err
 		}
 		for _, r := range more {
 			v, err := job.Parse(r.Line)
 			if err != nil {
-				return Report{}, fmt.Errorf("core: pilot parse: %w", err)
+				return Report{}, nil, fmt.Errorf("core: pilot parse: %w", err)
 			}
 			pilot = append(pilot, v)
 		}
@@ -194,22 +248,33 @@ func Run(env *Env, job jobs.Numeric, path string, opts Options) (Report, error) 
 			Parallelism: opts.Parallelism,
 		})
 		if err != nil {
-			return Report{}, err
+			return Report{}, nil, err
 		}
 	}
 	if plan.UseFull {
 		// "EARL informs the user that an early estimation with the
 		// specified accuracy is not faster than computing f over N" —
 		// §3.1: switch back to the standard workflow.
+		if deferExact {
+			rep := Report{Job: job.Name, UsedFull: true, EstTotalN: estTotal}
+			return rep, exactLiveState(opts, plan, estTotal, size), nil
+		}
 		rep, err := runExact(env, job, path, opts)
 		rep.EstTotalN = estTotal
-		return rep, err
+		return rep, exactLiveState(opts, plan, estTotal, size), err
 	}
 
 	// ---- Pipelined sampling job (§2.1's modified Hadoop flow). --------
-	rep, err := runSampledJob(env, job, path, opts, plan, estTotal)
+	rep, st, err := runSampledJob(env, job, path, opts, plan, estTotal, size)
 	rep.EstTotalN = estTotal
-	return rep, err
+	return rep, st, err
+}
+
+// exactLiveState is the retained state of a run that used the exact
+// path: no resampler, no sources — a maintained query over it keeps an
+// incremental exact state instead (internal/live).
+func exactLiveState(opts Options, plan aes.Plan, estTotal, syncedBytes int64) *LiveState {
+	return &LiveState{Plan: plan, EstTotal: estTotal, SyncedBytes: syncedBytes, Opts: opts}
 }
 
 // shareOf splits a total target across m mappers.
@@ -221,10 +286,10 @@ func shareOf(target int64, m, idx int) int64 {
 	return base
 }
 
-func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan aes.Plan, estTotal int64) (Report, error) {
+func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan aes.Plan, estTotal, syncedBytes int64) (Report, *LiveState, error) {
 	splits, err := env.FS.Splits(path, opts.SplitSize)
 	if err != nil {
-		return Report{}, err
+		return Report{}, nil, err
 	}
 	m := opts.NumMappers
 	if m > len(splits) {
@@ -233,10 +298,14 @@ func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan a
 	if m < 1 {
 		m = 1
 	}
-	// Round-robin split ownership, one pre-map sampler per mapper.
+	// Round-robin split ownership, one retained sampler per mapper.
 	owned := make([][]dfs.Split, m)
 	for i, sp := range splits {
 		owned[i%m] = append(owned[i%m], sp)
+	}
+	sources, err := NewRecordSources(env, path, owned, opts, 0)
+	if err != nil {
+		return Report{}, nil, err
 	}
 
 	maxSample := int64(opts.MaxSampleFraction * float64(estTotal))
@@ -250,18 +319,18 @@ func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan a
 	errPrefix := "/earl/" + job.Name + "/errors/"
 	for _, p := range env.FS.List(errPrefix) {
 		if err := env.FS.Delete(p); err != nil {
-			return Report{}, err
+			return Report{}, nil, err
 		}
 	}
 
 	// Shared progress counters (the coordination state that in Hadoop
 	// lives in task heartbeats and the shared JobID file space).
-	var emitted, received, buffered atomic.Int64
+	var emitted, received atomic.Int64
 	var exhausted atomic.Int32 // count of dry mappers
 	sent := make([]atomic.Int64, m)
 	dry := make([]atomic.Bool, m)
 
-	var maint resampler
+	var maint Resampler
 	var maintErr error
 	if opts.DisableDeltaMaintenance {
 		maint, maintErr = delta.NewNaive(delta.Config{
@@ -277,7 +346,7 @@ func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan a
 		})
 	}
 	if maintErr != nil {
-		return Report{}, maintErr
+		return Report{}, nil, maintErr
 	}
 
 	var gen atomic.Int64
@@ -285,6 +354,13 @@ func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan a
 	finalCV.Store(math.Float64bits(math.Inf(1)))
 
 	grow := func(buf []float64) error {
+		// The multiset delivered per growth generation is deterministic
+		// (every mapper draws a seeded share), but its arrival order at
+		// the reducer depends on goroutine scheduling — and resample
+		// updates index rng draws into the delta, so order matters.
+		// Sorting restores a canonical order, making a fixed-seed run
+		// bit-identical across repeats and at any Parallelism.
+		sort.Float64s(buf)
 		if err := maint.Grow(buf); err != nil {
 			return err
 		}
@@ -310,9 +386,8 @@ func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan a
 		NumReducers: 1,
 		Control:     ctrl,
 		MapTask: func(ctx *mr.MapStream, idx int) error {
-			return mapTask(env, job, ctx, idx, mapTaskDeps{
-				owned:     owned[idx],
-				path:      path,
+			err := mapTask(env, job, ctx, idx, mapTaskDeps{
+				src:       sources[idx],
 				opts:      opts,
 				errPrefix: errPrefix,
 				maxSample: maxSample,
@@ -323,6 +398,14 @@ func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan a
 				dry:       &dry[idx],
 				exhausted: &exhausted,
 			})
+			if err != nil && !dry[idx].Swap(true) {
+				// A failed mapper (node death, unreadable blocks) will
+				// deliver nothing more: account it like a dry one so the
+				// surviving pipeline can settle and finish with achieved
+				// accuracy (§3.4) instead of waiting for its share forever.
+				exhausted.Add(1)
+			}
+			return err
 		},
 		ReduceTask: func(part int, in <-chan mr.KV) error {
 			var buf []float64
@@ -333,7 +416,6 @@ func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan a
 				}
 				buf = append(buf, v)
 				received.Add(1)
-				buffered.Store(int64(len(buf)))
 				// Grow (and publish an error file) once the mappers have
 				// delivered everything they will deliver for the current
 				// target: either the target itself is met, or every
@@ -346,85 +428,97 @@ func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan a
 						return err
 					}
 					buf = buf[:0]
-					buffered.Store(0)
 				}
 			}
 			if len(buf) > 0 {
 				if err := grow(buf); err != nil {
 					return err
 				}
-				buffered.Store(0)
 			}
 			return nil
 		},
 	}
 
-	// Watchdog: if every mapper ran dry and everything emitted has been
-	// folded in, nothing further can change — terminate so the pipeline
-	// drains (EARL's "finish with achieved accuracy").
+	// Watchdog: terminate when no further progress is possible, so the
+	// pipeline drains and the job finishes with achieved accuracy
+	// (§3.4). Records still buffered at the reducer are folded in by its
+	// post-drain flush.
 	stopWatch := make(chan struct{})
 	go func() {
-		for {
-			select {
-			case <-stopWatch:
-				return
-			default:
-			}
-			if int(exhausted.Load()) == m &&
-				received.Load() == emitted.Load() &&
-				buffered.Load() == 0 {
-				ctrl.Terminate()
-				return
-			}
-			time.Sleep(200 * time.Microsecond)
-		}
+		watchdog(stopWatch, ctrl, &exhausted, &received, &emitted, &gen, m,
+			func(target int64) bool { return allSettled(sent, dry, target, m) })
 	}()
 	sres, err := env.Engine.RunPipelined(sjob)
 	close(stopWatch)
 	if err != nil {
-		return Report{}, err
+		return Report{}, nil, err
 	}
 
 	vals, err := maint.Results()
 	if err != nil {
-		return Report{}, fmt.Errorf("core: no results (sample never arrived): %w", err)
+		return Report{}, nil, fmt.Errorf("core: no results (sample never arrived): %w", err)
 	}
+	cv := math.Float64frombits(finalCV.Load())
+	p := float64(maint.N()) / float64(estTotal)
+	rep, err := FinishReport(job, opts, vals, cv, p)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	rep.B = plan.B
+	rep.SampleSize = maint.N()
+	rep.PlannedN = plan.N
+	rep.Iterations = int(gen.Load())
+	rep.FailedMaps = len(sres.FailedMappers)
+	st := &LiveState{
+		Plan:        plan,
+		EstTotal:    estTotal,
+		SyncedBytes: syncedBytes,
+		Maint:       maint,
+		Sources:     sources,
+		Opts:        opts,
+		Generations: int(gen.Load()),
+	}
+	return rep, st, nil
+}
+
+// FinishReport turns a result distribution into the user-facing numbers:
+// the mean estimate, the percentile confidence interval, and the
+// p-corrected versions of all three. The CI bounds pass through the user
+// job's correct() exactly like the estimate — an uncorrected interval
+// around a corrected extensive statistic (SUM, COUNT) could never cover
+// the true value.
+func FinishReport(job jobs.Numeric, opts Options, vals []float64, cv, p float64) (Report, error) {
 	est, err := stats.Mean(vals)
 	if err != nil {
 		return Report{}, err
 	}
-	cv := math.Float64frombits(finalCV.Load())
 	res := bootstrap.Result{Values: vals}
 	lo, hi, err := res.PercentileCI(opts.Confidence)
 	if err != nil {
 		return Report{}, err
 	}
-	p := float64(maint.N()) / float64(estTotal)
 	if p > 1 {
 		p = 1
 	}
-	corrected := job.Reducer.Correct(est, p)
+	cLo, cHi := job.Reducer.Correct(lo, p), job.Reducer.Correct(hi, p)
+	if cLo > cHi {
+		cLo, cHi = cHi, cLo
+	}
 	return Report{
 		Job:         job.Name,
-		Estimate:    corrected,
+		Estimate:    job.Reducer.Correct(est, p),
 		Uncorrected: est,
 		CV:          cv,
-		CILo:        lo,
-		CIHi:        hi,
-		B:           plan.B,
-		SampleSize:  maint.N(),
-		PlannedN:    plan.N,
-		Iterations:  int(gen.Load()),
+		CILo:        cLo,
+		CIHi:        cHi,
 		Converged:   cv <= opts.Sigma,
 		FractionP:   p,
-		FailedMaps:  len(sres.FailedMappers),
 	}, nil
 }
 
 // mapTaskDeps carries the per-mapper wiring.
 type mapTaskDeps struct {
-	owned     []dfs.Split
-	path      string
+	src       RecordSource
 	opts      Options
 	errPrefix string
 	maxSample int64
@@ -450,46 +544,6 @@ func doubledTarget(initialN, g int64) int64 {
 // terminate the job or expand the sample (§2.1's active mapper).
 func mapTask(env *Env, job jobs.Numeric, ctx *mr.MapStream, idx int, d mapTaskDeps) error {
 	ctrl := ctx.Controller()
-
-	var drawBatch func(k int) ([]string, error)
-	switch d.opts.Sampler {
-	case PostMapSampling:
-		pool := sampling.NewPostMap(d.opts.Seed + uint64(idx)*7919)
-		for _, sp := range d.owned {
-			rd, err := env.FS.NewLineReader(sp, 0)
-			if err != nil {
-				return err
-			}
-			for rd.Next() {
-				pool.Add(fmt.Sprintf("%d", rd.RecordOffset()), rd.Text())
-			}
-			if rd.Err() != nil {
-				return rd.Err()
-			}
-		}
-		drawBatch = func(k int) ([]string, error) {
-			recs, err := pool.Draw(k)
-			lines := make([]string, len(recs))
-			for i, r := range recs {
-				lines[i] = r.Value
-			}
-			return lines, err
-		}
-	default: // pre-map
-		sampler, err := sampling.NewPreMapOwned(env.FS, d.path, d.owned, d.opts.Seed+uint64(idx)*104729)
-		if err != nil {
-			return err
-		}
-		drawBatch = func(k int) ([]string, error) {
-			recs, err := sampler.Sample(k)
-			lines := make([]string, len(recs))
-			for i, r := range recs {
-				lines[i] = r.Line
-			}
-			return lines, err
-		}
-	}
-
 	var lastGen int64
 	const batch = 128
 	for {
@@ -506,7 +560,7 @@ func mapTask(env *Env, job jobs.Numeric, ctx *mr.MapStream, idx int, d mapTaskDe
 			if k > batch {
 				k = batch
 			}
-			lines, err := drawBatch(int(k))
+			lines, err := d.src.Draw(int(k))
 			for _, line := range lines {
 				v, perr := job.Parse(line)
 				if perr != nil {
@@ -570,4 +624,57 @@ func allSettled(sent []atomic.Int64, dry []atomic.Bool, target int64, m int) boo
 		}
 	}
 	return true
+}
+
+// watchdog terminates a pipelined sampling job once no further progress
+// is possible. Two conditions end a job:
+//
+//  1. Every mapper has run dry (or failed) and everything emitted has
+//     been consumed — nothing further can change.
+//  2. The current growth generation can never complete: all surviving
+//     mappers have settled (met their share or gone dry/dead), every
+//     emitted record has been consumed, and the target is still unmet —
+//     the share of a dead or dry mapper is simply missing. The reducer's
+//     growth triggers only fire on arriving records, so without this the
+//     job would wait for that share forever.
+//
+// Condition 2 must not fire during the instant between a completed
+// generation and the mappers reacting to its error file (they look
+// momentarily settled), so it requires the state to hold stably — no new
+// generation, no new target — for several polling rounds, ample time for
+// a live mapper's ~100µs feedback poll to raise the target.
+func watchdog(stop <-chan struct{}, ctrl *mr.Controller,
+	exhausted *atomic.Int32, received, emitted, gen *atomic.Int64, m int,
+	settled func(target int64) bool) {
+	var stable int
+	lastGen, lastTarget := int64(-1), int64(-1)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if int(exhausted.Load()) == m && received.Load() == emitted.Load() {
+			ctrl.Terminate()
+			return
+		}
+		target := ctrl.ExpansionTarget()
+		g := gen.Load()
+		if received.Load() == emitted.Load() && received.Load() < target && settled(target) {
+			if g == lastGen && target == lastTarget {
+				stable++
+				if stable >= 10 {
+					ctrl.Terminate()
+					return
+				}
+			} else {
+				stable = 0
+				lastGen, lastTarget = g, target
+			}
+		} else {
+			stable = 0
+			lastGen, lastTarget = -1, -1
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
 }

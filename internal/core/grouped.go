@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"runtime"
 	"sort"
@@ -20,6 +21,29 @@ import (
 	"repro/internal/stats"
 )
 
+// seedForKey derives a group's resampling seed from the run seed and the
+// key alone — never from the order keys were first observed in, which
+// depends on goroutine scheduling. This is what makes grouped runs (and
+// their maintained refreshes) reproducible for a fixed seed.
+func seedForKey(seed uint64, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return seed + h.Sum64()
+}
+
+// NewGroupMaintainer creates the delta-maintained resample set for one
+// group key under the run's seeding contract. Exported so a grouped
+// maintained query (internal/live) can open groups that first appear in
+// appended data with exactly the seed the initial run would have used.
+func NewGroupMaintainer(env *Env, job jobs.Numeric, key string, b int, opts Options) (*delta.Maintainer, error) {
+	return delta.New(delta.Config{
+		Reducer: job.Reducer, B: b,
+		Seed:    seedForKey(opts.Seed, key),
+		Metrics: env.Metrics, Key: key,
+		Parallelism: opts.Parallelism,
+	})
+}
+
 // ParseKV decodes one input line into a (group key, value) pair — the
 // native shape of MapReduce data ("key\tvalue" lines by default).
 type ParseKV func(line string) (key string, value float64, err error)
@@ -36,6 +60,12 @@ func TabKV(line string) (string, float64, error) {
 	}
 	return line[:i], v, nil
 }
+
+// MinGroupSample is the smallest per-group sample before a group's cv
+// is trusted: below it the error is treated as +Inf so the expansion
+// loop keeps sampling. Shared by the in-run grouped reducer and the
+// maintained grouped query's refresh loop.
+const MinGroupSample = 8
 
 // GroupResult is one group's early estimate.
 type GroupResult struct {
@@ -66,36 +96,60 @@ type GroupedReport struct {
 // group, floored at MinPilot) and relies on the expansion loop — a
 // documented extension beyond the paper.
 func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Options) (GroupedReport, error) {
+	rep, _, err := RunGroupedLive(env, job, parse, path, opts)
+	return rep, err
+}
+
+// GroupedLiveState is the retained working state of one grouped sampled
+// run: every group's delta-maintained resample set (flattened across
+// reduce partitions) plus the per-mapper sampling streams — what a
+// grouped maintained query needs to stay fresh under appended data.
+type GroupedLiveState struct {
+	Maints      map[string]*delta.Maintainer
+	Sources     []RecordSource
+	EstTotal    int64
+	SyncedBytes int64
+	B           int
+	Opts        Options // with defaults applied
+}
+
+// RunGroupedLive is RunGrouped, additionally returning the run's retained
+// state for maintained (continuous-ingest) queries.
+func RunGroupedLive(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Options) (GroupedReport, *GroupedLiveState, error) {
 	opts = opts.withDefaults()
 	if env == nil || env.FS == nil || env.Engine == nil {
-		return GroupedReport{}, errors.New("core: incomplete Env")
+		return GroupedReport{}, nil, errors.New("core: incomplete Env")
 	}
 	if job.Reducer == nil {
-		return GroupedReport{}, errors.New("core: job needs a Reducer")
+		return GroupedReport{}, nil, errors.New("core: job needs a Reducer")
 	}
 	if parse == nil {
-		return GroupedReport{}, errors.New("core: RunGrouped needs a ParseKV")
+		return GroupedReport{}, nil, errors.New("core: RunGrouped needs a ParseKV")
+	}
+	size, err := env.FS.Stat(path)
+	if err != nil {
+		return GroupedReport{}, nil, err
 	}
 
 	// Pilot: estimate the distinct-key count to size the initial target.
 	pilotSampler, err := sampling.NewPreMap(env.FS, path, opts.SplitSize, opts.Seed)
 	if err != nil {
-		return GroupedReport{}, err
+		return GroupedReport{}, nil, err
 	}
 	probe, err := pilotSampler.Sample(512)
 	if err != nil && !errors.Is(err, sampling.ErrExhausted) {
-		return GroupedReport{}, err
+		return GroupedReport{}, nil, err
 	}
 	keys := map[string]struct{}{}
 	for _, r := range probe {
 		k, _, perr := parse(r.Line)
 		if perr != nil {
-			return GroupedReport{}, fmt.Errorf("core: pilot parse: %w", perr)
+			return GroupedReport{}, nil, fmt.Errorf("core: pilot parse: %w", perr)
 		}
 		keys[k] = struct{}{}
 	}
 	if len(keys) == 0 {
-		return GroupedReport{}, errors.New("core: no records found")
+		return GroupedReport{}, nil, errors.New("core: no records found")
 	}
 	estTotal := pilotSampler.EstimatedTotalRecords()
 
@@ -117,7 +171,7 @@ func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Opt
 
 	splits, err := env.FS.Splits(path, opts.SplitSize)
 	if err != nil {
-		return GroupedReport{}, err
+		return GroupedReport{}, nil, err
 	}
 	m := opts.NumMappers
 	if m > len(splits) {
@@ -130,6 +184,10 @@ func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Opt
 	for i, sp := range splits {
 		owned[i%m] = append(owned[i%m], sp)
 	}
+	sources, err := NewRecordSources(env, path, owned, opts, 0)
+	if err != nil {
+		return GroupedReport{}, nil, err
+	}
 	r := 2 // grouped mode exercises the partitioned path
 	if r > len(keys) {
 		r = 1
@@ -140,11 +198,11 @@ func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Opt
 	errPrefix := "/earl/" + job.Name + "-grouped/errors/"
 	for _, p := range env.FS.List(errPrefix) {
 		if err := env.FS.Delete(p); err != nil {
-			return GroupedReport{}, err
+			return GroupedReport{}, nil, err
 		}
 	}
 
-	var emitted, received, buffered atomic.Int64
+	var emitted, received atomic.Int64
 	var exhausted atomic.Int32
 	sent := make([]atomic.Int64, m)
 	dry := make([]atomic.Bool, m)
@@ -153,20 +211,16 @@ func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Opt
 	type partState struct {
 		mu     sync.Mutex
 		maints map[string]*delta.Maintainer
-		seed   uint64
 	}
 	parts := make([]*partState, r)
 	for p := range parts {
-		parts[p] = &partState{maints: map[string]*delta.Maintainer{}, seed: opts.Seed + uint64(p)*31}
+		parts[p] = &partState{maints: map[string]*delta.Maintainer{}}
 	}
-
-	// minGroup is the smallest per-group sample before a cv is trusted.
-	const minGroup = 8
 
 	worstCV := func(ps *partState) float64 {
 		worst := 0.0
 		for _, mt := range ps.maints {
-			if mt.N() < minGroup {
+			if mt.N() < MinGroupSample {
 				return math.Inf(1)
 			}
 			cv, err := mt.CV()
@@ -183,74 +237,80 @@ func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Opt
 		return worst
 	}
 
+	groupedMapLoop := func(ctx *mr.MapStream, idx int) error {
+		var lastGen int64
+		const batch = 128
+		for {
+			if ctx.Terminated() {
+				if !ctx.NodeAlive() {
+					return fmt.Errorf("core: node died under mapper %d", idx)
+				}
+				return nil
+			}
+			target := ctrl.ExpansionTarget()
+			share := shareOf(target, m, idx)
+			if !dry[idx].Load() && sent[idx].Load() < share {
+				k := share - sent[idx].Load()
+				if k > batch {
+					k = batch
+				}
+				lines, err := sources[idx].Draw(int(k))
+				for _, line := range lines {
+					key, v, perr := parse(line)
+					if perr != nil {
+						return fmt.Errorf("core: mapper %d parse: %w", idx, perr)
+					}
+					ctx.Emit(key, v)
+					sent[idx].Add(1)
+					emitted.Add(1)
+				}
+				if errors.Is(err, sampling.ErrExhausted) {
+					dry[idx].Store(true)
+					exhausted.Add(1)
+				} else if err != nil {
+					return err
+				}
+				continue
+			}
+			avg, g, ok := readErrors(env.FS, errPrefix)
+			if ok && g > lastGen {
+				lastGen = g
+				if avg <= opts.Sigma {
+					ctrl.Terminate()
+					return nil
+				}
+				next := doubledTarget(int64(initialN), g)
+				if next > maxSample {
+					next = maxSample
+				}
+				if next > target {
+					ctrl.RequestExpansion(next)
+					continue
+				}
+				if target >= maxSample {
+					ctrl.Terminate()
+					return nil
+				}
+				continue
+			}
+			runtime.Gosched()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
 	sjob := &mr.StreamJob{
 		Name:        "earl-grouped-" + job.Name,
 		NumMappers:  m,
 		NumReducers: r,
 		Control:     ctrl,
 		MapTask: func(ctx *mr.MapStream, idx int) error {
-			sampler, err := sampling.NewPreMapOwned(env.FS, path, owned[idx], opts.Seed+uint64(idx)*7907)
-			if err != nil {
-				return err
+			err := groupedMapLoop(ctx, idx)
+			if err != nil && !dry[idx].Swap(true) {
+				// Like the global driver: a failed mapper delivers nothing
+				// more, so account it as dry and let the survivors settle.
+				exhausted.Add(1)
 			}
-			var lastGen int64
-			const batch = 128
-			for {
-				if ctx.Terminated() {
-					if !ctx.NodeAlive() {
-						return fmt.Errorf("core: node died under mapper %d", idx)
-					}
-					return nil
-				}
-				target := ctrl.ExpansionTarget()
-				share := shareOf(target, m, idx)
-				if !dry[idx].Load() && sent[idx].Load() < share {
-					k := share - sent[idx].Load()
-					if k > batch {
-						k = batch
-					}
-					recs, err := sampler.Sample(int(k))
-					for _, rec := range recs {
-						key, v, perr := parse(rec.Line)
-						if perr != nil {
-							return fmt.Errorf("core: mapper %d parse: %w", idx, perr)
-						}
-						ctx.Emit(key, v)
-						sent[idx].Add(1)
-						emitted.Add(1)
-					}
-					if errors.Is(err, sampling.ErrExhausted) {
-						dry[idx].Store(true)
-						exhausted.Add(1)
-					} else if err != nil {
-						return err
-					}
-					continue
-				}
-				avg, g, ok := readErrors(env.FS, errPrefix)
-				if ok && g > lastGen {
-					lastGen = g
-					if avg <= opts.Sigma {
-						ctrl.Terminate()
-						return nil
-					}
-					next := doubledTarget(int64(initialN), g)
-					if next > maxSample {
-						next = maxSample
-					}
-					if next > target {
-						ctrl.RequestExpansion(next)
-						continue
-					}
-					if target >= maxSample {
-						ctrl.Terminate()
-						return nil
-					}
-					continue
-				}
-				runtime.Gosched()
-				time.Sleep(100 * time.Microsecond)
-			}
+			return err
 		},
 		ReduceTask: func(part int, in <-chan mr.KV) error {
 			ps := parts[part]
@@ -259,22 +319,30 @@ func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Opt
 			growAll := func() error {
 				ps.mu.Lock()
 				defer ps.mu.Unlock()
-				for key, vals := range buf {
+				// Iterate keys in sorted order and grow each group with a
+				// sorted delta: the per-generation multiset is
+				// deterministic, but map iteration and reducer arrival
+				// order are not, and resample updates consume seeded rng
+				// draws — canonical ordering keeps fixed-seed grouped runs
+				// reproducible.
+				keys := make([]string, 0, len(buf))
+				for key := range buf {
+					keys = append(keys, key)
+				}
+				sort.Strings(keys)
+				for _, key := range keys {
+					vals := buf[key]
 					mt, ok := ps.maints[key]
 					if !ok {
 						var err error
-						mt, err = delta.New(delta.Config{
-							Reducer: job.Reducer, B: b,
-							Seed:    ps.seed + uint64(len(ps.maints))*97,
-							Metrics: env.Metrics, Key: key,
-							Parallelism: opts.Parallelism,
-						})
+						mt, err = NewGroupMaintainer(env, job, key, b, opts)
 						if err != nil {
 							return err
 						}
 						ps.maints[key] = mt
 					}
 					if len(vals) > 0 {
+						sort.Float64s(vals)
 						if err := mt.Grow(vals); err != nil {
 							return err
 						}
@@ -297,21 +365,18 @@ func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Opt
 				buf[kv.Key] = append(buf[kv.Key], v)
 				bufN++
 				received.Add(1)
-				buffered.Add(1)
 				target := ctrl.ExpansionTarget()
 				if received.Load() >= target ||
 					(received.Load() == emitted.Load() && allSettled(sent, dry, target, m)) {
 					if err := growAll(); err != nil {
 						return err
 					}
-					buffered.Store(0)
 				}
 			}
 			if bufN > 0 {
 				if err := growAll(); err != nil {
 					return err
 				}
-				buffered.Store(0)
 			}
 			return nil
 		},
@@ -319,58 +384,66 @@ func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Opt
 
 	stopWatch := make(chan struct{})
 	go func() {
-		for {
-			select {
-			case <-stopWatch:
-				return
-			default:
-			}
-			if int(exhausted.Load()) == m &&
-				received.Load() == emitted.Load() &&
-				buffered.Load() == 0 {
-				ctrl.Terminate()
-				return
-			}
-			time.Sleep(200 * time.Microsecond)
-		}
+		watchdog(stopWatch, ctrl, &exhausted, &received, &emitted, &gen, m,
+			func(target int64) bool { return allSettled(sent, dry, target, m) })
 	}()
 	sres, err := env.Engine.RunPipelined(sjob)
 	close(stopWatch)
 	if err != nil {
-		return GroupedReport{}, err
+		return GroupedReport{}, nil, err
 	}
 
-	rep := GroupedReport{
-		Job:        job.Name,
-		Groups:     map[string]GroupResult{},
-		Iterations: int(gen.Load()),
-		Converged:  true,
-		FailedMaps: len(sres.FailedMappers),
-	}
+	maints := map[string]*delta.Maintainer{}
 	for _, ps := range parts {
 		ps.mu.Lock()
 		for key, mt := range ps.maints {
-			vals, err := mt.Results()
-			if err != nil {
-				ps.mu.Unlock()
-				return rep, err
-			}
-			est, err := stats.Mean(vals)
-			if err != nil {
-				ps.mu.Unlock()
-				return rep, err
-			}
-			cv, cvErr := mt.CV()
-			if cvErr != nil {
-				cv = math.Inf(1)
-			}
-			rep.Groups[key] = GroupResult{Estimate: est, CV: cv, SampleSize: mt.N()}
-			rep.SampleSize += mt.N()
-			if cv > opts.Sigma {
-				rep.Converged = false
-			}
+			maints[key] = mt
 		}
 		ps.mu.Unlock()
+	}
+	rep, err := GroupedReportFrom(job, opts, maints)
+	if err != nil {
+		return rep, nil, err
+	}
+	rep.Iterations = int(gen.Load())
+	rep.FailedMaps = len(sres.FailedMappers)
+	st := &GroupedLiveState{
+		Maints:      maints,
+		Sources:     sources,
+		EstTotal:    estTotal,
+		SyncedBytes: size,
+		B:           b,
+		Opts:        opts,
+	}
+	return rep, st, nil
+}
+
+// GroupedReportFrom assembles per-group results from the maintained resample
+// sets (shared by the initial grouped run and every live refresh).
+func GroupedReportFrom(job jobs.Numeric, opts Options, maints map[string]*delta.Maintainer) (GroupedReport, error) {
+	rep := GroupedReport{
+		Job:       job.Name,
+		Groups:    map[string]GroupResult{},
+		Converged: true,
+	}
+	for key, mt := range maints {
+		vals, err := mt.Results()
+		if err != nil {
+			return rep, err
+		}
+		est, err := stats.Mean(vals)
+		if err != nil {
+			return rep, err
+		}
+		cv, cvErr := mt.CV()
+		if cvErr != nil {
+			cv = math.Inf(1)
+		}
+		rep.Groups[key] = GroupResult{Estimate: est, CV: cv, SampleSize: mt.N()}
+		rep.SampleSize += mt.N()
+		if cv > opts.Sigma {
+			rep.Converged = false
+		}
 	}
 	if len(rep.Groups) == 0 {
 		return rep, errors.New("core: grouped run produced no groups")

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+	"repro/internal/pool"
+	"repro/internal/sampling"
+	"repro/internal/simcost"
+)
+
+// RecordSource is one mapper's retained sampling stream over its owned
+// splits. Draw extends the without-replacement sample by up to k lines
+// (returning the lines drawn plus sampling.ErrExhausted once the owned
+// region is dry) and Weight is proportional to the number of records the
+// source covers, so a uniform draw across several sources can be
+// apportioned by weight. Sources outlive the job that created them: a
+// maintained query (internal/live) keeps drawing from them across ingest
+// batches, which is what preserves the without-replacement guarantee
+// between the initial answer and later refreshes.
+type RecordSource interface {
+	Draw(k int) ([]string, error)
+	Weight() int64
+}
+
+// preMapSource wraps the Algorithm 2 sampler. Draws are charged as
+// mapper input records (the records delivered to the sampling mapper).
+type preMapSource struct {
+	s       *sampling.PreMap
+	metrics *simcost.Metrics
+}
+
+func (p preMapSource) Draw(k int) ([]string, error) {
+	recs, err := p.s.Sample(k)
+	lines := make([]string, len(recs))
+	for i, r := range recs {
+		lines[i] = r.Line
+	}
+	if p.metrics != nil {
+		p.metrics.RecordsRead.Add(int64(len(lines)))
+	}
+	return lines, err
+}
+
+func (p preMapSource) Weight() int64 { return p.s.OwnedBytes() }
+
+// errSource is a source whose region could not be scanned (e.g. a block
+// with no live replica during post-map pool filling). Every Draw returns
+// the scan error, so the owning mapper task fails and is tolerated as a
+// lost mapper (§3.4) — exactly as if the scan had failed inside the map
+// task — instead of the whole run aborting.
+type errSource struct{ err error }
+
+func (e errSource) Draw(int) ([]string, error) { return nil, e.err }
+func (e errSource) Weight() int64              { return 0 }
+
+// postMapSource wraps the Algorithm 1 pooled sampler. The pool-filling
+// scan already charged every record as mapper input; draws come from
+// memory.
+type postMapSource struct{ s *sampling.PostMap }
+
+func (p postMapSource) Draw(k int) ([]string, error) {
+	recs, err := p.s.Draw(k)
+	lines := make([]string, len(recs))
+	for i, r := range recs {
+		lines[i] = r.Value
+	}
+	return lines, err
+}
+
+func (p postMapSource) Weight() int64 { return int64(p.s.Total()) }
+
+// NewRecordSources builds one retained sampling stream per mapper over
+// the given split ownership, per opts.Sampler. seedSalt decorrelates
+// streams built for different ingest generations of the same maintained
+// run (0 for the initial run); determinism follows the engine-wide
+// contract — streams depend only on (Seed, seedSalt, mapper index).
+//
+// For post-map sampling this performs the full scan of the owned splits
+// (Algorithm 1 pools every record before drawing), with the per-mapper
+// scans running concurrently as they would inside the map tasks. A scan
+// failure (e.g. a block with no live replica) yields an errSource for
+// that mapper rather than failing construction, preserving the §3.4
+// behaviour: the mapper fails, the run finishes on surviving data.
+func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, seedSalt uint64) ([]RecordSource, error) {
+	sources := make([]RecordSource, len(owned))
+	err := pool.ForEach(len(owned), len(owned), func(idx int) error {
+		switch opts.Sampler {
+		case PostMapSampling:
+			pmap := sampling.NewPostMap(opts.Seed + seedSalt + uint64(idx)*7919)
+			for _, sp := range owned[idx] {
+				rd, err := env.FS.NewLineReader(sp, 0)
+				if err != nil {
+					sources[idx] = errSource{err: err}
+					return nil
+				}
+				for rd.Next() {
+					pmap.Add(fmt.Sprintf("%d", rd.RecordOffset()), rd.Text())
+					env.Metrics.RecordsRead.Add(1)
+				}
+				if rd.Err() != nil {
+					sources[idx] = errSource{err: rd.Err()}
+					return nil
+				}
+			}
+			sources[idx] = postMapSource{s: pmap}
+		default: // pre-map
+			sampler, err := sampling.NewPreMapOwned(env.FS, path, owned[idx], opts.Seed+seedSalt+uint64(idx)*104729)
+			if err != nil {
+				return err
+			}
+			sources[idx] = preMapSource{s: sampler, metrics: env.Metrics}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sources, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/sampling"
+	"repro/internal/workload"
+)
+
+// TestNewRecordSourcesDraws covers both sampler kinds over a healthy
+// cluster: construction succeeds and every source yields records.
+func TestNewRecordSourcesDraws(t *testing.T) {
+	env, _ := testEnv(t, 10_000, workload.Uniform, 101)
+	splits, err := env.FS.Splits("/data", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := [][]dfs.Split{splits[:len(splits)/2], splits[len(splits)/2:]}
+	for _, sampler := range []SamplerKind{PreMapSampling, PostMapSampling} {
+		sources, err := NewRecordSources(env, "/data", owned, Options{Sampler: sampler, Seed: 7}, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", sampler, err)
+		}
+		for i, s := range sources {
+			lines, err := s.Draw(5)
+			if err != nil || len(lines) != 5 {
+				t.Fatalf("%s source %d: %d lines, err %v", sampler, i, len(lines), err)
+			}
+			if s.Weight() <= 0 {
+				t.Fatalf("%s source %d: weight %d", sampler, i, s.Weight())
+			}
+		}
+	}
+}
+
+// TestNewRecordSourcesToleratesDeadScan pins the §3.4 contract at the
+// source layer: when a post-map pool scan hits a block with no live
+// replica, construction must NOT fail the run — the affected mapper gets
+// a source whose draws fail (so it is accounted as a lost mapper), while
+// the other mappers keep their data.
+func TestNewRecordSourcesToleratesDeadScan(t *testing.T) {
+	env, err := NewEnv(EnvConfig{DataNodes: 3, Replication: 1, BlockSize: 1 << 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := workload.NumericSpec{Dist: workload.Uniform, N: 5_000, Seed: 6}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(xs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.FS.KillDataNode(1); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := env.FS.Splits("/data", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([][]dfs.Split, len(splits))
+	for i, sp := range splits {
+		owned[i] = []dfs.Split{sp}
+	}
+	sources, err := NewRecordSources(env, "/data", owned, Options{Sampler: PostMapSampling, Seed: 8}, 0)
+	if err != nil {
+		t.Fatalf("construction must tolerate dead blocks, got %v", err)
+	}
+	var failed, ok int
+	for _, s := range sources {
+		_, err := s.Draw(1)
+		switch {
+		case err == nil || errors.Is(err, sampling.ErrExhausted):
+			ok++
+		default:
+			failed++
+		}
+	}
+	// Replication 1 on 3 nodes with one node dead: some splits must be
+	// unreadable, the rest must still serve.
+	if failed == 0 {
+		t.Fatal("expected at least one unreadable split (replication 1, node dead)")
+	}
+	if ok == 0 {
+		t.Fatal("expected surviving splits to keep serving")
+	}
+}

@@ -41,6 +41,11 @@ var (
 	ErrExists      = errors.New("dfs: file already exists")
 	ErrUnavailable = errors.New("dfs: no live replica for block")
 	ErrNoDataNodes = errors.New("dfs: no live datanodes")
+	// ErrUnalignedAppend is returned by Append when the existing file does
+	// not end with a newline: the boundary record would span the old and
+	// new segments, so existing splits could no longer own stable record
+	// sets — the invariant continuous ingest depends on.
+	ErrUnalignedAppend = errors.New("dfs: append to file without trailing newline")
 )
 
 // Config configures a FileSystem.
@@ -85,8 +90,9 @@ type dataNode struct {
 }
 
 type fileMeta struct {
-	size   int64
-	blocks []*blockMeta
+	size     int64
+	blocks   []*blockMeta
+	segments []int64 // start offset of every write/append segment, ascending
 }
 
 type blockMeta struct {
@@ -147,18 +153,26 @@ func (fs *FileSystem) WriteFile(path string, data []byte) error {
 	if old, ok := fs.files[path]; ok {
 		fs.dropBlocksLocked(old)
 	}
-	meta := &fileMeta{size: int64(len(data))}
-	for off := int64(0); off < int64(len(data)) || (off == 0 && len(data) == 0); off += fs.cfg.BlockSize {
+	meta := &fileMeta{size: int64(len(data)), segments: []int64{0}}
+	fs.appendBlocksLocked(meta, data, 0, live)
+	fs.files[path] = meta
+	return nil
+}
+
+// appendBlocksLocked partitions data into blocks starting at file offset
+// base, replicates each across distinct live DataNodes (random placement,
+// like HDFS's rack-unaware policy on a flat topology) and attaches them
+// to meta. Write I/O is charged once per replica.
+func (fs *FileSystem) appendBlocksLocked(meta *fileMeta, data []byte, base int64, live []int) {
+	for off := int64(0); off < int64(len(data)) || (off == 0 && len(data) == 0 && base == 0); off += fs.cfg.BlockSize {
 		end := off + fs.cfg.BlockSize
 		if end > int64(len(data)) {
 			end = int64(len(data))
 		}
-		blk := &blockMeta{id: fs.nextID, offset: off, size: end - off}
+		blk := &blockMeta{id: fs.nextID, offset: base + off, size: end - off}
 		fs.nextID++
 		payload := make([]byte, end-off)
 		copy(payload, data[off:end])
-		// Replica placement: random distinct live nodes, like HDFS's
-		// rack-unaware placement on a flat topology.
 		perm := fs.rng.Perm(len(live))
 		nrep := fs.cfg.Replication
 		if nrep > len(live) {
@@ -177,8 +191,68 @@ func (fs *FileSystem) WriteFile(path string, data []byte) error {
 			break
 		}
 	}
-	fs.files[path] = meta
+}
+
+// Append adds data to the end of path as a fresh *segment*: new blocks
+// are cut from the old end-of-file (never extending the last block) and
+// replicated across live DataNodes like any other write. Existing blocks,
+// their replicas, and the logical splits over them are untouched — the
+// stability continuous ingest relies on, letting a maintained query
+// process only the appended region.
+//
+// The existing file must end with a newline (record-aligned appends);
+// otherwise ErrUnalignedAppend is returned. Appending to a missing path
+// creates the file.
+func (fs *FileSystem) Append(path string, data []byte) error {
+	if path == "" {
+		return errors.New("dfs: empty path")
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	live := fs.liveLocked()
+	if len(live) == 0 {
+		return ErrNoDataNodes
+	}
+	meta, ok := fs.files[path]
+	if !ok {
+		meta = &fileMeta{segments: []int64{0}}
+		fs.appendBlocksLocked(meta, data, 0, live)
+		meta.size = int64(len(data))
+		fs.files[path] = meta
+		return nil
+	}
+	if meta.size > 0 {
+		last := meta.blocks[len(meta.blocks)-1]
+		payload, err := fs.replicaPayloadLocked(last)
+		if err != nil {
+			return err
+		}
+		if len(payload) == 0 || payload[len(payload)-1] != '\n' {
+			return fmt.Errorf("%w: %s", ErrUnalignedAppend, path)
+		}
+	}
+	base := meta.size
+	fs.appendBlocksLocked(meta, data, base, live)
+	meta.segments = append(meta.segments, base)
+	meta.size += int64(len(data))
 	return nil
+}
+
+// Segments returns the start offset of every segment of path — offset 0
+// for the initial write plus one offset per Append since. Splits never
+// straddle a segment boundary, so a caller that remembers the file size
+// it has processed can identify the splits covering appended data exactly.
+func (fs *FileSystem) Segments(path string) ([]int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	meta, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return append([]int64(nil), meta.segments...), nil
 }
 
 func (fs *FileSystem) liveLocked() []int {
@@ -294,7 +368,12 @@ func (fs *FileSystem) readAt(path string, off int64, p []byte, seeks int64) (int
 	var n int64
 	for n < want {
 		pos := off + n
-		bi := int(pos / fs.cfg.BlockSize)
+		// Blocks are contiguous and sorted by offset but not uniformly
+		// sized (appends cut a fresh block at the old end-of-file), so the
+		// owning block is found by search, not division.
+		bi := sort.Search(len(meta.blocks), func(i int) bool {
+			return meta.blocks[i].offset+meta.blocks[i].size > pos
+		})
 		if bi >= len(meta.blocks) {
 			break
 		}

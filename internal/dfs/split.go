@@ -26,12 +26,21 @@ func (s Split) String() string {
 }
 
 // Splits partitions the file at path into logical splits of at most
-// splitSize bytes (the file's block size when splitSize <= 0).
+// splitSize bytes (the file's block size when splitSize <= 0). Each
+// append segment is partitioned independently — a split never straddles
+// a segment boundary — so the splits covering already-ingested data are
+// byte-for-byte identical after any number of Appends, and the appended
+// region is covered entirely by new splits.
 func (fs *FileSystem) Splits(path string, splitSize int64) ([]Split, error) {
-	size, err := fs.Stat(path)
-	if err != nil {
-		return nil, err
+	fs.mu.RLock()
+	meta, ok := fs.files[path]
+	if !ok {
+		fs.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
+	size := meta.size
+	segments := append([]int64(nil), meta.segments...)
+	fs.mu.RUnlock()
 	if splitSize <= 0 {
 		splitSize = fs.cfg.BlockSize
 	}
@@ -39,12 +48,18 @@ func (fs *FileSystem) Splits(path string, splitSize int64) ([]Split, error) {
 		return []Split{{Path: path, Index: 0, Offset: 0, Length: 0}}, nil
 	}
 	var out []Split
-	for off := int64(0); off < size; off += splitSize {
-		l := splitSize
-		if off+l > size {
-			l = size - off
+	for si, segStart := range segments {
+		segEnd := size
+		if si+1 < len(segments) {
+			segEnd = segments[si+1]
 		}
-		out = append(out, Split{Path: path, Index: len(out), Offset: off, Length: l})
+		for off := segStart; off < segEnd; off += splitSize {
+			l := splitSize
+			if off+l > segEnd {
+				l = segEnd - off
+			}
+			out = append(out, Split{Path: path, Index: len(out), Offset: off, Length: l})
+		}
 	}
 	return out, nil
 }

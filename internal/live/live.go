@@ -1,0 +1,541 @@
+// Package live implements maintained queries over continuously ingested
+// data — EARL's delta-maintenance trick (§4.1) lifted from within one
+// run to across the lifetime of a dataset.
+//
+// A Query is created by Watch: it runs the normal early-accurate
+// workflow once, then keeps the run's working state alive — the SSABE
+// plan, the delta-maintained bootstrap resample set (with every
+// per-resample sketch state), and the per-mapper without-replacement
+// samplers. When data is appended to the watched file (dfs.Append cuts
+// new blocks without disturbing existing splits), Refresh:
+//
+//  1. samples only the appended splits at the query's current sampling
+//     fraction p, so the combined sample stays (approximately) uniform
+//     over the concatenated data;
+//  2. feeds that delta through the retained delta.Maintainer — sharded
+//     across Options.Parallelism workers under the engine-wide
+//     fixed-seed determinism contract;
+//  3. re-estimates the error, and re-expands the sample (drawing from
+//     old and new regions alike, still without replacement) only if the
+//     σ bound is violated.
+//
+// A refresh therefore reads o(N) records — proportional to the appended
+// delta plus any expansion — never the whole file; the cost is visible
+// in simcost counters (Refreshes, RecordsRead, BytesRead) so experiments
+// can compare maintained refreshes against from-scratch re-runs.
+//
+// Queries whose initial run fell back to the exact path (tiny data, or
+// SSABE's B×n ≥ N) are maintained exactly instead: the user job's
+// incremental reduce state is grown with every appended record
+// (mr.InitializeOrUpdate), which is still delta-proportional work.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/jobs"
+	"repro/internal/mr"
+	"repro/internal/pool"
+	"repro/internal/sampling"
+)
+
+// ErrClosed is returned by Refresh after Close.
+var ErrClosed = errors.New("live: query is closed")
+
+// ErrTruncated is returned when the watched file shrank — maintained
+// state can only move forward over appends.
+var ErrTruncated = errors.New("live: watched file shrank (appends only)")
+
+// refreshSalt spaces the seed ranges of sampler streams created for
+// successive ingest generations, so a refresh's new samplers never share
+// a stream with the initial run's or an earlier refresh's.
+const refreshSalt = 0x51_7cc1b7_2722_0a95
+
+// Query is a maintained single-statistic EARL query. All methods are
+// safe for concurrent use; Refresh calls are serialised.
+type Query struct {
+	mu   sync.Mutex
+	env  *core.Env
+	job  jobs.Numeric
+	path string
+	st   *core.LiveState
+	dry  []bool // aligned with st.Sources
+
+	// exact-maintenance path (st.Maint == nil)
+	exactState mr.State
+	exactN     int64
+
+	last       core.Report
+	refreshGen int
+	closed     bool
+}
+
+// Watch runs job over path once (exactly like core.Run) and returns a
+// handle that keeps the answer maintainable under appended data.
+func Watch(env *core.Env, job jobs.Numeric, path string, opts core.Options) (*Query, error) {
+	// RunLiveDeferExact skips the exact MR job on the fall-back path:
+	// the incremental scan below produces the same answer in one pass
+	// and leaves a maintainable state behind.
+	rep, st, err := core.RunLiveDeferExact(env, job, path, opts)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{
+		env:  env,
+		job:  job,
+		path: path,
+		st:   st,
+		dry:  make([]bool, len(st.Sources)),
+		last: rep,
+	}
+	if st.Maint == nil {
+		// Exact fallback: one scan builds the incremental exact state;
+		// every refresh after reads only appended splits.
+		splits, err := env.FS.Splits(path, st.Opts.SplitSize)
+		if err != nil {
+			return nil, err
+		}
+		if err := q.foldExact(splits); err != nil {
+			return nil, err
+		}
+		q.st.EstTotal = q.exactN
+		q.last = q.exactReport()
+	}
+	return q, nil
+}
+
+// Report returns the most recent result without doing any work.
+func (q *Query) Report() core.Report {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.last
+}
+
+// Refreshes returns how many Refresh calls have been applied.
+func (q *Query) Refreshes() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.refreshGen
+}
+
+// SampleSize returns the records currently held in the maintained sample
+// (the exact record count on the exact-maintenance path).
+func (q *Query) SampleSize() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.st.Maint == nil {
+		return int(q.exactN)
+	}
+	return q.st.Maint.N()
+}
+
+// Close releases the handle. The final report stays readable; Refresh
+// returns ErrClosed.
+func (q *Query) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.st.Sources = nil
+	q.exactState = nil
+}
+
+// Refresh brings the maintained answer up to date with the watched
+// file, processing only data appended since the last sync (or Watch).
+// With nothing appended it just returns the current report.
+//
+// An infrastructure error mid-refresh (e.g. appended blocks with no
+// live replica) is returned as-is; the handle's coverage of the file
+// may then be incomplete, so after repairing the cluster either retry
+// or open a fresh Watch.
+func (q *Query) Refresh() (core.Report, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return core.Report{}, ErrClosed
+	}
+	size, err := q.env.FS.Stat(q.path)
+	if err != nil {
+		return core.Report{}, err
+	}
+	if size < q.st.SyncedBytes {
+		return core.Report{}, fmt.Errorf("%w: %s", ErrTruncated, q.path)
+	}
+	if size == q.st.SyncedBytes {
+		// Nothing appended: honour the no-op contract. (An unconverged
+		// answer is only re-expanded when new data arrives; refreshing in
+		// place must not silently re-read the file.)
+		return q.last, nil
+	}
+	q.env.Metrics.Refreshes.Add(1)
+	q.refreshGen++
+	if q.st.Maint == nil {
+		return q.refreshExact(size)
+	}
+	return q.refreshSampled(size)
+}
+
+// compactSources drops permanently-dry sources so a long-lived watch
+// does not accumulate one dead shard set per refresh — post-map sources
+// in particular pin their undrawn records in memory until released. Dry
+// sources contribute nothing to draws, so pruning never changes results.
+func compactSources(sources []core.RecordSource, dry []bool) ([]core.RecordSource, []bool) {
+	outS := make([]core.RecordSource, 0, len(sources))
+	outD := make([]bool, 0, len(dry))
+	for i, s := range sources {
+		if dry[i] {
+			continue
+		}
+		outS = append(outS, s)
+		outD = append(outD, false)
+	}
+	return outS, outD
+}
+
+// splitsSince returns the splits wholly beyond the sync point. Splits
+// are segment-aware, so the boundary is exact.
+func splitsSince(env *core.Env, path string, splitSize, synced int64) ([]dfs.Split, error) {
+	splits, err := env.FS.Splits(path, splitSize)
+	if err != nil {
+		return nil, err
+	}
+	var out []dfs.Split
+	for _, sp := range splits {
+		if sp.Offset >= synced {
+			out = append(out, sp)
+		}
+	}
+	return out, nil
+}
+
+// buildRefreshSources constructs the retained sampler streams over the
+// region appended since synced (one per mapper shard, refresh-salted
+// seeds) and estimates how many records they cover: exact for post-map
+// (the pool counted them while scanning), mean-record-length based for
+// pre-map — the same §3.3 estimator the initial run uses, with the mean
+// taken from the estTotal records known to span the synced bytes.
+// Shared by the single-statistic and grouped maintained queries.
+func buildRefreshSources(env *core.Env, path string, opts core.Options, synced, size, estTotal int64, refreshGen int) ([]core.RecordSource, int64, error) {
+	splits, err := splitsSince(env, path, opts.SplitSize, synced)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := opts.NumMappers
+	if m > len(splits) {
+		m = len(splits)
+	}
+	if m < 1 {
+		m = 1
+	}
+	owned := make([][]dfs.Split, m)
+	for i, sp := range splits {
+		owned[i%m] = append(owned[i%m], sp)
+	}
+	sources, err := core.NewRecordSources(env, path, owned, opts, uint64(refreshGen)*refreshSalt)
+	if err != nil {
+		return nil, 0, err
+	}
+	var estNew int64
+	if opts.Sampler == core.PostMapSampling {
+		for _, s := range sources {
+			estNew += s.Weight() // post-map weight is the exact record count
+		}
+	} else if estTotal > 0 && synced > 0 {
+		avg := float64(synced) / float64(estTotal)
+		estNew = int64(float64(size-synced)/avg + 0.5)
+	}
+	return sources, estNew, nil
+}
+
+// refreshSampled is the maintained-sample path described in the package
+// comment.
+func (q *Query) refreshSampled(size int64) (core.Report, error) {
+	st := q.st
+	opts := st.Opts
+	st.Sources, q.dry = compactSources(st.Sources, q.dry)
+	if size > st.SyncedBytes {
+		newSources, estNew, err := buildRefreshSources(
+			q.env, q.path, opts, st.SyncedBytes, size, st.EstTotal, q.refreshGen)
+		if err != nil {
+			return core.Report{}, err
+		}
+
+		// Sample the appended region at the query's current fraction so
+		// the maintained sample stays uniform over old ∪ new.
+		p := float64(st.Maint.N()) / float64(st.EstTotal)
+		if p > 1 {
+			p = 1
+		}
+		nDelta := int64(p*float64(estNew) + 0.5)
+		if nDelta > estNew {
+			nDelta = estNew
+		}
+		from := len(st.Sources)
+		st.Sources = append(st.Sources, newSources...)
+		q.dry = append(q.dry, make([]bool, len(newSources))...)
+		st.EstTotal += estNew
+		st.SyncedBytes = size
+		if nDelta > 0 {
+			delta, err := q.drawAcross(from, len(st.Sources), int(nDelta))
+			if err != nil {
+				return core.Report{}, err
+			}
+			if err := q.grow(delta); err != nil {
+				return core.Report{}, err
+			}
+		}
+	}
+
+	// Re-estimate, and re-expand only if σ is violated — the same
+	// doubling schedule as the in-run expansion loop, drawing from every
+	// region of the file without replacement.
+	cv := q.measure()
+	maxSample := int64(opts.MaxSampleFraction * float64(st.EstTotal))
+	for cv > opts.Sigma && int64(st.Maint.N()) < maxSample {
+		next := int64(st.Maint.N()) * 2
+		if next > maxSample {
+			next = maxSample
+		}
+		k := next - int64(st.Maint.N())
+		if k <= 0 {
+			break
+		}
+		batch, err := q.drawAcross(0, len(st.Sources), int(k))
+		if err != nil {
+			return core.Report{}, err
+		}
+		if len(batch) == 0 {
+			break // every region exhausted: finish with achieved accuracy
+		}
+		if err := q.grow(batch); err != nil {
+			return core.Report{}, err
+		}
+		cv = q.measure()
+	}
+
+	vals, err := st.Maint.Results()
+	if err != nil {
+		return core.Report{}, err
+	}
+	p := float64(st.Maint.N()) / float64(st.EstTotal)
+	rep, err := core.FinishReport(q.job, opts, vals, cv, p)
+	if err != nil {
+		return core.Report{}, err
+	}
+	rep.B = st.Plan.B
+	rep.SampleSize = st.Maint.N()
+	rep.PlannedN = st.Plan.N
+	rep.Iterations = st.Generations
+	rep.EstTotalN = st.EstTotal
+	q.last = rep
+	return rep, nil
+}
+
+// grow feeds one delta batch into the maintained resample set in
+// canonical (sorted) order, mirroring the in-run reducer.
+func (q *Query) grow(delta []float64) error {
+	sort.Float64s(delta)
+	if err := q.st.Maint.Grow(delta); err != nil {
+		return err
+	}
+	q.st.Generations++
+	return nil
+}
+
+// measure applies the configured error measure to the current result
+// distribution (+Inf on degenerate distributions, like the reducer).
+func (q *Query) measure() float64 {
+	vals, err := q.st.Maint.Results()
+	if err != nil {
+		return math.Inf(1)
+	}
+	cv, err := q.st.Opts.Measure(vals)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return cv
+}
+
+// drawAcross draws total records from Sources[from:to], apportioned by
+// source weight and drawn concurrently across Options.Parallelism
+// workers. Each source owns a deterministic rng stream and results are
+// concatenated in source order, so the returned values are identical at
+// any parallelism. Sources that run dry contribute what they have; a
+// second, sequential pass redistributes any shortfall to the remaining
+// live sources.
+func (q *Query) drawAcross(from, to, total int) ([]float64, error) {
+	type slot struct {
+		idx   int
+		share int
+	}
+	var slots []slot
+	var weightSum int64
+	for i := from; i < to; i++ {
+		if q.dry[i] {
+			continue
+		}
+		w := q.st.Sources[i].Weight()
+		if w <= 0 {
+			continue
+		}
+		slots = append(slots, slot{idx: i})
+		weightSum += w
+	}
+	if len(slots) == 0 || weightSum == 0 {
+		return nil, nil
+	}
+	// Largest-remainder apportionment of total across the live sources.
+	assigned := 0
+	for si := range slots {
+		w := q.st.Sources[slots[si].idx].Weight()
+		slots[si].share = int(int64(total) * w / weightSum)
+		assigned += slots[si].share
+	}
+	for si := 0; assigned < total; si = (si + 1) % len(slots) {
+		slots[si].share++
+		assigned++
+	}
+
+	out := make([][]float64, len(slots))
+	workers := pool.Workers(q.st.Opts.Parallelism)
+	err := pool.ForEach(len(slots), workers, func(si int) error {
+		s := slots[si]
+		if s.share == 0 {
+			return nil
+		}
+		vals, dry, err := q.drawOne(s.idx, s.share)
+		if err != nil {
+			return err
+		}
+		if dry {
+			q.dry[s.idx] = true // distinct index per worker: no race
+		}
+		out[si] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var flat []float64
+	for _, vs := range out {
+		flat = append(flat, vs...)
+	}
+	// Redistribute any dry-source shortfall sequentially (deterministic
+	// source order) so expansions still reach their target when possible.
+	for si := range slots {
+		if len(flat) >= total {
+			break
+		}
+		if q.dry[slots[si].idx] {
+			continue
+		}
+		vals, dry, err := q.drawOne(slots[si].idx, total-len(flat))
+		if err != nil {
+			return nil, err
+		}
+		if dry {
+			q.dry[slots[si].idx] = true
+		}
+		flat = append(flat, vals...)
+	}
+	return flat, nil
+}
+
+// drawOne draws up to k parsed values from source i.
+func (q *Query) drawOne(i, k int) (vals []float64, dry bool, err error) {
+	lines, err := q.st.Sources[i].Draw(k)
+	if errors.Is(err, sampling.ErrExhausted) {
+		dry = true
+	} else if err != nil {
+		return nil, false, err
+	}
+	vals = make([]float64, 0, len(lines))
+	for _, line := range lines {
+		v, perr := q.job.Parse(line)
+		if perr != nil {
+			return nil, dry, fmt.Errorf("live: parse: %w", perr)
+		}
+		vals = append(vals, v)
+	}
+	return vals, dry, nil
+}
+
+// ---- Exact maintenance (tiny data / SSABE said sampling won't pay) ----
+
+// foldExact streams every record of the given splits into the user
+// job's incremental state.
+func (q *Query) foldExact(splits []dfs.Split) error {
+	var vals []float64
+	for _, sp := range splits {
+		rd, err := q.env.FS.NewLineReader(sp, 0)
+		if err != nil {
+			return err
+		}
+		for rd.Next() {
+			v, perr := q.job.Parse(rd.Text())
+			if perr != nil {
+				return fmt.Errorf("live: parse: %w", perr)
+			}
+			vals = append(vals, v)
+			q.env.Metrics.RecordsRead.Add(1)
+		}
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+	}
+	st, err := mr.InitializeOrUpdate(q.job.Reducer, q.job.Name, q.exactState, vals)
+	if err != nil {
+		return err
+	}
+	q.exactState = st
+	q.exactN += int64(len(vals))
+	return nil
+}
+
+// refreshExact folds only the appended splits into the exact state.
+func (q *Query) refreshExact(size int64) (core.Report, error) {
+	if size > q.st.SyncedBytes {
+		splits, err := splitsSince(q.env, q.path, q.st.Opts.SplitSize, q.st.SyncedBytes)
+		if err != nil {
+			return core.Report{}, err
+		}
+		if err := q.foldExact(splits); err != nil {
+			return core.Report{}, err
+		}
+		q.st.SyncedBytes = size
+		q.st.EstTotal = q.exactN
+	}
+	rep := q.exactReport()
+	q.last = rep
+	return rep, nil
+}
+
+// exactReport renders the maintained exact state as a Report (CV 0,
+// p = 1 — there is no sampling error to estimate).
+func (q *Query) exactReport() core.Report {
+	var est float64
+	if q.exactState != nil {
+		if v, err := q.job.Reducer.Finalize(q.exactState); err == nil {
+			est = v
+		}
+	}
+	return core.Report{
+		Job:         q.job.Name,
+		Estimate:    est,
+		Uncorrected: est,
+		CILo:        est,
+		CIHi:        est,
+		B:           1,
+		SampleSize:  int(q.exactN),
+		Iterations:  1,
+		UsedFull:    true,
+		Converged:   true,
+		FractionP:   1,
+		EstTotalN:   q.exactN,
+	}
+}

@@ -1,0 +1,369 @@
+package live_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/live"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func newEnv(t testing.TB, seed uint64) *core.Env {
+	t.Helper()
+	env, err := core.NewEnv(core.EnvConfig{
+		DataNodes:    5,
+		SlotsPerNode: 4,
+		BlockSize:    1 << 14,
+		Replication:  2,
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func genValues(t testing.TB, n int, seed uint64) []float64 {
+	t.Helper()
+	xs, err := workload.NumericSpec{Dist: workload.Uniform, N: n, Seed: seed}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xs
+}
+
+// TestWatchAppendRefreshCheaperThanRerun is the tentpole acceptance
+// criterion: a Watch + Append + Refresh cycle reads only o(N) new
+// records — far fewer than a from-scratch run over the concatenated
+// data — while landing within the σ bound of that from-scratch answer.
+func TestWatchAppendRefreshCheaperThanRerun(t *testing.T) {
+	const sigma = 0.05
+	env := newEnv(t, 1)
+	base := genValues(t, 150_000, 2)
+	delta := genValues(t, 50_000, 3)
+	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(base)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := live.Watch(env, jobs.Mean(), "/data", core.Options{Sigma: sigma, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	first := q.Report()
+	if first.UsedFull {
+		t.Fatalf("watch fell back to exact: %+v", first)
+	}
+
+	if err := env.FS.Append("/data", workload.EncodeLinesFixed(delta)); err != nil {
+		t.Fatal(err)
+	}
+	before := env.Metrics.Snapshot()
+	rep, err := q.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := env.Metrics.Snapshot().Sub(before)
+	if cost.Refreshes != 1 {
+		t.Fatalf("Refreshes counter = %d", cost.Refreshes)
+	}
+
+	// From-scratch run over the concatenated data, on a fresh cluster.
+	scratchEnv := newEnv(t, 1)
+	all := append(append([]float64(nil), base...), delta...)
+	if err := scratchEnv.FS.WriteFile("/data", workload.EncodeLinesFixed(all)); err != nil {
+		t.Fatal(err)
+	}
+	scratchBefore := scratchEnv.Metrics.Snapshot()
+	scratch, err := core.Run(scratchEnv, jobs.Mean(), "/data", core.Options{Sigma: sigma, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchCost := scratchEnv.Metrics.Snapshot().Sub(scratchBefore)
+
+	// o(N): the refresh touches a fraction of what even the (sampled!)
+	// from-scratch run reads, and a sliver of the appended region.
+	if cost.RecordsRead*4 > scratchCost.RecordsRead {
+		t.Fatalf("refresh read %d records vs %d for a from-scratch run — not o(N)",
+			cost.RecordsRead, scratchCost.RecordsRead)
+	}
+	if cost.RecordsRead > int64(len(delta))/10 {
+		t.Fatalf("refresh read %d records of a %d-record delta", cost.RecordsRead, len(delta))
+	}
+	if cost.BytesRead > scratchCost.BytesRead {
+		t.Fatalf("refresh bytes %d exceed from-scratch bytes %d", cost.BytesRead, scratchCost.BytesRead)
+	}
+
+	// Accuracy: both answers carry cv ≤ σ, so they must agree within the
+	// bound (and with the exact truth).
+	truth, _ := stats.Mean(all)
+	if rel := math.Abs(rep.Estimate-scratch.Estimate) / scratch.Estimate; rel > 2*sigma {
+		t.Fatalf("refresh %v vs from-scratch %v (rel %v)", rep.Estimate, scratch.Estimate, rel)
+	}
+	if rel := math.Abs(rep.Estimate-truth) / truth; rel > 2*sigma {
+		t.Fatalf("refresh %v vs truth %v (rel %v)", rep.Estimate, truth, rel)
+	}
+	if rep.EstTotalN < int64(0.8*float64(len(all))) || rep.EstTotalN > int64(1.2*float64(len(all))) {
+		t.Fatalf("EstTotalN %d far from true N %d", rep.EstTotalN, len(all))
+	}
+}
+
+// TestRefreshDeterministicAcrossParallelism is the tentpole
+// reproducibility criterion: the whole Watch → Append → Refresh cycle is
+// bit-identical for a fixed seed at any Parallelism.
+func TestRefreshDeterministicAcrossParallelism(t *testing.T) {
+	base := genValues(t, 60_000, 7)
+	delta := genValues(t, 20_000, 8)
+	var reports []core.Report
+	for _, par := range []int{1, 4, 0} {
+		env := newEnv(t, 5)
+		if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(base)); err != nil {
+			t.Fatal(err)
+		}
+		q, err := live.Watch(env, jobs.Mean(), "/data", core.Options{
+			Sigma: 0.05, Seed: 6, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.FS.Append("/data", workload.EncodeLinesFixed(delta)); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := q.Refresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Close()
+		reports = append(reports, rep)
+	}
+	for i := 1; i < len(reports); i++ {
+		if !reflect.DeepEqual(reports[0], reports[i]) {
+			t.Fatalf("refresh reports differ across parallelism:\n  p=1: %+v\n  other: %+v",
+				reports[0], reports[i])
+		}
+	}
+}
+
+// TestRefreshNoAppendIsNoop: refreshing an unchanged file returns the
+// same report and reads nothing.
+func TestRefreshNoAppendIsNoop(t *testing.T) {
+	env := newEnv(t, 11)
+	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(genValues(t, 80_000, 12))); err != nil {
+		t.Fatal(err)
+	}
+	q, err := live.Watch(env, jobs.Mean(), "/data", core.Options{Sigma: 0.05, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	first := q.Report()
+	before := env.Metrics.Snapshot()
+	rep, err := q.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := env.Metrics.Snapshot().Sub(before)
+	if cost.RecordsRead != 0 || cost.BytesRead != 0 {
+		t.Fatalf("no-op refresh still read data: %+v", cost)
+	}
+	if rep.Estimate != first.Estimate || rep.SampleSize != first.SampleSize {
+		t.Fatalf("no-op refresh changed the answer: %+v vs %+v", rep, first)
+	}
+}
+
+// TestRefreshReExpandsOnSigmaViolation: appending data from a much wider
+// distribution raises the error estimate; the refresh must notice and
+// expand the sample rather than report a stale σ claim.
+func TestRefreshReExpandsOnSigmaViolation(t *testing.T) {
+	env := newEnv(t, 21)
+	base := genValues(t, 100_000, 22)
+	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(base)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := live.Watch(env, jobs.Mean(), "/data", core.Options{Sigma: 0.05, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	n0 := q.SampleSize()
+
+	wide, err := workload.NumericSpec{Dist: workload.Pareto, N: 100_000, Seed: 24}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wide {
+		wide[i] *= 1000 // heavy tail, three orders of magnitude out
+	}
+	if err := env.FS.Append("/data", workload.EncodeLinesFixed(wide)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := q.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.SampleSize() <= n0 {
+		t.Fatalf("sample did not grow under a distribution shift: %d -> %d", n0, q.SampleSize())
+	}
+	truth, _ := stats.Mean(append(append([]float64(nil), base...), wide...))
+	if rel := math.Abs(rep.Estimate-truth) / truth; rel > 0.5 {
+		t.Fatalf("estimate %v lost the shifted truth %v entirely", rep.Estimate, truth)
+	}
+}
+
+// TestWatchExactFallbackMaintained: a tiny file takes the exact path;
+// refreshes keep the answer exact by folding in only appended records.
+func TestWatchExactFallbackMaintained(t *testing.T) {
+	env := newEnv(t, 31)
+	base := genValues(t, 300, 32)
+	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(base)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := live.Watch(env, jobs.Mean(), "/data", core.Options{Sigma: 0.05, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if !q.Report().UsedFull {
+		t.Fatalf("tiny data should use the exact path: %+v", q.Report())
+	}
+	delta := genValues(t, 200, 34)
+	if err := env.FS.Append("/data", workload.EncodeLinesFixed(delta)); err != nil {
+		t.Fatal(err)
+	}
+	before := env.Metrics.Snapshot()
+	rep, err := q.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := env.Metrics.Snapshot().Sub(before)
+	all := append(append([]float64(nil), base...), delta...)
+	truth, _ := stats.Mean(all)
+	if math.Abs(rep.Estimate-truth) > 1e-6*math.Abs(truth) {
+		t.Fatalf("exact maintained estimate %v != truth %v", rep.Estimate, truth)
+	}
+	if rep.SampleSize != len(all) {
+		t.Fatalf("exact maintained over %d records, want %d", rep.SampleSize, len(all))
+	}
+	// Only the appended records were read.
+	if cost.RecordsRead != int64(len(delta)) {
+		t.Fatalf("exact refresh read %d records, want %d", cost.RecordsRead, len(delta))
+	}
+}
+
+// TestRefreshPostMapSampler: the maintained query works with the
+// Algorithm 1 sampler too; a refresh scans only the appended region.
+func TestRefreshPostMapSampler(t *testing.T) {
+	env := newEnv(t, 41)
+	base := genValues(t, 60_000, 42)
+	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(base)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := live.Watch(env, jobs.Mean(), "/data", core.Options{
+		Sigma: 0.05, Seed: 43, Sampler: core.PostMapSampling,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	delta := genValues(t, 20_000, 44)
+	if err := env.FS.Append("/data", workload.EncodeLinesFixed(delta)); err != nil {
+		t.Fatal(err)
+	}
+	before := env.Metrics.Snapshot()
+	rep, err := q.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := env.Metrics.Snapshot().Sub(before)
+	// Post-map pools every record it covers — but only of the delta.
+	if cost.RecordsRead < int64(len(delta)) || cost.RecordsRead > int64(len(delta))+int64(len(delta))/4 {
+		t.Fatalf("post-map refresh read %d records, want ≈%d (the delta only)", cost.RecordsRead, len(delta))
+	}
+	all := append(append([]float64(nil), base...), delta...)
+	truth, _ := stats.Mean(all)
+	if rel := math.Abs(rep.Estimate-truth) / truth; rel > 0.1 {
+		t.Fatalf("post-map refresh %v vs truth %v", rep.Estimate, truth)
+	}
+}
+
+// TestRefreshAfterCloseAndTruncation covers the failure modes.
+func TestRefreshAfterCloseAndTruncation(t *testing.T) {
+	env := newEnv(t, 51)
+	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(genValues(t, 50_000, 52))); err != nil {
+		t.Fatal(err)
+	}
+	q, err := live.Watch(env, jobs.Mean(), "/data", core.Options{Sigma: 0.05, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the file behind the handle's back.
+	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(genValues(t, 100, 54))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Refresh(); !errors.Is(err, live.ErrTruncated) {
+		t.Fatalf("truncation not detected: %v", err)
+	}
+	q.Close()
+	if _, err := q.Refresh(); !errors.Is(err, live.ErrClosed) {
+		t.Fatalf("closed query should refuse: %v", err)
+	}
+}
+
+// TestWatchGroupedRefresh: per-key maintained queries, including a key
+// that only exists in the appended data.
+func TestWatchGroupedRefresh(t *testing.T) {
+	env := newEnv(t, 61)
+	enc := func(keys []string, per int, seed uint64, shift float64) []byte {
+		var buf []byte
+		xs := genValues(t, per*len(keys), seed)
+		i := 0
+		for _, k := range keys {
+			for j := 0; j < per; j++ {
+				buf = append(buf, []byte(fmt.Sprintf("%s\t%012.6f\n", k, xs[i]+shift))...)
+				i++
+			}
+		}
+		return buf
+	}
+	if err := env.FS.WriteFile("/kv", enc([]string{"a", "b"}, 30_000, 62, 0)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := live.WatchGrouped(env, jobs.Mean(), core.TabKV, "/kv", core.Options{Sigma: 0.08, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	first := q.Report()
+	if len(first.Groups) != 2 {
+		t.Fatalf("initial groups: %v", first.Groups)
+	}
+	// Append more of "b" plus a brand-new key "c".
+	if err := env.FS.Append("/kv", enc([]string{"b", "c"}, 30_000, 64, 200)); err != nil {
+		t.Fatal(err)
+	}
+	before := env.Metrics.Snapshot()
+	rep, err := q.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := env.Metrics.Snapshot().Sub(before)
+	if len(rep.Groups) != 3 {
+		t.Fatalf("appended key missing: %v", rep.Groups)
+	}
+	if rep.Groups["c"].SampleSize == 0 {
+		t.Fatalf("new group never sampled: %+v", rep.Groups["c"])
+	}
+	// "c" values are uniform(0,100)+200 → mean ≈ 250.
+	if got := rep.Groups["c"].Estimate; got < 200 || got > 300 {
+		t.Fatalf("new group estimate %v implausible", got)
+	}
+	// Refresh cost stays delta-proportional.
+	if cost.RecordsRead > 60_000/4 {
+		t.Fatalf("grouped refresh read %d records of a 60000-record delta", cost.RecordsRead)
+	}
+}

@@ -65,6 +65,22 @@ func UpdateAll(r IncrementalReducer, state State, values []float64) (State, erro
 	return state, nil
 }
 
+// InitializeOrUpdate folds values into state, creating a fresh state via
+// Initialize when state is nil. This is the reuse pattern of maintained
+// queries over continuously ingested data: the same incremental state is
+// grown batch after batch instead of being recomputed, so each refresh
+// costs only the delta. A nil state with no values stays nil (there is
+// nothing to summarise yet).
+func InitializeOrUpdate(r IncrementalReducer, key string, state State, values []float64) (State, error) {
+	if state == nil {
+		if len(values) == 0 {
+			return nil, nil
+		}
+		return r.Initialize(key, values)
+	}
+	return UpdateAll(r, state, values)
+}
+
 // Correctable wraps a user correction function.
 type Correctable func(result, p float64) float64
 

@@ -91,6 +91,38 @@ func TestUpdateAll(t *testing.T) {
 	}
 }
 
+func TestInitializeOrUpdate(t *testing.T) {
+	r := meanReducer{}
+	// nil state + no values: still nothing to summarise.
+	st, err := InitializeOrUpdate(r, "k", nil, nil)
+	if err != nil || st != nil {
+		t.Fatalf("empty init: state %v, err %v", st, err)
+	}
+	// First batch initialises.
+	st, err = InitializeOrUpdate(r, "k", st, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Later batches update the SAME state — the maintained-query reuse
+	// pattern: cost proportional to the delta, not the history.
+	st, err = InitializeOrUpdate(r, "k", st, []float64{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Finalize(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("maintained mean = %v, want 3", got)
+	}
+	// Updating with an empty delta is a no-op, not an error.
+	st2, err := InitializeOrUpdate(r, "k", st, nil)
+	if err != nil || st2 != st {
+		t.Fatalf("empty delta: state %v, err %v", st2, err)
+	}
+}
+
 func TestUpdateRejectsWrongTypes(t *testing.T) {
 	r := meanReducer{}
 	if _, err := r.Update("not-a-state", 1.0); err != ErrBadState {

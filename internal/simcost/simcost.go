@@ -38,6 +38,7 @@ type Metrics struct {
 	ReduceTasks    atomic.Int64 // reduce task launches (incl. restarts)
 	JobStartups    atomic.Int64 // MR job submissions (JVM fleet spin-up)
 	TaskRestarts   atomic.Int64 // tasks restarted after failure
+	Refreshes      atomic.Int64 // maintained-query refresh operations (continuous ingest)
 }
 
 // Snapshot is an immutable copy of a Metrics at a point in time.
@@ -53,6 +54,7 @@ type Snapshot struct {
 	ReduceTasks    int64
 	JobStartups    int64
 	TaskRestarts   int64
+	Refreshes      int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting. (Individual
@@ -71,6 +73,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		ReduceTasks:    m.ReduceTasks.Load(),
 		JobStartups:    m.JobStartups.Load(),
 		TaskRestarts:   m.TaskRestarts.Load(),
+		Refreshes:      m.Refreshes.Load(),
 	}
 }
 
@@ -87,6 +90,7 @@ func (m *Metrics) Reset() {
 	m.ReduceTasks.Store(0)
 	m.JobStartups.Store(0)
 	m.TaskRestarts.Store(0)
+	m.Refreshes.Store(0)
 }
 
 // Add folds another snapshot into s.
@@ -103,6 +107,7 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		ReduceTasks:    s.ReduceTasks + o.ReduceTasks,
 		JobStartups:    s.JobStartups + o.JobStartups,
 		TaskRestarts:   s.TaskRestarts + o.TaskRestarts,
+		Refreshes:      s.Refreshes + o.Refreshes,
 	}
 }
 
@@ -120,6 +125,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		ReduceTasks:    s.ReduceTasks - o.ReduceTasks,
 		JobStartups:    s.JobStartups - o.JobStartups,
 		TaskRestarts:   s.TaskRestarts - o.TaskRestarts,
+		Refreshes:      s.Refreshes - o.Refreshes,
 	}
 }
 
@@ -219,6 +225,7 @@ func (s Snapshot) ScaleBytes(factor float64) Snapshot {
 		ReduceTasks:    s.ReduceTasks,
 		JobStartups:    s.JobStartups,
 		TaskRestarts:   s.TaskRestarts,
+		Refreshes:      s.Refreshes,
 	}
 }
 
@@ -238,8 +245,8 @@ func (s Snapshot) ScaleAll(factor float64) Snapshot {
 
 // String renders the snapshot compactly for logs and experiment output.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("read=%dB written=%dB shuffled=%dB recs(in/map/red)=%d/%d/%d seeks=%d tasks(m/r)=%d/%d jobs=%d restarts=%d",
+	return fmt.Sprintf("read=%dB written=%dB shuffled=%dB recs(in/map/red)=%d/%d/%d seeks=%d tasks(m/r)=%d/%d jobs=%d restarts=%d refreshes=%d",
 		s.BytesRead, s.BytesWritten, s.BytesShuffled,
 		s.RecordsRead, s.RecordsMapped, s.RecordsReduced,
-		s.DiskSeeks, s.MapTasks, s.ReduceTasks, s.JobStartups, s.TaskRestarts)
+		s.DiskSeeks, s.MapTasks, s.ReduceTasks, s.JobStartups, s.TaskRestarts, s.Refreshes)
 }

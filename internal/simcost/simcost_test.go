@@ -45,9 +45,32 @@ func TestReset(t *testing.T) {
 	var m Metrics
 	m.BytesRead.Add(5)
 	m.JobStartups.Add(1)
+	m.Refreshes.Add(2)
 	m.Reset()
 	if s := m.Snapshot(); s != (Snapshot{}) {
 		t.Fatalf("reset left %+v", s)
+	}
+}
+
+func TestRefreshesCounter(t *testing.T) {
+	var m Metrics
+	m.Refreshes.Add(3)
+	a := m.Snapshot()
+	if a.Refreshes != 3 {
+		t.Fatalf("snapshot refreshes = %d", a.Refreshes)
+	}
+	m.Refreshes.Add(2)
+	d := m.Snapshot().Sub(a)
+	if d.Refreshes != 2 {
+		t.Fatalf("delta refreshes = %d", d.Refreshes)
+	}
+	if got := a.Add(d).Refreshes; got != 5 {
+		t.Fatalf("add refreshes = %d", got)
+	}
+	// Refreshes are operation counts, like job submissions: extrapolating
+	// data volume must not scale them.
+	if got := d.ScaleBytes(10).Refreshes; got != 2 {
+		t.Fatalf("ScaleBytes scaled refreshes: %d", got)
 	}
 }
 
