@@ -14,6 +14,11 @@
 //	-parallelism N  resampling worker-pool size (0 = GOMAXPROCS,
 //	                1 = sequential engine); tables are identical for a
 //	                fixed seed at any value
+//	-json           run the hot-substrate micro-benchmarks (bootstrap
+//	                resampling, delta maintenance, pre-map sampling)
+//	                and emit ns/op as JSON instead of figure tables —
+//	                CI publishes this as the benchmark trajectory
+//	                artifact (BENCH_pr3.json)
 package main
 
 import (
@@ -30,7 +35,16 @@ func main() {
 	records := flag.Int("records", 1<<20, "laptop-scale record count for measured runs")
 	quick := flag.Bool("quick", false, "use smaller measurement sizes")
 	parallelism := flag.Int("parallelism", 0, "resampling worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	jsonOut := flag.Bool("json", false, "emit micro-benchmark ns/op as JSON (ignores figure arguments)")
 	flag.Parse()
+
+	if *jsonOut {
+		if err := runMicroJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments.Parallelism = *parallelism
 	recs := *records

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"math/rand/v2"
+
+	"repro/internal/bootstrap"
+	"repro/internal/delta"
+	"repro/internal/jobs"
+	"repro/internal/sampling"
+	"repro/internal/workload"
+
+	"repro/internal/dfs"
+)
+
+// microResult is one micro-benchmark measurement in the benchmark
+// trajectory file (BENCH_<pr>.json) CI publishes per run.
+type microResult struct {
+	Family      string  `json:"family"` // bootstrap | delta | sampling
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Iterations  int     `json:"iterations"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// microReport is the top-level JSON document.
+type microReport struct {
+	Suite      string        `json:"suite"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []microResult `json:"benchmarks"`
+}
+
+// runMicroJSON measures the three hot-substrate families — bootstrap
+// resampling, delta maintenance, pre-map sampling — with
+// testing.Benchmark and writes the results as JSON. These mirror the
+// substrate micro-benchmarks in bench_test.go; the figure-level
+// benchmarks stay in `go test -bench` where their runtime is at home.
+func runMicroJSON(w io.Writer) error {
+	var out []microResult
+	var failed []string
+	add := func(family, name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			// testing.Benchmark swallows b.Fatal and returns a zero
+			// result; surfacing the name here keeps a broken benchmark
+			// from dying later as an unrelated "NaN is not JSON" error.
+			failed = append(failed, family+"/"+name)
+			return
+		}
+		out = append(out, microResult{
+			Family:      family,
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			Iterations:  r.N,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	// --- Family 1: bootstrap resampling (the CPU hot path). ----------
+	xs, err := workload.NumericSpec{Dist: workload.Gaussian, N: 10_000, Seed: 1}.Generate()
+	if err != nil {
+		return err
+	}
+	add("bootstrap", "MonteCarloMean/n=10000/B=30", func(b *testing.B) {
+		rng := rand.New(rand.NewPCG(1, 2))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bootstrap.MonteCarlo(rng, xs, bootstrap.Mean, 30); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	big, err := workload.NumericSpec{Dist: workload.Gaussian, N: 100_000, Seed: 1}.Generate()
+	if err != nil {
+		return err
+	}
+	for _, par := range []int{1, 0} {
+		par := par
+		add("bootstrap", fmt.Sprintf("ParallelMonteCarloMean/n=100000/B=100/%s", benchParLabel(par)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewPCG(1, 2))
+				if _, err := bootstrap.ParallelMonteCarlo(rng, big, bootstrap.Mean, 100, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// --- Family 2: delta maintenance (§4.1's optimized reducer). -----
+	ds, err := workload.NumericSpec{Dist: workload.Gaussian, N: 4096, Seed: 1}.Generate()
+	if err != nil {
+		return err
+	}
+	growBench := func(naive bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := delta.Config{Reducer: jobs.Mean().Reducer, B: 30, Seed: uint64(i), Key: "b"}
+				var m interface{ Grow([]float64) error }
+				var err error
+				if naive {
+					m, err = delta.NewNaive(cfg)
+				} else {
+					m, err = delta.New(cfg)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				for g := 0; g < 4; g++ {
+					if err := m.Grow(ds); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	add("delta", "MaintainerGrow/n=4096/B=30/gens=4", growBench(false))
+	add("delta", "NaiveMaintainerGrow/n=4096/B=30/gens=4", growBench(true))
+
+	// --- Family 3: pre-map sampling (Algorithm 2 seek path). ---------
+	fsys := dfs.New(dfs.Config{BlockSize: 1 << 16, Replication: 2, DataNodes: 5, Seed: 1})
+	sv, err := workload.NumericSpec{Dist: workload.Uniform, N: 200_000, Seed: 1}.Generate()
+	if err != nil {
+		return err
+	}
+	if err := fsys.WriteFile("/bench", workload.EncodeLinesFixed(sv)); err != nil {
+		return err
+	}
+	add("sampling", "PreMapSample/n=200000/k=1000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := sampling.NewPreMap(fsys, "/bench", 0, uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Sample(1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if len(failed) > 0 {
+		return fmt.Errorf("micro-benchmarks failed (ran zero iterations): %s", strings.Join(failed, ", "))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(microReport{
+		Suite:      "earl-micro",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: out,
+	})
+}
+
+func benchParLabel(par int) string {
+	if par == 0 {
+		return fmt.Sprintf("pmax=%d", bootstrap.Workers(0))
+	}
+	return fmt.Sprintf("p=%d", par)
+}

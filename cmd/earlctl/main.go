@@ -256,29 +256,10 @@ func runWatch(stdout io.Writer, cluster *earl.Cluster, job earl.Job, opts earl.O
 	return nil
 }
 
+// pickJob delegates to the engine-wide name table (kmeans is dispatched
+// before this, it is not a Numeric job).
 func pickJob(name string) (earl.Job, error) {
-	switch name {
-	case "mean":
-		return earl.Mean(), nil
-	case "sum":
-		return earl.Sum(), nil
-	case "count":
-		return earl.Count(), nil
-	case "median":
-		return earl.Median(), nil
-	case "variance":
-		return earl.Variance(), nil
-	case "stddev":
-		return earl.StdDev(), nil
-	case "proportion":
-		return earl.Proportion(), nil
-	case "p90":
-		return earl.Quantile(0.90)
-	case "p99":
-		return earl.Quantile(0.99)
-	default:
-		return earl.Job{}, fmt.Errorf("unknown job %q", name)
-	}
+	return earl.JobByName(name)
 }
 
 func runKMeans(stdout io.Writer, cluster *earl.Cluster, n, k int, sigma float64, seed uint64) error {

@@ -1,0 +1,103 @@
+// Command earld is the EARL approximate-query daemon: one simulated
+// cluster served to many concurrent clients over an HTTP JSON API, with
+// admission control, shared maintained queries, and an append-aware
+// result cache (see internal/serve for the design).
+//
+//	earld -addr :8080 -max-inflight 4 -queue 64
+//
+// A quick session with curl:
+//
+//	curl -X POST localhost:8080/data \
+//	     -d '{"path":"/t/latency","values":[12.1,14.2,13.7,15.9]}'
+//	curl -X POST localhost:8080/query -d '{"job":"mean","path":"/t/latency"}'
+//	curl -X POST localhost:8080/watch -d '{"job":"p99","path":"/t/latency"}'
+//	curl -X POST localhost:8080/append -d '{"path":"/t/latency","values":[99.5]}'
+//	curl localhost:8080/watch/w1
+//	curl localhost:8080/metrics
+//
+// The optional -demo-records flag preloads a Gaussian dataset at
+// /demo/gaussian so the API is immediately queryable.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run builds the cluster and server and serves until the listener
+// fails. ready, when non-nil, receives the bound address once the
+// listener is up (the smoke test uses it; main passes nil).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("earld", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		inflight = fs.Int("max-inflight", 4, "queries executing concurrently")
+		queue    = fs.Int("queue", 64, "queued queries beyond max-inflight before rejecting")
+		timeout  = fs.Duration("query-timeout", 60*time.Second, "per-query deadline (queueing + execution)")
+		watches  = fs.Int("max-watches", 256, "distinct maintained queries held at once")
+		idleTTL  = fs.Duration("watch-idle-ttl", 15*time.Minute, "idle watches past this are evictable when the registry is full")
+		nodes    = fs.Int("nodes", 5, "simulated cluster size")
+		seed     = fs.Uint64("seed", 1, "cluster seed")
+		demoN    = fs.Int("demo-records", 0, "preload /demo/gaussian with this many records (0 = none)")
+	)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	env, err := core.NewEnv(core.EnvConfig{DataNodes: *nodes, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(env, serve.Config{
+		MaxInFlight:  *inflight,
+		MaxQueue:     *queue,
+		QueryTimeout: *timeout,
+		MaxWatches:   *watches,
+		WatchIdleTTL: *idleTTL,
+	})
+	if err != nil {
+		return err
+	}
+	if *demoN > 0 {
+		xs, err := workload.NumericSpec{Dist: workload.Gaussian, N: *demoN, Seed: *seed + 1}.Generate()
+		if err != nil {
+			return err
+		}
+		if err := env.FS.WriteFile("/demo/gaussian", workload.EncodeLinesFixed(xs)); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "preloaded /demo/gaussian with %d records\n", *demoN)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "earld listening on %s (max-inflight=%d queue=%d nodes=%d)\n",
+		ln.Addr(), *inflight, *queue, *nodes)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	return http.Serve(ln, srv.Handler())
+}

@@ -1,0 +1,176 @@
+package earl_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/earl"
+	"repro/internal/workload"
+)
+
+// TestConcurrentClusterStress exercises the Cluster's concurrency
+// contract under the race detector: N goroutines mix Run, Watch/Refresh
+// and Append against one Cluster. Before runs were namespaced by run id,
+// concurrent runs of the same job shared their reducer error files and
+// read each other's cv/generation feedback — mis-terminating with tiny
+// samples — and this test is the regression guard for that fix.
+func TestConcurrentClusterStress(t *testing.T) {
+	cluster, err := earl.NewCluster(earl.ClusterConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := workload.NumericSpec{Dist: workload.Gaussian, N: 60_000, Seed: 2}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.WriteValues("/stress/run", xs); err != nil {
+		t.Fatal(err)
+	}
+	ys, err := workload.NumericSpec{Dist: workload.Uniform, N: 60_000, Seed: 3}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.WriteValues("/stress/watch", ys); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Three goroutines running the SAME job name over the same path —
+	// the exact collision the per-run error-file namespace fixes.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				rep, err := cluster.Run(earl.Mean(), "/stress/run",
+					earl.Options{Sigma: 0.05, Seed: uint64(100 + 10*g + i)})
+				if err != nil {
+					errs <- fmt.Errorf("run[%d,%d]: %w", g, i, err)
+					return
+				}
+				if math.Abs(rep.Estimate-50) > 25 {
+					errs <- fmt.Errorf("run[%d,%d]: estimate %g wildly off (cross-run interference?)", g, i, rep.Estimate)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Two watch goroutines over the appended file, refreshing repeatedly.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w, err := cluster.Watch(earl.Mean(), "/stress/watch",
+				earl.Options{Sigma: 0.08, Seed: uint64(200 + g)})
+			if err != nil {
+				errs <- fmt.Errorf("watch[%d]: %w", g, err)
+				return
+			}
+			defer w.Close()
+			for i := 0; i < 4; i++ {
+				if _, err := w.Refresh(); err != nil {
+					errs <- fmt.Errorf("watch[%d] refresh %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// One appender feeding the watched file while everything else runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			delta, err := workload.NumericSpec{Dist: workload.Uniform, N: 10_000, Seed: uint64(300 + i)}.Generate()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := cluster.AppendValues("/stress/watch", delta); err != nil {
+				errs <- fmt.Errorf("append %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	// One grouped run in the mix (its own error-file namespace too).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		kv := make([]byte, 0, 1<<16)
+		for i := 0; i < 6_000; i++ {
+			kv = append(kv, fmt.Sprintf("g%d\t%d\n", i%3, 10+i%7)...)
+		}
+		if err := cluster.WriteFile("/stress/kv", kv); err != nil {
+			errs <- err
+			return
+		}
+		if _, err := cluster.RunGrouped(earl.Mean(), earl.TabKV, "/stress/kv",
+			earl.Options{Sigma: 0.1, Seed: 400}); err != nil {
+			errs <- fmt.Errorf("grouped: %w", err)
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentSameJobMatchesSolo pins down the feedback-file isolation
+// more sharply: a fixed-seed Run executed while an identical-job run is
+// in flight must produce the same report as the same Run executed alone
+// on a fresh cluster. With a shared error-file prefix the concurrent run
+// could adopt the other's generation counter and terminate on the wrong
+// schedule.
+func TestConcurrentSameJobMatchesSolo(t *testing.T) {
+	build := func() *earl.Cluster {
+		cluster, err := earl.NewCluster(earl.ClusterConfig{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs, err := workload.NumericSpec{Dist: workload.Gaussian, N: 50_000, Seed: 7}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.WriteValues("/iso/data", xs); err != nil {
+			t.Fatal(err)
+		}
+		return cluster
+	}
+	opts := earl.Options{Sigma: 0.05, Seed: 42, Parallelism: 1}
+
+	solo := build()
+	want, err := solo.Run(earl.Mean(), "/iso/data", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := build()
+	var wg sync.WaitGroup
+	var got earl.Report
+	var gotErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		got, gotErr = shared.Run(earl.Mean(), "/iso/data", opts)
+	}()
+	go func() {
+		defer wg.Done()
+		// Same job name, different seed: would share the old error prefix.
+		_, _ = shared.Run(earl.Mean(), "/iso/data", earl.Options{Sigma: 0.05, Seed: 99, Parallelism: 1})
+	}()
+	wg.Wait()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if got.Estimate != want.Estimate || got.SampleSize != want.SampleSize || got.B != want.B {
+		t.Fatalf("concurrent run diverged from solo run:\nsolo      %+v\nconcurrent %+v", want, got)
+	}
+}

@@ -87,12 +87,41 @@ var (
 // Quantile builds the q-th quantile job (0 < q < 1).
 func Quantile(q float64) (Job, error) { return jobs.Quantile(q) }
 
+// JobByName resolves a statistic by its user-facing name (mean, sum,
+// count, median, variance, stddev, proportion, pNN percentiles, q0.NN
+// quantiles) — the shared table every front end uses.
+func JobByName(name string) (Job, error) { return jobs.ByName(name) }
+
 // ClusterConfig shapes the simulated deployment.
 type ClusterConfig = core.EnvConfig
 
 // Cluster is a simulated Hadoop deployment: a replicated DFS plus a
 // MapReduce engine with EARL's extensions. All EARL runs execute
 // against a Cluster.
+//
+// Concurrency contract: a Cluster is safe for concurrent use. Any mix
+// of Run, RunGrouped, Watch, WatchGrouped, Append, WriteFile and
+// metrics calls may proceed from multiple goroutines against the same
+// Cluster — the DFS and engine are internally synchronized, and every
+// run namespaces its reducer→mapper feedback files by a unique run id,
+// so concurrent runs (even of the same job over the same path) never
+// observe each other's expansion state. Each Watch/GroupedWatch handle
+// additionally serialises its own Refresh calls, so a handle may be
+// shared between goroutines; an Append concurrent with a Refresh is
+// ordered by the DFS — the refresh either sees the appended blocks now
+// or picks them up on its next call.
+//
+// One carve-out: do not WriteFile over a path with an open Watch.
+// Maintained queries only move forward over appends — their retained
+// sample and sync point describe the replaced contents, so after a
+// rewrite Refresh returns ErrTruncated (smaller file) or silently
+// treats the unrelated new tail as appended data (same-size or larger
+// file). Close the watches first and re-open them over the new data;
+// internal/serve.Rewrite automates exactly that for the query server. The cost counters in Metrics are
+// cluster-wide aggregates: under concurrent runs, per-run attribution
+// requires snapshot deltas taken by the caller (see internal/serve for
+// the caveats). KillNode/ReviveNode are also safe to call mid-run —
+// that is exactly the §3.4 fault-tolerance path.
 type Cluster struct {
 	env *core.Env
 }

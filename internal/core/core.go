@@ -31,6 +31,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dfs"
 	"repro/internal/mr"
@@ -38,11 +39,26 @@ import (
 )
 
 // Env bundles the simulated deployment a driver runs against.
+//
+// An Env is safe for concurrent use: the DFS, the MR engine and the
+// metrics sink are internally synchronized, and every sampled run
+// claims a unique id (NextRunID) that namespaces its reducer error
+// files, so concurrent Run/RunGrouped/Watch/Append callers never read
+// each other's feedback state.
 type Env struct {
 	FS      *dfs.FileSystem
 	Engine  *mr.Engine
 	Metrics *simcost.Metrics
+
+	runSeq atomic.Int64
 }
+
+// NextRunID returns a process-unique id for one driver run. Every
+// sampled run embeds it in its DFS error-file prefix: the §3.3
+// reducer→mapper feedback files are per-run state, and two concurrent
+// runs of the same job name sharing a prefix would read each other's
+// cv/generation values (and delete each other's files).
+func (e *Env) NextRunID() int64 { return e.runSeq.Add(1) }
 
 // EnvConfig shapes a simulated deployment.
 type EnvConfig struct {
@@ -112,6 +128,16 @@ func parseErrorFile(b []byte) (errorFile, error) {
 		return errorFile{}, fmt.Errorf("core: bad error file %q: %w", b, err)
 	}
 	return e, nil
+}
+
+// cleanupErrorFiles removes a finished run's error files so the /earl
+// namespace does not grow without bound under a long-lived server
+// issuing many runs. Best-effort: a file whose every replica died stays
+// behind and is harmless (the prefix is never reused).
+func cleanupErrorFiles(fsys *dfs.FileSystem, prefix string) {
+	for _, p := range fsys.List(prefix) {
+		_ = fsys.Delete(p)
+	}
 }
 
 // readErrors lists and parses all error files under prefix, returning

@@ -316,12 +316,11 @@ func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan a
 	ctrl := &mr.Controller{}
 	ctrl.RequestExpansion(int64(plan.N))
 
-	errPrefix := "/earl/" + job.Name + "/errors/"
-	for _, p := range env.FS.List(errPrefix) {
-		if err := env.FS.Delete(p); err != nil {
-			return Report{}, nil, err
-		}
-	}
+	// The error-file prefix is namespaced by a per-run id: the feedback
+	// files are this run's private mailbox, and concurrent runs of the
+	// same job must not read (or delete) each other's cv/generation.
+	errPrefix := fmt.Sprintf("/earl/run-%d/%s/errors/", env.NextRunID(), job.Name)
+	defer cleanupErrorFiles(env.FS, errPrefix)
 
 	// Shared progress counters (the coordination state that in Hadoop
 	// lives in task heartbeats and the shared JobID file space).

@@ -195,12 +195,8 @@ func RunGroupedLive(env *Env, job jobs.Numeric, parse ParseKV, path string, opts
 
 	ctrl := &mr.Controller{}
 	ctrl.RequestExpansion(int64(initialN))
-	errPrefix := "/earl/" + job.Name + "-grouped/errors/"
-	for _, p := range env.FS.List(errPrefix) {
-		if err := env.FS.Delete(p); err != nil {
-			return GroupedReport{}, nil, err
-		}
-	}
+	errPrefix := fmt.Sprintf("/earl/run-%d/%s-grouped/errors/", env.NextRunID(), job.Name)
+	defer cleanupErrorFiles(env.FS, errPrefix)
 
 	var emitted, received atomic.Int64
 	var exhausted atomic.Int32

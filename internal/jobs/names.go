@@ -1,0 +1,42 @@
+package jobs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ByName resolves a statistic by its user-facing name — the single
+// name→job table shared by every front end (earlctl, earld's query
+// specs). Fixed names: mean, sum, count, median, variance, stddev,
+// proportion. Quantiles parse generically: pNN is the NN-th percentile
+// (p90, p99.9) and q0.NN the plain fraction form (q0.25).
+func ByName(name string) (Numeric, error) {
+	switch name {
+	case "mean":
+		return Mean(), nil
+	case "sum":
+		return Sum(), nil
+	case "count":
+		return Count(), nil
+	case "median":
+		return Median(), nil
+	case "variance":
+		return Variance(), nil
+	case "stddev":
+		return StdDev(), nil
+	case "proportion":
+		return Proportion(), nil
+	}
+	if pct, ok := strings.CutPrefix(name, "p"); ok {
+		if v, err := strconv.ParseFloat(pct, 64); err == nil {
+			return Quantile(v / 100)
+		}
+	}
+	if frac, ok := strings.CutPrefix(name, "q"); ok {
+		if v, err := strconv.ParseFloat(frac, 64); err == nil {
+			return Quantile(v)
+		}
+	}
+	return Numeric{}, fmt.Errorf("jobs: unknown job %q", name)
+}

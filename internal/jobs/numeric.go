@@ -98,7 +98,10 @@ func Median() Numeric {
 
 // Quantile returns the q-th quantile job (0 < q < 1).
 func Quantile(q float64) (Numeric, error) {
-	if q <= 0 || q >= 1 {
+	// The negated-range form rejects NaN too: NaN fails both q <= 0 and
+	// q >= 1, and an admitted NaN panics downstream when the quantile
+	// index is computed — remotely reachable via earld's "qnan" job name.
+	if !(q > 0 && q < 1) {
 		return Numeric{}, fmt.Errorf("jobs: quantile q=%v outside (0,1)", q)
 	}
 	return Numeric{

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/dfs"
+	"repro/internal/live"
+	"repro/internal/workload"
+)
+
+// Handler returns earld's HTTP JSON API over the server:
+//
+//	POST   /query        {job, path, sigma?, sampler?, seed?, parallelism?, grouped?}
+//	POST   /watch        same body; dedupes identical maintained queries
+//	GET    /watch/{id}   current report, refreshing once if data was appended
+//	DELETE /watch/{id}?sub=TOKEN  drop the subscription minted by POST /watch
+//	                     (idempotent per token; last one closes the query)
+//	POST   /append       {path, values:[...]} or {path, data:"raw\nlines\n"}
+//	POST   /data         {path, values:[...]} create/replace a dataset
+//	GET    /metrics      server + cluster counters, per-query costs, watches
+//	GET    /healthz
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /watch", s.handleOpenWatch)
+	mux.HandleFunc("GET /watch/{id}", s.handleWatchReport)
+	mux.HandleFunc("DELETE /watch/{id}", s.handleCloseWatch)
+	mux.HandleFunc("POST /append", s.handleAppend)
+	mux.HandleFunc("POST /data", s.handleData)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// openWatchResponse is the POST /watch payload: the shared WatchInfo
+// plus whether this subscription joined an existing query.
+type openWatchResponse struct {
+	WatchInfo
+	Shared bool `json:"shared"`
+}
+
+// ingestRequest is the POST /append and POST /data body. Values are
+// encoded in the fixed-width line format (exactly uniform pre-map
+// sampling); Data is raw newline-terminated records stored as-is.
+type ingestRequest struct {
+	Path   string    `json:"path"`
+	Values []float64 `json:"values,omitempty"`
+	Data   string    `json:"data,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var spec QuerySpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	res, err := s.Query(r.Context(), spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleOpenWatch(w http.ResponseWriter, r *http.Request) {
+	var spec QuerySpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	info, shared, err := s.OpenWatch(r.Context(), spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusCreated
+	if shared {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, openWatchResponse{WatchInfo: info, Shared: shared})
+}
+
+func (s *Server) handleWatchReport(w http.ResponseWriter, r *http.Request) {
+	info, err := s.WatchReport(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCloseWatch(w http.ResponseWriter, r *http.Request) {
+	if err := s.CloseWatch(r.PathValue("id"), r.URL.Query().Get("sub")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	data, err := req.payload()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	size, gen, err := s.Append(req.Path, data)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"size": size, "generation": gen})
+}
+
+func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	data, err := req.payload()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	size, err := s.Rewrite(req.Path, data)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"size": size})
+}
+
+func (r ingestRequest) payload() ([]byte, error) {
+	if r.Path == "" {
+		return nil, errors.New("serve: ingest needs a path")
+	}
+	switch {
+	case len(r.Values) > 0 && r.Data != "":
+		return nil, errors.New("serve: give values or data, not both")
+	case len(r.Values) > 0:
+		return workload.EncodeLinesFixed(r.Values), nil
+	case r.Data != "":
+		return []byte(r.Data), nil
+	default:
+		return nil, errors.New("serve: ingest needs values or data")
+	}
+}
+
+// decodeBody parses the JSON request body into v, answering 400 itself
+// on malformed input.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps scheduler and driver errors onto HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownWatch):
+		status = http.StatusNotFound
+	case errors.Is(err, live.ErrClosed):
+		// The watch was closed (last unsubscribe, or a rewrite of its
+		// path) while this request was in flight: gone, re-open it.
+		status = http.StatusGone
+	case errors.Is(err, live.ErrTruncated):
+		// The watched file shrank under the handle (an out-of-band
+		// rewrite): the maintained state conflicts with the data.
+		status = http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	case isClientError(err):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// isClientError reports whether err describes a request the client can
+// fix: this package's own validation failures (which all carry the
+// "serve:" prefix), a missing file, or a record-unaligned append — the
+// latter two matched by errors.Is on the dfs sentinels so wrapping
+// never silently turns them into 500s.
+func isClientError(err error) bool {
+	if errors.Is(err, dfs.ErrNotFound) || errors.Is(err, dfs.ErrUnalignedAppend) {
+		return true
+	}
+	return strings.HasPrefix(err.Error(), "serve:")
+}

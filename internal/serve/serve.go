@@ -1,0 +1,895 @@
+// Package serve is earld's engine room: a multi-tenant approximate-query
+// scheduler over one simulated EARL cluster. It turns the single-caller
+// core API into something many concurrent clients can hit at once, with
+// three mechanisms layered over core.Env:
+//
+//   - Admission control. Every piece of real work (a Run, a grouped run,
+//     a watch creation, a refresh) must claim one of Config.MaxInFlight
+//     execution slots. Callers beyond that wait in a bounded queue
+//     (Config.MaxQueue) honouring their context's deadline/cancellation;
+//     callers beyond the queue are rejected immediately with
+//     ErrOverloaded. This keeps a burst of expensive queries from
+//     oversubscribing the cluster's task slots and stretching every
+//     caller's latency — the admission-control lesson the LSST-scale
+//     serving designs make explicit.
+//
+//   - A shared-watch registry. Maintained queries are deduped by their
+//     full identity (job, path, σ, sampler, seed, parallelism…): the
+//     first OpenWatch runs the query and keeps its live.Query; identical
+//     subsequent opens subscribe to the same underlying query. After an
+//     Append, the first subscriber to ask for the report pays the one
+//     delta refresh (serialised per entry) and every subscriber reads
+//     the same refreshed Report — K clients watching the same stream
+//     cost one refresh per append, o(K·N) records, instead of K.
+//
+//   - A result cache for one-shot queries, invalidated by ingest. Each
+//     watched path carries a generation counter bumped on Append; a
+//     cached Report is returned only while its path generation is
+//     current, so a cache hit can never serve data from before an
+//     append.
+//
+// Cost attribution: the cluster's simcost.Metrics is a single shared
+// sink, so per-query cost deltas (QueryResult.Cost, and the per-query
+// aggregates in Metrics()) are exact only for queries that did not
+// overlap another run; under concurrency, overlapping queries' counters
+// bleed into each other's deltas. The aggregate snapshot is always
+// exact. Per-watch refresh counts are tracked by the registry itself
+// and are exact under any concurrency.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/live"
+	"repro/internal/simcost"
+	"repro/internal/workload"
+)
+
+// Errors the scheduler reports to clients.
+var (
+	// ErrOverloaded means both the execution slots and the waiting queue
+	// are full; the client should back off and retry.
+	ErrOverloaded = errors.New("serve: server overloaded (queue full)")
+	// ErrUnknownWatch means the watch id is not (or no longer) registered.
+	ErrUnknownWatch = errors.New("serve: unknown watch id")
+)
+
+// Config shapes the scheduler.
+type Config struct {
+	// MaxInFlight is the number of queries actually executing on the
+	// cluster at once; 4 if 0.
+	MaxInFlight int
+	// MaxQueue is how many admitted callers may wait for a slot beyond
+	// MaxInFlight before new arrivals are rejected; 64 if 0.
+	MaxQueue int
+	// QueryTimeout bounds one query's total time (queueing + execution)
+	// when the caller's context carries no deadline of its own; 60s if 0.
+	QueryTimeout time.Duration
+	// MaxWatches bounds the shared-watch registry: every entry pins a
+	// live.Query's retained sample and sketch states, so abandoned
+	// subscriptions must not grow server memory without limit; 256 if 0.
+	MaxWatches int
+	// WatchIdleTTL makes the registry cap recoverable: when OpenWatch
+	// finds the registry full, watches nobody has opened or polled for
+	// this long are evicted (their subscribers see ErrUnknownWatch and
+	// re-open). 15m if 0.
+	WatchIdleTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 60 * time.Second
+	}
+	if c.MaxWatches <= 0 {
+		c.MaxWatches = 256
+	}
+	if c.WatchIdleTTL <= 0 {
+		c.WatchIdleTTL = 15 * time.Minute
+	}
+	return c
+}
+
+// QuerySpec names one approximate query — the identity the shared-watch
+// registry and the result cache key on. Two specs with the same
+// normalized fields are the same query and may share work.
+type QuerySpec struct {
+	// Job is the statistic: mean, sum, count, median, variance, stddev,
+	// proportion, or pNN / q0.NN for quantiles.
+	Job  string `json:"job"`
+	Path string `json:"path"`
+	// Grouped runs the per-key variant over "key\tvalue" records.
+	Grouped     bool    `json:"grouped,omitempty"`
+	Sigma       float64 `json:"sigma,omitempty"`       // σ; 0.05 if 0
+	Sampler     string  `json:"sampler,omitempty"`     // pre-map (default) | post-map
+	Seed        uint64  `json:"seed,omitempty"`        // deterministic seed
+	Parallelism int     `json:"parallelism,omitempty"` // resampling pool size; 0 = GOMAXPROCS
+}
+
+// normalize applies defaults and validates the spec.
+func (q QuerySpec) normalize() (QuerySpec, error) {
+	q.Job = strings.ToLower(strings.TrimSpace(q.Job))
+	if q.Job == "" {
+		q.Job = "mean"
+	}
+	if _, err := jobByName(q.Job); err != nil {
+		return q, err
+	}
+	if q.Path == "" {
+		return q, errors.New("serve: query needs a path")
+	}
+	if q.Sigma == 0 {
+		q.Sigma = 0.05
+	}
+	if q.Sigma < 0 {
+		return q, fmt.Errorf("serve: negative sigma %g", q.Sigma)
+	}
+	switch q.Sampler {
+	case "", "pre-map":
+		q.Sampler = string(core.PreMapSampling)
+	case "post-map":
+		q.Sampler = string(core.PostMapSampling)
+	default:
+		return q, fmt.Errorf("serve: unknown sampler %q (pre-map|post-map)", q.Sampler)
+	}
+	if q.Parallelism < 0 {
+		q.Parallelism = 0
+	}
+	return q, nil
+}
+
+// key is the canonical identity string of a normalized spec. Parallelism
+// is deliberately part of it even though results are bit-identical at any
+// parallelism: sharing across parallelism settings would be sound for
+// results but would make a subscriber's requested worker-pool size lie.
+func (q QuerySpec) key() string {
+	return fmt.Sprintf("%s|%s|grouped=%t|σ=%g|%s|seed=%d|par=%d",
+		q.Job, q.Path, q.Grouped, q.Sigma, q.Sampler, q.Seed, q.Parallelism)
+}
+
+// options translates the spec into driver options.
+func (q QuerySpec) options() core.Options {
+	return core.Options{
+		Sigma:       q.Sigma,
+		Sampler:     core.SamplerKind(q.Sampler),
+		Seed:        q.Seed,
+		Parallelism: q.Parallelism,
+	}
+}
+
+// jobByName resolves a statistic name via the engine-wide table
+// (jobs.ByName), wrapping failures as client errors — a bad job name or
+// an out-of-range quantile is the caller's to fix, and the HTTP layer
+// keys its 400-vs-500 decision on the "serve:" prefix.
+func jobByName(name string) (jobs.Numeric, error) {
+	j, err := jobs.ByName(name)
+	if err != nil {
+		return jobs.Numeric{}, fmt.Errorf("serve: %w", err)
+	}
+	return j, nil
+}
+
+// QueryResult is one answered query.
+type QueryResult struct {
+	Report  core.Report         `json:"report"`
+	Groups  *core.GroupedReport `json:"groups,omitempty"`
+	Cached  bool                `json:"cached"`
+	Elapsed time.Duration       `json:"elapsedNs"`
+	// Cost is the cluster-wide simcost delta over this query's execution
+	// (zero for cache hits). Exact when no other query overlapped; see
+	// the package comment for the attribution caveat.
+	Cost simcost.Snapshot `json:"cost"`
+}
+
+// WatchInfo describes one registered shared watch. Sub is the caller's
+// private subscription token, set only in OpenWatch's response: the
+// watch ID is shared by every subscriber of the same query, so closing
+// takes (ID, Sub) — making one client's DELETE (and any network-layer
+// retry of it) idempotent on its own subscription instead of able to
+// decrement someone else's.
+type WatchInfo struct {
+	ID          string      `json:"id"`
+	Sub         string      `json:"sub,omitempty"`
+	Spec        QuerySpec   `json:"spec"`
+	Subscribers int         `json:"subscribers"`
+	Refreshes   int         `json:"refreshes"`
+	SampleSize  int         `json:"sampleSize"`
+	Report      core.Report `json:"report"`
+}
+
+// Stats are the server's own counters (the cluster's I/O counters live
+// in the simcost snapshot next to them).
+type Stats struct {
+	Queries         int64 `json:"queries"`         // one-shot queries answered
+	CacheHits       int64 `json:"cacheHits"`       // of which served from cache
+	WatchesOpened   int64 `json:"watchesOpened"`   // OpenWatch calls
+	WatchesShared   int64 `json:"watchesShared"`   // of which deduped onto an existing query
+	RefreshesServed int64 `json:"refreshesServed"` // delta refreshes executed by the registry
+	Appends         int64 `json:"appends"`
+	Rejected        int64 `json:"rejected"` // admissions refused (queue full)
+	Expired         int64 `json:"expired"`  // admissions abandoned (deadline/cancel)
+	InFlight        int64 `json:"inFlight"` // gauge: executing now
+	Queued          int64 `json:"queued"`   // gauge: waiting for a slot
+}
+
+// MetricsReport is the GET /metrics payload.
+type MetricsReport struct {
+	Server  Stats            `json:"server"`
+	Cluster simcost.Snapshot `json:"cluster"`
+	// PerQuery aggregates cost deltas by query identity (see the package
+	// comment for the overlap caveat).
+	PerQuery map[string]QueryCost `json:"perQuery"`
+	Watches  []WatchInfo          `json:"watches"`
+}
+
+// QueryCost is the accumulated cost of all executions of one query key.
+type QueryCost struct {
+	Count int64            `json:"count"`
+	Cost  simcost.Snapshot `json:"cost"`
+}
+
+// Server schedules concurrent approximate queries over one cluster.
+// All methods are safe for concurrent use.
+type Server struct {
+	env *core.Env
+	cfg Config
+
+	slots chan struct{} // execution-slot semaphore, cap MaxInFlight
+
+	queries, cacheHits, watchesOpened, watchesShared atomic.Int64
+	refreshesServed, appends, rejected, expired      atomic.Int64
+	inFlight, queued                                 atomic.Int64
+
+	mu       sync.Mutex
+	pathGen  map[string]int64 // append generation per path
+	rewrites map[string]int64 // rewrite generation per path (Rewrite only)
+	watches  map[string]*watchEntry
+	byID     map[string]*watchEntry
+	cache    map[string]cacheEntry
+	perQuery map[string]QueryCost
+	watchSeq int64
+	subSeq   int64
+}
+
+// watchEntry is one shared maintained query. Creation happens outside
+// the server lock; subscribers arriving meanwhile wait on ready.
+type watchEntry struct {
+	id    string
+	key   string
+	spec  QuerySpec
+	ready chan struct{}
+	err   error       // creation outcome, valid after ready closes
+	q     *live.Query // valid after ready closes iff err == nil
+
+	// refreshMu is a capacity-1 channel lock serialising refresh
+	// decisions: unlike a sync.Mutex, a subscriber waiting behind a slow
+	// refresh can still honour its context's deadline/cancellation.
+	refreshMu    chan struct{}
+	refreshedGen int64               // pathGen the current report reflects; guarded by refreshMu
+	rewriteGen   int64               // path's rewrite generation at registration; immutable
+	subIDs       map[string]struct{} // live subscription tokens, guarded by Server.mu
+	lastTouch    atomic.Int64        // unix nanos of the last open/poll; idle-eviction clock
+}
+
+// touch records activity on the watch for idle-eviction purposes.
+func (e *watchEntry) touch() { e.lastTouch.Store(time.Now().UnixNano()) }
+
+// cacheEntry is a one-shot result valid while its path generation holds.
+type cacheEntry struct {
+	path    string // for eviction sweeps on ingest
+	gen     int64
+	report  core.Report
+	grouped *core.GroupedReport
+}
+
+// Bounds on the per-key maps, so a long-lived server fed ever-varying
+// specs (each seed/σ/path combination is a distinct key) cannot grow
+// without limit. The cache evicts arbitrarily at the cap — it is a
+// recency-free correctness cache, not an LRU — and per-query cost
+// aggregates beyond the cap fold into one overflow bucket.
+const (
+	maxCacheEntries  = 1024
+	maxPerQueryKeys  = 1024
+	perQueryOverflow = "(other)"
+)
+
+// New builds a server over env.
+func New(env *core.Env, cfg Config) (*Server, error) {
+	if env == nil || env.FS == nil || env.Engine == nil {
+		return nil, errors.New("serve: incomplete Env")
+	}
+	cfg = cfg.withDefaults()
+	return &Server{
+		env:      env,
+		cfg:      cfg,
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+		pathGen:  map[string]int64{},
+		rewrites: map[string]int64{},
+		watches:  map[string]*watchEntry{},
+		byID:     map[string]*watchEntry{},
+		cache:    map[string]cacheEntry{},
+		perQuery: map[string]QueryCost{},
+	}, nil
+}
+
+// Env exposes the underlying environment (the daemon's data-loading
+// endpoints write through it).
+func (s *Server) Env() *core.Env { return s.env }
+
+// withDeadline applies the configured default timeout when ctx carries
+// no deadline of its own.
+func (s *Server) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.QueryTimeout)
+}
+
+// acquire claims one execution slot, queueing (up to MaxQueue waiters)
+// until one frees or ctx ends. The returned release must be called once.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	grab := func() func() {
+		s.inFlight.Add(1)
+		return func() { s.inFlight.Add(-1); <-s.slots }
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return grab(), nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return grab(), nil
+	case <-ctx.Done():
+		s.expired.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// generation returns the current append generation of path.
+func (s *Server) generation(path string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pathGen[path]
+}
+
+// bumpGeneration advances path's ingest generation and frees the cache
+// entries it just invalidated (their gen can never match again).
+func (s *Server) bumpGeneration(path string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pathGen[path]++
+	gen := s.pathGen[path]
+	for key, ce := range s.cache {
+		if ce.path == path && ce.gen < gen {
+			delete(s.cache, key)
+		}
+	}
+	return gen
+}
+
+// chargeQuery folds one execution's cost delta into the per-query
+// aggregates (bounded; see maxPerQueryKeys).
+func (s *Server) chargeQuery(key string, cost simcost.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.perQuery[key]; !ok && len(s.perQuery) >= maxPerQueryKeys {
+		key = perQueryOverflow
+	}
+	qc := s.perQuery[key]
+	qc.Count++
+	qc.Cost = qc.Cost.Add(cost)
+	s.perQuery[key] = qc
+}
+
+// Query answers one one-shot query, from cache when the path has not
+// been appended to since the cached execution.
+func (s *Server) Query(ctx context.Context, spec QuerySpec) (QueryResult, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return QueryResult{}, err
+	}
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	key := spec.key()
+	gen := s.generation(spec.Path)
+
+	s.mu.Lock()
+	if ce, ok := s.cache[key]; ok && ce.gen == gen {
+		s.mu.Unlock()
+		s.queries.Add(1)
+		s.cacheHits.Add(1)
+		return QueryResult{Report: ce.report, Groups: ce.grouped, Cached: true}, nil
+	}
+	s.mu.Unlock()
+
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	defer release()
+
+	job, err := jobByName(spec.Job)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	start := time.Now()
+	before := s.env.Metrics.Snapshot()
+	res := QueryResult{}
+	if spec.Grouped {
+		grep, gerr := core.RunGrouped(s.env, job, core.TabKV, spec.Path, spec.options())
+		if gerr != nil {
+			return QueryResult{}, gerr
+		}
+		res.Groups = &grep
+	} else {
+		rep, rerr := core.Run(s.env, job, spec.Path, spec.options())
+		if rerr != nil {
+			return QueryResult{}, rerr
+		}
+		res.Report = rep
+	}
+	res.Elapsed = time.Since(start)
+	res.Cost = s.env.Metrics.Snapshot().Sub(before)
+	s.queries.Add(1)
+	s.chargeQuery(key, res.Cost)
+
+	// Cache under the generation observed before the run: if an Append
+	// landed mid-run the stored generation is already stale and the next
+	// lookup misses, so a possibly-partial view is never served as fresh.
+	// Never clobber a fresher entry — a slow straggler finishing after an
+	// append (and after a rerun cached the post-append result) would
+	// otherwise evict it and force the next caller into a full run.
+	s.mu.Lock()
+	if ce, ok := s.cache[key]; !ok || ce.gen <= gen {
+		if !ok && len(s.cache) >= maxCacheEntries {
+			for evict := range s.cache { // arbitrary eviction at the cap
+				delete(s.cache, evict)
+				break
+			}
+		}
+		s.cache[key] = cacheEntry{path: spec.Path, gen: gen, report: res.Report, grouped: res.Groups}
+	}
+	s.mu.Unlock()
+	return res, nil
+}
+
+// OpenWatch subscribes to the maintained query named by spec, creating
+// it on first open and deduping identical subsequent opens onto the same
+// underlying live.Query. The returned WatchInfo carries the watch id all
+// subscribers share.
+func (s *Server) OpenWatch(ctx context.Context, spec QuerySpec) (WatchInfo, bool, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return WatchInfo{}, false, err
+	}
+	if spec.Grouped {
+		return WatchInfo{}, false, errors.New("serve: grouped watches are not served yet (use one-shot grouped queries)")
+	}
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	key := spec.key()
+	s.watchesOpened.Add(1)
+
+	// Admission into the registry: join an existing identical watch, or
+	// register a new entry while under the cap — evicting idle watches
+	// (nobody opened or polled them within WatchIdleTTL) when full, so
+	// abandoned subscriptions cannot wedge the registry permanently.
+	for {
+		s.mu.Lock()
+		if e, ok := s.watches[key]; ok {
+			sub := s.newSubLocked(e)
+			s.mu.Unlock()
+			e.touch()
+			s.watchesShared.Add(1)
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				s.unsubscribe(e, sub)
+				return WatchInfo{}, false, ctx.Err()
+			}
+			if e.err != nil {
+				s.unsubscribe(e, sub)
+				return WatchInfo{}, false, e.err
+			}
+			info := s.infoOf(e)
+			info.Sub = sub
+			return info, true, nil
+		}
+		if len(s.watches) < s.cfg.MaxWatches {
+			break // register below, still holding s.mu
+		}
+		idle := s.collectIdleLocked(time.Now().Add(-s.cfg.WatchIdleTTL).UnixNano())
+		s.mu.Unlock()
+		if len(idle) == 0 {
+			return WatchInfo{}, false, fmt.Errorf("%w: watch registry at its %d-entry cap", ErrOverloaded, s.cfg.MaxWatches)
+		}
+		for _, old := range idle {
+			<-old.ready
+			if old.q != nil {
+				old.q.Close()
+			}
+		}
+	}
+	s.watchSeq++
+	e := &watchEntry{
+		id:        fmt.Sprintf("w%d", s.watchSeq),
+		key:       key,
+		spec:      spec,
+		ready:     make(chan struct{}),
+		refreshMu: make(chan struct{}, 1),
+		subIDs:    map[string]struct{}{},
+		// The creation run syncs to the file as it stands now; starting
+		// from the pre-creation generation means an append racing the
+		// creation triggers one refresh, which no-ops if the run already
+		// saw those bytes.
+		refreshedGen: s.pathGen[spec.Path],
+		rewriteGen:   s.rewrites[spec.Path],
+	}
+	e.touch()
+	sub := s.newSubLocked(e)
+	s.watches[key] = e
+	s.byID[e.id] = e
+	s.mu.Unlock()
+
+	// The creation runs under a server-scoped deadline, not the
+	// creator's: other clients dedupe onto this entry, so one impatient
+	// creator timing out in the admission queue must not poison every
+	// patient subscriber waiting on ready.
+	cctx, ccancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
+	defer ccancel()
+	release, err := s.acquire(cctx)
+	if err != nil {
+		e.err = err
+		close(e.ready)
+		s.dropEntry(e)
+		return WatchInfo{}, false, err
+	}
+	job, _ := jobByName(spec.Job)
+	before := s.env.Metrics.Snapshot()
+	q, err := live.Watch(s.env, job, spec.Path, spec.options())
+	cost := s.env.Metrics.Snapshot().Sub(before)
+	release()
+	if err == nil {
+		// Rewrite guard: if the path was replaced while the creation run
+		// was reading it, the run may have seen the old (or a mixed)
+		// view. Self-retire rather than publish a query whose retained
+		// state describes data that no longer exists.
+		s.mu.Lock()
+		rewritten := s.rewrites[spec.Path] != e.rewriteGen
+		s.mu.Unlock()
+		if rewritten {
+			q.Close()
+			q = nil
+			err = fmt.Errorf("serve: %s was rewritten while the watch was being created; retry", spec.Path)
+		}
+	}
+	e.q, e.err = q, err
+	close(e.ready)
+	if err != nil {
+		s.dropEntry(e)
+		return WatchInfo{}, false, err
+	}
+	// The creation run is the dominant cost of a maintained query; charge
+	// it to the key so /metrics compares watches and one-shots honestly.
+	s.chargeQuery(key, cost)
+	info := s.infoOf(e)
+	info.Sub = sub
+	return info, false, nil
+}
+
+// newSubLocked mints a subscription token on e. Caller holds Server.mu.
+func (s *Server) newSubLocked(e *watchEntry) string {
+	s.subSeq++
+	sub := fmt.Sprintf("s%d", s.subSeq)
+	e.subIDs[sub] = struct{}{}
+	return sub
+}
+
+// infoOf renders an entry (whose ready channel has closed) for clients.
+func (s *Server) infoOf(e *watchEntry) WatchInfo {
+	s.mu.Lock()
+	subs := len(e.subIDs)
+	s.mu.Unlock()
+	return WatchInfo{
+		ID:          e.id,
+		Spec:        e.spec,
+		Subscribers: subs,
+		Refreshes:   e.q.Refreshes(),
+		SampleSize:  e.q.SampleSize(),
+		Report:      e.q.Report(),
+	}
+}
+
+// dropEntry removes a (failed or closed) entry from both indexes.
+func (s *Server) dropEntry(e *watchEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.watches[e.key] == e {
+		delete(s.watches, e.key)
+	}
+	delete(s.byID, e.id)
+}
+
+// retireEntry deregisters e and closes its query (waiting out creation
+// and any in-flight refresh).
+func (s *Server) retireEntry(e *watchEntry) {
+	s.dropEntry(e)
+	<-e.ready
+	if e.q != nil {
+		e.q.Close()
+	}
+}
+
+// collectIdleLocked deregisters watches whose last open/poll predates
+// cutoff (unix nanos) and returns them for closing outside the lock.
+// Caller holds Server.mu.
+func (s *Server) collectIdleLocked(cutoff int64) []*watchEntry {
+	var idle []*watchEntry
+	for key, e := range s.watches {
+		if e.lastTouch.Load() < cutoff {
+			delete(s.watches, key)
+			delete(s.byID, e.id)
+			idle = append(idle, e)
+		}
+	}
+	return idle
+}
+
+// unsubscribe removes the given subscription token, closing the
+// underlying query when the last subscriber leaves. A token already
+// removed (a duplicate DELETE, a network retry) is a no-op — it can
+// never decrement someone else's subscription.
+func (s *Server) unsubscribe(e *watchEntry, sub string) {
+	s.mu.Lock()
+	if _, ok := e.subIDs[sub]; !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(e.subIDs, sub)
+	last := len(e.subIDs) == 0
+	if last {
+		if s.watches[e.key] == e {
+			delete(s.watches, e.key)
+		}
+		delete(s.byID, e.id)
+	}
+	s.mu.Unlock()
+	if last {
+		<-e.ready
+		if e.q != nil {
+			e.q.Close()
+		}
+	}
+}
+
+// CloseWatch drops the subscription identified by (id, sub); the
+// underlying maintained query is closed when the last subscriber
+// leaves. Unknown ids return ErrUnknownWatch; an already-dropped sub on
+// a live watch is an idempotent no-op.
+func (s *Server) CloseWatch(id, sub string) error {
+	if sub == "" {
+		return errors.New("serve: close needs the subscription token from the open response")
+	}
+	s.mu.Lock()
+	e, ok := s.byID[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownWatch, id)
+	}
+	s.unsubscribe(e, sub)
+	return nil
+}
+
+// WatchReport returns the watch's current report, paying the one delta
+// refresh if data has been appended since the last subscriber asked.
+// Refreshes are serialised per watch: concurrent subscribers after one
+// append perform exactly one underlying refresh, and all of them read
+// the same (bit-identical) report.
+func (s *Server) WatchReport(ctx context.Context, id string) (WatchInfo, error) {
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	s.mu.Lock()
+	e, ok := s.byID[id]
+	var gen, rw int64
+	if ok {
+		gen = s.pathGen[e.spec.Path]
+		rw = s.rewrites[e.spec.Path]
+	}
+	s.mu.Unlock()
+	if !ok {
+		return WatchInfo{}, fmt.Errorf("%w: %s", ErrUnknownWatch, id)
+	}
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return WatchInfo{}, ctx.Err()
+	}
+	if e.err != nil {
+		return WatchInfo{}, e.err
+	}
+	if rw != e.rewriteGen {
+		// The path was rewritten under this watch and the retire sweep
+		// has not reached it yet: retire it now rather than refresh over
+		// replaced data.
+		s.retireEntry(e)
+		return WatchInfo{}, fmt.Errorf("%w: %s (path was rewritten)", ErrUnknownWatch, id)
+	}
+	e.touch()
+	select {
+	case e.refreshMu <- struct{}{}:
+	case <-ctx.Done():
+		return WatchInfo{}, ctx.Err()
+	}
+	defer func() { <-e.refreshMu }()
+	if e.refreshedGen < gen {
+		release, err := s.acquire(ctx)
+		if err != nil {
+			return WatchInfo{}, err
+		}
+		beforeN := e.q.Refreshes()
+		before := s.env.Metrics.Snapshot()
+		_, err = e.q.Refresh()
+		cost := s.env.Metrics.Snapshot().Sub(before)
+		release()
+		if err != nil {
+			return WatchInfo{}, err
+		}
+		e.refreshedGen = gen
+		// A Refresh that found nothing new (an earlier refresh already
+		// consumed these bytes — gen lags the file) is a no-op inside
+		// live and must stay uncounted here too, or RefreshesServed and
+		// the per-query costs drift from the true simcost.Refreshes.
+		if e.q.Refreshes() > beforeN {
+			s.refreshesServed.Add(1)
+			s.chargeQuery(e.key, cost)
+		}
+	}
+	return s.infoOf(e), nil
+}
+
+// Append adds record-aligned data to the end of path and bumps the
+// path's generation, invalidating cached results and marking every
+// watch over it stale.
+func (s *Server) Append(path string, data []byte) (int64, int64, error) {
+	if err := s.env.FS.Append(path, data); err != nil {
+		return 0, 0, err
+	}
+	size, err := s.env.FS.Stat(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.appends.Add(1)
+	return size, s.bumpGeneration(path), nil
+}
+
+// AppendValues appends numeric values in the fixed-width line encoding.
+func (s *Server) AppendValues(path string, values []float64) (int64, int64, error) {
+	return s.Append(path, workload.EncodeLinesFixed(values))
+}
+
+// Rewrite replaces path's contents wholesale. Maintained queries can
+// only move forward over appends — their retained sample and sync point
+// describe the old contents — so every watch over the path is retired
+// FIRST: deregistered and closed (Close waits out any in-flight
+// Refresh) before a byte of the new contents lands, leaving subscribers
+// a clean ErrUnknownWatch / ErrClosed rather than a silently wrong
+// refresh over mixed data. Cached one-shot results are invalidated via
+// the generation bump. A watch whose creation races the rewrite may
+// land on either side of it: created before, it is retired here;
+// after, it observes only the new contents.
+func (s *Server) Rewrite(path string, data []byte) (int64, error) {
+	// Pre-write sweep: every watch registered so far is closed before a
+	// byte of the new contents lands, so no in-flight refresh can read
+	// replaced data.
+	s.retirePathWatches(path, false)
+	if err := s.env.FS.WriteFile(path, data); err != nil {
+		return 0, err
+	}
+	size, err := s.env.FS.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.rewrites[path]++
+	s.mu.Unlock()
+	s.bumpGeneration(path)
+	// Post-bump sweep: a watch whose registration slipped between the
+	// first sweep and the write may have read the old contents; its
+	// stale rewriteGen marks it (watches created after the bump carry
+	// the new one and survive). OpenWatch's own rewrite guard catches
+	// creations still in flight here.
+	s.retirePathWatches(path, true)
+	return size, nil
+}
+
+// retirePathWatches deregisters and closes watches over path — all of
+// them, or (onlyStale) just those registered before the path's current
+// rewrite generation.
+func (s *Server) retirePathWatches(path string, onlyStale bool) {
+	s.mu.Lock()
+	cur := s.rewrites[path]
+	var retired []*watchEntry
+	for key, e := range s.watches {
+		if e.spec.Path != path || (onlyStale && e.rewriteGen >= cur) {
+			continue
+		}
+		delete(s.watches, key)
+		delete(s.byID, e.id)
+		retired = append(retired, e)
+	}
+	s.mu.Unlock()
+	for _, e := range retired {
+		<-e.ready
+		if e.q != nil {
+			e.q.Close()
+		}
+	}
+}
+
+// Stats returns the server's own counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Queries:         s.queries.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		WatchesOpened:   s.watchesOpened.Load(),
+		WatchesShared:   s.watchesShared.Load(),
+		RefreshesServed: s.refreshesServed.Load(),
+		Appends:         s.appends.Load(),
+		Rejected:        s.rejected.Load(),
+		Expired:         s.expired.Load(),
+		InFlight:        s.inFlight.Load(),
+		Queued:          s.queued.Load(),
+	}
+}
+
+// Metrics returns the full metrics payload: server counters, the
+// cluster-wide simcost aggregate, per-query cost totals, and every
+// registered watch.
+func (s *Server) Metrics() MetricsReport {
+	rep := MetricsReport{
+		Server:   s.Stats(),
+		Cluster:  s.env.Metrics.Snapshot(),
+		PerQuery: map[string]QueryCost{},
+	}
+	s.mu.Lock()
+	for k, v := range s.perQuery {
+		rep.PerQuery[k] = v
+	}
+	entries := make([]*watchEntry, 0, len(s.watches))
+	for _, e := range s.watches {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	for _, e := range entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				rep.Watches = append(rep.Watches, s.infoOf(e))
+			}
+		default: // still being created; skip rather than block /metrics
+		}
+	}
+	return rep
+}

@@ -1,0 +1,532 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// newTestServer builds a server over a fresh cluster preloaded with n
+// Gaussian records at path.
+func newTestServer(t *testing.T, cfg Config, path string, n int) (*Server, *core.Env) {
+	t.Helper()
+	env, err := core.NewEnv(core.EnvConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := workload.NumericSpec{Dist: workload.Gaussian, N: n, Seed: 2}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.FS.WriteFile(path, workload.EncodeLinesFixed(xs)); err != nil {
+		t.Fatal(err)
+	}
+	env.Metrics.Reset()
+	return s, env
+}
+
+// TestWatchDedupSharesOneQuery is the registry's core guarantee: two
+// identical maintained queries share one underlying live.Query — one
+// initial run, and after an append one refresh whose cost is counted
+// once.
+func TestWatchDedupSharesOneQuery(t *testing.T) {
+	s, env := newTestServer(t, Config{}, "/t/data", 60_000)
+	ctx := context.Background()
+	spec := QuerySpec{Job: "mean", Path: "/t/data", Sigma: 0.05, Seed: 3}
+
+	a, sharedA, err := s.OpenWatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharedA {
+		t.Fatal("first open reported shared")
+	}
+	b, sharedB, err := s.OpenWatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sharedB {
+		t.Fatal("second identical open did not dedupe")
+	}
+	if a.ID != b.ID {
+		t.Fatalf("identical watches got different ids: %s vs %s", a.ID, b.ID)
+	}
+	if got := env.Metrics.Snapshot().JobStartups; got != 1 {
+		t.Fatalf("two identical watches launched %d jobs, want 1", got)
+	}
+
+	delta, err := workload.NumericSpec{Dist: workload.Gaussian, N: 20_000, Seed: 4}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AppendValues("/t/data", delta); err != nil {
+		t.Fatal(err)
+	}
+
+	before := env.Metrics.Snapshot()
+	ra, err := s.WatchReport(ctx, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := s.WatchReport(ctx, b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := env.Metrics.Snapshot().Sub(before)
+	if cost.Refreshes != 1 {
+		t.Fatalf("two subscribers after one append cost %d refreshes, want 1", cost.Refreshes)
+	}
+	if ra.Report != rb.Report {
+		t.Fatalf("subscribers read different reports:\n%+v\n%+v", ra.Report, rb.Report)
+	}
+	if ra.Refreshes != 1 {
+		t.Fatalf("underlying query refreshed %d times, want 1", ra.Refreshes)
+	}
+}
+
+// TestConcurrentClientsOneRefreshPerAppend is the load-generator
+// acceptance test: K ≥ 8 concurrent clients issue the identical
+// maintained query; per append the registry performs exactly one
+// underlying refresh (simcost.Refreshes), the poll phase reads o(K·N)
+// records (simcost.RecordsRead), and every client receives the
+// bit-identical report — at any Parallelism.
+func TestConcurrentClientsOneRefreshPerAppend(t *testing.T) {
+	const (
+		K        = 8
+		initialN = 120_000
+		batchN   = 30_000
+		batches  = 3
+	)
+	type batchReport struct {
+		Estimate   float64
+		CV         float64
+		SampleSize int
+	}
+	run := func(par int) []batchReport {
+		s, env := newTestServer(t, Config{MaxInFlight: 4, MaxQueue: 4 * K}, "/t/stream", initialN)
+		ctx := context.Background()
+		spec := QuerySpec{Job: "mean", Path: "/t/stream", Sigma: 0.05, Seed: 5, Parallelism: par}
+
+		ids := make([]string, K)
+		var wg sync.WaitGroup
+		errs := make(chan error, K)
+		for c := 0; c < K; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				info, _, err := s.OpenWatch(ctx, spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ids[c] = info.ID
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		if got := env.Metrics.Snapshot().JobStartups; got != 1 {
+			t.Fatalf("par=%d: %d concurrent identical watches launched %d jobs, want 1", par, K, got)
+		}
+
+		var out []batchReport
+		for b := 1; b <= batches; b++ {
+			delta, err := workload.NumericSpec{Dist: workload.Gaussian, N: batchN, Seed: uint64(40 + b)}.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.AppendValues("/t/stream", delta); err != nil {
+				t.Fatal(err)
+			}
+			before := env.Metrics.Snapshot()
+			reports := make([]WatchInfo, K)
+			perr := make(chan error, K)
+			for c := 0; c < K; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					info, err := s.WatchReport(ctx, ids[c])
+					if err != nil {
+						perr <- err
+						return
+					}
+					reports[c] = info
+				}(c)
+			}
+			wg.Wait()
+			close(perr)
+			for err := range perr {
+				t.Fatal(err)
+			}
+			cost := env.Metrics.Snapshot().Sub(before)
+			if cost.Refreshes != 1 {
+				t.Fatalf("par=%d batch %d: %d clients cost %d refreshes, want exactly 1", par, b, K, cost.Refreshes)
+			}
+			// o(K·N): the poll phase may read the sampled delta once, never
+			// anything proportional to K clients × N records.
+			if cost.RecordsRead > int64(batchN) {
+				t.Fatalf("par=%d batch %d: poll phase read %d records (> one batch of %d); dedup is not saving scans",
+					par, b, cost.RecordsRead, batchN)
+			}
+			for c := 1; c < K; c++ {
+				if reports[c].Report != reports[0].Report {
+					t.Fatalf("par=%d batch %d: client %d read a different report:\n%+v\n%+v",
+						par, b, c, reports[c].Report, reports[0].Report)
+				}
+			}
+			r0 := reports[0].Report
+			out = append(out, batchReport{Estimate: r0.Estimate, CV: r0.CV, SampleSize: r0.SampleSize})
+		}
+		return out
+	}
+
+	base := run(1)
+	for _, par := range []int{4, 0} {
+		got := run(par)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("parallelism %d diverged from sequential at batch %d:\n%+v\n%+v", par, i+1, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestAdmissionControl drives the acquire path directly: with every
+// execution slot held and the queue full, new arrivals are rejected
+// with ErrOverloaded, and queued callers honour cancellation.
+func TestAdmissionControl(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1}, "/t/adm", 4_000)
+
+	release, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One caller fits in the queue and waits.
+	queuedCtx, cancelQueued := context.WithCancel(context.Background())
+	queuedErr := make(chan error, 1)
+	go func() {
+		rel, err := s.acquire(queuedCtx)
+		if err == nil {
+			rel()
+		}
+		queuedErr <- err
+	}()
+	waitFor(t, func() bool { return s.Stats().Queued == 1 })
+
+	// The next arrival overflows the queue: immediate rejection.
+	if _, err := s.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expected ErrOverloaded with full queue, got %v", err)
+	}
+	if s.Stats().Rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", s.Stats().Rejected)
+	}
+
+	// Cancelling the queued caller abandons its admission.
+	cancelQueued()
+	if err := <-queuedErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued caller got %v, want context.Canceled", err)
+	}
+	if s.Stats().Expired != 1 {
+		t.Fatalf("expired counter = %d, want 1", s.Stats().Expired)
+	}
+
+	// Releasing the slot lets a fresh caller straight in.
+	release()
+	rel, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueryCacheInvalidatedByAppend: identical one-shot queries hit the
+// cache until an append bumps the path generation.
+func TestQueryCacheInvalidatedByAppend(t *testing.T) {
+	s, env := newTestServer(t, Config{}, "/t/cache", 50_000)
+	ctx := context.Background()
+	spec := QuerySpec{Job: "mean", Path: "/t/cache", Seed: 6}
+
+	first, err := s.Query(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first query claimed a cache hit")
+	}
+	jobsAfterFirst := env.Metrics.Snapshot().JobStartups
+
+	second, err := s.Query(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("identical repeat query missed the cache")
+	}
+	if second.Report != first.Report {
+		t.Fatalf("cache returned a different report:\n%+v\n%+v", second.Report, first.Report)
+	}
+	if got := env.Metrics.Snapshot().JobStartups; got != jobsAfterFirst {
+		t.Fatalf("cache hit launched cluster work (%d → %d job startups)", jobsAfterFirst, got)
+	}
+
+	delta, err := workload.NumericSpec{Dist: workload.Gaussian, N: 20_000, Seed: 7}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AppendValues("/t/cache", delta); err != nil {
+		t.Fatal(err)
+	}
+	third, err := s.Query(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatal("query after append served stale cached result")
+	}
+	if s.Stats().CacheHits != 1 {
+		t.Fatalf("cacheHits = %d, want 1", s.Stats().CacheHits)
+	}
+}
+
+// TestCloseWatchLastSubscriberCloses verifies subscription counting:
+// the underlying query survives until the last subscriber leaves.
+func TestCloseWatchLastSubscriberCloses(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, "/t/close", 40_000)
+	ctx := context.Background()
+	spec := QuerySpec{Job: "mean", Path: "/t/close", Seed: 8}
+
+	a, _, err := s.OpenWatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := s.OpenWatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sub == "" || b2.Sub == "" || a.Sub == b2.Sub {
+		t.Fatalf("subscription tokens not distinct: %q vs %q", a.Sub, b2.Sub)
+	}
+	if err := s.CloseWatch(a.ID, a.Sub); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate DELETE (network retry) must not touch b2's subscription.
+	if err := s.CloseWatch(a.ID, a.Sub); err != nil {
+		t.Fatal(err)
+	}
+	// One subscriber remains: the watch still answers.
+	if _, err := s.WatchReport(ctx, a.ID); err != nil {
+		t.Fatalf("watch died with a live subscriber: %v", err)
+	}
+	if err := s.CloseWatch(a.ID, b2.Sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WatchReport(ctx, a.ID); !errors.Is(err, ErrUnknownWatch) {
+		t.Fatalf("closed watch still answers: %v", err)
+	}
+	// Reopening after full close builds a fresh query under the same spec.
+	b, shared, err := s.OpenWatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared {
+		t.Fatal("reopen after close claimed to share a closed query")
+	}
+	if b.ID == a.ID {
+		t.Fatal("reopened watch reused the closed id")
+	}
+}
+
+// TestRewriteRetiresWatches: replacing a watched file's contents must
+// retire its watches (refresh only understands appends — a rewrite
+// would blend the old sample with misaligned "new" data or wedge the
+// handle on ErrTruncated forever), and must invalidate cached one-shot
+// results.
+func TestRewriteRetiresWatches(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, "/t/rw", 50_000)
+	ctx := context.Background()
+	spec := QuerySpec{Job: "mean", Path: "/t/rw", Seed: 11}
+
+	w, _, err := s.OpenWatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	smaller, err := workload.NumericSpec{Dist: workload.Uniform, N: 10_000, Seed: 12}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rewrite("/t/rw", workload.EncodeLinesFixed(smaller)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.WatchReport(ctx, w.ID); !errors.Is(err, ErrUnknownWatch) {
+		t.Fatalf("watch survived a rewrite of its path: %v", err)
+	}
+	res, err := s.Query(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("query after rewrite served the pre-rewrite cached result")
+	}
+	// Watching the rewritten file starts a fresh query.
+	w2, shared, err := s.OpenWatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared || w2.ID == w.ID {
+		t.Fatalf("rewrite did not retire the old watch entry: %+v", w2)
+	}
+}
+
+// TestWatchRegistryCapAndIdleEviction: a full registry refuses new
+// distinct watches with ErrOverloaded, but idle entries (past the TTL)
+// are evicted on demand so the cap is recoverable without a restart.
+func TestWatchRegistryCapAndIdleEviction(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxWatches: 2, WatchIdleTTL: time.Hour}, "/t/cap", 40_000)
+	ctx := context.Background()
+
+	a, _, err := s.OpenWatch(ctx, QuerySpec{Job: "mean", Path: "/t/cap", Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := s.OpenWatch(ctx, QuerySpec{Job: "median", Path: "/t/cap", Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registry full, everything fresh: a new distinct watch is refused…
+	if _, _, err := s.OpenWatch(ctx, QuerySpec{Job: "sum", Path: "/t/cap", Seed: 22}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full registry accepted a new watch: %v", err)
+	}
+	// …but subscribing to an existing watch still dedupes freely.
+	if _, shared, err := s.OpenWatch(ctx, QuerySpec{Job: "mean", Path: "/t/cap", Seed: 20}); err != nil || !shared {
+		t.Fatalf("dedup blocked by the cap: shared=%v err=%v", shared, err)
+	}
+
+	// Age one entry past the TTL; the next open evicts it and succeeds.
+	s.mu.Lock()
+	s.byID[b.ID].lastTouch.Store(time.Now().Add(-2 * time.Hour).UnixNano())
+	s.mu.Unlock()
+	c, _, err := s.OpenWatch(ctx, QuerySpec{Job: "sum", Path: "/t/cap", Seed: 22})
+	if err != nil {
+		t.Fatalf("idle eviction did not free a slot: %v", err)
+	}
+	if _, err := s.WatchReport(ctx, b.ID); !errors.Is(err, ErrUnknownWatch) {
+		t.Fatalf("evicted watch still answers: %v", err)
+	}
+	// The fresh entries survived.
+	if _, err := s.WatchReport(ctx, a.ID); err != nil {
+		t.Fatalf("fresh watch evicted: %v", err)
+	}
+	if _, err := s.WatchReport(ctx, c.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpecValidation covers the client-error surface.
+func TestSpecValidation(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, "/t/val", 4_000)
+	ctx := context.Background()
+	for _, bad := range []QuerySpec{
+		{Job: "nope", Path: "/t/val"},
+		{Job: "p200", Path: "/t/val"}, // out-of-range quantile is a client error too
+		{Job: "qnan", Path: "/t/val"}, // ParseFloat accepts "nan"; must not reach the engine
+		{Job: "pnan", Path: "/t/val"},
+		{Job: "mean"},
+		{Job: "mean", Path: "/t/val", Sigma: -1},
+		{Job: "mean", Path: "/t/val", Sampler: "mid-map"},
+	} {
+		if _, err := s.Query(ctx, bad); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		}
+	}
+	// Quantile forms parse.
+	for _, name := range []string{"p99", "p50", "q0.25"} {
+		if _, err := jobByName(name); err != nil {
+			t.Errorf("job %q rejected: %v", name, err)
+		}
+	}
+	// Grouped one-shot works over kv data.
+	kv := []byte("a\t1\na\t2\nb\t5\nb\t6\n")
+	for i := 0; i < 11; i++ {
+		kv = append(kv, kv...) // 4·2^11 records
+	}
+	if err := s.Env().FS.WriteFile("/t/kv", kv); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(ctx, QuerySpec{Job: "mean", Path: "/t/kv", Grouped: true, Sigma: 0.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups == nil || len(res.Groups.Groups) != 2 {
+		t.Fatalf("grouped query returned %+v", res.Groups)
+	}
+}
+
+// TestOpenWatchConcurrentCreation: many concurrent first-opens of the
+// same spec race the registry; exactly one creation run must happen.
+func TestOpenWatchConcurrentCreation(t *testing.T) {
+	s, env := newTestServer(t, Config{MaxInFlight: 4, MaxQueue: 64}, "/t/race", 60_000)
+	ctx := context.Background()
+	spec := QuerySpec{Job: "mean", Path: "/t/race", Seed: 10}
+
+	const K = 12
+	var wg sync.WaitGroup
+	ids := make([]string, K)
+	errs := make(chan error, K)
+	for c := 0; c < K; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			info, _, err := s.OpenWatch(ctx, spec)
+			if err != nil {
+				errs <- fmt.Errorf("open[%d]: %w", c, err)
+				return
+			}
+			ids[c] = info.ID
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for c := 1; c < K; c++ {
+		if ids[c] != ids[0] {
+			t.Fatalf("racing opens produced distinct watches: %v", ids)
+		}
+	}
+	if got := env.Metrics.Snapshot().JobStartups; got != 1 {
+		t.Fatalf("%d racing opens launched %d initial runs, want 1", K, got)
+	}
+	if s.Stats().WatchesShared != K-1 {
+		t.Fatalf("watchesShared = %d, want %d", s.Stats().WatchesShared, K-1)
+	}
+}

@@ -115,7 +115,7 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if q < 0 || q > 1 {
+	if !(q >= 0 && q <= 1) { // negated form rejects NaN
 		return 0, errors.New("stats: quantile out of range [0,1]")
 	}
 	sorted := make([]float64, len(xs))
@@ -130,7 +130,7 @@ func QuantileSorted(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if q < 0 || q > 1 {
+	if !(q >= 0 && q <= 1) { // negated form rejects NaN
 		return 0, errors.New("stats: quantile out of range [0,1]")
 	}
 	if len(xs) == 1 {
