@@ -14,11 +14,18 @@
 //	-parallelism N  resampling worker-pool size (0 = GOMAXPROCS,
 //	                1 = sequential engine); tables are identical for a
 //	                fixed seed at any value
-//	-json           run the hot-substrate micro-benchmarks (bootstrap
-//	                resampling, delta maintenance, pre-map sampling)
-//	                and emit ns/op as JSON instead of figure tables —
-//	                CI publishes this as the benchmark trajectory
-//	                artifact (BENCH_pr3.json)
+//	-json           run the benchmark families — the hot substrates
+//	                (bootstrap resampling, delta maintenance, pre-map
+//	                sampling) plus the end-to-end engine family
+//	                (single-statistic vs 4-statistic shared pass,
+//	                scalar vs grouped, with records-read measurements)
+//	                — and emit the results as JSON instead of figure
+//	                tables; CI publishes this as the benchmark
+//	                trajectory artifact (BENCH_pr4.json)
+//	-compare FILE   with -json: compare against a baseline BENCH_*.json
+//	                and exit non-zero on a >2x ns/op regression in any
+//	                benchmark present in both files (CI pins the
+//	                substrate families against the committed baseline)
 package main
 
 import (
@@ -35,11 +42,12 @@ func main() {
 	records := flag.Int("records", 1<<20, "laptop-scale record count for measured runs")
 	quick := flag.Bool("quick", false, "use smaller measurement sizes")
 	parallelism := flag.Int("parallelism", 0, "resampling worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
-	jsonOut := flag.Bool("json", false, "emit micro-benchmark ns/op as JSON (ignores figure arguments)")
+	jsonOut := flag.Bool("json", false, "emit benchmark-family ns/op + engine IO as JSON (ignores figure arguments)")
+	compareTo := flag.String("compare", "", "with -json: baseline BENCH_*.json; exit non-zero on >2x ns/op regression")
 	flag.Parse()
 
 	if *jsonOut {
-		if err := runMicroJSON(os.Stdout); err != nil {
+		if err := runMicroJSON(os.Stdout, *compareTo); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"strings"
 	"testing"
@@ -11,12 +12,12 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/bootstrap"
+	"repro/internal/core"
 	"repro/internal/delta"
+	"repro/internal/dfs"
 	"repro/internal/jobs"
 	"repro/internal/sampling"
 	"repro/internal/workload"
-
-	"repro/internal/dfs"
 )
 
 // microResult is one micro-benchmark measurement in the benchmark
@@ -30,6 +31,14 @@ type microResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// ioResult is one end-to-end IO measurement (simcost.RecordsRead) in
+// the engine family: it pins the shared-pass property — a k-statistic
+// run reads the input once, not k times.
+type ioResult struct {
+	Name        string `json:"name"`
+	RecordsRead int64  `json:"records_read"`
+}
+
 // microReport is the top-level JSON document.
 type microReport struct {
 	Suite      string        `json:"suite"`
@@ -37,14 +46,74 @@ type microReport struct {
 	GOARCH     string        `json:"goarch"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Benchmarks []microResult `json:"benchmarks"`
+	// EngineIO records the end-to-end engine family's records-read
+	// measurements (single statistics vs the 4-statistic shared pass).
+	EngineIO []ioResult `json:"engine_io,omitempty"`
 }
 
-// runMicroJSON measures the three hot-substrate families — bootstrap
-// resampling, delta maintenance, pre-map sampling — with
-// testing.Benchmark and writes the results as JSON. These mirror the
-// substrate micro-benchmarks in bench_test.go; the figure-level
-// benchmarks stay in `go test -bench` where their runtime is at home.
-func runMicroJSON(w io.Writer) error {
+// runMicroJSON measures the benchmark families, writes the results as
+// JSON, and — when comparePath names a baseline BENCH_*.json — fails on
+// a >2x ns/op regression in any benchmark present in both files.
+func runMicroJSON(w io.Writer, comparePath string) error {
+	rep, err := runMicro()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if comparePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(comparePath)
+	if err != nil {
+		return err
+	}
+	var baseline microReport
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("bad baseline %s: %w", comparePath, err)
+	}
+	if regs := regressions(baseline, rep); len(regs) > 0 {
+		return fmt.Errorf("benchmark regressions vs %s (>2x ns/op):\n  %s",
+			comparePath, strings.Join(regs, "\n  "))
+	}
+	return nil
+}
+
+// regressions compares the current run against a baseline, benchmark by
+// benchmark, for entries present in both (new families in the current
+// run have no baseline and pass). The 2x threshold absorbs CI-runner
+// noise while still catching a substrate falling off its fast path.
+func regressions(baseline, current microReport) []string {
+	old := map[string]float64{}
+	for _, b := range baseline.Benchmarks {
+		old[b.Family+"/"+b.Name] = b.NsPerOp
+	}
+	var regs []string
+	for _, c := range current.Benchmarks {
+		key := c.Family + "/" + c.Name
+		was, ok := old[key]
+		if !ok || was <= 0 {
+			continue
+		}
+		if c.NsPerOp > 2*was {
+			regs = append(regs, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx)",
+				key, c.NsPerOp, was, c.NsPerOp/was))
+		}
+	}
+	return regs
+}
+
+// runMicro measures the four benchmark families — bootstrap resampling,
+// delta maintenance, pre-map sampling (the hot substrates), and the
+// end-to-end engine family (single-statistic vs shared-pass
+// multi-statistic, scalar vs grouped) — with testing.Benchmark. The
+// substrate families mirror the micro-benchmarks in bench_test.go; the
+// figure-level benchmarks stay in `go test -bench` where their runtime
+// is at home.
+func runMicro() (microReport, error) {
 	var out []microResult
 	var failed []string
 	add := func(family, name string, fn func(b *testing.B)) {
@@ -69,7 +138,7 @@ func runMicroJSON(w io.Writer) error {
 	// --- Family 1: bootstrap resampling (the CPU hot path). ----------
 	xs, err := workload.NumericSpec{Dist: workload.Gaussian, N: 10_000, Seed: 1}.Generate()
 	if err != nil {
-		return err
+		return microReport{}, err
 	}
 	add("bootstrap", "MonteCarloMean/n=10000/B=30", func(b *testing.B) {
 		rng := rand.New(rand.NewPCG(1, 2))
@@ -82,7 +151,7 @@ func runMicroJSON(w io.Writer) error {
 	})
 	big, err := workload.NumericSpec{Dist: workload.Gaussian, N: 100_000, Seed: 1}.Generate()
 	if err != nil {
-		return err
+		return microReport{}, err
 	}
 	for _, par := range []int{1, 0} {
 		par := par
@@ -100,7 +169,7 @@ func runMicroJSON(w io.Writer) error {
 	// --- Family 2: delta maintenance (§4.1's optimized reducer). -----
 	ds, err := workload.NumericSpec{Dist: workload.Gaussian, N: 4096, Seed: 1}.Generate()
 	if err != nil {
-		return err
+		return microReport{}, err
 	}
 	growBench := func(naive bool) func(b *testing.B) {
 		return func(b *testing.B) {
@@ -132,10 +201,10 @@ func runMicroJSON(w io.Writer) error {
 	fsys := dfs.New(dfs.Config{BlockSize: 1 << 16, Replication: 2, DataNodes: 5, Seed: 1})
 	sv, err := workload.NumericSpec{Dist: workload.Uniform, N: 200_000, Seed: 1}.Generate()
 	if err != nil {
-		return err
+		return microReport{}, err
 	}
 	if err := fsys.WriteFile("/bench", workload.EncodeLinesFixed(sv)); err != nil {
-		return err
+		return microReport{}, err
 	}
 	add("sampling", "PreMapSample/n=200000/k=1000", func(b *testing.B) {
 		b.ReportAllocs()
@@ -150,18 +219,124 @@ func runMicroJSON(w io.Writer) error {
 		}
 	})
 
-	if len(failed) > 0 {
-		return fmt.Errorf("micro-benchmarks failed (ran zero iterations): %s", strings.Join(failed, ", "))
+	// --- Family 4: the end-to-end engine (one generic pipeline for ---
+	// scalar, shared-pass multi-statistic and grouped runs).
+	const engineN = 40_000
+	engineData, err := workload.NumericSpec{Dist: workload.Gaussian, N: engineN, Seed: 1}.Generate()
+	if err != nil {
+		return microReport{}, err
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(microReport{
+	newEngineEnv := func() (*core.Env, error) {
+		env, err := core.NewEnv(core.EnvConfig{Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		if err := env.FS.WriteFile("/bench/data", workload.EncodeLinesFixed(engineData)); err != nil {
+			return nil, err
+		}
+		env.Metrics.Reset()
+		return env, nil
+	}
+	p50, err := jobs.Quantile(0.5)
+	if err != nil {
+		return microReport{}, err
+	}
+	p95, err := jobs.Quantile(0.95)
+	if err != nil {
+		return microReport{}, err
+	}
+	jset4 := []jobs.Numeric{jobs.Mean(), p50, p95, jobs.Count()}
+	engineOpts := core.Options{Sigma: 0.05, Seed: 2}
+
+	add("engine", fmt.Sprintf("RunSingle/mean/n=%d", engineN), func(b *testing.B) {
+		env, err := newEngineEnv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(env, jobs.Mean(), "/bench/data", engineOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("engine", fmt.Sprintf("RunMulti/mean+p50+p95+count/n=%d", engineN), func(b *testing.B) {
+		env, err := newEngineEnv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunMulti(env, jset4, "/bench/data", engineOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var kv strings.Builder
+	for i, v := range engineData {
+		fmt.Fprintf(&kv, "g%d\t%012.6f\n", i%8, v)
+	}
+	add("engine", fmt.Sprintf("RunGrouped/mean/keys=8/n=%d", engineN), func(b *testing.B) {
+		env, err := core.NewEnv(core.EnvConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.FS.WriteFile("/bench/kv", []byte(kv.String())); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunGrouped(env, jobs.Mean(), core.TabKV, "/bench/kv", engineOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Shared-pass IO: records read by each statistic alone vs all four
+	// in one pass. The multi run must stay within 1.1× of the most
+	// demanding single — the criterion a regression here would break.
+	var engineIO []ioResult
+	var maxSingleRead int64
+	for _, job := range jset4 {
+		env, err := newEngineEnv()
+		if err != nil {
+			return microReport{}, err
+		}
+		if _, err := core.Run(env, job, "/bench/data", engineOpts); err != nil {
+			return microReport{}, err
+		}
+		read := env.Metrics.RecordsRead.Load()
+		engineIO = append(engineIO, ioResult{Name: "single/" + job.Name, RecordsRead: read})
+		if read > maxSingleRead {
+			maxSingleRead = read
+		}
+	}
+	env, err := newEngineEnv()
+	if err != nil {
+		return microReport{}, err
+	}
+	if _, err := core.RunMulti(env, jset4, "/bench/data", engineOpts); err != nil {
+		return microReport{}, err
+	}
+	multiRead := env.Metrics.RecordsRead.Load()
+	engineIO = append(engineIO, ioResult{Name: "multi/mean+p50+p95+count", RecordsRead: multiRead})
+	if float64(multiRead) > 1.1*float64(maxSingleRead) {
+		return microReport{}, fmt.Errorf(
+			"shared-pass criterion violated: 4-statistic run read %d records vs %d for the largest single (>1.1x)",
+			multiRead, maxSingleRead)
+	}
+
+	if len(failed) > 0 {
+		return microReport{}, fmt.Errorf("micro-benchmarks failed (ran zero iterations): %s", strings.Join(failed, ", "))
+	}
+	return microReport{
 		Suite:      "earl-micro",
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: out,
-	})
+		EngineIO:   engineIO,
+	}, nil
 }
 
 func benchParLabel(par int) string {

@@ -9,6 +9,14 @@
 //	earlctl -job kmeans -n 200000 -k 5
 //	earlctl -job mean -n 400000 -kill 3,4   # fault-tolerance demo (§3.4)
 //	earlctl -job mean -n 500000 -watch 3    # continuous ingest: 3 append+refresh cycles
+//
+// Repeating -job runs the statistics as ONE shared-pass multi-statistic
+// query — one pilot, one sample, one pass over the records — printing
+// one report per statistic (and -watch maintains them all under one
+// refresh per append):
+//
+//	earlctl -job mean -job p50 -job p95 -job count -n 1000000
+//	earlctl -job mean -job p99 -n 500000 -watch 3
 package main
 
 import (
@@ -44,8 +52,9 @@ func main() {
 // diagnostics (flag errors, usage) on stderr.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("earlctl", flag.ContinueOnError)
+	var jobNames jobListFlag
+	fs.Var(&jobNames, "job", "mean|sum|count|median|variance|stddev|proportion|p90|p99|kmeans; repeat for one shared-pass multi-statistic query")
 	var (
-		jobName = fs.String("job", "mean", "mean|sum|count|median|variance|stddev|proportion|p90|p99|kmeans")
 		dist    = fs.String("dist", "uniform", "uniform|gaussian|zipf|pareto (numeric jobs)")
 		n       = fs.Int("n", 1_000_000, "records to generate")
 		sigma   = fs.Float64("sigma", 0.05, "target error bound σ")
@@ -71,14 +80,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	if *jobName == "kmeans" {
+	if len(jobNames) == 0 {
+		jobNames = jobListFlag{"mean"}
+	}
+	for _, name := range jobNames {
+		if name == "kmeans" && len(jobNames) > 1 {
+			return fmt.Errorf("kmeans cannot join a multi-statistic query")
+		}
+	}
+	if jobNames[0] == "kmeans" {
 		return runKMeans(stdout, cluster, *n, *k, *sigma, *seed)
 	}
 
-	job, err := pickJob(*jobName)
-	if err != nil {
-		return err
+	jset := make([]earl.Job, len(jobNames))
+	for i, name := range jobNames {
+		if jset[i], err = pickJob(name); err != nil {
+			return err
+		}
 	}
+	job := jset[0]
 	if *n <= 0 {
 		return fmt.Errorf("need -n > 0")
 	}
@@ -91,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -sampler %q (pre-map|post-map)", *sampler)
 	}
-	xs, err := genValues(*jobName, *dist, *n, *seed)
+	xs, err := genValues(jobNames[0], *dist, *n, *seed)
 	if err != nil {
 		return err
 	}
@@ -143,10 +163,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Parallelism: *par,
 	}
 	if *watch > 0 {
-		return runWatch(stdout, cluster, job, opts, killWait, watchParams{
-			jobName: *jobName, dist: *dist, n: *n, cycles: *watch,
+		p := watchParams{
+			jobName: jobNames[0], dist: *dist, n: *n, cycles: *watch,
 			appendN: *appendN, seed: *seed,
-		})
+		}
+		if len(jset) > 1 {
+			return runMultiWatch(stdout, cluster, jset, opts, killWait, p)
+		}
+		return runWatch(stdout, cluster, job, opts, killWait, p)
+	}
+
+	if len(jset) > 1 {
+		return runMultiOnce(stdout, cluster, jset, opts, killWait, *n, *dist)
 	}
 
 	rep, err := cluster.Run(job, "/data", opts)
@@ -177,6 +205,108 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "exact        : %.6g  (early result off by %.3f%%)\n", exact, 100*relErr(rep.Estimate, exact))
 	return nil
+}
+
+// jobListFlag collects repeated -job flags; several jobs run as one
+// shared-pass multi-statistic query.
+type jobListFlag []string
+
+// String implements flag.Value.
+func (j *jobListFlag) String() string { return strings.Join(*j, ",") }
+
+// Set implements flag.Value.
+func (j *jobListFlag) Set(v string) error {
+	*j = append(*j, v)
+	return nil
+}
+
+// runMultiOnce runs a multi-statistic shared-pass query and prints one
+// report per statistic next to its exact answer.
+func runMultiOnce(stdout io.Writer, cluster *earl.Cluster, jset []earl.Job, opts earl.Options, killWait func(), n int, dist string) error {
+	reps, err := cluster.RunMulti(jset, "/data", opts)
+	killWait()
+	if err != nil {
+		return err
+	}
+	m := cluster.Metrics()
+	fmt.Fprintf(stdout, "jobs         : %s over %d %s records (σ=%.3g) — one shared sampling pass\n",
+		jobSetName(jset), n, dist, opts.Sigma)
+	fmt.Fprintf(stdout, "sample       : %d records (%.3f%% of input), %d iteration(s); %d records read\n",
+		reps[0].SampleSize, 100*reps[0].FractionP, reps[0].Iterations, m.RecordsRead)
+	for i, rep := range reps {
+		exact, _, err := cluster.RunExact(jset[i], "/data")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%-12s : %.6g  (cv %.4f, B=%d, converged=%v; exact %.6g, off by %.3f%%)\n",
+			rep.Job, rep.Estimate, rep.CV, rep.B, rep.Converged, exact, 100*relErr(rep.Estimate, exact))
+	}
+	return nil
+}
+
+// runMultiWatch maintains a multi-statistic query under append+refresh
+// cycles, printing every statistic per refresh.
+func runMultiWatch(stdout io.Writer, cluster *earl.Cluster, jset []earl.Job, opts earl.Options, killWait func(), p watchParams) error {
+	w, err := cluster.WatchMulti(jset, "/data", opts)
+	killWait()
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	first := w.Reports()
+	fmt.Fprintf(stdout, "watch        : %s over %d %s records (σ=%.3g) — one shared maintained sample\n",
+		jobSetName(jset), p.n, p.dist, opts.Sigma)
+	for _, rep := range first {
+		fmt.Fprintf(stdout, "first answer : %-12s %.6g  (cv %.4f, sample %d)\n", rep.Job, rep.Estimate, rep.CV, rep.SampleSize)
+	}
+
+	appendN := p.appendN
+	if appendN <= 0 {
+		appendN = p.n / 10
+		if appendN < 1 {
+			appendN = 1
+		}
+	}
+	for cycle := 1; cycle <= p.cycles; cycle++ {
+		batch, err := genValues(p.jobName, p.dist, appendN, p.seed+uint64(100+cycle))
+		if err != nil {
+			return err
+		}
+		if err := cluster.AppendValues("/data", batch); err != nil {
+			return err
+		}
+		before := cluster.Metrics()
+		reps, err := w.Refresh()
+		if err != nil {
+			return err
+		}
+		cost := cluster.Metrics().Sub(before)
+		fmt.Fprintf(stdout, "refresh %-2d   : +%d records; read %d records / %.2f KB for all %d statistics\n",
+			cycle, appendN, cost.RecordsRead, float64(cost.BytesRead)/(1<<10), len(jset))
+		for _, rep := range reps {
+			fmt.Fprintf(stdout, "  %-12s: %.6g (cv %.4f, sample %d)\n", rep.Job, rep.Estimate, rep.CV, rep.SampleSize)
+		}
+	}
+
+	last := w.Reports()
+	for i, rep := range last {
+		exact, _, err := cluster.RunExact(jset[i], "/data")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "exact        : %-12s %.6g  (maintained answer off by %.3f%%)\n",
+			rep.Job, exact, 100*relErr(rep.Estimate, exact))
+	}
+	return nil
+}
+
+// jobSetName joins the statistic names for display ("mean+p50+p95").
+func jobSetName(jset []earl.Job) string {
+	names := make([]string, len(jset))
+	for i, j := range jset {
+		names[i] = j.Name
+	}
+	return strings.Join(names, "+")
 }
 
 // relErr returns |est-exact|/|exact| (0 when exact is 0).

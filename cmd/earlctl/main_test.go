@@ -88,3 +88,34 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMultiJobSharedPass: repeated -job flags run as ONE shared-pass
+// multi-statistic query with one report per statistic.
+func TestRunMultiJobSharedPass(t *testing.T) {
+	out := smoke(t, "-job", "mean", "-job", "p95", "-job", "count", "-n", "40000", "-seed", "9")
+	for _, want := range []string{"one shared sampling pass", "mean", "quantile-0.95", "count"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("multi-job output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunMultiJobWatch: -watch with repeated -job maintains every
+// statistic under one refresh per append.
+func TestRunMultiJobWatch(t *testing.T) {
+	out := smoke(t, "-job", "mean", "-job", "p99", "-n", "40000", "-watch", "2", "-append-n", "8000", "-seed", "10")
+	for _, want := range []string{"first answer", "refresh 1", "refresh 2", "quantile-0.99", "maintained answer off by"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("multi-job watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunRejectsKMeansInMulti: kmeans is not a Numeric job and cannot
+// join a shared pass.
+func TestRunRejectsKMeansInMulti(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-job", "kmeans", "-job", "mean", "-n", "1000"}, &out, &errw); err == nil {
+		t.Fatal("kmeans in a multi-statistic query should fail")
+	}
+}

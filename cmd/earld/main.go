@@ -15,6 +15,15 @@
 //	curl localhost:8080/watch/w1
 //	curl localhost:8080/metrics
 //
+// A jobs list computes several statistics in one shared sampling pass
+// (one report per statistic), and grouped maintained queries watch
+// per-key aggregates over "key\tvalue" records — both flow through the
+// same dedup registry and result cache as scalar queries:
+//
+//	curl -X POST localhost:8080/query \
+//	     -d '{"jobs":["mean","p50","p95","count"],"path":"/t/latency"}'
+//	curl -X POST localhost:8080/watch -d '{"job":"mean","grouped":true,"path":"/t/kv"}'
+//
 // The optional -demo-records flag preloads a Gaussian dataset at
 // /demo/gaussian so the API is immediately queryable.
 package main

@@ -100,7 +100,8 @@ type ClusterConfig = core.EnvConfig
 // against a Cluster.
 //
 // Concurrency contract: a Cluster is safe for concurrent use. Any mix
-// of Run, RunGrouped, Watch, WatchGrouped, Append, WriteFile and
+// of Run, RunMulti, RunGrouped, Watch, WatchMulti, WatchGrouped,
+// Append, WriteFile and
 // metrics calls may proceed from multiple goroutines against the same
 // Cluster — the DFS and engine are internally synchronized, and every
 // run namespaces its reducer→mapper feedback files by a unique run id,
@@ -166,6 +167,18 @@ func (c *Cluster) AppendValues(path string, values []float64) error {
 // Run executes job over path with early accurate results.
 func (c *Cluster) Run(job Job, path string, opts Options) (Report, error) {
 	return core.Run(c.env, job, path, opts)
+}
+
+// RunMulti executes several statistics over path as ONE shared-pass run:
+// one pilot, one SSABE plan per statistic, one sample sized at the
+// largest planned n, and one pass over the drawn records feeding every
+// statistic's resample set. The input is read once regardless of how
+// many statistics ride the pass — a dashboard asking for
+// mean+p50+p95+count of the same column costs the IO of its most
+// demanding statistic, not four separate scans. One Report per
+// statistic, in job order.
+func (c *Cluster) RunMulti(jset []Job, path string, opts Options) ([]Report, error) {
+	return core.RunMulti(c.env, jset, path, opts)
 }
 
 // RunExact executes job exactly over every record (the stock-Hadoop
@@ -262,6 +275,40 @@ func (w *Watch) SampleSize() int { return w.q.SampleSize() }
 // Close releases the handle; the last report stays readable.
 func (w *Watch) Close() { w.q.Close() }
 
+// MultiWatch is a maintained multi-statistic query: the shared-pass
+// semantics of RunMulti kept fresh under appends. Every statistic rides
+// the one maintained sample, so a Refresh costs a single delta scan no
+// matter how many statistics are watched.
+type MultiWatch struct{ q *live.Query }
+
+// WatchMulti runs the shared-pass multi-statistic workflow once and
+// keeps every statistic's resample set maintainable under appends.
+func (c *Cluster) WatchMulti(jset []Job, path string, opts Options) (*MultiWatch, error) {
+	q, err := live.WatchMulti(c.env, jset, path, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiWatch{q: q}, nil
+}
+
+// Reports returns the most recent per-statistic results, in job order,
+// without doing any work.
+func (w *MultiWatch) Reports() []Report { return w.q.Reports() }
+
+// Refresh brings every statistic up to date with the watched file in
+// one delta scan and returns the per-statistic reports.
+func (w *MultiWatch) Refresh() ([]Report, error) { return w.q.RefreshAll() }
+
+// Refreshes returns how many Refresh calls have been applied.
+func (w *MultiWatch) Refreshes() int { return w.q.Refreshes() }
+
+// SampleSize returns the records currently held in the shared
+// maintained sample.
+func (w *MultiWatch) SampleSize() int { return w.q.SampleSize() }
+
+// Close releases the handle; the last reports stay readable.
+func (w *MultiWatch) Close() { w.q.Close() }
+
 // GroupedWatch is the per-key variant of Watch.
 type GroupedWatch struct{ q *live.GroupedQuery }
 
@@ -281,6 +328,13 @@ func (w *GroupedWatch) Report() GroupedReport { return w.q.Report() }
 
 // Refresh brings every group up to date with the watched file.
 func (w *GroupedWatch) Refresh() (GroupedReport, error) { return w.q.Refresh() }
+
+// Refreshes returns how many Refresh calls have been applied.
+func (w *GroupedWatch) Refreshes() int { return w.q.Refreshes() }
+
+// SampleSize returns the records currently held across every group's
+// maintained sample.
+func (w *GroupedWatch) SampleSize() int { return w.q.SampleSize() }
 
 // Close releases the handle; the last report stays readable.
 func (w *GroupedWatch) Close() { w.q.Close() }

@@ -27,6 +27,24 @@
 //
 // Node failures during the job do not abort it: surviving data yields a
 // result with its achieved accuracy (§3.4).
+//
+// # One generic engine
+//
+// Every sampled run — scalar, multi-statistic and grouped — executes on
+// ONE generic pipeline (engine.go): the long-lived sampling mappers,
+// the error-file feedback loop, the doubling expansion schedule and the
+// watchdog are written once, parameterized over two small abstractions.
+// A ParseKV routes each input line to a (reduce key, value) pair, and a
+// ResultSink per reduce partition folds canonically-ordered growth
+// deltas and answers the current error estimate (sinks.go). The scalar
+// driver is the one-key degenerate case (statSink: one resample set per
+// statistic, all fed the shared sample); grouped runs route records by
+// their own keys into per-group resample sets (groupSink). RunMulti
+// rides the same engine to answer several statistics from one pilot,
+// one sample and one pass over the records — per-statistic SSABE plans
+// (the sample runs at the largest planned n, every statistic's B is its
+// own) with per-statistic reports, at the IO cost of the single most
+// demanding statistic.
 package core
 
 import (

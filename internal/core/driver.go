@@ -3,20 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 	"runtime"
-	"sort"
-	"sync/atomic"
-	"time"
+	"strings"
 
 	"repro/internal/aes"
-	"repro/internal/bootstrap"
-	"repro/internal/delta"
-	"repro/internal/dfs"
 	"repro/internal/jobs"
-	"repro/internal/mr"
 	"repro/internal/sampling"
-	"repro/internal/stats"
 )
 
 // SamplerKind selects the sampling stage implementation (§3.3).
@@ -127,16 +119,23 @@ type Resampler interface {
 	Updates() int64
 }
 
-// LiveState is the retained working state of one sampled run: the SSABE
-// plan, the delta-maintained resample set, and the per-mapper sampling
-// streams. Run discards it; RunLive hands it to the caller so a
-// maintained query can keep the early answer fresh as data is appended,
-// paying only for the delta.
+// StatState is the retained working state of one statistic of a sampled
+// run: its SSABE plan and its delta-maintained resample set.
+type StatState struct {
+	Plan  aes.Plan
+	Maint Resampler // nil when the run fell back to the exact path
+}
+
+// LiveState is the retained working state of one sampled run: the
+// per-statistic SSABE plans and delta-maintained resample sets (one
+// entry per statistic; a single-statistic run has exactly one), plus the
+// per-mapper sampling streams the statistics share. Run discards it;
+// RunLive hands it to the caller so a maintained query can keep the
+// early answer fresh as data is appended, paying only for the delta.
 type LiveState struct {
-	Plan        aes.Plan
+	Stats       []StatState
 	EstTotal    int64          // estimated records covered so far
 	SyncedBytes int64          // file bytes covered (the ingest high-water mark)
-	Maint       Resampler      // nil when the run fell back to the exact path
 	Sources     []RecordSource // retained per-mapper samplers (without-replacement across refreshes)
 	Opts        Options        // with defaults applied
 	Generations int            // Grow generations applied so far
@@ -151,52 +150,113 @@ func Run(env *Env, job jobs.Numeric, path string, opts Options) (Report, error) 
 
 // RunLive is Run, but it additionally returns the run's retained working
 // state so the caller can maintain the result under appended data
-// (internal/live builds on this). The state's Maint is nil when the run
-// fell back to the exact full-data job.
+// (internal/live builds on this). The state's Stats[0].Maint is nil when
+// the run fell back to the exact full-data job.
 func RunLive(env *Env, job jobs.Numeric, path string, opts Options) (Report, *LiveState, error) {
-	return runLive(env, job, path, opts, false)
+	reps, st, err := runMultiLive(env, []jobs.Numeric{job}, path, opts, false)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	return reps[0], st, nil
 }
 
 // RunLiveDeferExact is RunLive, except that a fall-back to the exact
 // path does NOT execute the exact MR job: the returned Report carries
-// only UsedFull/EstTotalN and the LiveState has Maint == nil. The caller
-// is expected to produce the exact answer itself — internal/live builds
-// an incremental exact state with a single scan instead of running a
-// whole-file job whose output it would throw away.
+// only UsedFull/EstTotalN and the LiveState has no maintainers. The
+// caller is expected to produce the exact answer itself — internal/live
+// builds an incremental exact state with a single scan instead of
+// running a whole-file job whose output it would throw away.
 func RunLiveDeferExact(env *Env, job jobs.Numeric, path string, opts Options) (Report, *LiveState, error) {
-	return runLive(env, job, path, opts, true)
+	reps, st, err := runMultiLive(env, []jobs.Numeric{job}, path, opts, true)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	return reps[0], st, nil
 }
 
-func runLive(env *Env, job jobs.Numeric, path string, opts Options, deferExact bool) (Report, *LiveState, error) {
+// RunMulti executes a set of statistics over the same records as ONE
+// shared-pass run: one pilot, one SSABE plan per statistic, one sampled
+// map phase sized at the largest planned n, and one pass over the drawn
+// records feeding every statistic's resample set. The input is read once
+// regardless of how many statistics ride the pass — a k-statistic run
+// costs the IO of the most demanding single statistic plus only
+// resampling CPU for the rest. One Report is returned per statistic, in
+// job order; the run terminates when every statistic meets σ (or the
+// expansion cap is hit).
+//
+// The statistics must share the input record format: records are parsed
+// once with the first job's Parse and the value feeds every statistic
+// (true of all built-in numeric jobs, which read one number per line).
+//
+// Every statistic's resample set is maintained over the full shared
+// sample (not capped at its own planned n_i) — see statSink for why the
+// maintained-query path requires the per-statistic samples to stay at
+// one common sampling fraction.
+func RunMulti(env *Env, jset []jobs.Numeric, path string, opts Options) ([]Report, error) {
+	reps, _, err := RunMultiLive(env, jset, path, opts)
+	return reps, err
+}
+
+// RunMultiLive is RunMulti, additionally returning the retained working
+// state (one StatState per statistic) for maintained queries.
+func RunMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options) ([]Report, *LiveState, error) {
+	return runMultiLive(env, jset, path, opts, false)
+}
+
+// RunMultiLiveDeferExact is RunMultiLive with the deferred-exact
+// fall-back contract of RunLiveDeferExact.
+func RunMultiLiveDeferExact(env *Env, jset []jobs.Numeric, path string, opts Options) ([]Report, *LiveState, error) {
+	return runMultiLive(env, jset, path, opts, true)
+}
+
+// jobsetTag names a statistic set for error-file namespaces and MR job
+// names ("mean", "mean+p95+count").
+func jobsetTag(jset []jobs.Numeric) string {
+	names := make([]string, len(jset))
+	for i, j := range jset {
+		names[i] = j.Name
+	}
+	return strings.Join(names, "+")
+}
+
+func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, deferExact bool) ([]Report, *LiveState, error) {
 	opts = opts.withDefaults()
 	if env == nil || env.FS == nil || env.Engine == nil {
-		return Report{}, nil, errors.New("core: incomplete Env")
+		return nil, nil, errors.New("core: incomplete Env")
 	}
-	if job.Reducer == nil || job.Parse == nil {
-		return Report{}, nil, errors.New("core: job needs Reducer and Parse")
+	if len(jset) == 0 {
+		return nil, nil, errors.New("core: need at least one job")
+	}
+	for _, job := range jset {
+		if job.Reducer == nil || job.Parse == nil {
+			return nil, nil, errors.New("core: job needs Reducer and Parse")
+		}
 	}
 	size, err := env.FS.Stat(path)
 	if err != nil {
-		return Report{}, nil, err
+		return nil, nil, err
 	}
 
-	// ---- Local-mode pilot + SSABE (§3.2). -----------------------------
+	// ---- Local-mode pilot + SSABE (§3.2), shared by every statistic. --
 	pilotSampler, err := sampling.NewPreMap(env.FS, path, opts.SplitSize, opts.Seed)
 	if err != nil {
-		return Report{}, nil, err
+		return nil, nil, err
 	}
 	probe, err := pilotSampler.Sample(256)
 	if errors.Is(err, sampling.ErrExhausted) {
 		// Tiny data set: just run it exactly.
-		if deferExact {
-			rep := Report{Job: job.Name, UsedFull: true}
-			return rep, exactLiveState(opts, aes.Plan{UseFull: true}, 0, size), nil
+		fullPlans := make([]aes.Plan, len(jset))
+		for i := range fullPlans {
+			fullPlans[i] = aes.Plan{UseFull: true}
 		}
-		rep, err := runExact(env, job, path, opts)
-		return rep, exactLiveState(opts, aes.Plan{UseFull: true}, rep.EstTotalN, size), err
+		if deferExact {
+			return exactReports(jset, 0, false), exactLiveState(opts, fullPlans, 0, size), nil
+		}
+		reps, estN, err := runExactMulti(env, jset, path, opts)
+		return reps, exactLiveState(opts, fullPlans, estN, size), err
 	}
 	if err != nil {
-		return Report{}, nil, err
+		return nil, nil, err
 	}
 	estTotal := pilotSampler.EstimatedTotalRecords()
 	pilotN := int(opts.PilotFraction * float64(estTotal))
@@ -206,13 +266,19 @@ func runLive(env *Env, job jobs.Numeric, path string, opts Options, deferExact b
 	if pilotN > opts.MaxPilot {
 		pilotN = opts.MaxPilot
 	}
-	pilot := make([]float64, 0, pilotN)
-	for _, r := range probe {
-		v, err := job.Parse(r.Line)
-		if err != nil {
-			return Report{}, nil, fmt.Errorf("core: pilot parse: %w", err)
+	parsePilot := func(recs []sampling.Record, into []float64) ([]float64, error) {
+		for _, r := range recs {
+			v, err := jset[0].Parse(r.Line)
+			if err != nil {
+				return nil, fmt.Errorf("core: pilot parse: %w", err)
+			}
+			into = append(into, v)
 		}
-		pilot = append(pilot, v)
+		return into, nil
+	}
+	pilot, err := parsePilot(probe, make([]float64, 0, pilotN))
+	if err != nil {
+		return nil, nil, err
 	}
 	forced := opts.ForceB > 1 && opts.ForceN > 0
 	if forced {
@@ -221,23 +287,22 @@ func runLive(env *Env, job jobs.Numeric, path string, opts Options, deferExact b
 	if pilotN > len(pilot) {
 		more, err := pilotSampler.Sample(pilotN - len(pilot))
 		if err != nil && !errors.Is(err, sampling.ErrExhausted) {
-			return Report{}, nil, err
+			return nil, nil, err
 		}
-		for _, r := range more {
-			v, err := job.Parse(r.Line)
-			if err != nil {
-				return Report{}, nil, fmt.Errorf("core: pilot parse: %w", err)
-			}
-			pilot = append(pilot, v)
+		if pilot, err = parsePilot(more, pilot); err != nil {
+			return nil, nil, err
 		}
 	}
 	estTotal = pilotSampler.EstimatedTotalRecords() // refined by the larger pilot
 
-	var plan aes.Plan
-	if forced {
-		plan = aes.Plan{B: opts.ForceB, N: opts.ForceN}
-	} else {
-		plan, err = aes.SSABE(pilot, estTotal, aes.Config{
+	plans := make([]aes.Plan, len(jset))
+	useFull := false
+	for i, job := range jset {
+		if forced {
+			plans[i] = aes.Plan{B: opts.ForceB, N: opts.ForceN}
+			continue
+		}
+		plans[i], err = aes.SSABE(pilot, estTotal, aes.Config{
 			Reducer:     job.Reducer,
 			Sigma:       opts.Sigma,
 			Tau:         opts.Tau,
@@ -248,432 +313,154 @@ func runLive(env *Env, job jobs.Numeric, path string, opts Options, deferExact b
 			Parallelism: opts.Parallelism,
 		})
 		if err != nil {
-			return Report{}, nil, err
+			return nil, nil, err
 		}
+		useFull = useFull || plans[i].UseFull
 	}
-	if plan.UseFull {
+	if useFull {
 		// "EARL informs the user that an early estimation with the
 		// specified accuracy is not faster than computing f over N" —
-		// §3.1: switch back to the standard workflow.
+		// §3.1: switch back to the standard workflow. One statistic
+		// needing the full pass means the shared pass reads everything,
+		// so the whole set takes the exact path together.
 		if deferExact {
-			rep := Report{Job: job.Name, UsedFull: true, EstTotalN: estTotal}
-			return rep, exactLiveState(opts, plan, estTotal, size), nil
+			return exactReports(jset, estTotal, true), exactLiveState(opts, plans, estTotal, size), nil
 		}
-		rep, err := runExact(env, job, path, opts)
-		rep.EstTotalN = estTotal
-		return rep, exactLiveState(opts, plan, estTotal, size), err
+		reps, _, err := runExactMulti(env, jset, path, opts)
+		for i := range reps {
+			reps[i].EstTotalN = estTotal
+		}
+		return reps, exactLiveState(opts, plans, estTotal, size), err
 	}
 
 	// ---- Pipelined sampling job (§2.1's modified Hadoop flow). --------
-	rep, st, err := runSampledJob(env, job, path, opts, plan, estTotal, size)
-	rep.EstTotalN = estTotal
-	return rep, st, err
+	reps, st, err := runSampledJob(env, jset, path, opts, plans, estTotal, size)
+	for i := range reps {
+		reps[i].EstTotalN = estTotal
+	}
+	return reps, st, err
+}
+
+// exactReports renders the deferred-exact placeholder reports.
+func exactReports(jset []jobs.Numeric, estTotal int64, setEst bool) []Report {
+	reps := make([]Report, len(jset))
+	for i, job := range jset {
+		reps[i] = Report{Job: job.Name, UsedFull: true}
+		if setEst {
+			reps[i].EstTotalN = estTotal
+		}
+	}
+	return reps
+}
+
+// runExactMulti executes every statistic exactly over ONE full scan of
+// the file (the stock-Hadoop fall-back, preserving the multi-statistic
+// read-once contract) and returns the record count observed. A single
+// statistic keeps the historical runExact path bit-for-bit.
+func runExactMulti(env *Env, jset []jobs.Numeric, path string, opts Options) ([]Report, int64, error) {
+	if len(jset) == 1 {
+		rep, err := runExact(env, jset[0], path, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return []Report{rep}, int64(rep.SampleSize), nil
+	}
+	outs, n, err := runExactMultiJob(env, jset, path, opts.SplitSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	reps := make([]Report, len(jset))
+	for i, job := range jset {
+		reps[i] = Report{
+			Job:         job.Name,
+			Estimate:    outs[i],
+			Uncorrected: outs[i],
+			CILo:        outs[i],
+			CIHi:        outs[i],
+			B:           1,
+			SampleSize:  n,
+			UsedFull:    true,
+			Converged:   true,
+			FractionP:   1,
+			Iterations:  1,
+		}
+	}
+	return reps, int64(n), nil
 }
 
 // exactLiveState is the retained state of a run that used the exact
-// path: no resampler, no sources — a maintained query over it keeps an
+// path: no resamplers, no sources — a maintained query over it keeps an
 // incremental exact state instead (internal/live).
-func exactLiveState(opts Options, plan aes.Plan, estTotal, syncedBytes int64) *LiveState {
-	return &LiveState{Plan: plan, EstTotal: estTotal, SyncedBytes: syncedBytes, Opts: opts}
+func exactLiveState(opts Options, plans []aes.Plan, estTotal, syncedBytes int64) *LiveState {
+	st := &LiveState{EstTotal: estTotal, SyncedBytes: syncedBytes, Opts: opts}
+	for _, p := range plans {
+		st.Stats = append(st.Stats, StatState{Plan: p})
+	}
+	return st
 }
 
-// shareOf splits a total target across m mappers.
-func shareOf(target int64, m, idx int) int64 {
-	base := target / int64(m)
-	if int64(idx) < target%int64(m) {
-		base++
+// runSampledJob drives the generic engine with a statSink: one reduce
+// partition whose sink feeds every statistic from the shared sample.
+func runSampledJob(env *Env, jset []jobs.Numeric, path string, opts Options, plans []aes.Plan, estTotal, syncedBytes int64) ([]Report, *LiveState, error) {
+	var initialN int64
+	for _, p := range plans {
+		if int64(p.N) > initialN {
+			initialN = int64(p.N)
+		}
 	}
-	return base
-}
-
-func runSampledJob(env *Env, job jobs.Numeric, path string, opts Options, plan aes.Plan, estTotal, syncedBytes int64) (Report, *LiveState, error) {
-	splits, err := env.FS.Splits(path, opts.SplitSize)
-	if err != nil {
-		return Report{}, nil, err
-	}
-	m := opts.NumMappers
-	if m > len(splits) {
-		m = len(splits)
-	}
-	if m < 1 {
-		m = 1
-	}
-	// Round-robin split ownership, one retained sampler per mapper.
-	owned := make([][]dfs.Split, m)
-	for i, sp := range splits {
-		owned[i%m] = append(owned[i%m], sp)
-	}
-	sources, err := NewRecordSources(env, path, owned, opts, 0)
-	if err != nil {
-		return Report{}, nil, err
-	}
-
 	maxSample := int64(opts.MaxSampleFraction * float64(estTotal))
-	if maxSample < int64(plan.N) {
-		maxSample = int64(plan.N)
+	if maxSample < initialN {
+		maxSample = initialN
 	}
 
-	ctrl := &mr.Controller{}
-	ctrl.RequestExpansion(int64(plan.N))
-
-	// The error-file prefix is namespaced by a per-run id: the feedback
-	// files are this run's private mailbox, and concurrent runs of the
-	// same job must not read (or delete) each other's cv/generation.
-	errPrefix := fmt.Sprintf("/earl/run-%d/%s/errors/", env.NextRunID(), job.Name)
-	defer cleanupErrorFiles(env.FS, errPrefix)
-
-	// Shared progress counters (the coordination state that in Hadoop
-	// lives in task heartbeats and the shared JobID file space).
-	var emitted, received atomic.Int64
-	var exhausted atomic.Int32 // count of dry mappers
-	sent := make([]atomic.Int64, m)
-	dry := make([]atomic.Bool, m)
-
-	var maint Resampler
-	var maintErr error
-	if opts.DisableDeltaMaintenance {
-		maint, maintErr = delta.NewNaive(delta.Config{
-			Reducer: job.Reducer, B: plan.B, Seed: opts.Seed + 31,
-			Metrics: env.Metrics, Key: job.Name,
-			Parallelism: opts.Parallelism,
-		})
-	} else {
-		maint, maintErr = delta.New(delta.Config{
-			Reducer: job.Reducer, B: plan.B, Seed: opts.Seed + 31,
-			Metrics: env.Metrics, Key: job.Name,
-			Parallelism: opts.Parallelism,
-		})
+	sink, err := newStatSink(env, jset, plans, opts)
+	if err != nil {
+		return nil, nil, err
 	}
-	if maintErr != nil {
-		return Report{}, nil, maintErr
-	}
-
-	var gen atomic.Int64
-	var finalCV atomic.Uint64
-	finalCV.Store(math.Float64bits(math.Inf(1)))
-
-	grow := func(buf []float64) error {
-		// The multiset delivered per growth generation is deterministic
-		// (every mapper draws a seeded share), but its arrival order at
-		// the reducer depends on goroutine scheduling — and resample
-		// updates index rng draws into the delta, so order matters.
-		// Sorting restores a canonical order, making a fixed-seed run
-		// bit-identical across repeats and at any Parallelism.
-		sort.Float64s(buf)
-		if err := maint.Grow(buf); err != nil {
-			return err
-		}
-		g := gen.Add(1)
-		vals, err := maint.Results()
-		if err != nil {
-			return err
-		}
-		cv, err := opts.Measure(vals)
-		if err != nil {
-			// Degenerate distribution (e.g. zero mean): report +Inf so
-			// the loop keeps growing rather than mis-terminating.
-			cv = math.Inf(1)
-		}
-		finalCV.Store(math.Float64bits(cv))
-		ctrl.PublishError(cv)
-		return env.FS.WriteFile(errPrefix+"part-0", formatErrorFile(errorFile{CV: cv, Gen: g}))
-	}
-
-	sjob := &mr.StreamJob{
-		Name:        "earl-" + job.Name,
-		NumMappers:  m,
-		NumReducers: 1,
-		Control:     ctrl,
-		MapTask: func(ctx *mr.MapStream, idx int) error {
-			err := mapTask(env, job, ctx, idx, mapTaskDeps{
-				src:       sources[idx],
-				opts:      opts,
-				errPrefix: errPrefix,
-				maxSample: maxSample,
-				m:         m,
-				initialN:  int64(plan.N),
-				emitted:   &emitted,
-				sent:      &sent[idx],
-				dry:       &dry[idx],
-				exhausted: &exhausted,
-			})
-			if err != nil && !dry[idx].Swap(true) {
-				// A failed mapper (node death, unreadable blocks) will
-				// deliver nothing more: account it like a dry one so the
-				// surviving pipeline can settle and finish with achieved
-				// accuracy (§3.4) instead of waiting for its share forever.
-				exhausted.Add(1)
-			}
-			return err
+	tag := jobsetTag(jset)
+	primary := jset[0]
+	res, err := runEngine(env, path, opts, engineSpec{
+		Name:   "earl-" + tag,
+		ErrTag: tag,
+		Route: func(line string) (string, float64, error) {
+			// The one-key degenerate case: every record routes to the
+			// single reduce partition under the job-set's own name.
+			v, err := primary.Parse(line)
+			return primary.Name, v, err
 		},
-		ReduceTask: func(part int, in <-chan mr.KV) error {
-			var buf []float64
-			for kv := range in {
-				v, ok := kv.Value.(float64)
-				if !ok {
-					return fmt.Errorf("core: reducer got %T", kv.Value)
-				}
-				buf = append(buf, v)
-				received.Add(1)
-				// Grow (and publish an error file) once the mappers have
-				// delivered everything they will deliver for the current
-				// target: either the target itself is met, or every
-				// mapper has settled (met its share or run dry) and the
-				// channel has drained.
-				target := ctrl.ExpansionTarget()
-				if received.Load() >= target ||
-					(received.Load() == emitted.Load() && allSettled(sent, dry, target, m)) {
-					if err := grow(buf); err != nil {
-						return err
-					}
-					buf = buf[:0]
-				}
-			}
-			if len(buf) > 0 {
-				if err := grow(buf); err != nil {
-					return err
-				}
-			}
-			return nil
-		},
+		Sinks:    []ResultSink{sink},
+		InitialN: initialN,
+		MaxN:     maxSample,
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
-	// Watchdog: terminate when no further progress is possible, so the
-	// pipeline drains and the job finishes with achieved accuracy
-	// (§3.4). Records still buffered at the reducer are folded in by its
-	// post-drain flush.
-	stopWatch := make(chan struct{})
-	go func() {
-		watchdog(stopWatch, ctrl, &exhausted, &received, &emitted, &gen, m,
-			func(target int64) bool { return allSettled(sent, dry, target, m) })
-	}()
-	sres, err := env.Engine.RunPipelined(sjob)
-	close(stopWatch)
-	if err != nil {
-		return Report{}, nil, err
-	}
-
-	vals, err := maint.Results()
-	if err != nil {
-		return Report{}, nil, fmt.Errorf("core: no results (sample never arrived): %w", err)
-	}
-	cv := math.Float64frombits(finalCV.Load())
-	p := float64(maint.N()) / float64(estTotal)
-	rep, err := FinishReport(job, opts, vals, cv, p)
-	if err != nil {
-		return Report{}, nil, err
-	}
-	rep.B = plan.B
-	rep.SampleSize = maint.N()
-	rep.PlannedN = plan.N
-	rep.Iterations = int(gen.Load())
-	rep.FailedMaps = len(sres.FailedMappers)
 	st := &LiveState{
-		Plan:        plan,
 		EstTotal:    estTotal,
 		SyncedBytes: syncedBytes,
-		Maint:       maint,
-		Sources:     sources,
+		Sources:     res.Sources,
 		Opts:        opts,
-		Generations: int(gen.Load()),
+		Generations: res.Generations,
 	}
-	return rep, st, nil
-}
-
-// FinishReport turns a result distribution into the user-facing numbers:
-// the mean estimate, the percentile confidence interval, and the
-// p-corrected versions of all three. The CI bounds pass through the user
-// job's correct() exactly like the estimate — an uncorrected interval
-// around a corrected extensive statistic (SUM, COUNT) could never cover
-// the true value.
-func FinishReport(job jobs.Numeric, opts Options, vals []float64, cv, p float64) (Report, error) {
-	est, err := stats.Mean(vals)
-	if err != nil {
-		return Report{}, err
-	}
-	res := bootstrap.Result{Values: vals}
-	lo, hi, err := res.PercentileCI(opts.Confidence)
-	if err != nil {
-		return Report{}, err
-	}
-	if p > 1 {
-		p = 1
-	}
-	cLo, cHi := job.Reducer.Correct(lo, p), job.Reducer.Correct(hi, p)
-	if cLo > cHi {
-		cLo, cHi = cHi, cLo
-	}
-	return Report{
-		Job:         job.Name,
-		Estimate:    job.Reducer.Correct(est, p),
-		Uncorrected: est,
-		CV:          cv,
-		CILo:        cLo,
-		CIHi:        cHi,
-		Converged:   cv <= opts.Sigma,
-		FractionP:   p,
-	}, nil
-}
-
-// mapTaskDeps carries the per-mapper wiring.
-type mapTaskDeps struct {
-	src       RecordSource
-	opts      Options
-	errPrefix string
-	maxSample int64
-	m         int
-	initialN  int64
-	emitted   *atomic.Int64
-	sent      *atomic.Int64
-	dry       *atomic.Bool
-	exhausted *atomic.Int32
-}
-
-// doubledTarget is the deterministic expansion schedule: after the
-// reducer's g-th error report the total target is initialN·2^g.
-func doubledTarget(initialN, g int64) int64 {
-	if g > 40 {
-		g = 40 // avoid overflow; the fraction cap clamps long before this
-	}
-	return initialN << uint(g)
-}
-
-// mapTask is one long-lived sampling mapper: feed records toward the
-// current target, then poll the reducers' error files and either
-// terminate the job or expand the sample (§2.1's active mapper).
-func mapTask(env *Env, job jobs.Numeric, ctx *mr.MapStream, idx int, d mapTaskDeps) error {
-	ctrl := ctx.Controller()
-	var lastGen int64
-	const batch = 128
-	for {
-		if ctx.Terminated() {
-			if !ctx.NodeAlive() {
-				return fmt.Errorf("core: node died under mapper %d", idx)
-			}
-			return nil
+	reps := make([]Report, len(jset))
+	for i, sr := range sink.stats {
+		vals, err := sr.maint.Results()
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: no results (sample never arrived): %w", err)
 		}
-		target := ctrl.ExpansionTarget()
-		share := shareOf(target, d.m, idx)
-		if !d.dry.Load() && d.sent.Load() < share {
-			k := share - d.sent.Load()
-			if k > batch {
-				k = batch
-			}
-			lines, err := d.src.Draw(int(k))
-			for _, line := range lines {
-				v, perr := job.Parse(line)
-				if perr != nil {
-					return fmt.Errorf("core: mapper %d parse: %w", idx, perr)
-				}
-				ctx.Emit(job.Name, v)
-				d.sent.Add(1)
-				d.emitted.Add(1)
-			}
-			if errors.Is(err, sampling.ErrExhausted) {
-				d.dry.Store(true)
-				d.exhausted.Add(1)
-			} else if err != nil {
-				return err
-			}
-			continue
+		p := float64(sr.maint.N()) / float64(estTotal)
+		rep, err := FinishReport(sr.job, opts, vals, sr.lastCV, p)
+		if err != nil {
+			return nil, nil, err
 		}
-		// Feedback poll: average the reducers' error files (§3.3).
-		avg, g, ok := readErrors(env.FS, d.errPrefix)
-		if ok && g > lastGen {
-			lastGen = g
-			if avg <= d.opts.Sigma {
-				ctrl.Terminate()
-				return nil
-			}
-			// Deterministic doubling schedule keyed on the reducer
-			// generation, so every mapper reacting to the same error file
-			// requests the same expansion regardless of timing.
-			next := doubledTarget(d.initialN, g)
-			if next > d.maxSample {
-				next = d.maxSample
-			}
-			if next > target {
-				ctrl.RequestExpansion(next)
-				continue
-			}
-			if target >= d.maxSample {
-				// Cap reached and still above σ: stop expanding; the job
-				// finishes with the accuracy actually achieved.
-				ctrl.Terminate()
-				return nil
-			}
-			// Another mapper already requested this generation's
-			// expansion; fall through and keep feeding.
-			continue
-		}
-		runtime.Gosched()
-		time.Sleep(100 * time.Microsecond)
+		rep.B = sr.plan.B
+		rep.SampleSize = sr.maint.N()
+		rep.PlannedN = sr.plan.N
+		rep.Iterations = res.Generations
+		rep.FailedMaps = res.FailedMaps
+		reps[i] = rep
+		st.Stats = append(st.Stats, StatState{Plan: sr.plan, Maint: sr.maint})
 	}
-}
-
-// allSettled reports whether every mapper has either met its share of
-// the target or run dry.
-func allSettled(sent []atomic.Int64, dry []atomic.Bool, target int64, m int) bool {
-	for i := 0; i < m; i++ {
-		if dry[i].Load() {
-			continue
-		}
-		if sent[i].Load() < shareOf(target, m, i) {
-			return false
-		}
-	}
-	return true
-}
-
-// watchdog terminates a pipelined sampling job once no further progress
-// is possible. Two conditions end a job:
-//
-//  1. Every mapper has run dry (or failed) and everything emitted has
-//     been consumed — nothing further can change.
-//  2. The current growth generation can never complete: all surviving
-//     mappers have settled (met their share or gone dry/dead), every
-//     emitted record has been consumed, and the target is still unmet —
-//     the share of a dead or dry mapper is simply missing. The reducer's
-//     growth triggers only fire on arriving records, so without this the
-//     job would wait for that share forever.
-//
-// Condition 2 must not fire during the instant between a completed
-// generation and the mappers reacting to its error file (they look
-// momentarily settled), so it requires the state to hold stably — no new
-// generation, no new target — for several polling rounds, ample time for
-// a live mapper's ~100µs feedback poll to raise the target.
-func watchdog(stop <-chan struct{}, ctrl *mr.Controller,
-	exhausted *atomic.Int32, received, emitted, gen *atomic.Int64, m int,
-	settled func(target int64) bool) {
-	var stable int
-	lastGen, lastTarget := int64(-1), int64(-1)
-	for {
-		select {
-		case <-stop:
-			return
-		default:
-		}
-		if int(exhausted.Load()) == m && received.Load() == emitted.Load() {
-			ctrl.Terminate()
-			return
-		}
-		target := ctrl.ExpansionTarget()
-		g := gen.Load()
-		if received.Load() == emitted.Load() && received.Load() < target && settled(target) {
-			if g == lastGen && target == lastTarget {
-				stable++
-				if stable >= 10 {
-					ctrl.Terminate()
-					return
-				}
-			} else {
-				stable = 0
-				lastGen, lastTarget = g, target
-			}
-		} else {
-			stable = 0
-			lastGen, lastTarget = -1, -1
-		}
-		time.Sleep(200 * time.Microsecond)
-	}
+	return reps, st, nil
 }

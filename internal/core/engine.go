@@ -1,0 +1,404 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/mr"
+	"repro/internal/sampling"
+)
+
+// This file is the generic execution engine every sampled EARL run goes
+// through — scalar, multi-statistic and grouped alike. The paper's
+// pipeline (long-lived sampling mappers, a growing reducer publishing
+// §3.3 error files, the deterministic doubling expansion schedule, the
+// §3.4 watchdog) is implemented exactly once here, parameterized over
+// two small abstractions:
+//
+//   - ParseKV routes one input line to a (reduce key, value) pair. The
+//     scalar driver routes every record to a single synthetic key — the
+//     one-key degenerate case — while grouped runs route by the record's
+//     own group key.
+//   - ResultSink consumes one growth generation of routed, canonically
+//     ordered values per reduce partition and reports the partition's
+//     current error estimate. The scalar sink maintains one resample set
+//     per statistic (all fed the same shared sample); the grouped sink
+//     maintains one per group key.
+//
+// Everything upstream (pilot, SSABE planning) and downstream (reports,
+// retained live state) stays in the thin per-mode drivers.
+
+// ParseKV decodes one input line into a (group key, value) pair — the
+// native shape of MapReduce data ("key\tvalue" lines by default). It is
+// also the engine's routing abstraction: the key selects the reduce
+// partition and the ResultSink entry the value is folded into.
+type ParseKV func(line string) (key string, value float64, err error)
+
+// TabKV parses the "key\tvalue" records produced by workload.KVSpec.
+func TabKV(line string) (string, float64, error) {
+	i := strings.IndexByte(line, '\t')
+	if i < 0 {
+		return "", 0, fmt.Errorf("core: record %q has no tab", line)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("core: bad value in %q: %w", line, err)
+	}
+	return line[:i], v, nil
+}
+
+// ResultSink is the engine's result-maintenance abstraction: one sink
+// per reduce partition consumes routed growth deltas and answers the
+// partition's current error. Grow is called once per (generation, key)
+// in canonical order — keys sorted, values sorted ascending — which is
+// what keeps fixed-seed runs bit-identical at any parallelism; after a
+// generation's keys are folded the engine asks ErrorEstimate once and
+// publishes it to the §3.3 error file. A sink is only ever called from
+// its partition's reducer goroutine during the run; reads after the run
+// are ordered by the engine's completion.
+type ResultSink interface {
+	// Grow folds vals (sorted ascending) for key into the maintained
+	// state.
+	Grow(key string, vals []float64) error
+	// ErrorEstimate returns the error of the current state; +Inf when it
+	// cannot be trusted yet (no data, degenerate distribution, a group
+	// below its minimum sample).
+	ErrorEstimate() float64
+}
+
+// engineSpec parameterizes one run of the generic engine.
+type engineSpec struct {
+	Name     string       // MR job name (cosmetic/metrics)
+	ErrTag   string       // error-file namespace tag, unique per job shape
+	Route    ParseKV      // line → (reduce key, value)
+	Sinks    []ResultSink // one per reduce partition
+	InitialN int64        // SSABE's initial sample target
+	MaxN     int64        // expansion cap (records)
+}
+
+// engineResult is what the engine hands back to the driver; the results
+// themselves live in the sinks.
+type engineResult struct {
+	Generations int
+	FailedMaps  int
+	Sources     []RecordSource // retained per-mapper samplers for live maintenance
+}
+
+// mapperShards splits the file's splits round-robin across at most
+// opts.NumMappers owners (at least one).
+func mapperShards(env *Env, path string, opts Options) ([][]dfs.Split, error) {
+	splits, err := env.FS.Splits(path, opts.SplitSize)
+	if err != nil {
+		return nil, err
+	}
+	m := opts.NumMappers
+	if m > len(splits) {
+		m = len(splits)
+	}
+	if m < 1 {
+		m = 1
+	}
+	owned := make([][]dfs.Split, m)
+	for i, sp := range splits {
+		owned[i%m] = append(owned[i%m], sp)
+	}
+	return owned, nil
+}
+
+// runEngine executes the pipelined sampling job of §2.1: long-lived
+// mappers draw from their retained samplers toward the controller's
+// expansion target, the per-partition reducers fold routed deltas into
+// their sinks and publish error files, and the mappers react to those
+// files by terminating the job or doubling the target (§3.3). The §3.4
+// watchdog ends jobs that can no longer make progress, so the run
+// finishes with achieved accuracy through node failures and dry regions.
+func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResult, error) {
+	owned, err := mapperShards(env, path, opts)
+	if err != nil {
+		return engineResult{}, err
+	}
+	m := len(owned)
+	sources, err := NewRecordSources(env, path, owned, opts, 0)
+	if err != nil {
+		return engineResult{}, err
+	}
+
+	ctrl := &mr.Controller{}
+	ctrl.RequestExpansion(spec.InitialN)
+
+	// The error-file prefix is namespaced by a per-run id: the feedback
+	// files are this run's private mailbox, and concurrent runs of the
+	// same job must not read (or delete) each other's cv/generation.
+	errPrefix := fmt.Sprintf("/earl/run-%d/%s/errors/", env.NextRunID(), spec.ErrTag)
+	defer cleanupErrorFiles(env.FS, errPrefix)
+
+	// Shared progress counters (the coordination state that in Hadoop
+	// lives in task heartbeats and the shared JobID file space).
+	var emitted, received atomic.Int64
+	var exhausted atomic.Int32 // count of dry mappers
+	sent := make([]atomic.Int64, m)
+	dry := make([]atomic.Bool, m)
+	var gen atomic.Int64
+
+	mapLoop := func(ctx *mr.MapStream, idx int) error {
+		var lastGen int64
+		const batch = 128
+		for {
+			if ctx.Terminated() {
+				if !ctx.NodeAlive() {
+					return fmt.Errorf("core: node died under mapper %d", idx)
+				}
+				return nil
+			}
+			target := ctrl.ExpansionTarget()
+			share := shareOf(target, m, idx)
+			if !dry[idx].Load() && sent[idx].Load() < share {
+				k := share - sent[idx].Load()
+				if k > batch {
+					k = batch
+				}
+				lines, err := sources[idx].Draw(int(k))
+				for _, line := range lines {
+					key, v, perr := spec.Route(line)
+					if perr != nil {
+						return fmt.Errorf("core: mapper %d parse: %w", idx, perr)
+					}
+					ctx.Emit(key, v)
+					sent[idx].Add(1)
+					emitted.Add(1)
+				}
+				if errors.Is(err, sampling.ErrExhausted) {
+					dry[idx].Store(true)
+					exhausted.Add(1)
+				} else if err != nil {
+					return err
+				}
+				continue
+			}
+			// Feedback poll: average the reducers' error files (§3.3).
+			avg, g, ok := readErrors(env.FS, errPrefix)
+			if ok && g > lastGen {
+				lastGen = g
+				if avg <= opts.Sigma {
+					ctrl.Terminate()
+					return nil
+				}
+				// Deterministic doubling schedule keyed on the reducer
+				// generation, so every mapper reacting to the same error
+				// file requests the same expansion regardless of timing.
+				next := doubledTarget(spec.InitialN, g)
+				if next > spec.MaxN {
+					next = spec.MaxN
+				}
+				if next > target {
+					ctrl.RequestExpansion(next)
+					continue
+				}
+				if target >= spec.MaxN {
+					// Cap reached and still above σ: stop expanding; the
+					// job finishes with the accuracy actually achieved.
+					ctrl.Terminate()
+					return nil
+				}
+				// Another mapper already requested this generation's
+				// expansion; fall through and keep feeding.
+				continue
+			}
+			runtime.Gosched()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	sjob := &mr.StreamJob{
+		Name:        spec.Name,
+		NumMappers:  m,
+		NumReducers: len(spec.Sinks),
+		Control:     ctrl,
+		MapTask: func(ctx *mr.MapStream, idx int) error {
+			err := mapLoop(ctx, idx)
+			if err != nil && !dry[idx].Swap(true) {
+				// A failed mapper (node death, unreadable blocks) will
+				// deliver nothing more: account it like a dry one so the
+				// surviving pipeline can settle and finish with achieved
+				// accuracy (§3.4) instead of waiting for its share forever.
+				exhausted.Add(1)
+			}
+			return err
+		},
+		ReduceTask: func(part int, in <-chan mr.KV) error {
+			sink := spec.Sinks[part]
+			buf := map[string][]float64{}
+			bufN := 0
+			growAll := func() error {
+				// Fold keys in sorted order with sorted deltas: the
+				// per-generation multiset is deterministic, but map
+				// iteration and reducer arrival order are not, and
+				// resample updates consume seeded rng draws — canonical
+				// ordering keeps fixed-seed runs bit-identical across
+				// repeats and at any Parallelism.
+				keys := make([]string, 0, len(buf))
+				for key := range buf {
+					keys = append(keys, key)
+				}
+				sort.Strings(keys)
+				for _, key := range keys {
+					vals := buf[key]
+					if len(vals) == 0 {
+						continue
+					}
+					sort.Float64s(vals)
+					if err := sink.Grow(key, vals); err != nil {
+						return err
+					}
+				}
+				buf = map[string][]float64{}
+				bufN = 0
+				g := gen.Add(1)
+				cv := sink.ErrorEstimate()
+				ctrl.PublishError(cv)
+				return env.FS.WriteFile(
+					fmt.Sprintf("%spart-%d", errPrefix, part),
+					formatErrorFile(errorFile{CV: cv, Gen: g}))
+			}
+			for kv := range in {
+				v, ok := kv.Value.(float64)
+				if !ok {
+					return fmt.Errorf("core: reducer got %T", kv.Value)
+				}
+				buf[kv.Key] = append(buf[kv.Key], v)
+				bufN++
+				received.Add(1)
+				// Grow (and publish an error file) once the mappers have
+				// delivered everything they will deliver for the current
+				// target: either the target itself is met, or every mapper
+				// has settled (met its share or run dry) and the channel
+				// has drained.
+				target := ctrl.ExpansionTarget()
+				if received.Load() >= target ||
+					(received.Load() == emitted.Load() && allSettled(sent, dry, target, m)) {
+					if err := growAll(); err != nil {
+						return err
+					}
+				}
+			}
+			if bufN > 0 {
+				if err := growAll(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+
+	// Watchdog: terminate when no further progress is possible, so the
+	// pipeline drains and the job finishes with achieved accuracy (§3.4).
+	// Records still buffered at the reducers are folded in by their
+	// post-drain flush.
+	stopWatch := make(chan struct{})
+	go func() {
+		watchdog(stopWatch, ctrl, &exhausted, &received, &emitted, &gen, m,
+			func(target int64) bool { return allSettled(sent, dry, target, m) })
+	}()
+	sres, err := env.Engine.RunPipelined(sjob)
+	close(stopWatch)
+	if err != nil {
+		return engineResult{}, err
+	}
+	return engineResult{
+		Generations: int(gen.Load()),
+		FailedMaps:  len(sres.FailedMappers),
+		Sources:     sources,
+	}, nil
+}
+
+// shareOf splits a total target across m mappers.
+func shareOf(target int64, m, idx int) int64 {
+	base := target / int64(m)
+	if int64(idx) < target%int64(m) {
+		base++
+	}
+	return base
+}
+
+// doubledTarget is the deterministic expansion schedule: after the
+// reducer's g-th error report the total target is initialN·2^g.
+func doubledTarget(initialN, g int64) int64 {
+	if g > 40 {
+		g = 40 // avoid overflow; the fraction cap clamps long before this
+	}
+	return initialN << uint(g)
+}
+
+// allSettled reports whether every mapper has either met its share of
+// the target or run dry.
+func allSettled(sent []atomic.Int64, dry []atomic.Bool, target int64, m int) bool {
+	for i := 0; i < m; i++ {
+		if dry[i].Load() {
+			continue
+		}
+		if sent[i].Load() < shareOf(target, m, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// watchdog terminates a pipelined sampling job once no further progress
+// is possible. Two conditions end a job:
+//
+//  1. Every mapper has run dry (or failed) and everything emitted has
+//     been consumed — nothing further can change.
+//  2. The current growth generation can never complete: all surviving
+//     mappers have settled (met their share or gone dry/dead), every
+//     emitted record has been consumed, and the target is still unmet —
+//     the share of a dead or dry mapper is simply missing. The reducers'
+//     growth triggers only fire on arriving records, so without this the
+//     job would wait for that share forever.
+//
+// Condition 2 must not fire during the instant between a completed
+// generation and the mappers reacting to its error file (they look
+// momentarily settled), so it requires the state to hold stably — no new
+// generation, no new target — for several polling rounds, ample time for
+// a live mapper's ~100µs feedback poll to raise the target.
+func watchdog(stop <-chan struct{}, ctrl *mr.Controller,
+	exhausted *atomic.Int32, received, emitted, gen *atomic.Int64, m int,
+	settled func(target int64) bool) {
+	var stable int
+	lastGen, lastTarget := int64(-1), int64(-1)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if int(exhausted.Load()) == m && received.Load() == emitted.Load() {
+			ctrl.Terminate()
+			return
+		}
+		target := ctrl.ExpansionTarget()
+		g := gen.Load()
+		if received.Load() == emitted.Load() && received.Load() < target && settled(target) {
+			if g == lastGen && target == lastTarget {
+				stable++
+				if stable >= 10 {
+					ctrl.Terminate()
+					return
+				}
+			} else {
+				stable = 0
+				lastGen, lastTarget = g, target
+			}
+		} else {
+			stable = 0
+			lastGen, lastTarget = -1, -1
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
 	"repro/internal/jobs"
@@ -70,6 +71,76 @@ func (r exactReducer) Reduce(key string, values []any, emit mr.Emitter) error {
 	}
 	emit.Emit(key, out)
 	return nil
+}
+
+// exactMultiReducer applies every statistic of the set to the one
+// collected value stream, emitting each under its index — the
+// shared-scan exact fall-back of a multi-statistic run.
+type exactMultiReducer struct {
+	jset []jobs.Numeric
+}
+
+// Reduce implements mr.Reducer.
+func (r exactMultiReducer) Reduce(key string, values []any, emit mr.Emitter) error {
+	xs := make([]float64, 0, len(values))
+	for _, v := range values {
+		f, ok := v.(float64)
+		if !ok {
+			return fmt.Errorf("core: exact reducer got %T", v)
+		}
+		xs = append(xs, f)
+	}
+	for i, job := range r.jset {
+		if job.Statistic == nil {
+			return fmt.Errorf("core: job %q needs a Statistic for the exact path", job.Name)
+		}
+		out, err := job.Statistic(xs)
+		if err != nil {
+			return err
+		}
+		emit.Emit(strconv.Itoa(i), out)
+	}
+	return nil
+}
+
+// runExactMultiJob runs every statistic of the set exactly over ONE full
+// scan: a single batch MR job parses each record once (the jobs share
+// the input format, so the first job's Parse stands for all) and the
+// reducer applies every statistic to the collected values — the exact
+// fall-back keeps the multi-statistic read-once contract.
+func runExactMultiJob(env *Env, jset []jobs.Numeric, path string, splitSize int64) ([]float64, int, error) {
+	if jset[0].Parse == nil {
+		return nil, 0, fmt.Errorf("core: job %q needs Parse", jset[0].Name)
+	}
+	var seen atomic.Int64
+	mjob := &mr.Job{
+		Name:        "exact-" + jobsetTag(jset),
+		InputPath:   path,
+		SplitSize:   splitSize,
+		Mapper:      exactMapper{job: jset[0], seen: &seen},
+		Reducer:     exactMultiReducer{jset: jset},
+		NumReducers: 1,
+	}
+	res, err := env.Engine.Run(mjob)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(res.Output) != len(jset) {
+		return nil, 0, fmt.Errorf("core: exact multi job emitted %d results for %d statistics", len(res.Output), len(jset))
+	}
+	outs := make([]float64, len(jset))
+	for _, kv := range res.Output {
+		i, err := strconv.Atoi(kv.Key)
+		if err != nil || i < 0 || i >= len(jset) {
+			return nil, 0, fmt.Errorf("core: exact multi job emitted key %q", kv.Key)
+		}
+		v, ok := kv.Value.(float64)
+		if !ok {
+			return nil, 0, fmt.Errorf("core: exact result has type %T", kv.Value)
+		}
+		outs[i] = v
+	}
+	return outs, int(seen.Load()), nil
 }
 
 // RunExactJob runs the user job exactly over every record of path on the

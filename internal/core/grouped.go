@@ -3,86 +3,16 @@ package core
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"math"
-	"runtime"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"repro/internal/delta"
-	"repro/internal/dfs"
 	"repro/internal/jobs"
-	"repro/internal/mr"
 	"repro/internal/sampling"
-	"repro/internal/stats"
 )
 
-// seedForKey derives a group's resampling seed from the run seed and the
-// key alone — never from the order keys were first observed in, which
-// depends on goroutine scheduling. This is what makes grouped runs (and
-// their maintained refreshes) reproducible for a fixed seed.
-func seedForKey(seed uint64, key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return seed + h.Sum64()
-}
-
-// NewGroupMaintainer creates the delta-maintained resample set for one
-// group key under the run's seeding contract. Exported so a grouped
-// maintained query (internal/live) can open groups that first appear in
-// appended data with exactly the seed the initial run would have used.
-func NewGroupMaintainer(env *Env, job jobs.Numeric, key string, b int, opts Options) (*delta.Maintainer, error) {
-	return delta.New(delta.Config{
-		Reducer: job.Reducer, B: b,
-		Seed:    seedForKey(opts.Seed, key),
-		Metrics: env.Metrics, Key: key,
-		Parallelism: opts.Parallelism,
-	})
-}
-
-// ParseKV decodes one input line into a (group key, value) pair — the
-// native shape of MapReduce data ("key\tvalue" lines by default).
-type ParseKV func(line string) (key string, value float64, err error)
-
-// TabKV parses the "key\tvalue" records produced by workload.KVSpec.
-func TabKV(line string) (string, float64, error) {
-	i := strings.IndexByte(line, '\t')
-	if i < 0 {
-		return "", 0, fmt.Errorf("core: record %q has no tab", line)
-	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
-	if err != nil {
-		return "", 0, fmt.Errorf("core: bad value in %q: %w", line, err)
-	}
-	return line[:i], v, nil
-}
-
-// MinGroupSample is the smallest per-group sample before a group's cv
-// is trusted: below it the error is treated as +Inf so the expansion
-// loop keeps sampling. Shared by the in-run grouped reducer and the
-// maintained grouped query's refresh loop.
-const MinGroupSample = 8
-
-// GroupResult is one group's early estimate.
-type GroupResult struct {
-	Estimate   float64
-	CV         float64
-	SampleSize int
-}
-
-// GroupedReport is the outcome of a grouped early run.
-type GroupedReport struct {
-	Job        string
-	Groups     map[string]GroupResult
-	Iterations int
-	Converged  bool // every (sufficiently sampled) group reached σ
-	SampleSize int  // total records consumed
-	FailedMaps int
-}
+// Grouped runs are a thin adapter over the generic engine: the records'
+// own keys route them to per-partition groupSinks (one resample set per
+// group), and only the planning step — sizing the initial sample from
+// the pilot's distinct-key count — is grouped-specific.
 
 // RunGrouped is EARL for per-key aggregates — the natural MapReduce
 // workload the paper's driver treats as a single global statistic. Each
@@ -168,291 +98,48 @@ func RunGroupedLive(env *Env, job jobs.Numeric, parse ParseKV, path string, opts
 	if maxSample < int64(initialN) {
 		maxSample = int64(initialN)
 	}
-
-	splits, err := env.FS.Splits(path, opts.SplitSize)
-	if err != nil {
-		return GroupedReport{}, nil, err
-	}
-	m := opts.NumMappers
-	if m > len(splits) {
-		m = len(splits)
-	}
-	if m < 1 {
-		m = 1
-	}
-	owned := make([][]dfs.Split, m)
-	for i, sp := range splits {
-		owned[i%m] = append(owned[i%m], sp)
-	}
-	sources, err := NewRecordSources(env, path, owned, opts, 0)
-	if err != nil {
-		return GroupedReport{}, nil, err
-	}
 	r := 2 // grouped mode exercises the partitioned path
 	if r > len(keys) {
 		r = 1
 	}
-
-	ctrl := &mr.Controller{}
-	ctrl.RequestExpansion(int64(initialN))
-	errPrefix := fmt.Sprintf("/earl/run-%d/%s-grouped/errors/", env.NextRunID(), job.Name)
-	defer cleanupErrorFiles(env.FS, errPrefix)
-
-	var emitted, received atomic.Int64
-	var exhausted atomic.Int32
-	sent := make([]atomic.Int64, m)
-	dry := make([]atomic.Bool, m)
-	var gen atomic.Int64
-
-	type partState struct {
-		mu     sync.Mutex
-		maints map[string]*delta.Maintainer
-	}
-	parts := make([]*partState, r)
+	parts := make([]*groupSink, r)
+	sinks := make([]ResultSink, r)
 	for p := range parts {
-		parts[p] = &partState{maints: map[string]*delta.Maintainer{}}
+		parts[p] = newGroupSink(env, job, b, opts)
+		sinks[p] = parts[p]
 	}
 
-	worstCV := func(ps *partState) float64 {
-		worst := 0.0
-		for _, mt := range ps.maints {
-			if mt.N() < MinGroupSample {
-				return math.Inf(1)
-			}
-			cv, err := mt.CV()
-			if err != nil {
-				return math.Inf(1)
-			}
-			if cv > worst {
-				worst = cv
-			}
-		}
-		if len(ps.maints) == 0 {
-			return math.Inf(1)
-		}
-		return worst
-	}
-
-	groupedMapLoop := func(ctx *mr.MapStream, idx int) error {
-		var lastGen int64
-		const batch = 128
-		for {
-			if ctx.Terminated() {
-				if !ctx.NodeAlive() {
-					return fmt.Errorf("core: node died under mapper %d", idx)
-				}
-				return nil
-			}
-			target := ctrl.ExpansionTarget()
-			share := shareOf(target, m, idx)
-			if !dry[idx].Load() && sent[idx].Load() < share {
-				k := share - sent[idx].Load()
-				if k > batch {
-					k = batch
-				}
-				lines, err := sources[idx].Draw(int(k))
-				for _, line := range lines {
-					key, v, perr := parse(line)
-					if perr != nil {
-						return fmt.Errorf("core: mapper %d parse: %w", idx, perr)
-					}
-					ctx.Emit(key, v)
-					sent[idx].Add(1)
-					emitted.Add(1)
-				}
-				if errors.Is(err, sampling.ErrExhausted) {
-					dry[idx].Store(true)
-					exhausted.Add(1)
-				} else if err != nil {
-					return err
-				}
-				continue
-			}
-			avg, g, ok := readErrors(env.FS, errPrefix)
-			if ok && g > lastGen {
-				lastGen = g
-				if avg <= opts.Sigma {
-					ctrl.Terminate()
-					return nil
-				}
-				next := doubledTarget(int64(initialN), g)
-				if next > maxSample {
-					next = maxSample
-				}
-				if next > target {
-					ctrl.RequestExpansion(next)
-					continue
-				}
-				if target >= maxSample {
-					ctrl.Terminate()
-					return nil
-				}
-				continue
-			}
-			runtime.Gosched()
-			time.Sleep(100 * time.Microsecond)
-		}
-	}
-
-	sjob := &mr.StreamJob{
-		Name:        "earl-grouped-" + job.Name,
-		NumMappers:  m,
-		NumReducers: r,
-		Control:     ctrl,
-		MapTask: func(ctx *mr.MapStream, idx int) error {
-			err := groupedMapLoop(ctx, idx)
-			if err != nil && !dry[idx].Swap(true) {
-				// Like the global driver: a failed mapper delivers nothing
-				// more, so account it as dry and let the survivors settle.
-				exhausted.Add(1)
-			}
-			return err
-		},
-		ReduceTask: func(part int, in <-chan mr.KV) error {
-			ps := parts[part]
-			buf := map[string][]float64{}
-			bufN := 0
-			growAll := func() error {
-				ps.mu.Lock()
-				defer ps.mu.Unlock()
-				// Iterate keys in sorted order and grow each group with a
-				// sorted delta: the per-generation multiset is
-				// deterministic, but map iteration and reducer arrival
-				// order are not, and resample updates consume seeded rng
-				// draws — canonical ordering keeps fixed-seed grouped runs
-				// reproducible.
-				keys := make([]string, 0, len(buf))
-				for key := range buf {
-					keys = append(keys, key)
-				}
-				sort.Strings(keys)
-				for _, key := range keys {
-					vals := buf[key]
-					mt, ok := ps.maints[key]
-					if !ok {
-						var err error
-						mt, err = NewGroupMaintainer(env, job, key, b, opts)
-						if err != nil {
-							return err
-						}
-						ps.maints[key] = mt
-					}
-					if len(vals) > 0 {
-						sort.Float64s(vals)
-						if err := mt.Grow(vals); err != nil {
-							return err
-						}
-					}
-				}
-				buf = map[string][]float64{}
-				bufN = 0
-				g := gen.Add(1)
-				cv := worstCV(ps)
-				ctrl.PublishError(cv)
-				return env.FS.WriteFile(
-					fmt.Sprintf("%spart-%d", errPrefix, part),
-					formatErrorFile(errorFile{CV: cv, Gen: g}))
-			}
-			for kv := range in {
-				v, ok := kv.Value.(float64)
-				if !ok {
-					return fmt.Errorf("core: grouped reducer got %T", kv.Value)
-				}
-				buf[kv.Key] = append(buf[kv.Key], v)
-				bufN++
-				received.Add(1)
-				target := ctrl.ExpansionTarget()
-				if received.Load() >= target ||
-					(received.Load() == emitted.Load() && allSettled(sent, dry, target, m)) {
-					if err := growAll(); err != nil {
-						return err
-					}
-				}
-			}
-			if bufN > 0 {
-				if err := growAll(); err != nil {
-					return err
-				}
-			}
-			return nil
-		},
-	}
-
-	stopWatch := make(chan struct{})
-	go func() {
-		watchdog(stopWatch, ctrl, &exhausted, &received, &emitted, &gen, m,
-			func(target int64) bool { return allSettled(sent, dry, target, m) })
-	}()
-	sres, err := env.Engine.RunPipelined(sjob)
-	close(stopWatch)
+	res, err := runEngine(env, path, opts, engineSpec{
+		Name:     "earl-grouped-" + job.Name,
+		ErrTag:   job.Name + "-grouped",
+		Route:    parse,
+		Sinks:    sinks,
+		InitialN: int64(initialN),
+		MaxN:     maxSample,
+	})
 	if err != nil {
 		return GroupedReport{}, nil, err
 	}
 
 	maints := map[string]*delta.Maintainer{}
 	for _, ps := range parts {
-		ps.mu.Lock()
 		for key, mt := range ps.maints {
 			maints[key] = mt
 		}
-		ps.mu.Unlock()
 	}
 	rep, err := GroupedReportFrom(job, opts, maints)
 	if err != nil {
 		return rep, nil, err
 	}
-	rep.Iterations = int(gen.Load())
-	rep.FailedMaps = len(sres.FailedMappers)
+	rep.Iterations = res.Generations
+	rep.FailedMaps = res.FailedMaps
 	st := &GroupedLiveState{
 		Maints:      maints,
-		Sources:     sources,
+		Sources:     res.Sources,
 		EstTotal:    estTotal,
 		SyncedBytes: size,
 		B:           b,
 		Opts:        opts,
 	}
 	return rep, st, nil
-}
-
-// GroupedReportFrom assembles per-group results from the maintained resample
-// sets (shared by the initial grouped run and every live refresh).
-func GroupedReportFrom(job jobs.Numeric, opts Options, maints map[string]*delta.Maintainer) (GroupedReport, error) {
-	rep := GroupedReport{
-		Job:       job.Name,
-		Groups:    map[string]GroupResult{},
-		Converged: true,
-	}
-	for key, mt := range maints {
-		vals, err := mt.Results()
-		if err != nil {
-			return rep, err
-		}
-		est, err := stats.Mean(vals)
-		if err != nil {
-			return rep, err
-		}
-		cv, cvErr := mt.CV()
-		if cvErr != nil {
-			cv = math.Inf(1)
-		}
-		rep.Groups[key] = GroupResult{Estimate: est, CV: cv, SampleSize: mt.N()}
-		rep.SampleSize += mt.N()
-		if cv > opts.Sigma {
-			rep.Converged = false
-		}
-	}
-	if len(rep.Groups) == 0 {
-		return rep, errors.New("core: grouped run produced no groups")
-	}
-	return rep, nil
-}
-
-// SortedGroupKeys returns the report's keys in order, for stable output.
-func (g GroupedReport) SortedGroupKeys() []string {
-	keys := make([]string, 0, len(g.Groups))
-	for k := range g.Groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

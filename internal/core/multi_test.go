@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// multiJobSet is the dashboard shape: mean + p50 + p95 + count of one
+// column.
+func multiJobSet(t testing.TB) []jobs.Numeric {
+	t.Helper()
+	p50, err := jobs.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p95, err := jobs.Quantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []jobs.Numeric{jobs.Mean(), p50, p95, jobs.Count()}
+}
+
+// TestRunMultiSharedPassReadsOnce is the tentpole acceptance criterion:
+// a 4-statistic shared-pass run reads the input once — RecordsRead stays
+// within 1.1× of the single-statistic run with the largest sample — and
+// every statistic lands near its exact answer.
+func TestRunMultiSharedPassReadsOnce(t *testing.T) {
+	const n = 200_000
+	jset := multiJobSet(t)
+
+	// Baseline: each statistic alone, on a fresh cluster, recording the
+	// records read by the most demanding one.
+	var maxSingleRead int64
+	for i := range jset {
+		env, _ := testEnv(t, n, workload.Gaussian, 40)
+		env.Metrics.Reset()
+		rep, err := Run(env, jset[i], "/data", Options{Sigma: 0.05, Seed: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.UsedFull {
+			t.Fatalf("%s fell back to exact: %+v", jset[i].Name, rep)
+		}
+		if read := env.Metrics.RecordsRead.Load(); read > maxSingleRead {
+			maxSingleRead = read
+		}
+	}
+
+	env, xs := testEnv(t, n, workload.Gaussian, 40)
+	env.Metrics.Reset()
+	reps, err := RunMulti(env, jset, "/data", Options{Sigma: 0.05, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiRead := env.Metrics.RecordsRead.Load()
+	if float64(multiRead) > 1.1*float64(maxSingleRead) {
+		t.Fatalf("4-statistic shared pass read %d records vs %d for the largest single-statistic run (>1.1×)",
+			multiRead, maxSingleRead)
+	}
+
+	if len(reps) != len(jset) {
+		t.Fatalf("got %d reports for %d jobs", len(reps), len(jset))
+	}
+	truthMean, _ := stats.Mean(xs)
+	truthP50, _ := stats.Quantile(xs, 0.5)
+	truthP95, _ := stats.Quantile(xs, 0.95)
+	truths := []float64{truthMean, truthP50, truthP95, float64(len(xs))}
+	for i, rep := range reps {
+		if rep.Job != jset[i].Name {
+			t.Fatalf("report %d is %q, want %q", i, rep.Job, jset[i].Name)
+		}
+		if !rep.Converged {
+			t.Fatalf("%s did not converge: %+v", rep.Job, rep)
+		}
+		if rel := math.Abs(rep.Estimate-truths[i]) / math.Abs(truths[i]); rel > 0.15 {
+			t.Fatalf("%s estimate %v vs truth %v (rel %v)", rep.Job, rep.Estimate, truths[i], rel)
+		}
+		// Shared sample: every statistic consumed the same records.
+		if rep.SampleSize != reps[0].SampleSize {
+			t.Fatalf("statistics diverged in sample size: %d vs %d", rep.SampleSize, reps[0].SampleSize)
+		}
+	}
+	// Per-statistic planning: B is sized per statistic, not shared.
+	distinct := map[int]bool{}
+	for _, rep := range reps {
+		distinct[rep.B] = true
+	}
+	if len(distinct) < 2 {
+		t.Logf("note: all statistics happened to plan B=%d", reps[0].B)
+	}
+}
+
+// TestRunMultiDeterministicAcrossParallelism extends the engine-wide
+// seeding contract to multi-statistic runs: fixed seed ⇒ bit-identical
+// per-statistic reports at any Parallelism.
+func TestRunMultiDeterministicAcrossParallelism(t *testing.T) {
+	jset := multiJobSet(t)
+	runAt := func(par int) []Report {
+		env, _ := testEnv(t, 80_000, workload.Uniform, 42)
+		reps, err := RunMulti(env, jset, "/data", Options{Sigma: 0.05, Seed: 43, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reps
+	}
+	golden := runAt(1)
+	for _, par := range []int{4, 0} {
+		if got := runAt(par); !reflect.DeepEqual(golden, got) {
+			t.Fatalf("Parallelism=%d multi reports differ from sequential:\n%+v\n%+v", par, golden, got)
+		}
+	}
+}
+
+// TestRunMultiSingleDegenerates: RunMulti with one job is exactly Run —
+// the one-key, one-statistic degenerate case of the generic engine.
+func TestRunMultiSingleDegenerates(t *testing.T) {
+	env1, _ := testEnv(t, 80_000, workload.Uniform, 44)
+	single, err := Run(env1, jobs.Mean(), "/data", Options{Sigma: 0.05, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2, _ := testEnv(t, 80_000, workload.Uniform, 44)
+	multi, err := RunMulti(env2, []jobs.Numeric{jobs.Mean()}, "/data", Options{Sigma: 0.05, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(single, multi[0]) {
+		t.Fatalf("RunMulti([mean]) != Run(mean):\n%+v\n%+v", single, multi[0])
+	}
+}
+
+// TestRunMultiValidation covers the error surface.
+func TestRunMultiValidation(t *testing.T) {
+	env, _ := testEnv(t, 1_000, workload.Uniform, 46)
+	if _, err := RunMulti(env, nil, "/data", Options{}); err == nil {
+		t.Fatal("empty job set should error")
+	}
+	if _, err := RunMulti(env, []jobs.Numeric{{}}, "/data", Options{}); err == nil {
+		t.Fatal("incomplete job should error")
+	}
+}
+
+// TestRunMultiExactFallback: tiny data sends the whole set down the
+// exact path together — still as ONE full scan (one MR job), keeping
+// the multi-statistic read-once contract on the fall-back path too.
+func TestRunMultiExactFallback(t *testing.T) {
+	env, xs := testEnv(t, 300, workload.Uniform, 47)
+	env.Metrics.Reset()
+	reps, err := RunMulti(env, multiJobSet(t), "/data", Options{Sigma: 0.05, Seed: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Metrics.JobStartups.Load(); got != 1 {
+		t.Fatalf("exact multi fall-back launched %d jobs, want 1 shared scan", got)
+	}
+	if read := env.Metrics.RecordsMapped.Load(); read > int64(len(xs)) {
+		t.Fatalf("exact multi fall-back mapped %d records of %d — re-reading per statistic", read, len(xs))
+	}
+	truth, _ := stats.Mean(xs)
+	for _, rep := range reps {
+		if !rep.UsedFull {
+			t.Fatalf("%s should have used the exact path: %+v", rep.Job, rep)
+		}
+	}
+	if math.Abs(reps[0].Estimate-truth) > 1e-9 {
+		t.Fatalf("exact mean %v != %v", reps[0].Estimate, truth)
+	}
+	if reps[3].Estimate != float64(len(xs)) {
+		t.Fatalf("exact count %v != %d", reps[3].Estimate, len(xs))
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/bootstrap"
+	"repro/internal/delta"
+	"repro/internal/jobs"
+	"repro/internal/stats"
+)
+
+// Report assembly shared by the batch drivers and internal/live's
+// maintained refreshes: FinishReport renders one statistic's result
+// distribution, GroupedReportFrom renders a grouped run's per-key
+// resample sets.
+
+// GroupResult is one group's early estimate.
+type GroupResult struct {
+	Estimate   float64
+	CV         float64
+	SampleSize int
+}
+
+// GroupedReport is the outcome of a grouped early run.
+type GroupedReport struct {
+	Job        string
+	Groups     map[string]GroupResult
+	Iterations int
+	Converged  bool // every (sufficiently sampled) group reached σ
+	SampleSize int  // total records consumed
+	FailedMaps int
+}
+
+// FinishReport turns a result distribution into the user-facing numbers:
+// the mean estimate, the percentile confidence interval, and the
+// p-corrected versions of all three. The CI bounds pass through the user
+// job's correct() exactly like the estimate — an uncorrected interval
+// around a corrected extensive statistic (SUM, COUNT) could never cover
+// the true value.
+func FinishReport(job jobs.Numeric, opts Options, vals []float64, cv, p float64) (Report, error) {
+	est, err := stats.Mean(vals)
+	if err != nil {
+		return Report{}, err
+	}
+	res := bootstrap.Result{Values: vals}
+	lo, hi, err := res.PercentileCI(opts.Confidence)
+	if err != nil {
+		return Report{}, err
+	}
+	if p > 1 {
+		p = 1
+	}
+	cLo, cHi := job.Reducer.Correct(lo, p), job.Reducer.Correct(hi, p)
+	if cLo > cHi {
+		cLo, cHi = cHi, cLo
+	}
+	return Report{
+		Job:         job.Name,
+		Estimate:    job.Reducer.Correct(est, p),
+		Uncorrected: est,
+		CV:          cv,
+		CILo:        cLo,
+		CIHi:        cHi,
+		Converged:   cv <= opts.Sigma,
+		FractionP:   p,
+	}, nil
+}
+
+// GroupedReportFrom assembles per-group results from the maintained resample
+// sets (shared by the initial grouped run and every live refresh).
+func GroupedReportFrom(job jobs.Numeric, opts Options, maints map[string]*delta.Maintainer) (GroupedReport, error) {
+	rep := GroupedReport{
+		Job:       job.Name,
+		Groups:    map[string]GroupResult{},
+		Converged: true,
+	}
+	for key, mt := range maints {
+		vals, err := mt.Results()
+		if err != nil {
+			return rep, err
+		}
+		est, err := stats.Mean(vals)
+		if err != nil {
+			return rep, err
+		}
+		cv, cvErr := mt.CV()
+		if cvErr != nil {
+			cv = math.Inf(1)
+		}
+		rep.Groups[key] = GroupResult{Estimate: est, CV: cv, SampleSize: mt.N()}
+		rep.SampleSize += mt.N()
+		if cv > opts.Sigma {
+			rep.Converged = false
+		}
+	}
+	if len(rep.Groups) == 0 {
+		return rep, errors.New("core: grouped run produced no groups")
+	}
+	return rep, nil
+}
+
+// SortedGroupKeys returns the report's keys in order, for stable output.
+func (g GroupedReport) SortedGroupKeys() []string {
+	keys := make([]string, 0, len(g.Groups))
+	for k := range g.Groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/aes"
+	"repro/internal/delta"
+	"repro/internal/jobs"
+)
+
+// The two ResultSink implementations of the generic engine: statSink
+// (scalar and multi-statistic runs — one resample set per statistic, all
+// fed the one shared sample) and groupSink (grouped runs — one resample
+// set per group key).
+
+// statRun is one statistic's maintained state inside a statSink.
+type statRun struct {
+	job    jobs.Numeric
+	plan   aes.Plan
+	maint  Resampler
+	lastCV float64 // error at the last published generation
+}
+
+// statSink maintains one delta-maintained resample set per statistic.
+// Every statistic reads the same shared sample (the engine delivers each
+// record exactly once), so a k-statistic run costs one sampling/IO pass;
+// only the resampling CPU scales with k. The published error is the
+// worst statistic's — expansion continues until every statistic meets σ.
+//
+// Planning is per statistic (its own SSABE B_i and n_i; the run's
+// initial target is max(n_i)), but the maintained sample is deliberately
+// shared rather than capped per statistic at n_i: statistics whose
+// planned n is smaller simply converge early and ride along. Capping
+// would save their resampling CPU, but it would leave the statistics
+// holding samples at different fractions of the data — and a later
+// maintained refresh (internal/live) draws each appended delta once, at
+// one fraction, so unequal per-statistic fractions could not stay
+// uniform over old ∪ new. Extra resampling CPU is the price of keeping
+// every statistic's sample exchangeable with the shared stream.
+type statSink struct {
+	opts  Options
+	stats []*statRun
+}
+
+// newStatSink builds the per-statistic maintainers under the engine-wide
+// seeding contract: statistic 0 keeps the historical run seed (so
+// single-statistic runs stay bit-identical), and further statistics get
+// decorrelated streams derived from the statistic index.
+func newStatSink(env *Env, jset []jobs.Numeric, plans []aes.Plan, opts Options) (*statSink, error) {
+	s := &statSink{opts: opts}
+	for i, job := range jset {
+		cfg := delta.Config{
+			Reducer: job.Reducer, B: plans[i].B,
+			Seed:    opts.Seed + 31 + 1_000_003*uint64(i),
+			Metrics: env.Metrics, Key: job.Name,
+			Parallelism: opts.Parallelism,
+		}
+		var maint Resampler
+		var err error
+		if opts.DisableDeltaMaintenance {
+			maint, err = delta.NewNaive(cfg)
+		} else {
+			maint, err = delta.New(cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.stats = append(s.stats, &statRun{job: job, plan: plans[i], maint: maint, lastCV: math.Inf(1)})
+	}
+	return s, nil
+}
+
+// Grow implements ResultSink: the shared delta feeds every statistic's
+// resample set.
+func (s *statSink) Grow(_ string, vals []float64) error {
+	for _, st := range s.stats {
+		if err := st.maint.Grow(vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrorEstimate implements ResultSink: the worst error across the
+// statistics (+Inf on any degenerate distribution, so the loop keeps
+// growing rather than mis-terminating).
+func (s *statSink) ErrorEstimate() float64 {
+	worst := 0.0
+	for _, st := range s.stats {
+		cv := math.Inf(1)
+		if vals, err := st.maint.Results(); err == nil {
+			if m, err := s.opts.Measure(vals); err == nil {
+				cv = m
+			}
+		}
+		st.lastCV = cv
+		if cv > worst {
+			worst = cv
+		}
+	}
+	return worst
+}
+
+// seedForKey derives a group's resampling seed from the run seed and the
+// key alone — never from the order keys were first observed in, which
+// depends on goroutine scheduling. This is what makes grouped runs (and
+// their maintained refreshes) reproducible for a fixed seed.
+func seedForKey(seed uint64, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return seed + h.Sum64()
+}
+
+// NewGroupMaintainer creates the delta-maintained resample set for one
+// group key under the run's seeding contract. Exported so a grouped
+// maintained query (internal/live) can open groups that first appear in
+// appended data with exactly the seed the initial run would have used.
+func NewGroupMaintainer(env *Env, job jobs.Numeric, key string, b int, opts Options) (*delta.Maintainer, error) {
+	return delta.New(delta.Config{
+		Reducer: job.Reducer, B: b,
+		Seed:    seedForKey(opts.Seed, key),
+		Metrics: env.Metrics, Key: key,
+		Parallelism: opts.Parallelism,
+	})
+}
+
+// MinGroupSample is the smallest per-group sample before a group's cv
+// is trusted: below it the error is treated as +Inf so the expansion
+// loop keeps sampling. Shared by the in-run grouped sink and the
+// maintained grouped query's refresh loop.
+const MinGroupSample = 8
+
+// groupSink maintains one delta-maintained resample set per group key,
+// opened lazily with key-derived seeds as keys arrive. The published
+// error is the worst group's, floored at +Inf while any group's sample
+// is below MinGroupSample.
+type groupSink struct {
+	env  *Env
+	job  jobs.Numeric
+	b    int
+	opts Options
+
+	mu     sync.Mutex
+	maints map[string]*delta.Maintainer
+}
+
+func newGroupSink(env *Env, job jobs.Numeric, b int, opts Options) *groupSink {
+	return &groupSink{env: env, job: job, b: b, opts: opts, maints: map[string]*delta.Maintainer{}}
+}
+
+// Grow implements ResultSink.
+func (g *groupSink) Grow(key string, vals []float64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	mt, ok := g.maints[key]
+	if !ok {
+		var err error
+		mt, err = NewGroupMaintainer(g.env, g.job, key, g.b, g.opts)
+		if err != nil {
+			return err
+		}
+		g.maints[key] = mt
+	}
+	return mt.Grow(vals)
+}
+
+// ErrorEstimate implements ResultSink.
+func (g *groupSink) ErrorEstimate() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.maints) == 0 {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for _, mt := range g.maints {
+		if mt.N() < MinGroupSample {
+			return math.Inf(1)
+		}
+		cv, err := mt.CV()
+		if err != nil {
+			return math.Inf(1)
+		}
+		if cv > worst {
+			worst = cv
+		}
+	}
+	return worst
+}

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -30,7 +31,9 @@ func ByName(name string) (Numeric, error) {
 	}
 	if pct, ok := strings.CutPrefix(name, "p"); ok {
 		if v, err := strconv.ParseFloat(pct, 64); err == nil {
-			return Quantile(v / 100)
+			// Round away the binary dust of the /100 so p99.9 and q0.999
+			// name the same quantile (and the same cache/watch identity).
+			return Quantile(math.Round(v/100*1e12) / 1e12)
 		}
 	}
 	if frac, ok := strings.CutPrefix(name, "q"); ok {

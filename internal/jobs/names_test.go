@@ -1,0 +1,86 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestByNameFixedNames: every fixed statistic resolves to a job with
+// its own name and working Parse/Reducer/Statistic hooks.
+func TestByNameFixedNames(t *testing.T) {
+	for _, name := range []string{"mean", "sum", "count", "median", "variance", "stddev", "proportion"} {
+		j, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if j.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, j.Name)
+		}
+		if j.Reducer == nil || j.Statistic == nil || j.Parse == nil {
+			t.Fatalf("ByName(%q) returned an incomplete job", name)
+		}
+	}
+}
+
+// TestByNameQuantileForms: the generic pNN / q0.NN vocabulary parses at
+// its boundaries and nowhere beyond.
+func TestByNameQuantileForms(t *testing.T) {
+	valid := map[string]string{
+		"p50":    "quantile-0.5",
+		"p99":    "quantile-0.99",
+		"p99.9":  "quantile-0.999",
+		"p0.1":   "quantile-0.001",
+		"q0.25":  "quantile-0.25",
+		"q0.999": "quantile-0.999",
+	}
+	for name, want := range valid {
+		j, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if j.Name != want {
+			t.Errorf("ByName(%q).Name = %q, want %q", name, j.Name, want)
+		}
+	}
+	// Out-of-range, degenerate, and malformed quantiles are rejected —
+	// including NaN/Inf forms ParseFloat accepts (an admitted NaN used to
+	// panic when the quantile index was computed, remotely reachable via
+	// earld job names).
+	for _, name := range []string{
+		"p0", "p100", "p-5", "p200", "pnan", "pNaN", "pinf", "pInf", "p1e2", "p",
+		"q0", "q1", "q-0.5", "q2", "qnan", "qNaN", "qinf", "q+Inf", "q",
+	} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) accepted an invalid quantile", name)
+		}
+	}
+}
+
+// TestByNameUnknown: unrecognised names fail with the offending name in
+// the error (names are case-sensitive; front ends normalize case).
+func TestByNameUnknown(t *testing.T) {
+	for _, name := range []string{"", "nope", "MEAN", "Mean", "avg", "percentile99", "kmeans"} {
+		_, err := ByName(name)
+		if err == nil {
+			t.Errorf("ByName(%q) accepted an unknown job", name)
+			continue
+		}
+		if name != "" && !strings.Contains(err.Error(), name) {
+			t.Errorf("ByName(%q) error does not name the job: %v", name, err)
+		}
+	}
+}
+
+// TestQuantileDirect pins the constructor's own guards (ByName routes
+// through it, but the API is public on its own).
+func TestQuantileDirect(t *testing.T) {
+	if _, err := Quantile(0.5); err != nil {
+		t.Fatalf("Quantile(0.5): %v", err)
+	}
+	for _, q := range []float64{0, 1, -0.1, 1.1} {
+		if _, err := Quantile(q); err == nil {
+			t.Errorf("Quantile(%v) accepted", q)
+		}
+	}
+}

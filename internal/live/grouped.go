@@ -1,38 +1,28 @@
 package live
 
 import (
-	"errors"
-	"fmt"
-	"math"
-	"sort"
-	"sync"
-
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/jobs"
-	"repro/internal/sampling"
 )
-
-// isExhausted reports whether err is the samplers' dry-region signal.
-func isExhausted(err error) bool { return errors.Is(err, sampling.ErrExhausted) }
 
 // GroupedQuery is a maintained per-key EARL query: every group's
 // delta-maintained resample set stays alive after the first answer, and
 // Refresh folds in only appended data — including groups that appear
 // for the first time in the appended region, which are opened with the
-// same key-derived seed the initial run would have used.
+// same key-derived seed the initial run would have used. It is the
+// grouped face of the shared refresh core in watchBase: the same draw
+// and expansion machinery as Query, with a sink that routes records by
+// key into per-group resample sets.
 type GroupedQuery struct {
-	mu    sync.Mutex
-	env   *core.Env
-	job   jobs.Numeric
-	parse core.ParseKV
-	path  string
-	st    *core.GroupedLiveState
-	dry   []bool
+	watchBase
+	job    jobs.Numeric
+	parse  core.ParseKV
+	b      int
+	maints map[string]*delta.Maintainer
 
-	last       core.GroupedReport
-	baseIters  int // growth generations of the initial run
-	refreshGen int
-	closed     bool
+	last      core.GroupedReport
+	baseIters int // growth generations of the initial run
 }
 
 // WatchGrouped runs the grouped early workflow once and returns a
@@ -43,12 +33,19 @@ func WatchGrouped(env *core.Env, job jobs.Numeric, parse core.ParseKV, path stri
 		return nil, err
 	}
 	return &GroupedQuery{
-		env:       env,
+		watchBase: watchBase{
+			env:      env,
+			path:     path,
+			opts:     st.Opts,
+			sources:  st.Sources,
+			dry:      make([]bool, len(st.Sources)),
+			estTotal: st.EstTotal,
+			synced:   st.SyncedBytes,
+		},
 		job:       job,
 		parse:     parse,
-		path:      path,
-		st:        st,
-		dry:       make([]bool, len(st.Sources)),
+		b:         st.B,
+		maints:    st.Maints,
 		last:      rep,
 		baseIters: rep.Iterations,
 	}, nil
@@ -68,12 +65,19 @@ func (q *GroupedQuery) Refreshes() int {
 	return q.refreshGen
 }
 
+// SampleSize returns the records currently held across every group's
+// maintained sample.
+func (q *GroupedQuery) SampleSize() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return int((*groupFold)(q).size())
+}
+
 // Close releases the handle; Refresh returns ErrClosed afterwards.
 func (q *GroupedQuery) Close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.closed = true
-	q.st.Sources = nil
+	q.closeBase()
 }
 
 // Refresh brings every group up to date with the watched file,
@@ -83,221 +87,21 @@ func (q *GroupedQuery) Close() {
 func (q *GroupedQuery) Refresh() (core.GroupedReport, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed {
-		return core.GroupedReport{}, ErrClosed
-	}
-	size, err := q.env.FS.Stat(q.path)
+	size, appended, err := q.beginRefresh()
 	if err != nil {
 		return core.GroupedReport{}, err
 	}
-	if size < q.st.SyncedBytes {
-		return core.GroupedReport{}, fmt.Errorf("%w: %s", ErrTruncated, q.path)
+	if !appended {
+		return q.last, nil
 	}
-	if size == q.st.SyncedBytes {
-		return q.last, nil // nothing appended: no-op
+	if err := q.refreshSampled(size, (*groupFold)(q)); err != nil {
+		return core.GroupedReport{}, err
 	}
-	q.env.Metrics.Refreshes.Add(1)
-	q.refreshGen++
-	st := q.st
-	opts := st.Opts
-	st.Sources, q.dry = compactSources(st.Sources, q.dry)
-
-	if size > st.SyncedBytes {
-		newSources, estNew, err := buildRefreshSources(
-			q.env, q.path, opts, st.SyncedBytes, size, st.EstTotal, q.refreshGen)
-		if err != nil {
-			return core.GroupedReport{}, err
-		}
-		var sampled int64
-		for _, mt := range st.Maints {
-			sampled += int64(mt.N())
-		}
-		p := float64(sampled) / float64(st.EstTotal)
-		if p > 1 {
-			p = 1
-		}
-		nDelta := int64(p*float64(estNew) + 0.5)
-		if nDelta > estNew {
-			nDelta = estNew
-		}
-		from := len(st.Sources)
-		st.Sources = append(st.Sources, newSources...)
-		q.dry = append(q.dry, make([]bool, len(newSources))...)
-		st.EstTotal += estNew
-		st.SyncedBytes = size
-		if nDelta > 0 {
-			if err := q.growFrom(from, len(st.Sources), int(nDelta)); err != nil {
-				return core.GroupedReport{}, err
-			}
-		}
-	}
-
-	// Re-expand while the worst group violates σ, with the same doubling
-	// schedule as the in-run loop.
-	worst := q.worstCV()
-	maxSample := int64(opts.MaxSampleFraction * float64(st.EstTotal))
-	for worst > opts.Sigma {
-		var sampled int64
-		for _, mt := range st.Maints {
-			sampled += int64(mt.N())
-		}
-		if sampled >= maxSample {
-			break
-		}
-		next := sampled * 2
-		if next > maxSample {
-			next = maxSample
-		}
-		k := next - sampled
-		if k <= 0 {
-			break
-		}
-		grew, err := q.growFromCounted(0, len(st.Sources), int(k))
-		if err != nil {
-			return core.GroupedReport{}, err
-		}
-		if grew == 0 {
-			break // everything exhausted: finish with achieved accuracy
-		}
-		worst = q.worstCV()
-	}
-
-	rep, err := core.GroupedReportFrom(q.job, opts, st.Maints)
+	rep, err := core.GroupedReportFrom(q.job, q.opts, q.maints)
 	if err != nil {
 		return core.GroupedReport{}, err
 	}
 	rep.Iterations = q.baseIters + q.refreshGen
 	q.last = rep
 	return rep, nil
-}
-
-// growFrom draws total records from Sources[from:to] and folds them into
-// the per-group maintainers.
-func (q *GroupedQuery) growFrom(from, to, total int) error {
-	_, err := q.growFromCounted(from, to, total)
-	return err
-}
-
-// growFromCounted is growFrom, reporting how many records were actually
-// drawn (sources may be dry).
-func (q *GroupedQuery) growFromCounted(from, to, total int) (int, error) {
-	lines, err := q.drawLines(from, to, total)
-	if err != nil {
-		return 0, err
-	}
-	if len(lines) == 0 {
-		return 0, nil
-	}
-	groups := map[string][]float64{}
-	for _, line := range lines {
-		key, v, perr := q.parse(line)
-		if perr != nil {
-			return 0, fmt.Errorf("live: parse: %w", perr)
-		}
-		groups[key] = append(groups[key], v)
-	}
-	// Sorted keys and sorted deltas: the canonical order that keeps
-	// fixed-seed refreshes reproducible (see core's grouped reducer).
-	keys := make([]string, 0, len(groups))
-	for key := range groups {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		mt, ok := q.st.Maints[key]
-		if !ok {
-			var err error
-			mt, err = core.NewGroupMaintainer(q.env, q.job, key, q.st.B, q.st.Opts)
-			if err != nil {
-				return 0, err
-			}
-			q.st.Maints[key] = mt
-		}
-		vals := groups[key]
-		sort.Float64s(vals)
-		if err := mt.Grow(vals); err != nil {
-			return 0, err
-		}
-	}
-	return len(lines), nil
-}
-
-// drawLines draws total raw lines from Sources[from:to], apportioned by
-// weight and drawn sequentially in source order — deterministic by
-// construction (grouped deltas are small; the parallel scheme of
-// Query.drawAcross is not worth the machinery here).
-func (q *GroupedQuery) drawLines(from, to, total int) ([]string, error) {
-	var flat []string
-	for i := from; i < to && len(flat) < total; i++ {
-		if q.dry[i] {
-			continue
-		}
-		// Weight-proportional share of what is still needed, floored so
-		// every live source contributes.
-		var weightSum int64
-		for j := i; j < to; j++ {
-			if !q.dry[j] {
-				weightSum += q.st.Sources[j].Weight()
-			}
-		}
-		if weightSum <= 0 {
-			break
-		}
-		need := total - len(flat)
-		share := int(int64(need) * q.st.Sources[i].Weight() / weightSum)
-		if share < 1 {
-			share = 1
-		}
-		if share > need {
-			share = need
-		}
-		lines, err := q.st.Sources[i].Draw(share)
-		if err != nil {
-			if !isExhausted(err) {
-				return nil, err
-			}
-			q.dry[i] = true
-		}
-		flat = append(flat, lines...)
-	}
-	// Second pass: top up from any still-live source.
-	for i := from; i < to && len(flat) < total; i++ {
-		if q.dry[i] {
-			continue
-		}
-		lines, err := q.st.Sources[i].Draw(total - len(flat))
-		if err != nil {
-			if !isExhausted(err) {
-				return nil, err
-			}
-			q.dry[i] = true
-		}
-		flat = append(flat, lines...)
-	}
-	return flat, nil
-}
-
-// worstCV returns the largest error across groups, +Inf with no groups
-// or while any group's sample is below core.MinGroupSample — the same
-// floor the in-run reducer applies, so a brand-new key appearing in
-// appended data with a deceptively tight tiny sample still forces
-// expansion instead of being reported converged.
-func (q *GroupedQuery) worstCV() float64 {
-	if len(q.st.Maints) == 0 {
-		return math.Inf(1)
-	}
-	worst := 0.0
-	for _, mt := range q.st.Maints {
-		if mt.N() < core.MinGroupSample {
-			return math.Inf(1)
-		}
-		cv, err := mt.CV()
-		if err != nil {
-			return math.Inf(1)
-		}
-		if cv > worst {
-			worst = cv
-		}
-	}
-	return worst
 }

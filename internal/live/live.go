@@ -2,17 +2,29 @@
 // data — EARL's delta-maintenance trick (§4.1) lifted from within one
 // run to across the lifetime of a dataset.
 //
-// A Query is created by Watch: it runs the normal early-accurate
-// workflow once, then keeps the run's working state alive — the SSABE
-// plan, the delta-maintained bootstrap resample set (with every
-// per-resample sketch state), and the per-mapper without-replacement
-// samplers. When data is appended to the watched file (dfs.Append cuts
-// new blocks without disturbing existing splits), Refresh:
+// There is ONE maintained-query implementation here, mirroring the
+// generic execution engine in internal/core: a shared refresh core
+// (watchBase) owns the retained per-mapper without-replacement samplers,
+// the ingest high-water mark, and the draw/expansion machinery, and is
+// parameterized over a small maintSink abstraction that says how drawn
+// records fold into maintained state and what the current error is.
+// Query folds every record into one resample set per statistic (the
+// scalar case is the one-statistic degenerate form; a multi-statistic
+// watch shares the one sample across all of them); GroupedQuery routes
+// records by key into one resample set per group — grouped is just many
+// sinks' worth of state behind the same refresh loop.
+//
+// A Query is created by Watch (or WatchMulti): it runs the normal
+// early-accurate workflow once, then keeps the run's working state
+// alive — the SSABE plans, the delta-maintained bootstrap resample sets
+// (with every per-resample sketch state), and the per-mapper samplers.
+// When data is appended to the watched file (dfs.Append cuts new blocks
+// without disturbing existing splits), Refresh:
 //
 //  1. samples only the appended splits at the query's current sampling
 //     fraction p, so the combined sample stays (approximately) uniform
 //     over the concatenated data;
-//  2. feeds that delta through the retained delta.Maintainer — sharded
+//  2. feeds that delta through the retained resample sets — sharded
 //     across Options.Parallelism workers under the engine-wide
 //     fixed-seed determinism contract;
 //  3. re-estimates the error, and re-expands the sample (drawing from
@@ -25,22 +37,18 @@
 // can compare maintained refreshes against from-scratch re-runs.
 //
 // Queries whose initial run fell back to the exact path (tiny data, or
-// SSABE's B×n ≥ N) are maintained exactly instead: the user job's
-// incremental reduce state is grown with every appended record
+// SSABE's B×n ≥ N) are maintained exactly instead: the user jobs'
+// incremental reduce states are grown with every appended record
 // (mr.InitializeOrUpdate), which is still delta-proportional work.
 package live
 
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dfs"
-	"repro/internal/jobs"
-	"repro/internal/mr"
 	"repro/internal/pool"
 	"repro/internal/sampling"
 )
@@ -57,127 +65,236 @@ var ErrTruncated = errors.New("live: watched file shrank (appends only)")
 // a stream with the initial run's or an earlier refresh's.
 const refreshSalt = 0x51_7cc1b7_2722_0a95
 
-// Query is a maintained single-statistic EARL query. All methods are
-// safe for concurrent use; Refresh calls are serialised.
-type Query struct {
+// maintSink is how a maintained query's state consumes freshly drawn
+// records: Query folds them into every statistic's resample set,
+// GroupedQuery routes them by key into per-group sets. The shared
+// refresh loop in watchBase is written against this interface alone.
+type maintSink interface {
+	// fold parses the drawn lines and grows the maintained state in
+	// canonical order (the determinism contract of the in-run engine).
+	fold(lines []string) error
+	// size returns the records currently held in the maintained sample.
+	size() int64
+	// errEstimate returns the current worst error; +Inf when it cannot
+	// be trusted (no data, degenerate distribution, undersampled group).
+	errEstimate() float64
+}
+
+// watchBase is the shared core of every maintained query: the retained
+// sampler streams, the ingest high-water mark, and the refresh loop.
+// The embedding query type provides the lock discipline (all watchBase
+// methods assume mu is held).
+type watchBase struct {
 	mu   sync.Mutex
 	env  *core.Env
-	job  jobs.Numeric
 	path string
-	st   *core.LiveState
-	dry  []bool // aligned with st.Sources
+	opts core.Options
 
-	// exact-maintenance path (st.Maint == nil)
-	exactState mr.State
-	exactN     int64
+	sources  []core.RecordSource
+	dry      []bool // aligned with sources
+	estTotal int64
+	synced   int64 // file bytes covered (ingest high-water mark)
 
-	last       core.Report
 	refreshGen int
 	closed     bool
 }
 
-// Watch runs job over path once (exactly like core.Run) and returns a
-// handle that keeps the answer maintainable under appended data.
-func Watch(env *core.Env, job jobs.Numeric, path string, opts core.Options) (*Query, error) {
-	// RunLiveDeferExact skips the exact MR job on the fall-back path:
-	// the incremental scan below produces the same answer in one pass
-	// and leaves a maintainable state behind.
-	rep, st, err := core.RunLiveDeferExact(env, job, path, opts)
+// beginRefresh validates the watched file against the sync point. It
+// returns appended=false when there is nothing to do (the no-op
+// contract: an unconverged answer is only re-expanded when new data
+// arrives; refreshing in place must not silently re-read the file).
+// When data was appended it counts the refresh and advances the
+// refresh generation.
+func (b *watchBase) beginRefresh() (size int64, appended bool, err error) {
+	if b.closed {
+		return 0, false, ErrClosed
+	}
+	size, err = b.env.FS.Stat(b.path)
+	if err != nil {
+		return 0, false, err
+	}
+	if size < b.synced {
+		return 0, false, fmt.Errorf("%w: %s", ErrTruncated, b.path)
+	}
+	if size == b.synced {
+		return size, false, nil
+	}
+	b.env.Metrics.Refreshes.Add(1)
+	b.refreshGen++
+	return size, true, nil
+}
+
+// refreshSampled is the maintained-sample refresh described in the
+// package comment: extend coverage over the appended region at the
+// current sampling fraction, then re-expand (over the whole file,
+// without replacement, the in-run doubling schedule) while the sink's
+// error violates σ.
+func (b *watchBase) refreshSampled(size int64, sk maintSink) error {
+	b.sources, b.dry = compactSources(b.sources, b.dry)
+	if size > b.synced {
+		newSources, estNew, err := buildRefreshSources(
+			b.env, b.path, b.opts, b.synced, size, b.estTotal, b.refreshGen)
+		if err != nil {
+			return err
+		}
+		// Sample the appended region at the query's current fraction so
+		// the maintained sample stays uniform over old ∪ new.
+		p := float64(sk.size()) / float64(b.estTotal)
+		if p > 1 {
+			p = 1
+		}
+		nDelta := int64(p*float64(estNew) + 0.5)
+		if nDelta > estNew {
+			nDelta = estNew
+		}
+		from := len(b.sources)
+		b.sources = append(b.sources, newSources...)
+		b.dry = append(b.dry, make([]bool, len(newSources))...)
+		b.estTotal += estNew
+		b.synced = size
+		if nDelta > 0 {
+			lines, err := b.drawAcross(from, len(b.sources), int(nDelta))
+			if err != nil {
+				return err
+			}
+			if err := sk.fold(lines); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Re-estimate, and re-expand only if σ is violated — the same
+	// doubling schedule as the in-run expansion loop, drawing from every
+	// region of the file without replacement.
+	cv := sk.errEstimate()
+	maxSample := int64(b.opts.MaxSampleFraction * float64(b.estTotal))
+	for cv > b.opts.Sigma && sk.size() < maxSample {
+		next := sk.size() * 2
+		if next > maxSample {
+			next = maxSample
+		}
+		k := next - sk.size()
+		if k <= 0 {
+			break
+		}
+		lines, err := b.drawAcross(0, len(b.sources), int(k))
+		if err != nil {
+			return err
+		}
+		if len(lines) == 0 {
+			break // every region exhausted: finish with achieved accuracy
+		}
+		if err := sk.fold(lines); err != nil {
+			return err
+		}
+		cv = sk.errEstimate()
+	}
+	return nil
+}
+
+// closeBase releases the retained samplers; the last report stays
+// readable on the embedding query.
+func (b *watchBase) closeBase() {
+	b.closed = true
+	b.sources = nil
+	b.dry = nil
+}
+
+// drawAcross draws total records from sources[from:to], apportioned by
+// source weight and drawn concurrently across Options.Parallelism
+// workers. Each source owns a deterministic rng stream and results are
+// concatenated in source order, so the returned lines are identical at
+// any parallelism. Sources that run dry contribute what they have; a
+// second, sequential pass redistributes any shortfall to the remaining
+// live sources.
+func (b *watchBase) drawAcross(from, to, total int) ([]string, error) {
+	type slot struct {
+		idx   int
+		share int
+	}
+	var slots []slot
+	var weightSum int64
+	for i := from; i < to; i++ {
+		if b.dry[i] {
+			continue
+		}
+		w := b.sources[i].Weight()
+		if w <= 0 {
+			continue
+		}
+		slots = append(slots, slot{idx: i})
+		weightSum += w
+	}
+	if len(slots) == 0 || weightSum == 0 {
+		return nil, nil
+	}
+	// Largest-remainder apportionment of total across the live sources.
+	assigned := 0
+	for si := range slots {
+		w := b.sources[slots[si].idx].Weight()
+		slots[si].share = int(int64(total) * w / weightSum)
+		assigned += slots[si].share
+	}
+	for si := 0; assigned < total; si = (si + 1) % len(slots) {
+		slots[si].share++
+		assigned++
+	}
+
+	out := make([][]string, len(slots))
+	workers := pool.Workers(b.opts.Parallelism)
+	err := pool.ForEach(len(slots), workers, func(si int) error {
+		s := slots[si]
+		if s.share == 0 {
+			return nil
+		}
+		lines, dry, err := b.drawOne(s.idx, s.share)
+		if err != nil {
+			return err
+		}
+		if dry {
+			b.dry[s.idx] = true // distinct index per worker: no race
+		}
+		out[si] = lines
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	q := &Query{
-		env:  env,
-		job:  job,
-		path: path,
-		st:   st,
-		dry:  make([]bool, len(st.Sources)),
-		last: rep,
+	var flat []string
+	for _, ls := range out {
+		flat = append(flat, ls...)
 	}
-	if st.Maint == nil {
-		// Exact fallback: one scan builds the incremental exact state;
-		// every refresh after reads only appended splits.
-		splits, err := env.FS.Splits(path, st.Opts.SplitSize)
+	// Redistribute any dry-source shortfall sequentially (deterministic
+	// source order) so expansions still reach their target when possible.
+	for si := range slots {
+		if len(flat) >= total {
+			break
+		}
+		if b.dry[slots[si].idx] {
+			continue
+		}
+		lines, dry, err := b.drawOne(slots[si].idx, total-len(flat))
 		if err != nil {
 			return nil, err
 		}
-		if err := q.foldExact(splits); err != nil {
-			return nil, err
+		if dry {
+			b.dry[slots[si].idx] = true
 		}
-		q.st.EstTotal = q.exactN
-		q.last = q.exactReport()
+		flat = append(flat, lines...)
 	}
-	return q, nil
+	return flat, nil
 }
 
-// Report returns the most recent result without doing any work.
-func (q *Query) Report() core.Report {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.last
-}
-
-// Refreshes returns how many Refresh calls have been applied.
-func (q *Query) Refreshes() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.refreshGen
-}
-
-// SampleSize returns the records currently held in the maintained sample
-// (the exact record count on the exact-maintenance path).
-func (q *Query) SampleSize() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.st.Maint == nil {
-		return int(q.exactN)
+// drawOne draws up to k lines from source i.
+func (b *watchBase) drawOne(i, k int) (lines []string, dry bool, err error) {
+	lines, err = b.sources[i].Draw(k)
+	if errors.Is(err, sampling.ErrExhausted) {
+		return lines, true, nil
 	}
-	return q.st.Maint.N()
-}
-
-// Close releases the handle. The final report stays readable; Refresh
-// returns ErrClosed.
-func (q *Query) Close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.closed = true
-	q.st.Sources = nil
-	q.exactState = nil
-}
-
-// Refresh brings the maintained answer up to date with the watched
-// file, processing only data appended since the last sync (or Watch).
-// With nothing appended it just returns the current report.
-//
-// An infrastructure error mid-refresh (e.g. appended blocks with no
-// live replica) is returned as-is; the handle's coverage of the file
-// may then be incomplete, so after repairing the cluster either retry
-// or open a fresh Watch.
-func (q *Query) Refresh() (core.Report, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return core.Report{}, ErrClosed
-	}
-	size, err := q.env.FS.Stat(q.path)
 	if err != nil {
-		return core.Report{}, err
+		return nil, false, err
 	}
-	if size < q.st.SyncedBytes {
-		return core.Report{}, fmt.Errorf("%w: %s", ErrTruncated, q.path)
-	}
-	if size == q.st.SyncedBytes {
-		// Nothing appended: honour the no-op contract. (An unconverged
-		// answer is only re-expanded when new data arrives; refreshing in
-		// place must not silently re-read the file.)
-		return q.last, nil
-	}
-	q.env.Metrics.Refreshes.Add(1)
-	q.refreshGen++
-	if q.st.Maint == nil {
-		return q.refreshExact(size)
-	}
-	return q.refreshSampled(size)
+	return lines, false, nil
 }
 
 // compactSources drops permanently-dry sources so a long-lived watch
@@ -219,7 +336,7 @@ func splitsSince(env *core.Env, path string, splitSize, synced int64) ([]dfs.Spl
 // (the pool counted them while scanning), mean-record-length based for
 // pre-map — the same §3.3 estimator the initial run uses, with the mean
 // taken from the estTotal records known to span the synced bytes.
-// Shared by the single-statistic and grouped maintained queries.
+// Shared by the single/multi-statistic and grouped maintained queries.
 func buildRefreshSources(env *core.Env, path string, opts core.Options, synced, size, estTotal int64, refreshGen int) ([]core.RecordSource, int64, error) {
 	splits, err := splitsSince(env, path, opts.SplitSize, synced)
 	if err != nil {
@@ -250,292 +367,4 @@ func buildRefreshSources(env *core.Env, path string, opts core.Options, synced, 
 		estNew = int64(float64(size-synced)/avg + 0.5)
 	}
 	return sources, estNew, nil
-}
-
-// refreshSampled is the maintained-sample path described in the package
-// comment.
-func (q *Query) refreshSampled(size int64) (core.Report, error) {
-	st := q.st
-	opts := st.Opts
-	st.Sources, q.dry = compactSources(st.Sources, q.dry)
-	if size > st.SyncedBytes {
-		newSources, estNew, err := buildRefreshSources(
-			q.env, q.path, opts, st.SyncedBytes, size, st.EstTotal, q.refreshGen)
-		if err != nil {
-			return core.Report{}, err
-		}
-
-		// Sample the appended region at the query's current fraction so
-		// the maintained sample stays uniform over old ∪ new.
-		p := float64(st.Maint.N()) / float64(st.EstTotal)
-		if p > 1 {
-			p = 1
-		}
-		nDelta := int64(p*float64(estNew) + 0.5)
-		if nDelta > estNew {
-			nDelta = estNew
-		}
-		from := len(st.Sources)
-		st.Sources = append(st.Sources, newSources...)
-		q.dry = append(q.dry, make([]bool, len(newSources))...)
-		st.EstTotal += estNew
-		st.SyncedBytes = size
-		if nDelta > 0 {
-			delta, err := q.drawAcross(from, len(st.Sources), int(nDelta))
-			if err != nil {
-				return core.Report{}, err
-			}
-			if err := q.grow(delta); err != nil {
-				return core.Report{}, err
-			}
-		}
-	}
-
-	// Re-estimate, and re-expand only if σ is violated — the same
-	// doubling schedule as the in-run expansion loop, drawing from every
-	// region of the file without replacement.
-	cv := q.measure()
-	maxSample := int64(opts.MaxSampleFraction * float64(st.EstTotal))
-	for cv > opts.Sigma && int64(st.Maint.N()) < maxSample {
-		next := int64(st.Maint.N()) * 2
-		if next > maxSample {
-			next = maxSample
-		}
-		k := next - int64(st.Maint.N())
-		if k <= 0 {
-			break
-		}
-		batch, err := q.drawAcross(0, len(st.Sources), int(k))
-		if err != nil {
-			return core.Report{}, err
-		}
-		if len(batch) == 0 {
-			break // every region exhausted: finish with achieved accuracy
-		}
-		if err := q.grow(batch); err != nil {
-			return core.Report{}, err
-		}
-		cv = q.measure()
-	}
-
-	vals, err := st.Maint.Results()
-	if err != nil {
-		return core.Report{}, err
-	}
-	p := float64(st.Maint.N()) / float64(st.EstTotal)
-	rep, err := core.FinishReport(q.job, opts, vals, cv, p)
-	if err != nil {
-		return core.Report{}, err
-	}
-	rep.B = st.Plan.B
-	rep.SampleSize = st.Maint.N()
-	rep.PlannedN = st.Plan.N
-	rep.Iterations = st.Generations
-	rep.EstTotalN = st.EstTotal
-	q.last = rep
-	return rep, nil
-}
-
-// grow feeds one delta batch into the maintained resample set in
-// canonical (sorted) order, mirroring the in-run reducer.
-func (q *Query) grow(delta []float64) error {
-	sort.Float64s(delta)
-	if err := q.st.Maint.Grow(delta); err != nil {
-		return err
-	}
-	q.st.Generations++
-	return nil
-}
-
-// measure applies the configured error measure to the current result
-// distribution (+Inf on degenerate distributions, like the reducer).
-func (q *Query) measure() float64 {
-	vals, err := q.st.Maint.Results()
-	if err != nil {
-		return math.Inf(1)
-	}
-	cv, err := q.st.Opts.Measure(vals)
-	if err != nil {
-		return math.Inf(1)
-	}
-	return cv
-}
-
-// drawAcross draws total records from Sources[from:to], apportioned by
-// source weight and drawn concurrently across Options.Parallelism
-// workers. Each source owns a deterministic rng stream and results are
-// concatenated in source order, so the returned values are identical at
-// any parallelism. Sources that run dry contribute what they have; a
-// second, sequential pass redistributes any shortfall to the remaining
-// live sources.
-func (q *Query) drawAcross(from, to, total int) ([]float64, error) {
-	type slot struct {
-		idx   int
-		share int
-	}
-	var slots []slot
-	var weightSum int64
-	for i := from; i < to; i++ {
-		if q.dry[i] {
-			continue
-		}
-		w := q.st.Sources[i].Weight()
-		if w <= 0 {
-			continue
-		}
-		slots = append(slots, slot{idx: i})
-		weightSum += w
-	}
-	if len(slots) == 0 || weightSum == 0 {
-		return nil, nil
-	}
-	// Largest-remainder apportionment of total across the live sources.
-	assigned := 0
-	for si := range slots {
-		w := q.st.Sources[slots[si].idx].Weight()
-		slots[si].share = int(int64(total) * w / weightSum)
-		assigned += slots[si].share
-	}
-	for si := 0; assigned < total; si = (si + 1) % len(slots) {
-		slots[si].share++
-		assigned++
-	}
-
-	out := make([][]float64, len(slots))
-	workers := pool.Workers(q.st.Opts.Parallelism)
-	err := pool.ForEach(len(slots), workers, func(si int) error {
-		s := slots[si]
-		if s.share == 0 {
-			return nil
-		}
-		vals, dry, err := q.drawOne(s.idx, s.share)
-		if err != nil {
-			return err
-		}
-		if dry {
-			q.dry[s.idx] = true // distinct index per worker: no race
-		}
-		out[si] = vals
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var flat []float64
-	for _, vs := range out {
-		flat = append(flat, vs...)
-	}
-	// Redistribute any dry-source shortfall sequentially (deterministic
-	// source order) so expansions still reach their target when possible.
-	for si := range slots {
-		if len(flat) >= total {
-			break
-		}
-		if q.dry[slots[si].idx] {
-			continue
-		}
-		vals, dry, err := q.drawOne(slots[si].idx, total-len(flat))
-		if err != nil {
-			return nil, err
-		}
-		if dry {
-			q.dry[slots[si].idx] = true
-		}
-		flat = append(flat, vals...)
-	}
-	return flat, nil
-}
-
-// drawOne draws up to k parsed values from source i.
-func (q *Query) drawOne(i, k int) (vals []float64, dry bool, err error) {
-	lines, err := q.st.Sources[i].Draw(k)
-	if errors.Is(err, sampling.ErrExhausted) {
-		dry = true
-	} else if err != nil {
-		return nil, false, err
-	}
-	vals = make([]float64, 0, len(lines))
-	for _, line := range lines {
-		v, perr := q.job.Parse(line)
-		if perr != nil {
-			return nil, dry, fmt.Errorf("live: parse: %w", perr)
-		}
-		vals = append(vals, v)
-	}
-	return vals, dry, nil
-}
-
-// ---- Exact maintenance (tiny data / SSABE said sampling won't pay) ----
-
-// foldExact streams every record of the given splits into the user
-// job's incremental state.
-func (q *Query) foldExact(splits []dfs.Split) error {
-	var vals []float64
-	for _, sp := range splits {
-		rd, err := q.env.FS.NewLineReader(sp, 0)
-		if err != nil {
-			return err
-		}
-		for rd.Next() {
-			v, perr := q.job.Parse(rd.Text())
-			if perr != nil {
-				return fmt.Errorf("live: parse: %w", perr)
-			}
-			vals = append(vals, v)
-			q.env.Metrics.RecordsRead.Add(1)
-		}
-		if rd.Err() != nil {
-			return rd.Err()
-		}
-	}
-	st, err := mr.InitializeOrUpdate(q.job.Reducer, q.job.Name, q.exactState, vals)
-	if err != nil {
-		return err
-	}
-	q.exactState = st
-	q.exactN += int64(len(vals))
-	return nil
-}
-
-// refreshExact folds only the appended splits into the exact state.
-func (q *Query) refreshExact(size int64) (core.Report, error) {
-	if size > q.st.SyncedBytes {
-		splits, err := splitsSince(q.env, q.path, q.st.Opts.SplitSize, q.st.SyncedBytes)
-		if err != nil {
-			return core.Report{}, err
-		}
-		if err := q.foldExact(splits); err != nil {
-			return core.Report{}, err
-		}
-		q.st.SyncedBytes = size
-		q.st.EstTotal = q.exactN
-	}
-	rep := q.exactReport()
-	q.last = rep
-	return rep, nil
-}
-
-// exactReport renders the maintained exact state as a Report (CV 0,
-// p = 1 — there is no sampling error to estimate).
-func (q *Query) exactReport() core.Report {
-	var est float64
-	if q.exactState != nil {
-		if v, err := q.job.Reducer.Finalize(q.exactState); err == nil {
-			est = v
-		}
-	}
-	return core.Report{
-		Job:         q.job.Name,
-		Estimate:    est,
-		Uncorrected: est,
-		CILo:        est,
-		CIHi:        est,
-		B:           1,
-		SampleSize:  int(q.exactN),
-		Iterations:  1,
-		UsedFull:    true,
-		Converged:   true,
-		FractionP:   1,
-		EstTotalN:   q.exactN,
-	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -365,5 +366,148 @@ func TestWatchGroupedRefresh(t *testing.T) {
 	// Refresh cost stays delta-proportional.
 	if cost.RecordsRead > 60_000/4 {
 		t.Fatalf("grouped refresh read %d records of a 60000-record delta", cost.RecordsRead)
+	}
+}
+
+// TestWatchGroupedConcurrentAppendRace hammers one grouped maintained
+// query with concurrent Appends, Refreshes and Report/SampleSize reads
+// (run under -race in CI): the handle's serialisation plus the DFS's
+// ordering must keep every refresh consistent, and the final refresh
+// must cover everything appended.
+func TestWatchGroupedConcurrentAppendRace(t *testing.T) {
+	env := newEnv(t, 71)
+	enc := func(keys []string, per int, seed uint64, shift float64) []byte {
+		var buf []byte
+		xs := genValues(t, per*len(keys), seed)
+		i := 0
+		for _, k := range keys {
+			for j := 0; j < per; j++ {
+				buf = append(buf, []byte(fmt.Sprintf("%s\t%012.6f\n", k, xs[i]+shift))...)
+				i++
+			}
+		}
+		return buf
+	}
+	if err := env.FS.WriteFile("/kv", enc([]string{"a", "b"}, 20_000, 72, 0)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := live.WatchGrouped(env, jobs.Mean(), core.TabKV, "/kv", core.Options{Sigma: 0.1, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	const appends = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, appends+8)
+	// Appender: grows existing keys and introduces new ones mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < appends; i++ {
+			keys := []string{"b"}
+			if i%2 == 1 {
+				keys = []string{"c", "d"}
+			}
+			if err := env.FS.Append("/kv", enc(keys, 4_000, 74+uint64(i), float64(50*i))); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// Concurrent refreshers and readers.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := q.Refresh(); err != nil {
+					errs <- err
+					return
+				}
+				_ = q.Report()
+				_ = q.SampleSize()
+				_ = q.Refreshes()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// One final refresh observes every appended byte.
+	rep, err := q.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 4 {
+		t.Fatalf("groups after concurrent appends = %v", rep.SortedGroupKeys())
+	}
+	for _, k := range []string{"c", "d"} {
+		if rep.Groups[k].SampleSize == 0 {
+			t.Fatalf("mid-flight key %q never sampled: %+v", k, rep.Groups[k])
+		}
+	}
+}
+
+// TestWatchMultiRefreshSharedSample: a multi-statistic watch refreshes
+// every statistic from one delta scan — the refresh cost does not scale
+// with the number of statistics, and the per-statistic answers track
+// their exact counterparts.
+func TestWatchMultiRefreshSharedSample(t *testing.T) {
+	env := newEnv(t, 81)
+	base := genValues(t, 100_000, 82)
+	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(base)); err != nil {
+		t.Fatal(err)
+	}
+	p95, err := jobs.Quantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jset := []jobs.Numeric{jobs.Mean(), p95, jobs.Count()}
+	q, err := live.WatchMulti(env, jset, "/data", core.Options{Sigma: 0.05, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if got := len(q.Reports()); got != 3 {
+		t.Fatalf("initial reports = %d", got)
+	}
+
+	delta := genValues(t, 30_000, 84)
+	if err := env.FS.Append("/data", workload.EncodeLinesFixed(delta)); err != nil {
+		t.Fatal(err)
+	}
+	before := env.Metrics.Snapshot()
+	reps, err := q.RefreshAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := env.Metrics.Snapshot().Sub(before)
+	if cost.Refreshes != 1 {
+		t.Fatalf("multi-stat refresh counted %d refreshes", cost.Refreshes)
+	}
+	// o(N), shared: one delta scan for all three statistics.
+	if cost.RecordsRead > int64(len(delta))/4 {
+		t.Fatalf("multi-stat refresh read %d records of a %d-record delta", cost.RecordsRead, len(delta))
+	}
+	all := append(append([]float64(nil), base...), delta...)
+	truthMean, _ := stats.Mean(all)
+	truthP95, _ := stats.Quantile(all, 0.95)
+	if rel := math.Abs(reps[0].Estimate-truthMean) / truthMean; rel > 0.1 {
+		t.Fatalf("mean %v vs truth %v", reps[0].Estimate, truthMean)
+	}
+	if rel := math.Abs(reps[1].Estimate-truthP95) / truthP95; rel > 0.1 {
+		t.Fatalf("p95 %v vs truth %v", reps[1].Estimate, truthP95)
+	}
+	if rel := math.Abs(reps[2].Estimate-float64(len(all))) / float64(len(all)); rel > 0.2 {
+		t.Fatalf("count %v vs truth %d", reps[2].Estimate, len(all))
+	}
+	for _, rep := range reps {
+		if rep.SampleSize != reps[0].SampleSize {
+			t.Fatalf("statistics diverged in maintained sample size")
+		}
 	}
 }

@@ -1,0 +1,270 @@
+package live
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/jobs"
+	"repro/internal/mr"
+)
+
+// Query is a maintained EARL query over one or more statistics that
+// share a single maintained sample. All methods are safe for concurrent
+// use; Refresh calls are serialised.
+type Query struct {
+	watchBase
+	jobs  []jobs.Numeric
+	stats []core.StatState // one per statistic; Maint nil on the exact path
+
+	// exact-maintenance path (tiny data / SSABE said sampling won't pay)
+	exactStates []mr.State // one incremental reduce state per statistic
+	exactN      int64
+
+	generations int
+	last        []core.Report // aligned with jobs
+}
+
+// Watch runs job over path once (exactly like core.Run) and returns a
+// handle that keeps the answer maintainable under appended data.
+func Watch(env *core.Env, job jobs.Numeric, path string, opts core.Options) (*Query, error) {
+	return WatchMulti(env, []jobs.Numeric{job}, path, opts)
+}
+
+// WatchMulti runs a multi-statistic shared-pass query once (exactly
+// like core.RunMulti: one pilot, one sample, one pass) and keeps every
+// statistic's resample set maintainable under appended data. The
+// statistics share the maintained sample, so a refresh costs one delta
+// scan regardless of how many statistics ride the watch.
+func WatchMulti(env *core.Env, jset []jobs.Numeric, path string, opts core.Options) (*Query, error) {
+	// RunMultiLiveDeferExact skips the exact MR jobs on the fall-back
+	// path: the incremental scan below produces the same answers in one
+	// pass and leaves a maintainable state behind.
+	reps, st, err := core.RunMultiLiveDeferExact(env, jset, path, opts)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{
+		watchBase: watchBase{
+			env:      env,
+			path:     path,
+			opts:     st.Opts,
+			sources:  st.Sources,
+			dry:      make([]bool, len(st.Sources)),
+			estTotal: st.EstTotal,
+			synced:   st.SyncedBytes,
+		},
+		jobs:        jset,
+		stats:       st.Stats,
+		generations: st.Generations,
+		last:        reps,
+	}
+	if q.stats[0].Maint == nil {
+		// Exact fallback: one scan builds every statistic's incremental
+		// exact state; every refresh after reads only appended splits.
+		splits, err := env.FS.Splits(path, q.opts.SplitSize)
+		if err != nil {
+			return nil, err
+		}
+		if err := q.foldExact(splits); err != nil {
+			return nil, err
+		}
+		q.estTotal = q.exactN
+		q.last = q.exactReports()
+	}
+	return q, nil
+}
+
+// Report returns the most recent result (the first statistic's, for
+// multi-statistic watches) without doing any work.
+func (q *Query) Report() core.Report {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.last[0]
+}
+
+// Reports returns the most recent per-statistic results, in job order,
+// without doing any work.
+func (q *Query) Reports() []core.Report {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]core.Report(nil), q.last...)
+}
+
+// Refreshes returns how many Refresh calls have been applied.
+func (q *Query) Refreshes() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.refreshGen
+}
+
+// SampleSize returns the records currently held in the maintained sample
+// (the exact record count on the exact-maintenance path).
+func (q *Query) SampleSize() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.stats[0].Maint == nil {
+		return int(q.exactN)
+	}
+	return q.stats[0].Maint.N()
+}
+
+// Close releases the handle. The final reports stay readable; Refresh
+// returns ErrClosed.
+func (q *Query) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closeBase()
+	q.exactStates = nil
+}
+
+// Refresh brings the maintained answer up to date with the watched
+// file, processing only data appended since the last sync (or Watch),
+// and returns the first statistic's report. With nothing appended it
+// just returns the current report.
+//
+// An infrastructure error mid-refresh (e.g. appended blocks with no
+// live replica) is returned as-is; the handle's coverage of the file
+// may then be incomplete, so after repairing the cluster either retry
+// or open a fresh Watch.
+func (q *Query) Refresh() (core.Report, error) {
+	reps, err := q.RefreshAll()
+	if err != nil {
+		return core.Report{}, err
+	}
+	return reps[0], nil
+}
+
+// RefreshAll is Refresh returning every statistic's report, in job
+// order.
+func (q *Query) RefreshAll() ([]core.Report, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	size, appended, err := q.beginRefresh()
+	if err != nil {
+		return nil, err
+	}
+	if !appended {
+		return append([]core.Report(nil), q.last...), nil
+	}
+	if q.stats[0].Maint == nil {
+		return q.refreshExact(size)
+	}
+	if err := q.refreshSampled(size, (*statFold)(q)); err != nil {
+		return nil, err
+	}
+	reps, err := q.buildReports()
+	if err != nil {
+		return nil, err
+	}
+	q.last = reps
+	return append([]core.Report(nil), reps...), nil
+}
+
+// buildReports renders the current maintained state as per-statistic
+// reports.
+func (q *Query) buildReports() ([]core.Report, error) {
+	reps := make([]core.Report, len(q.stats))
+	for i, st := range q.stats {
+		vals, err := st.Maint.Results()
+		if err != nil {
+			return nil, err
+		}
+		cv := measureOf(q.opts, st.Maint)
+		p := float64(st.Maint.N()) / float64(q.estTotal)
+		rep, err := core.FinishReport(q.jobs[i], q.opts, vals, cv, p)
+		if err != nil {
+			return nil, err
+		}
+		rep.B = st.Plan.B
+		rep.SampleSize = st.Maint.N()
+		rep.PlannedN = st.Plan.N
+		rep.Iterations = q.generations
+		rep.EstTotalN = q.estTotal
+		reps[i] = rep
+	}
+	return reps, nil
+}
+
+// ---- Exact maintenance (tiny data / SSABE said sampling won't pay) ----
+
+// foldExact streams every record of the given splits into each
+// statistic's incremental reduce state (one scan, shared parse).
+func (q *Query) foldExact(splits []dfs.Split) error {
+	var vals []float64
+	for _, sp := range splits {
+		rd, err := q.env.FS.NewLineReader(sp, 0)
+		if err != nil {
+			return err
+		}
+		for rd.Next() {
+			v, perr := q.jobs[0].Parse(rd.Text())
+			if perr != nil {
+				return fmt.Errorf("live: parse: %w", perr)
+			}
+			vals = append(vals, v)
+			q.env.Metrics.RecordsRead.Add(1)
+		}
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+	}
+	if q.exactStates == nil {
+		q.exactStates = make([]mr.State, len(q.jobs))
+	}
+	for i, job := range q.jobs {
+		st, err := mr.InitializeOrUpdate(job.Reducer, job.Name, q.exactStates[i], vals)
+		if err != nil {
+			return err
+		}
+		q.exactStates[i] = st
+	}
+	q.exactN += int64(len(vals))
+	return nil
+}
+
+// refreshExact folds only the appended splits into the exact states.
+func (q *Query) refreshExact(size int64) ([]core.Report, error) {
+	if size > q.synced {
+		splits, err := splitsSince(q.env, q.path, q.opts.SplitSize, q.synced)
+		if err != nil {
+			return nil, err
+		}
+		if err := q.foldExact(splits); err != nil {
+			return nil, err
+		}
+		q.synced = size
+		q.estTotal = q.exactN
+	}
+	q.last = q.exactReports()
+	return append([]core.Report(nil), q.last...), nil
+}
+
+// exactReports renders the maintained exact states as Reports (CV 0,
+// p = 1 — there is no sampling error to estimate).
+func (q *Query) exactReports() []core.Report {
+	reps := make([]core.Report, len(q.jobs))
+	for i, job := range q.jobs {
+		var est float64
+		if q.exactStates != nil && q.exactStates[i] != nil {
+			if v, err := job.Reducer.Finalize(q.exactStates[i]); err == nil {
+				est = v
+			}
+		}
+		reps[i] = core.Report{
+			Job:         job.Name,
+			Estimate:    est,
+			Uncorrected: est,
+			CILo:        est,
+			CIHi:        est,
+			B:           1,
+			SampleSize:  int(q.exactN),
+			Iterations:  1,
+			UsedFull:    true,
+			Converged:   true,
+			FractionP:   1,
+			EstTotalN:   q.exactN,
+		}
+	}
+	return reps
+}

@@ -1,0 +1,141 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// The two maintSink implementations behind the shared refresh core:
+// statFold (Query — every record feeds every statistic's resample set)
+// and groupFold (GroupedQuery — records route by key into per-group
+// resample sets), mirroring internal/core's statSink/groupSink.
+
+// statFold is Query's maintSink: every drawn record feeds every
+// statistic's resample set, in canonical (sorted) order, mirroring the
+// in-run statSink.
+type statFold Query
+
+func (s *statFold) fold(lines []string) error {
+	q := (*Query)(s)
+	vals := make([]float64, 0, len(lines))
+	for _, line := range lines {
+		v, err := q.jobs[0].Parse(line)
+		if err != nil {
+			return fmt.Errorf("live: parse: %w", err)
+		}
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	for _, st := range q.stats {
+		if err := st.Maint.Grow(vals); err != nil {
+			return err
+		}
+	}
+	q.generations++
+	return nil
+}
+
+func (s *statFold) size() int64 { return int64(s.stats[0].Maint.N()) }
+
+func (s *statFold) errEstimate() float64 {
+	q := (*Query)(s)
+	worst := 0.0
+	for _, st := range q.stats {
+		cv := measureOf(q.opts, st.Maint)
+		if cv > worst {
+			worst = cv
+		}
+	}
+	return worst
+}
+
+// measureOf applies the configured error measure to one resample set's
+// result distribution (+Inf on degenerate distributions, like the
+// in-run sink).
+func measureOf(opts core.Options, maint core.Resampler) float64 {
+	vals, err := maint.Results()
+	if err != nil {
+		return math.Inf(1)
+	}
+	cv, err := opts.Measure(vals)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return cv
+}
+
+// groupFold is GroupedQuery's maintSink: drawn records are routed by
+// key and folded into per-group resample sets in canonical order
+// (sorted keys, sorted deltas — see the in-run engine's determinism
+// contract), with brand-new keys opened under their key-derived seeds.
+type groupFold GroupedQuery
+
+func (g *groupFold) fold(lines []string) error {
+	q := (*GroupedQuery)(g)
+	groups := map[string][]float64{}
+	for _, line := range lines {
+		key, v, perr := q.parse(line)
+		if perr != nil {
+			return fmt.Errorf("live: parse: %w", perr)
+		}
+		groups[key] = append(groups[key], v)
+	}
+	keys := make([]string, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		mt, ok := q.maints[key]
+		if !ok {
+			var err error
+			mt, err = core.NewGroupMaintainer(q.env, q.job, key, q.b, q.opts)
+			if err != nil {
+				return err
+			}
+			q.maints[key] = mt
+		}
+		vals := groups[key]
+		sort.Float64s(vals)
+		if err := mt.Grow(vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *groupFold) size() int64 {
+	var n int64
+	for _, mt := range g.maints {
+		n += int64(mt.N())
+	}
+	return n
+}
+
+// errEstimate returns the largest error across groups, +Inf with no
+// groups or while any group's sample is below core.MinGroupSample — the
+// same floor the in-run sink applies, so a brand-new key appearing in
+// appended data with a deceptively tight tiny sample still forces
+// expansion instead of being reported converged.
+func (g *groupFold) errEstimate() float64 {
+	if len(g.maints) == 0 {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for _, mt := range g.maints {
+		if mt.N() < core.MinGroupSample {
+			return math.Inf(1)
+		}
+		cv, err := mt.CV()
+		if err != nil {
+			return math.Inf(1)
+		}
+		if cv > worst {
+			worst = cv
+		}
+	}
+	return worst
+}

@@ -16,7 +16,10 @@ import (
 // Handler returns earld's HTTP JSON API over the server:
 //
 //	POST   /query        {job, path, sigma?, sampler?, seed?, parallelism?, grouped?}
+//	                     or {jobs:["mean","p95",...], path, ...} for one
+//	                     shared-pass multi-statistic query
 //	POST   /watch        same body; dedupes identical maintained queries
+//	                     (scalar, multi-statistic and grouped alike)
 //	GET    /watch/{id}   current report, refreshing once if data was appended
 //	DELETE /watch/{id}?sub=TOKEN  drop the subscription minted by POST /watch
 //	                     (idempotent per token; last one closes the query)

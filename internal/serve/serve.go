@@ -13,10 +13,13 @@
 //     caller's latency — the admission-control lesson the LSST-scale
 //     serving designs make explicit.
 //
-//   - A shared-watch registry. Maintained queries are deduped by their
-//     full identity (job, path, σ, sampler, seed, parallelism…): the
-//     first OpenWatch runs the query and keeps its live.Query; identical
-//     subsequent opens subscribe to the same underlying query. After an
+//   - A shared-watch registry. Maintained queries — scalar,
+//     multi-statistic shared-pass (QuerySpec.Jobs) and grouped
+//     (QuerySpec.Grouped) alike — are deduped by their full identity
+//     (job set, path, σ, sampler, seed, parallelism…): the first
+//     OpenWatch runs the query and keeps its maintained handle;
+//     identical subsequent opens subscribe to the same underlying
+//     query. After an
 //     Append, the first subscriber to ask for the report pays the one
 //     delta refresh (serialised per entry) and every subscriber reads
 //     the same refreshed Report — K clients watching the same stream
@@ -112,6 +115,12 @@ type QuerySpec struct {
 	// proportion, or pNN / q0.NN for quantiles.
 	Job  string `json:"job"`
 	Path string `json:"path"`
+	// Jobs names several statistics computed as ONE shared-pass
+	// multi-statistic query (one pilot, one sample, one pass over the
+	// records; see core.RunMulti). Mutually exclusive with Job; a
+	// one-element Jobs collapses to Job so the two spellings share
+	// cache/watch identity.
+	Jobs []string `json:"jobs,omitempty"`
 	// Grouped runs the per-key variant over "key\tvalue" records.
 	Grouped     bool    `json:"grouped,omitempty"`
 	Sigma       float64 `json:"sigma,omitempty"`       // σ; 0.05 if 0
@@ -123,11 +132,40 @@ type QuerySpec struct {
 // normalize applies defaults and validates the spec.
 func (q QuerySpec) normalize() (QuerySpec, error) {
 	q.Job = strings.ToLower(strings.TrimSpace(q.Job))
-	if q.Job == "" {
+	if len(q.Jobs) > 0 {
+		// Copy before rewriting: the spec arrived by value but the Jobs
+		// slice header aliases the caller's backing array.
+		jobs := make([]string, len(q.Jobs))
+		for i, name := range q.Jobs {
+			jobs[i] = strings.ToLower(strings.TrimSpace(name))
+		}
+		q.Jobs = jobs
+		if q.Job != "" {
+			return q, errors.New("serve: give job or jobs, not both")
+		}
+		if q.Grouped && len(q.Jobs) > 1 {
+			return q, errors.New("serve: grouped queries take a single job")
+		}
+		if len(q.Jobs) == 1 {
+			q.Job, q.Jobs = q.Jobs[0], nil
+		}
+	}
+	if q.Job == "" && len(q.Jobs) == 0 {
 		q.Job = "mean"
 	}
-	if _, err := jobByName(q.Job); err != nil {
-		return q, err
+	// Validate every statistic and reject duplicates by RESOLVED name
+	// (p99.9 and q0.999 are the same quantile): a duplicate would yield
+	// two same-named reports the client could not tell apart.
+	seen := map[string]bool{}
+	for _, name := range q.jobNames() {
+		j, err := jobByName(name)
+		if err != nil {
+			return q, err
+		}
+		if seen[j.Name] {
+			return q, fmt.Errorf("serve: duplicate statistic %q in jobs", j.Name)
+		}
+		seen[j.Name] = true
 	}
 	if q.Path == "" {
 		return q, errors.New("serve: query needs a path")
@@ -152,13 +190,35 @@ func (q QuerySpec) normalize() (QuerySpec, error) {
 	return q, nil
 }
 
+// jobNames returns the statistic names of the spec, single or multi.
+func (q QuerySpec) jobNames() []string {
+	if len(q.Jobs) > 0 {
+		return q.Jobs
+	}
+	return []string{q.Job}
+}
+
+// jobSet resolves every statistic of a normalized spec.
+func (q QuerySpec) jobSet() ([]jobs.Numeric, error) {
+	names := q.jobNames()
+	jset := make([]jobs.Numeric, len(names))
+	for i, name := range names {
+		j, err := jobByName(name)
+		if err != nil {
+			return nil, err
+		}
+		jset[i] = j
+	}
+	return jset, nil
+}
+
 // key is the canonical identity string of a normalized spec. Parallelism
 // is deliberately part of it even though results are bit-identical at any
 // parallelism: sharing across parallelism settings would be sound for
 // results but would make a subscriber's requested worker-pool size lie.
 func (q QuerySpec) key() string {
 	return fmt.Sprintf("%s|%s|grouped=%t|σ=%g|%s|seed=%d|par=%d",
-		q.Job, q.Path, q.Grouped, q.Sigma, q.Sampler, q.Seed, q.Parallelism)
+		strings.Join(q.jobNames(), "+"), q.Path, q.Grouped, q.Sigma, q.Sampler, q.Seed, q.Parallelism)
 }
 
 // options translates the spec into driver options.
@@ -183,9 +243,12 @@ func jobByName(name string) (jobs.Numeric, error) {
 	return j, nil
 }
 
-// QueryResult is one answered query.
+// QueryResult is one answered query. Multi-statistic queries fill
+// Reports (one per statistic, in request order) with Report carrying
+// the first statistic for single-statistic compatibility.
 type QueryResult struct {
 	Report  core.Report         `json:"report"`
+	Reports []core.Report       `json:"reports,omitempty"`
 	Groups  *core.GroupedReport `json:"groups,omitempty"`
 	Cached  bool                `json:"cached"`
 	Elapsed time.Duration       `json:"elapsedNs"`
@@ -202,13 +265,18 @@ type QueryResult struct {
 // retry of it) idempotent on its own subscription instead of able to
 // decrement someone else's.
 type WatchInfo struct {
-	ID          string      `json:"id"`
-	Sub         string      `json:"sub,omitempty"`
-	Spec        QuerySpec   `json:"spec"`
-	Subscribers int         `json:"subscribers"`
-	Refreshes   int         `json:"refreshes"`
-	SampleSize  int         `json:"sampleSize"`
-	Report      core.Report `json:"report"`
+	ID          string    `json:"id"`
+	Sub         string    `json:"sub,omitempty"`
+	Spec        QuerySpec `json:"spec"`
+	Subscribers int       `json:"subscribers"`
+	Refreshes   int       `json:"refreshes"`
+	SampleSize  int       `json:"sampleSize"`
+	// Report is the scalar result (first statistic for multi-statistic
+	// watches); Reports carries every statistic of a multi-statistic
+	// watch and Groups the per-key results of a grouped watch.
+	Report  core.Report         `json:"report"`
+	Reports []core.Report       `json:"reports,omitempty"`
+	Groups  *core.GroupedReport `json:"groups,omitempty"`
 }
 
 // Stats are the server's own counters (the cluster's I/O counters live
@@ -265,6 +333,57 @@ type Server struct {
 	subSeq   int64
 }
 
+// watchHandle abstracts the maintained-query flavours the registry
+// serves — scalar/multi-statistic (live.Query) and grouped
+// (live.GroupedQuery) — behind one refresh/report surface, so dedup,
+// refresh serialisation, idle eviction and rewrite retirement are
+// written once.
+type watchHandle interface {
+	Refresh() error
+	Refreshes() int
+	SampleSize() int
+	Close()
+	// fill writes the handle's current results into info (Report and,
+	// as applicable, Reports/Groups).
+	fill(info *WatchInfo)
+}
+
+// queryHandle adapts live.Query (scalar and multi-statistic watches).
+type queryHandle struct {
+	q     *live.Query
+	multi bool
+}
+
+func (h queryHandle) Refresh() error {
+	_, err := h.q.RefreshAll()
+	return err
+}
+func (h queryHandle) Refreshes() int  { return h.q.Refreshes() }
+func (h queryHandle) SampleSize() int { return h.q.SampleSize() }
+func (h queryHandle) Close()          { h.q.Close() }
+func (h queryHandle) fill(info *WatchInfo) {
+	reps := h.q.Reports()
+	info.Report = reps[0]
+	if h.multi {
+		info.Reports = reps
+	}
+}
+
+// groupedHandle adapts live.GroupedQuery.
+type groupedHandle struct{ q *live.GroupedQuery }
+
+func (h groupedHandle) Refresh() error {
+	_, err := h.q.Refresh()
+	return err
+}
+func (h groupedHandle) Refreshes() int  { return h.q.Refreshes() }
+func (h groupedHandle) SampleSize() int { return h.q.SampleSize() }
+func (h groupedHandle) Close()          { h.q.Close() }
+func (h groupedHandle) fill(info *WatchInfo) {
+	rep := h.q.Report()
+	info.Groups = &rep
+}
+
 // watchEntry is one shared maintained query. Creation happens outside
 // the server lock; subscribers arriving meanwhile wait on ready.
 type watchEntry struct {
@@ -273,7 +392,7 @@ type watchEntry struct {
 	spec  QuerySpec
 	ready chan struct{}
 	err   error       // creation outcome, valid after ready closes
-	q     *live.Query // valid after ready closes iff err == nil
+	q     watchHandle // valid after ready closes iff err == nil
 
 	// refreshMu is a capacity-1 channel lock serialising refresh
 	// decisions: unlike a sync.Mutex, a subscriber waiting behind a slow
@@ -293,6 +412,7 @@ type cacheEntry struct {
 	path    string // for eviction sweeps on ingest
 	gen     int64
 	report  core.Report
+	reports []core.Report // multi-statistic results
 	grouped *core.GroupedReport
 }
 
@@ -419,7 +539,7 @@ func (s *Server) Query(ctx context.Context, spec QuerySpec) (QueryResult, error)
 		s.mu.Unlock()
 		s.queries.Add(1)
 		s.cacheHits.Add(1)
-		return QueryResult{Report: ce.report, Groups: ce.grouped, Cached: true}, nil
+		return QueryResult{Report: ce.report, Reports: ce.reports, Groups: ce.grouped, Cached: true}, nil
 	}
 	s.mu.Unlock()
 
@@ -429,25 +549,34 @@ func (s *Server) Query(ctx context.Context, spec QuerySpec) (QueryResult, error)
 	}
 	defer release()
 
-	job, err := jobByName(spec.Job)
-	if err != nil {
-		return QueryResult{}, err
-	}
 	start := time.Now()
 	before := s.env.Metrics.Snapshot()
 	res := QueryResult{}
 	if spec.Grouped {
+		job, jerr := jobByName(spec.Job)
+		if jerr != nil {
+			return QueryResult{}, jerr
+		}
 		grep, gerr := core.RunGrouped(s.env, job, core.TabKV, spec.Path, spec.options())
 		if gerr != nil {
 			return QueryResult{}, gerr
 		}
 		res.Groups = &grep
 	} else {
-		rep, rerr := core.Run(s.env, job, spec.Path, spec.options())
+		// Single and multi-statistic one-shots share the multi path: a
+		// k-statistic spec costs one shared sampling/IO pass (core.RunMulti).
+		jset, jerr := spec.jobSet()
+		if jerr != nil {
+			return QueryResult{}, jerr
+		}
+		reps, rerr := core.RunMulti(s.env, jset, spec.Path, spec.options())
 		if rerr != nil {
 			return QueryResult{}, rerr
 		}
-		res.Report = rep
+		res.Report = reps[0]
+		if len(jset) > 1 {
+			res.Reports = reps
+		}
 	}
 	res.Elapsed = time.Since(start)
 	res.Cost = s.env.Metrics.Snapshot().Sub(before)
@@ -468,7 +597,7 @@ func (s *Server) Query(ctx context.Context, spec QuerySpec) (QueryResult, error)
 				break
 			}
 		}
-		s.cache[key] = cacheEntry{path: spec.Path, gen: gen, report: res.Report, grouped: res.Groups}
+		s.cache[key] = cacheEntry{path: spec.Path, gen: gen, report: res.Report, reports: res.Reports, grouped: res.Groups}
 	}
 	s.mu.Unlock()
 	return res, nil
@@ -482,9 +611,6 @@ func (s *Server) OpenWatch(ctx context.Context, spec QuerySpec) (WatchInfo, bool
 	spec, err := spec.normalize()
 	if err != nil {
 		return WatchInfo{}, false, err
-	}
-	if spec.Grouped {
-		return WatchInfo{}, false, errors.New("serve: grouped watches are not served yet (use one-shot grouped queries)")
 	}
 	ctx, cancel := s.withDeadline(ctx)
 	defer cancel()
@@ -565,9 +691,8 @@ func (s *Server) OpenWatch(ctx context.Context, spec QuerySpec) (WatchInfo, bool
 		s.dropEntry(e)
 		return WatchInfo{}, false, err
 	}
-	job, _ := jobByName(spec.Job)
 	before := s.env.Metrics.Snapshot()
-	q, err := live.Watch(s.env, job, spec.Path, spec.options())
+	h, err := s.createWatch(spec)
 	cost := s.env.Metrics.Snapshot().Sub(before)
 	release()
 	if err == nil {
@@ -579,12 +704,12 @@ func (s *Server) OpenWatch(ctx context.Context, spec QuerySpec) (WatchInfo, bool
 		rewritten := s.rewrites[spec.Path] != e.rewriteGen
 		s.mu.Unlock()
 		if rewritten {
-			q.Close()
-			q = nil
+			h.Close()
+			h = nil
 			err = fmt.Errorf("serve: %s was rewritten while the watch was being created; retry", spec.Path)
 		}
 	}
-	e.q, e.err = q, err
+	e.q, e.err = h, err
 	close(e.ready)
 	if err != nil {
 		s.dropEntry(e)
@@ -596,6 +721,31 @@ func (s *Server) OpenWatch(ctx context.Context, spec QuerySpec) (WatchInfo, bool
 	info := s.infoOf(e)
 	info.Sub = sub
 	return info, false, nil
+}
+
+// createWatch runs the initial query for a registry entry, returning
+// the flavour-appropriate maintained handle.
+func (s *Server) createWatch(spec QuerySpec) (watchHandle, error) {
+	if spec.Grouped {
+		job, err := jobByName(spec.Job)
+		if err != nil {
+			return nil, err
+		}
+		q, err := live.WatchGrouped(s.env, job, core.TabKV, spec.Path, spec.options())
+		if err != nil {
+			return nil, err
+		}
+		return groupedHandle{q}, nil
+	}
+	jset, err := spec.jobSet()
+	if err != nil {
+		return nil, err
+	}
+	q, err := live.WatchMulti(s.env, jset, spec.Path, spec.options())
+	if err != nil {
+		return nil, err
+	}
+	return queryHandle{q: q, multi: len(jset) > 1}, nil
 }
 
 // newSubLocked mints a subscription token on e. Caller holds Server.mu.
@@ -611,14 +761,15 @@ func (s *Server) infoOf(e *watchEntry) WatchInfo {
 	s.mu.Lock()
 	subs := len(e.subIDs)
 	s.mu.Unlock()
-	return WatchInfo{
+	info := WatchInfo{
 		ID:          e.id,
 		Spec:        e.spec,
 		Subscribers: subs,
 		Refreshes:   e.q.Refreshes(),
 		SampleSize:  e.q.SampleSize(),
-		Report:      e.q.Report(),
 	}
+	e.q.fill(&info)
+	return info
 }
 
 // dropEntry removes a (failed or closed) entry from both indexes.
@@ -749,7 +900,7 @@ func (s *Server) WatchReport(ctx context.Context, id string) (WatchInfo, error) 
 		}
 		beforeN := e.q.Refreshes()
 		before := s.env.Metrics.Snapshot()
-		_, err = e.q.Refresh()
+		err = e.q.Refresh()
 		cost := s.env.Metrics.Snapshot().Sub(before)
 		release()
 		if err != nil {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -528,5 +530,212 @@ func TestOpenWatchConcurrentCreation(t *testing.T) {
 	}
 	if s.Stats().WatchesShared != K-1 {
 		t.Fatalf("watchesShared = %d, want %d", s.Stats().WatchesShared, K-1)
+	}
+}
+
+// TestGroupedWatchDedupBitIdentical is the grouped-watch acceptance
+// test: K=8 subscribers open the identical grouped maintained query
+// through the shared registry — one creation run; per append exactly one
+// underlying delta refresh (simcost.Refreshes); and every subscriber
+// reads the bit-identical grouped report, including a group that first
+// appears in appended data.
+func TestGroupedWatchDedupBitIdentical(t *testing.T) {
+	const K = 8
+	kvBatch := func(keys []string, per int, seed uint64, shift float64) []byte {
+		xs, err := workload.NumericSpec{Dist: workload.Uniform, N: per * len(keys), Seed: seed}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		i := 0
+		for _, k := range keys {
+			for j := 0; j < per; j++ {
+				fmt.Fprintf(&sb, "%s\t%012.6f\n", k, xs[i]+shift)
+				i++
+			}
+		}
+		return []byte(sb.String())
+	}
+
+	env, err := core.NewEnv(core.EnvConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(env, Config{MaxInFlight: 4, MaxQueue: 4 * K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.FS.WriteFile("/t/kv", kvBatch([]string{"a", "b"}, 25_000, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	env.Metrics.Reset()
+	ctx := context.Background()
+	spec := QuerySpec{Job: "mean", Path: "/t/kv", Grouped: true, Sigma: 0.08, Seed: 3}
+
+	ids := make([]string, K)
+	var wg sync.WaitGroup
+	errs := make(chan error, K)
+	for c := 0; c < K; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			info, _, err := s.OpenWatch(ctx, spec)
+			if err != nil {
+				errs <- err
+				return
+			}
+			ids[c] = info.ID
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for c := 1; c < K; c++ {
+		if ids[c] != ids[0] {
+			t.Fatalf("identical grouped watches got distinct ids: %v", ids)
+		}
+	}
+	if got := env.Metrics.Snapshot().JobStartups; got != 1 {
+		t.Fatalf("%d identical grouped watches launched %d initial runs, want 1", K, got)
+	}
+
+	// Two append cycles: more of "b", then a brand-new key "c".
+	for b, batch := range [][]byte{
+		kvBatch([]string{"b"}, 20_000, 4, 50),
+		kvBatch([]string{"c"}, 20_000, 5, 200),
+	} {
+		if _, _, err := s.Append("/t/kv", batch); err != nil {
+			t.Fatal(err)
+		}
+		before := env.Metrics.Snapshot()
+		reports := make([]WatchInfo, K)
+		perr := make(chan error, K)
+		for c := 0; c < K; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				info, err := s.WatchReport(ctx, ids[c])
+				if err != nil {
+					perr <- err
+					return
+				}
+				reports[c] = info
+			}(c)
+		}
+		wg.Wait()
+		close(perr)
+		for err := range perr {
+			t.Fatal(err)
+		}
+		cost := env.Metrics.Snapshot().Sub(before)
+		if cost.Refreshes != 1 {
+			t.Fatalf("append %d: %d grouped subscribers cost %d refreshes, want exactly 1", b, K, cost.Refreshes)
+		}
+		if reports[0].Groups == nil {
+			t.Fatalf("append %d: grouped watch info carries no Groups: %+v", b, reports[0])
+		}
+		for c := 1; c < K; c++ {
+			if !reflect.DeepEqual(reports[c].Groups, reports[0].Groups) {
+				t.Fatalf("append %d: subscriber %d read a different grouped report:\n%+v\n%+v",
+					b, c, reports[c].Groups, reports[0].Groups)
+			}
+		}
+		if b == 1 {
+			if _, ok := reports[0].Groups.Groups["c"]; !ok {
+				t.Fatalf("group first appearing in appended data missing: %v", reports[0].Groups.SortedGroupKeys())
+			}
+		}
+	}
+}
+
+// TestMultiStatQueryAndWatch covers the multi-statistic spec surface: a
+// jobs list answers one report per statistic from one shared pass, hits
+// the cache on repeat, and a one-element jobs list shares identity with
+// the job spelling (same watch, same cache key).
+func TestMultiStatQueryAndWatch(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, "/t/multi", 60_000)
+	ctx := context.Background()
+
+	res, err := s.Query(ctx, QuerySpec{Jobs: []string{"mean", "p95", "count"}, Path: "/t/multi", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("multi-stat query returned %d reports, want 3", len(res.Reports))
+	}
+	if res.Report != res.Reports[0] {
+		t.Fatalf("Report is not the first statistic: %+v vs %+v", res.Report, res.Reports[0])
+	}
+	if res.Reports[1].Job != "quantile-0.95" || res.Reports[2].Job != "count" {
+		t.Fatalf("reports out of order: %s, %s", res.Reports[1].Job, res.Reports[2].Job)
+	}
+	again, err := s.Query(ctx, QuerySpec{Jobs: []string{"mean", "p95", "count"}, Path: "/t/multi", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || !reflect.DeepEqual(again.Reports, res.Reports) {
+		t.Fatalf("identical multi-stat repeat missed the cache: cached=%v", again.Cached)
+	}
+
+	// jobs:["mean"] and job:"mean" are the same query identity.
+	a, _, err := s.OpenWatch(ctx, QuerySpec{Job: "mean", Path: "/t/multi", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, shared, err := s.OpenWatch(ctx, QuerySpec{Jobs: []string{"mean"}, Path: "/t/multi", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared || a.ID != b.ID {
+		t.Fatalf("one-element jobs list did not dedupe onto the job spelling: %v vs %v (shared=%v)", a.ID, b.ID, shared)
+	}
+
+	// A multi-stat watch refreshes every statistic with one delta scan.
+	w, _, err := s.OpenWatch(ctx, QuerySpec{Jobs: []string{"mean", "p95"}, Path: "/t/multi", Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := workload.NumericSpec{Dist: workload.Gaussian, N: 20_000, Seed: 7}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AppendValues("/t/multi", delta); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.WatchReport(ctx, w.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Reports) != 2 {
+		t.Fatalf("multi-stat watch info carries %d reports, want 2", len(info.Reports))
+	}
+	// Both specs disagree (job vs jobs) — ensure they did not collide.
+	if info.ID == a.ID {
+		t.Fatalf("distinct job sets shared a watch id")
+	}
+
+	// Validation: mixed spellings, grouped multi, and duplicates —
+	// including two spellings of the same quantile — are client errors.
+	for _, bad := range []QuerySpec{
+		{Job: "mean", Jobs: []string{"p95"}, Path: "/t/multi"},
+		{Jobs: []string{"mean", "p95"}, Path: "/t/multi", Grouped: true},
+		{Jobs: []string{"mean", "nope"}, Path: "/t/multi"},
+		{Jobs: []string{"mean", "mean"}, Path: "/t/multi"},
+		{Jobs: []string{"p99.9", "q0.999"}, Path: "/t/multi"},
+	} {
+		if _, err := s.Query(ctx, bad); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		}
+	}
+
+	// normalize must not rewrite the caller's Jobs slice in place.
+	names := []string{"MEAN", "P95"}
+	if _, err := s.Query(ctx, QuerySpec{Jobs: names, Path: "/t/multi", Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "MEAN" || names[1] != "P95" {
+		t.Fatalf("normalize mutated the caller's jobs slice: %v", names)
 	}
 }
