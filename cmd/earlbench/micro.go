@@ -86,21 +86,31 @@ func runMicroJSON(w io.Writer, comparePath string) error {
 // benchmark, for entries present in both (new families in the current
 // run have no baseline and pass). The 2x threshold absorbs CI-runner
 // noise while still catching a substrate falling off its fast path.
+//
+// For the delta and bootstrap families — whose hot paths are maintained
+// allocation-free — a >2x allocs/op growth also fails: an accidental
+// re-introduction of per-item boxing or per-resample copies shows up as
+// an alloc explosion long before the ns/op noise floor admits it.
 func regressions(baseline, current microReport) []string {
-	old := map[string]float64{}
+	old := map[string]microResult{}
 	for _, b := range baseline.Benchmarks {
-		old[b.Family+"/"+b.Name] = b.NsPerOp
+		old[b.Family+"/"+b.Name] = b
 	}
 	var regs []string
 	for _, c := range current.Benchmarks {
 		key := c.Family + "/" + c.Name
 		was, ok := old[key]
-		if !ok || was <= 0 {
+		if !ok {
 			continue
 		}
-		if c.NsPerOp > 2*was {
+		if was.NsPerOp > 0 && c.NsPerOp > 2*was.NsPerOp {
 			regs = append(regs, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx)",
-				key, c.NsPerOp, was, c.NsPerOp/was))
+				key, c.NsPerOp, was.NsPerOp, c.NsPerOp/was.NsPerOp))
+		}
+		if (c.Family == "delta" || c.Family == "bootstrap") &&
+			was.AllocsPerOp > 0 && c.AllocsPerOp > 2*was.AllocsPerOp {
+			regs = append(regs, fmt.Sprintf("%s: %d allocs/op vs baseline %d (%.2fx)",
+				key, c.AllocsPerOp, was.AllocsPerOp, float64(c.AllocsPerOp)/float64(was.AllocsPerOp)))
 		}
 	}
 	return regs
@@ -164,6 +174,18 @@ func runMicro() (microReport, error) {
 				}
 			}
 		})
+		// The quantile-statistic family: each resample evaluates an order
+		// statistic, the path that moved from copy+sort.Float64s to an
+		// in-place selection over a pooled scratch buffer.
+		add("bootstrap", fmt.Sprintf("ParallelMonteCarloMedian/n=100000/B=100/%s", benchParLabel(par)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewPCG(1, 2))
+				if _, err := bootstrap.ParallelMonteCarlo(rng, big, bootstrap.Median, 100, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 
 	// --- Family 2: delta maintenance (§4.1's optimized reducer). -----
@@ -171,11 +193,11 @@ func runMicro() (microReport, error) {
 	if err != nil {
 		return microReport{}, err
 	}
-	growBench := func(naive bool) func(b *testing.B) {
+	growBench := func(naive bool, red jobs.Numeric) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				cfg := delta.Config{Reducer: jobs.Mean().Reducer, B: 30, Seed: uint64(i), Key: "b"}
+				cfg := delta.Config{Reducer: red.Reducer, B: 30, Seed: uint64(i), Key: "b"}
 				var m interface{ Grow([]float64) error }
 				var err error
 				if naive {
@@ -194,8 +216,12 @@ func runMicro() (microReport, error) {
 			}
 		}
 	}
-	add("delta", "MaintainerGrow/n=4096/B=30/gens=4", growBench(false))
-	add("delta", "NaiveMaintainerGrow/n=4096/B=30/gens=4", growBench(true))
+	add("delta", "MaintainerGrow/n=4096/B=30/gens=4", growBench(false, jobs.Mean()))
+	add("delta", "NaiveMaintainerGrow/n=4096/B=30/gens=4", growBench(true, jobs.Mean()))
+	// The order-statistic flavour: every add/remove mutates the
+	// Fenwick-indexed multiset and every generation finalizes B medians —
+	// the structure the allocation-free rework targets hardest.
+	add("delta", "MaintainerGrowMedian/n=4096/B=30/gens=4", growBench(false, jobs.Median()))
 
 	// --- Family 3: pre-map sampling (Algorithm 2 seek path). ---------
 	fsys := dfs.New(dfs.Config{BlockSize: 1 << 16, Replication: 2, DataNodes: 5, Seed: 1})
@@ -295,6 +321,10 @@ func runMicro() (microReport, error) {
 	// Shared-pass IO: records read by each statistic alone vs all four
 	// in one pass. The multi run must stay within 1.1× of the most
 	// demanding single — the criterion a regression here would break.
+	// RecordsRead includes the pilot phase (charged since the pilot cost
+	// attribution), which every single pays in full while the multi run
+	// draws it once — the shared pass is *helped*, not hurt, by the
+	// attribution.
 	var engineIO []ioResult
 	var maxSingleRead int64
 	for _, job := range jset4 {

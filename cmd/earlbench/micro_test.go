@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(entries ...microResult) microReport {
+	return microReport{Benchmarks: entries}
+}
+
+func TestRegressionsNsPerOp(t *testing.T) {
+	base := report(microResult{Family: "delta", Name: "Grow", NsPerOp: 100})
+	cur := report(microResult{Family: "delta", Name: "Grow", NsPerOp: 150})
+	if regs := regressions(base, cur); len(regs) != 0 {
+		t.Fatalf("1.5x ns/op flagged: %v", regs)
+	}
+	cur = report(microResult{Family: "delta", Name: "Grow", NsPerOp: 201})
+	regs := regressions(base, cur)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("2x ns/op not flagged: %v", regs)
+	}
+}
+
+func TestRegressionsAllocsOnlyHotFamilies(t *testing.T) {
+	base := report(
+		microResult{Family: "delta", Name: "Grow", NsPerOp: 100, AllocsPerOp: 1000},
+		microResult{Family: "bootstrap", Name: "MC", NsPerOp: 100, AllocsPerOp: 10},
+		microResult{Family: "engine", Name: "Run", NsPerOp: 100, AllocsPerOp: 10},
+	)
+	cur := report(
+		microResult{Family: "delta", Name: "Grow", NsPerOp: 100, AllocsPerOp: 2500},
+		microResult{Family: "bootstrap", Name: "MC", NsPerOp: 100, AllocsPerOp: 25},
+		microResult{Family: "engine", Name: "Run", NsPerOp: 100, AllocsPerOp: 1000},
+	)
+	regs := regressions(base, cur)
+	if len(regs) != 2 {
+		t.Fatalf("want delta+bootstrap allocs flagged (engine exempt), got %v", regs)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r, "allocs/op") {
+			t.Fatalf("unexpected regression line %q", r)
+		}
+	}
+}
+
+func TestRegressionsIgnoresNewAndZeroBaselines(t *testing.T) {
+	base := report(microResult{Family: "delta", Name: "Grow", NsPerOp: 100, AllocsPerOp: 0})
+	cur := report(
+		microResult{Family: "delta", Name: "Grow", NsPerOp: 120, AllocsPerOp: 50},
+		microResult{Family: "delta", Name: "Brand/New", NsPerOp: 9999, AllocsPerOp: 9999},
+	)
+	if regs := regressions(base, cur); len(regs) != 0 {
+		t.Fatalf("zero-alloc baseline or new benchmark flagged: %v", regs)
+	}
+}

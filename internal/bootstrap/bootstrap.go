@@ -15,6 +15,14 @@
 // ParallelMovingBlock (parallel.go) split the B draws across a worker
 // pool with deterministic per-shard rng streams, producing bit-identical
 // Result.Values at any parallelism level.
+//
+// Statistics are handed a scratch resample buffer and must not retain or
+// mutate it beyond the call. Order-statistic functions (Median, the
+// quantile statistics of package jobs) evaluate via stats.Quantile's
+// selection path — an O(n) Floyd–Rivest-style quickselect over a pooled
+// scratch copy instead of a copy + full sort per resample — which is
+// what keeps the quantile Monte-Carlo families allocation-free and
+// sort-free in steady state.
 package bootstrap
 
 import (

@@ -243,6 +243,12 @@ func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, defe
 		return nil, nil, err
 	}
 	probe, err := pilotSampler.Sample(256)
+	// Pilot records are real input reads (the sampler backtracks lines out
+	// of DFS blocks), so they are charged to RecordsRead like every other
+	// mapper delivery. The pilot is drawn ONCE per run however many
+	// statistics ride it — charging it is what makes the shared-pilot
+	// saving of RunMulti visible in the counters.
+	defer func() { env.Metrics.RecordsRead.Add(int64(pilotSampler.Taken())) }()
 	if errors.Is(err, sampling.ErrExhausted) {
 		// Tiny data set: just run it exactly.
 		fullPlans := make([]aes.Plan, len(jset))

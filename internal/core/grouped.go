@@ -70,6 +70,9 @@ func RunGroupedLive(env *Env, job jobs.Numeric, parse ParseKV, path string, opts
 	if err != nil && !errors.Is(err, sampling.ErrExhausted) {
 		return GroupedReport{}, nil, err
 	}
+	// Pilot reads are charged like any other mapper delivery (see the
+	// scalar driver) so grouped runs account their planning cost too.
+	env.Metrics.RecordsRead.Add(int64(pilotSampler.Taken()))
 	keys := map[string]struct{}{}
 	for _, r := range probe {
 		k, _, perr := parse(r.Line)

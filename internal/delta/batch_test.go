@@ -1,0 +1,191 @@
+package delta
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/mr"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+// TestPickPartWeightedSkipsEmptyParts is the regression test for the
+// historical pickPartWeighted bug: its inner `if p.Size() == 0` branch
+// was unreachable, so the empty-part skip it promised was never
+// exercised. The Fenwick-weighted pick gives empty parts zero width —
+// this pins that they are genuinely never returned, and that picks stay
+// proportional to part size.
+func TestPickPartWeightedSkipsEmptyParts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	r := &resample{rng: rng}
+	sizes := []int{5, 0, 3, 0, 0, 2}
+	for _, n := range sizes {
+		items := make([]float64, n)
+		for i := range items {
+			items[i] = float64(i)
+		}
+		r.parts = append(r.parts, sketch.NewPart(items, 0, rng, nil))
+		r.partTree.Append(int64(n))
+	}
+	counts := make([]int, len(sizes))
+	const draws = 10_000
+	for d := 0; d < draws; d++ {
+		pi, p := pickPartWeighted(r)
+		if p == nil {
+			t.Fatal("pick returned nil with non-empty parts")
+		}
+		if p.Size() == 0 {
+			t.Fatalf("picked empty part %d", pi)
+		}
+		if p != r.parts[pi] {
+			t.Fatalf("index %d does not match returned part", pi)
+		}
+		counts[pi]++
+	}
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	for i, n := range sizes {
+		if n == 0 {
+			if counts[i] != 0 {
+				t.Fatalf("empty part %d picked %d times", i, counts[i])
+			}
+			continue
+		}
+		want := float64(draws) * float64(n) / float64(total)
+		if got := float64(counts[i]); got < 0.8*want || got > 1.2*want {
+			t.Fatalf("part %d (size %d) picked %v times, want ≈%v", i, n, got, want)
+		}
+	}
+}
+
+// TestPickPartWeightedAllEmpty covers the degenerate every-part-empty
+// case: the pick must report exhaustion, not loop or panic.
+func TestPickPartWeightedAllEmpty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	r := &resample{rng: rng}
+	r.parts = append(r.parts, sketch.NewPart(nil, 0, rng, nil))
+	r.partTree.Append(0)
+	if pi, p := pickPartWeighted(r); p != nil || pi != -1 {
+		t.Fatalf("all-empty pick returned (%d, %v), want (-1, nil)", pi, p)
+	}
+}
+
+// TestMaintainerPartSizesMatchTree pins the partTree-in-lockstep
+// invariant across a growth schedule: the Fenwick totals must equal the
+// actual part sizes after every generation, for a batch-capable state
+// (the quantile multiset) and the per-value fallback alike.
+func TestMaintainerPartSizesMatchTree(t *testing.T) {
+	for name, red := range map[string]mr.IncrementalReducer{
+		"quantile": jobs.Median().Reducer,
+		"welford":  welfordReducer{},
+	} {
+		m, err := New(Config{Reducer: red, B: 8, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi, sz := range []int{200, 300, 500} {
+			if err := m.Grow(sampleData(sz, uint64(gi+30))); err != nil {
+				t.Fatal(err)
+			}
+			for ri, r := range m.resamples {
+				var n int64
+				for pi, p := range r.parts {
+					n += int64(p.Size())
+					if got := r.partTree.Prefix(pi+1) - r.partTree.Prefix(pi); got != int64(p.Size()) {
+						t.Fatalf("%s: resample %d part %d tree weight %d, size %d", name, ri, pi, got, p.Size())
+					}
+				}
+				if r.partTree.Total() != n || n != int64(m.N()) {
+					t.Fatalf("%s: resample %d tree total %d, items %d, N %d", name, ri, r.partTree.Total(), n, m.N())
+				}
+			}
+		}
+	}
+}
+
+// TestMaintainerQuantileBatchedGrowDeterministic runs the quantile
+// (order-statistic multiset) reducer through the batched Grow path at
+// several parallelism levels — bit-identical results, and agreement
+// with the naive recompute's sample on every size invariant. Under
+// `go test -race` this doubles as the race coverage of batched Grow.
+func TestMaintainerQuantileBatchedGrowDeterministic(t *testing.T) {
+	var ref []float64
+	for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		m, err := New(Config{Reducer: jobs.Median().Reducer, B: 20, Seed: 77, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi, sz := range []int{400, 400, 800} {
+			if err := m.Grow(sampleData(sz, uint64(gi+500))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, sz := range m.ResampleSizes() {
+			if sz != m.N() {
+				t.Fatalf("resample size %d, want %d", sz, m.N())
+			}
+		}
+		vals, err := m.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = vals
+			continue
+		}
+		for i := range ref {
+			if vals[i] != ref[i] {
+				t.Fatalf("parallelism %d: Results()[%d] = %v, want %v (bit-identical)", par, i, vals[i], ref[i])
+			}
+		}
+	}
+	// The maintained medians must hug the true median of the accumulated
+	// sample.
+	var all []float64
+	for gi, sz := range []int{400, 400, 800} {
+		all = append(all, sampleData(sz, uint64(gi+500))...)
+	}
+	truth, err := stats.Median(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := stats.Mean(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mean - truth; d > 0.2 || d < -0.2 {
+		t.Fatalf("maintained median %v far from truth %v", mean, truth)
+	}
+}
+
+// TestMaintainerGrowSteadyStateAllocs pins the tentpole's alloc budget
+// at the unit level: growing B resamples by a generation must cost a
+// small constant number of allocations per resample (sketch part +
+// cache + batch boxing), not one per item as the per-value Update loop
+// did.
+func TestMaintainerGrowSteadyStateAllocs(t *testing.T) {
+	m, err := New(Config{Reducer: jobs.Mean().Reducer, B: 10, Seed: 9, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Grow(sampleData(2000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	gen := uint64(2)
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := m.Grow(sampleData(2000, gen)); err != nil {
+			t.Fatal(err)
+		}
+		gen++
+	})
+	// ~10 resamples × (part copy + part struct + cache struct + cache buf
+	// + batch header boxing …) plus the retained Δs copy; one alloc per
+	// *item* would be ≥ 20k.
+	if allocs > 300 {
+		t.Fatalf("Grow allocated %.0f/op, want small constant per resample (≤300)", allocs)
+	}
+}

@@ -17,6 +17,13 @@
 // sketches; Grow shards the per-resample update work across a worker
 // pool of Config.Parallelism goroutines and produces identical results
 // at any parallelism level.
+//
+// The per-item hot path is allocation-free in steady state: a
+// generation's deletes and adds are collected into per-worker scratch
+// buffers (internal/pool) and applied to the user-job state in one
+// batched interface call each (mr.RemoveValues / mr.UpdateAll), and the
+// weighted part/generation picks run on Fenwick trees instead of linear
+// cumulative scans — same rng-for-rng pick, O(log) instead of O(parts).
 package delta
 
 import (
@@ -62,24 +69,38 @@ type Maintainer struct {
 	seed    uint64
 	metrics *simcost.Metrics
 
-	n          int
-	gens       [][]float64 // Δs_1 .. Δs_i
-	resamples  []*resample
-	key        string
-	rebuilds   atomic.Int64 // states rebuilt because Remove was unsupported
-	updates    atomic.Int64 // state add/remove operations performed (work measure)
+	n int
+	// genTree holds |Δs_k| per generation for O(log gens) weighted picks.
+	// The Δs_k data itself lives on in the per-resample sketch caches,
+	// which are the draw path's actual consumers.
+	genTree   stats.Fenwick
+	resamples []*resample
+	key       string
+	rebuilds  atomic.Int64 // states rebuilt because Remove was unsupported
+	updates   atomic.Int64 // state add/remove operations performed (work measure)
+
 	generation int
 }
 
 // resample is one of the B maintained resamples. Each owns its rng
-// stream and its per-generation sketches, so growing it touches no state
-// shared with the other resamples (beyond read-only delta data and the
-// atomic cost counters) — the property the parallel Grow relies on.
+// stream, its per-generation sketches and a Fenwick tree over its part
+// sizes, so growing it touches no state shared with the other resamples
+// (beyond read-only delta data and the atomic cost counters) — the
+// property the parallel Grow relies on.
 type resample struct {
-	rng    *rand.Rand
-	state  mr.State
-	parts  []*sketch.Part  // parts[k] = b_Δs(k+1)
-	caches []*sketch.Cache // caches[k] = this resample's sketch(Δs_(k+1))
+	rng      *rand.Rand
+	state    mr.State
+	parts    []*sketch.Part  // parts[k] = b_Δs(k+1)
+	partTree stats.Fenwick   // Fenwick over parts[k].Size(), kept in lockstep
+	caches   []*sketch.Cache // caches[k] = this resample's sketch(Δs_(k+1))
+}
+
+// growScratch is the per-worker scratch state of a Grow pass: reusable
+// buffers for a generation's collected deletes and adds, so the
+// per-resample-per-generation `make` churn disappears.
+type growScratch struct {
+	dels pool.Floats
+	adds pool.Floats
 }
 
 // Config configures a Maintainer.
@@ -167,16 +188,16 @@ func (m *Maintainer) Grow(deltaSample []float64) error {
 			m.resamples[i] = &resample{rng: stats.SplitRNG(m.seed, seed2Base, i)}
 		}
 	}
-	err := m.forEachResample(func(r *resample) error {
+	err := m.forEachResample(func(r *resample, scratch *growScratch) error {
 		if first {
 			// First iteration: the resample is n′ items drawn with
 			// replacement from Δs₁, which is memory-resident right now —
 			// no disk charge (sketches are kept for *future* iterations,
 			// when Δs₁ has been spilled).
-			if err := m.initResample(r, nPrime, ds); err != nil {
+			if err := m.initResample(r, nPrime, ds, scratch); err != nil {
 				return err
 			}
-		} else if err := m.growResample(r, nPrime, ds); err != nil {
+		} else if err := m.growResample(r, nPrime, ds, scratch); err != nil {
 			return err
 		}
 		// End-of-iteration sketch bookkeeping, and this resample's cache
@@ -199,28 +220,32 @@ func (m *Maintainer) Grow(deltaSample []float64) error {
 	if err != nil {
 		return err
 	}
-	m.gens = append(m.gens, ds)
+	m.genTree.Append(int64(len(ds)))
 	m.n = nPrime
 	m.generation++
 	return nil
 }
 
 // forEachResample runs fn over every resample, sharded across the
-// configured worker pool. The first error in resample order is returned.
-func (m *Maintainer) forEachResample(fn func(*resample) error) error {
-	return pool.ForEach(len(m.resamples), m.par, func(i int) error {
-		if err := fn(m.resamples[i]); err != nil {
-			return fmt.Errorf("delta: resample %d: %w", i, err)
+// configured worker pool with per-worker scratch buffers. The first
+// error in resample order is returned.
+func (m *Maintainer) forEachResample(fn func(*resample, *growScratch) error) error {
+	return pool.ForEachWorker(len(m.resamples), m.par, func() func(int) error {
+		scratch := &growScratch{}
+		return func(i int) error {
+			if err := fn(m.resamples[i], scratch); err != nil {
+				return fmt.Errorf("delta: resample %d: %w", i, err)
+			}
+			return nil
 		}
-		return nil
 	})
 }
 
 // initResample builds one resample for the first iteration.
-func (m *Maintainer) initResample(r *resample, nPrime int, ds []float64) error {
-	items := make([]float64, nPrime)
-	for j := range items {
-		items[j] = ds[r.rng.IntN(len(ds))]
+func (m *Maintainer) initResample(r *resample, nPrime int, ds []float64, scratch *growScratch) error {
+	items := scratch.adds.Take(nPrime)
+	for j := 0; j < nPrime; j++ {
+		items = append(items, ds[r.rng.IntN(len(ds))])
 	}
 	st, err := m.red.Initialize(m.key, items)
 	if err != nil {
@@ -229,10 +254,16 @@ func (m *Maintainer) initResample(r *resample, nPrime int, ds []float64) error {
 	m.charge(int64(len(items)))
 	r.state = st
 	r.parts = []*sketch.Part{sketch.NewPart(items, m.c, r.rng, m.metrics)}
+	r.partTree.Append(int64(len(items)))
 	return nil
 }
 
-func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64) error {
+// growResample applies one §4.1 maintenance step to one resample. The
+// rng draw sequence is identical item for item to the historical
+// one-Update-per-item implementation — only the *state* application is
+// batched (deletes and adds collected into scratch, one interface call
+// per phase) — so fixed-seed results stay bit-identical.
+func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64, scratch *growScratch) error {
 	keep, err := RetainedSize(r.rng, m.n, nPrime)
 	if err != nil {
 		return err
@@ -241,9 +272,11 @@ func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64) error {
 	case keep < m.n:
 		// Randomly delete (n − keep) items from the old parts, each part
 		// chosen with probability proportional to its size (a uniform
-		// deletion over the whole resample).
+		// deletion over the whole resample). Values are collected and
+		// removed from the user state in one batch.
+		dels := scratch.dels.Take(m.n - keep)
 		for d := 0; d < m.n-keep; d++ {
-			p := pickPartWeighted(r)
+			pi, p := pickPartWeighted(r)
 			if p == nil {
 				break
 			}
@@ -251,91 +284,88 @@ func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64) error {
 			if err != nil {
 				return err
 			}
-			if err := m.removeFromState(r, v); err != nil {
-				return err
-			}
-			m.charge(1)
+			r.partTree.Add(pi, -1)
+			dels = append(dels, v)
 		}
+		if err := m.removeFromState(r, dels); err != nil {
+			return err
+		}
+		m.charge(int64(len(dels)))
 	case keep > m.n:
 		// Add (keep − n) items drawn randomly from the old sample s:
 		// pick a generation weighted by size, draw from this resample's
-		// cache over it.
+		// cache over it. Values are folded into the user state in one
+		// batch.
+		adds := scratch.adds.Take(keep - m.n)
 		for a := 0; a < keep-m.n; a++ {
 			k := m.pickGenWeighted(r.rng)
 			v := r.caches[k].Next()
 			r.parts[k].Add(v)
-			st, err := m.red.Update(r.state, v)
-			if err != nil {
-				return err
-			}
-			r.state = st
-			m.charge(1)
+			r.partTree.Add(k, 1)
+			adds = append(adds, v)
 		}
-	}
-	// Fill to n′ with draws from Δs (the new generation) — memory-
-	// resident this iteration, so drawn directly.
-	add := nPrime - keep
-	items := make([]float64, add)
-	for j := range items {
-		items[j] = ds[r.rng.IntN(len(ds))]
-		st, err := m.red.Update(r.state, items[j])
+		st, err := mr.UpdateAll(m.red, r.state, adds)
 		if err != nil {
 			return err
 		}
 		r.state = st
-		m.charge(1)
+		m.charge(int64(len(adds)))
 	}
+	// Fill to n′ with draws from Δs (the new generation) — memory-
+	// resident this iteration, so drawn directly and folded in one batch.
+	items := scratch.adds.Take(nPrime - keep)
+	for j := 0; j < nPrime-keep; j++ {
+		items = append(items, ds[r.rng.IntN(len(ds))])
+	}
+	st, err := mr.UpdateAll(m.red, r.state, items)
+	if err != nil {
+		return err
+	}
+	r.state = st
+	m.charge(int64(len(items)))
 	r.parts = append(r.parts, sketch.NewPart(items, m.c, r.rng, m.metrics))
+	r.partTree.Append(int64(len(items)))
 	return nil
 }
 
 // pickPartWeighted picks one of r's non-empty parts with probability
-// proportional to its size.
-func pickPartWeighted(r *resample) *sketch.Part {
-	total := 0
-	for _, p := range r.parts {
-		total += p.Size()
-	}
+// proportional to its size: one rng draw mapped through the part-size
+// Fenwick tree — the same cumulative-width pick a linear scan computes
+// (so fixed-seed draws are unchanged), in O(log parts), and empty parts
+// (zero width) are genuinely never returned.
+func pickPartWeighted(r *resample) (int, *sketch.Part) {
+	total := r.partTree.Total()
 	if total == 0 {
-		return nil
+		return -1, nil
 	}
-	x := r.rng.IntN(total)
-	for _, p := range r.parts {
-		if x < p.Size() {
-			if p.Size() == 0 {
-				continue
-			}
-			return p
-		}
-		x -= p.Size()
-	}
-	return r.parts[len(r.parts)-1]
+	i := r.partTree.Pick(int64(r.rng.IntN(int(total))))
+	return i, r.parts[i]
 }
 
 // pickGenWeighted picks a generation index with probability proportional
-// to |Δs_k| — a uniform draw over the old sample s.
+// to |Δs_k| — a uniform draw over the old sample s, via the generation
+// Fenwick tree.
 func (m *Maintainer) pickGenWeighted(rng *rand.Rand) int {
-	total := 0
-	for _, g := range m.gens {
-		total += len(g)
-	}
-	x := rng.IntN(total)
-	for k, g := range m.gens {
-		if x < len(g) {
-			return k
-		}
-		x -= len(g)
-	}
-	return len(m.gens) - 1
+	return m.genTree.Pick(int64(rng.IntN(int(m.genTree.Total()))))
 }
 
-// removeFromState removes v from a resample's state, rebuilding the
-// state from the resample's surviving items when the state cannot
-// remove. The rebuild is the slow path the paper's design avoids for
-// moment-like statistics; it is charged as the full re-read it implies.
-func (m *Maintainer) removeFromState(r *resample, v float64) error {
-	if rem, ok := r.state.(mr.RemovableState); ok {
-		return rem.Remove(v)
+// removeFromState removes a batch of values from a resample's state —
+// one mr.BatchRemovableState call when supported, a per-value Remove
+// loop otherwise — rebuilding the state from the resample's surviving
+// items when the state cannot remove at all. The rebuild is the slow
+// path the paper's design avoids for moment-like statistics; batching
+// means one rebuild per generation (not one per deleted item), charged
+// as the full re-read it implies.
+func (m *Maintainer) removeFromState(r *resample, vs []float64) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	handled, err := mr.RemoveValues(r.state, vs)
+	if err != nil {
+		return err
+	}
+	if handled {
+		return nil
 	}
 	m.rebuilds.Add(1)
 	var all []float64

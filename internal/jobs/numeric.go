@@ -15,7 +15,6 @@ package jobs
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bootstrap"
 	"repro/internal/mr"
@@ -137,6 +136,15 @@ func (s *welfordState) Remove(v float64) error {
 	return nil
 }
 
+// RemoveBatch implements mr.BatchRemovableState: one interface call per
+// generation; removal order matches the per-value loop bit for bit.
+func (s *welfordState) RemoveBatch(vs []float64) error {
+	for _, v := range vs {
+		s.w.Remove(v)
+	}
+	return nil
+}
+
 func initWelford(values []float64) *welfordState {
 	st := &welfordState{}
 	for _, v := range values {
@@ -153,6 +161,12 @@ func updateWelford(state mr.State, input any) (*welfordState, error) {
 	switch x := input.(type) {
 	case float64:
 		st.w.Add(x)
+	case []float64:
+		// Batch fold in slice order — identical arithmetic to the
+		// per-value loop (the mr.IncrementalReducer batch contract).
+		for _, v := range x {
+			st.w.Add(v)
+		}
 	case *welfordState:
 		st.w.Merge(x.w)
 	default:
@@ -236,108 +250,43 @@ func (stddevReducer) Finalize(state mr.State) (float64, error) {
 }
 
 // ---------------------------------------------------------------------
-// Order-statistic reducer: a counted multiset supporting removal.
+// Order-statistic reducer: a Fenwick-indexed counted multiset.
 
-// multisetState keeps the sample as a value→count map plus a lazily
-// rebuilt sorted view; Add/Remove are O(1), Finalize is O(k log k) in the
-// number of distinct values.
-type multisetState struct {
-	counts map[float64]int64
-	n      int64
-	sorted []float64 // distinct values, ascending; nil when dirty
-}
+// multisetState wraps stats.OrderStat — a sorted value dictionary with a
+// Fenwick tree over multiplicities — so quantile resample maintenance is
+// O(log k) per add/remove and O(log k) per Finalize, with zero
+// steady-state allocation. (The previous representation re-sorted the
+// whole dictionary on every mutation and scanned it linearly per order
+// statistic.)
+type multisetState struct{ ms stats.OrderStat }
 
-func newMultiset(values []float64) *multisetState {
-	st := &multisetState{counts: make(map[float64]int64, len(values))}
-	for _, v := range values {
-		st.counts[v]++
-		st.n++
+func newMultiset(values []float64) (*multisetState, error) {
+	st := &multisetState{}
+	if err := st.ms.AddBatch(values); err != nil {
+		return nil, err
 	}
-	return st
-}
-
-func (s *multisetState) add(v float64) {
-	s.counts[v]++
-	s.n++
-	s.sorted = nil
+	return st, nil
 }
 
 // Remove implements mr.RemovableState.
 func (s *multisetState) Remove(v float64) error {
-	c, ok := s.counts[v]
-	if !ok || c <= 0 {
-		return fmt.Errorf("jobs: remove of absent value %v", v)
-	}
-	if c == 1 {
-		delete(s.counts, v)
-	} else {
-		s.counts[v] = c - 1
-	}
-	s.n--
-	s.sorted = nil
-	return nil
+	return s.ms.Remove(v)
 }
 
-func (s *multisetState) merge(o *multisetState) {
-	for v, c := range o.counts {
-		s.counts[v] += c
-	}
-	s.n += o.n
-	s.sorted = nil
-}
-
-// quantile computes the type-7 quantile over the counted multiset.
-func (s *multisetState) quantile(q float64) (float64, error) {
-	if s.n == 0 {
-		return 0, stats.ErrEmpty
-	}
-	if s.sorted == nil {
-		s.sorted = make([]float64, 0, len(s.counts))
-		for v := range s.counts {
-			s.sorted = append(s.sorted, v)
-		}
-		sort.Float64s(s.sorted)
-	}
-	h := q * float64(s.n-1)
-	lo := int64(h)
-	frac := h - float64(lo)
-	vLo, err := s.kth(lo)
-	if err != nil {
-		return 0, err
-	}
-	if frac == 0 || lo+1 >= s.n {
-		return vLo, nil
-	}
-	vHi, err := s.kth(lo + 1)
-	if err != nil {
-		return 0, err
-	}
-	return vLo*(1-frac) + vHi*frac, nil
-}
-
-// kth returns the k-th (0-based) order statistic.
-func (s *multisetState) kth(k int64) (float64, error) {
-	if k < 0 || k >= s.n {
-		return 0, fmt.Errorf("jobs: order statistic %d out of range", k)
-	}
-	var cum int64
-	for _, v := range s.sorted {
-		cum += s.counts[v]
-		if k < cum {
-			return v, nil
-		}
-	}
-	return 0, fmt.Errorf("jobs: corrupt multiset")
+// RemoveBatch implements mr.BatchRemovableState.
+func (s *multisetState) RemoveBatch(vs []float64) error {
+	return s.ms.RemoveBatch(vs)
 }
 
 type quantileReducer struct{ q float64 }
 
 // Initialize implements mr.IncrementalReducer.
 func (r quantileReducer) Initialize(key string, values []float64) (mr.State, error) {
-	return newMultiset(values), nil
+	return newMultiset(values)
 }
 
-// Update implements mr.IncrementalReducer.
+// Update implements mr.IncrementalReducer. NaN inputs are rejected (a
+// NaN would corrupt the ordered dictionary for finite values too).
 func (r quantileReducer) Update(state mr.State, input any) (mr.State, error) {
 	st, ok := state.(*multisetState)
 	if !ok {
@@ -345,9 +294,15 @@ func (r quantileReducer) Update(state mr.State, input any) (mr.State, error) {
 	}
 	switch x := input.(type) {
 	case float64:
-		st.add(x)
+		if err := st.ms.Add(x); err != nil {
+			return nil, err
+		}
+	case []float64:
+		if err := st.ms.AddBatch(x); err != nil {
+			return nil, err
+		}
 	case *multisetState:
-		st.merge(x)
+		st.ms.Merge(&x.ms)
 	default:
 		return nil, mr.ErrBadInput
 	}
@@ -360,7 +315,7 @@ func (r quantileReducer) Finalize(state mr.State) (float64, error) {
 	if !ok {
 		return 0, mr.ErrBadState
 	}
-	return st.quantile(r.q)
+	return st.ms.Quantile(r.q)
 }
 
 // Correct implements mr.IncrementalReducer: quantiles are p-invariant.

@@ -131,7 +131,10 @@ func TestQuantileValidation(t *testing.T) {
 }
 
 func TestMultisetRemoveAbsent(t *testing.T) {
-	st := newMultiset([]float64{1, 2, 2})
+	st, err := newMultiset([]float64{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := st.Remove(5); err == nil {
 		t.Fatal("removing absent value should error")
 	}
@@ -152,9 +155,12 @@ func TestMultisetQuantileMatchesSorted(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		st := newMultiset(xs)
+		st, err := newMultiset(xs)
+		if err != nil {
+			return false
+		}
 		for _, q := range []float64{0.1, 0.25, 0.5, 0.9} {
-			got, err := st.quantile(q)
+			got, err := st.ms.Quantile(q)
 			if err != nil {
 				return false
 			}
@@ -174,8 +180,11 @@ func TestMultisetQuantileMatchesSorted(t *testing.T) {
 }
 
 func TestMultisetEmptyQuantile(t *testing.T) {
-	st := newMultiset(nil)
-	if _, err := st.quantile(0.5); err == nil {
+	st, err := newMultiset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ms.Quantile(0.5); err == nil {
 		t.Fatal("empty quantile should error")
 	}
 }

@@ -23,6 +23,12 @@ type GroupedQuery struct {
 
 	last      core.GroupedReport
 	baseIters int // growth generations of the initial run
+
+	// Refresh-fold scratch (guarded by mu): the per-key value buffers and
+	// the sorted-key slice are reused across folds so a long-lived
+	// grouped watch does not re-allocate its routing state every refresh.
+	groupScratch map[string][]float64
+	keyScratch   []string
 }
 
 // WatchGrouped runs the grouped early workflow once and returns a

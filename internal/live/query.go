@@ -7,6 +7,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/jobs"
 	"repro/internal/mr"
+	"repro/internal/pool"
 )
 
 // Query is a maintained EARL query over one or more statistics that
@@ -14,8 +15,9 @@ import (
 // use; Refresh calls are serialised.
 type Query struct {
 	watchBase
-	jobs  []jobs.Numeric
-	stats []core.StatState // one per statistic; Maint nil on the exact path
+	jobs    []jobs.Numeric
+	stats   []core.StatState // one per statistic; Maint nil on the exact path
+	scratch pool.Floats      // refresh-fold parse buffer (guarded by mu)
 
 	// exact-maintenance path (tiny data / SSABE said sampling won't pay)
 	exactStates []mr.State // one incremental reduce state per statistic

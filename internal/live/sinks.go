@@ -20,7 +20,10 @@ type statFold Query
 
 func (s *statFold) fold(lines []string) error {
 	q := (*Query)(s)
-	vals := make([]float64, 0, len(lines))
+	// Parse into the query's reusable scratch (mu is held): refreshes on
+	// a long-lived watch fold many small deltas, and the maintainers
+	// batch-apply the slice without retaining it.
+	vals := q.scratch.Take(len(lines))
 	for _, line := range lines {
 		v, err := q.jobs[0].Parse(line)
 		if err != nil {
@@ -75,7 +78,16 @@ type groupFold GroupedQuery
 
 func (g *groupFold) fold(lines []string) error {
 	q := (*GroupedQuery)(g)
-	groups := map[string][]float64{}
+	// Route into the query's reusable scratch (mu is held): buffers of
+	// keys seen in earlier folds are emptied and refilled, mirroring the
+	// scalar path's scratch reuse.
+	if q.groupScratch == nil {
+		q.groupScratch = map[string][]float64{}
+	}
+	groups := q.groupScratch
+	for key, vals := range groups {
+		groups[key] = vals[:0]
+	}
 	for _, line := range lines {
 		key, v, perr := q.parse(line)
 		if perr != nil {
@@ -83,11 +95,14 @@ func (g *groupFold) fold(lines []string) error {
 		}
 		groups[key] = append(groups[key], v)
 	}
-	keys := make([]string, 0, len(groups))
-	for key := range groups {
-		keys = append(keys, key)
+	keys := q.keyScratch[:0]
+	for key, vals := range groups {
+		if len(vals) > 0 {
+			keys = append(keys, key)
+		}
 	}
 	sort.Strings(keys)
+	q.keyScratch = keys
 	for _, key := range keys {
 		mt, ok := q.maints[key]
 		if !ok {

@@ -22,11 +22,17 @@ type State any
 //	finalize:   state → (result, error estimate input)
 //	correct:    result × p → corrected result
 type IncrementalReducer interface {
-	// Initialize reduces a batch of raw values into a fresh state.
+	// Initialize reduces a batch of raw values into a fresh state. The
+	// values slice must not be retained: callers (the delta-maintenance
+	// hot path in particular) hand in reused scratch buffers.
 	Initialize(key string, values []float64) (State, error)
-	// Update folds input — either another State produced by this reducer
-	// or a single raw value — into state, returning the new state. The
-	// returned state may alias the argument.
+	// Update folds input — another State produced by this reducer, a
+	// single raw value, or a []float64 batch of raw values — into state,
+	// returning the new state. The returned state may alias the argument.
+	// A batch must be folded exactly as the per-value loop would fold it
+	// (same order, same arithmetic); reducers that do not recognise
+	// batches return ErrBadInput and UpdateAll falls back to the loop.
+	// Batch slices are not retained.
 	Update(state State, input any) (State, error)
 	// Finalize extracts the current result from a state.
 	Finalize(state State) (float64, error)
@@ -45,6 +51,34 @@ type RemovableState interface {
 	Remove(value float64) error
 }
 
+// BatchRemovableState is implemented by states that can remove a whole
+// batch of previously-added values in one call — one interface dispatch
+// per growth generation instead of one per item, the removal-side twin
+// of Update's []float64 batches. RemoveValues prefers it over
+// per-value RemovableState.Remove.
+type BatchRemovableState interface {
+	RemoveBatch(values []float64) error
+}
+
+// RemoveValues removes every value of vs from state, using the batch
+// entry point when available and falling back to per-value Remove.
+// handled is false (with a nil error) when the state supports neither —
+// the caller must rebuild, as delta maintenance does.
+func RemoveValues(state State, vs []float64) (handled bool, err error) {
+	if br, ok := state.(BatchRemovableState); ok {
+		return true, br.RemoveBatch(vs)
+	}
+	if rem, ok := state.(RemovableState); ok {
+		for _, v := range vs {
+			if err := rem.Remove(v); err != nil {
+				return true, err
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
 // ErrBadState is returned when an IncrementalReducer is handed a state of
 // the wrong concrete type.
 var ErrBadState = errors.New("mr: state has wrong type for this reducer")
@@ -53,9 +87,23 @@ var ErrBadState = errors.New("mr: state has wrong type for this reducer")
 // compatible State nor a raw value.
 var ErrBadInput = errors.New("mr: update input is neither state nor value")
 
-// UpdateAll folds a slice of raw values into state via r.Update.
+// UpdateAll folds a slice of raw values into state. It offers the whole
+// slice to r.Update first — one interface call (and one boxing
+// allocation) per batch for reducers that accept []float64, which is
+// what makes the delta-maintenance hot path allocation-free — and falls
+// back to the per-value loop for reducers that return ErrBadInput on
+// batches. The two paths are equivalent by Update's batch contract.
 func UpdateAll(r IncrementalReducer, state State, values []float64) (State, error) {
-	var err error
+	if len(values) == 0 {
+		return state, nil
+	}
+	next, err := r.Update(state, values)
+	if err == nil {
+		return next, nil
+	}
+	if !errors.Is(err, ErrBadInput) {
+		return nil, err
+	}
 	for _, v := range values {
 		state, err = r.Update(state, v)
 		if err != nil {

@@ -1,0 +1,32 @@
+package pool
+
+import "testing"
+
+func TestFloatsReusesBacking(t *testing.T) {
+	var f Floats
+	s := f.Take(100)
+	if len(s) != 0 || cap(s) < 100 {
+		t.Fatalf("len=%d cap=%d, want 0/≥100", len(s), cap(s))
+	}
+	s = append(s, 1, 2, 3)
+	first := &s[0]
+	s2 := f.Take(50)
+	if len(s2) != 0 || cap(s2) < 50 {
+		t.Fatalf("len=%d cap=%d, want 0/≥50", len(s2), cap(s2))
+	}
+	s2 = append(s2, 9)
+	if &s2[0] != first {
+		t.Fatal("smaller Take did not reuse the backing array")
+	}
+	// Growth allocates a fresh array and keeps it for the next round.
+	s3 := f.Take(10_000)
+	if cap(s3) < 10_000 {
+		t.Fatalf("cap=%d, want ≥10000", cap(s3))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = f.Take(10_000)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Take allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -20,6 +20,24 @@ func Workers(p int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Floats is a reusable float64 scratch buffer for per-worker hot loops:
+// Take returns a zero-length slice with at least the requested capacity,
+// reusing the previous backing array whenever it is large enough. One
+// Floats per worker goroutine (via ForEachWorker's per-worker state)
+// turns a make-per-item/per-task allocation pattern into amortised-zero
+// steady-state allocation. Not safe for concurrent use; each worker owns
+// its own.
+type Floats struct{ buf []float64 }
+
+// Take returns f's buffer with length 0 and capacity ≥ n. The returned
+// slice is only valid until the next Take.
+func (f *Floats) Take(n int) []float64 {
+	if cap(f.buf) < n {
+		f.buf = make([]float64, 0, n+n/4)
+	}
+	return f.buf[:0]
+}
+
 // ForEach runs fn(i) for every i in [0, n) across the given number of
 // workers (sequentially when workers ≤ 1) and returns the first error
 // in index order, so error identity does not depend on scheduling.

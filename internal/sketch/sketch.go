@@ -46,14 +46,19 @@ type Part struct {
 	refreshes int
 }
 
-// NewPart builds a partition over the given items (the slice is copied).
+// NewPart builds a partition over the given items (the slice is copied,
+// with c·√n capacity slack so the ±σ₀ < √n adds of a maintenance
+// iteration land in place instead of reallocating the backing array).
 // c is the sketch constant (DefaultC if <= 0); metrics may be nil.
 func NewPart(items []float64, c float64, rng *rand.Rand, metrics *simcost.Metrics) *Part {
 	if c <= 0 {
 		c = DefaultC
 	}
+	slack := int(math.Ceil(c*math.Sqrt(float64(len(items))))) + 4
+	buf := make([]float64, len(items), len(items)+slack)
+	copy(buf, items)
 	p := &Part{
-		items:   append([]float64(nil), items...),
+		items:   buf,
 		c:       c,
 		rng:     rng,
 		metrics: metrics,

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func randomSlices(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	switch rng.IntN(4) {
+	case 0: // continuous
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+	case 1: // duplicate-heavy
+		for i := range xs {
+			xs[i] = float64(rng.IntN(5))
+		}
+	case 2: // sorted (quickselect's classic adversary)
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+	default: // reverse sorted
+		for i := range xs {
+			xs[i] = float64(n - i)
+		}
+	}
+	return xs
+}
+
+func TestSelectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(300)
+		xs := randomSlices(rng, n)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		k := rng.IntN(n)
+		Select(xs, k)
+		if xs[k] != sorted[k] {
+			t.Fatalf("select(%d) = %v, want %v", k, xs[k], sorted[k])
+		}
+		for _, v := range xs[:k] {
+			if v > xs[k] {
+				t.Fatalf("left partition holds %v > pivot %v", v, xs[k])
+			}
+		}
+		for _, v := range xs[k+1:] {
+			if v < xs[k] {
+				t.Fatalf("right partition holds %v < pivot %v", v, xs[k])
+			}
+		}
+	}
+}
+
+// TestQuantileSelectionMatchesSorted pins the selection-based Quantile
+// (and the in-place SelectQuantile) bit for bit against the sort-based
+// reference across distributions, sizes and q values — the equivalence
+// that lets every quantile statistic switch to selection without moving
+// any golden.
+func TestQuantileSelectionMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	qs := []float64{0, 0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.999, 1}
+	for trial := 0; trial < 100; trial++ {
+		xs := randomSlices(rng, 1+rng.IntN(400))
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for _, q := range qs {
+			want, err := QuantileSorted(sorted, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Quantile(xs, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("Quantile(q=%v) = %v, want %v", q, got, want)
+			}
+			scratch := append([]float64(nil), xs...)
+			got, err = SelectQuantile(scratch, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("SelectQuantile(q=%v) = %v, want %v", q, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3, 9, 0, 8}
+	orig := append([]float64(nil), xs...)
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("Quantile reordered its input at %d: %v vs %v", i, xs, orig)
+		}
+	}
+}
+
+func TestSelectQuantileGuards(t *testing.T) {
+	if _, err := SelectQuantile(nil, 0.5); err == nil {
+		t.Fatal("empty input should error")
+	}
+	for _, q := range []float64{-0.1, 1.1, nan()} {
+		if _, err := SelectQuantile([]float64{1, 2}, q); err == nil {
+			t.Fatalf("q=%v should error", q)
+		}
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+
+func TestQuantileSteadyStateAllocFree(t *testing.T) {
+	xs := make([]float64, 4096)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	// Warm the pool, then the hot loop must not allocate.
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := Quantile(xs, 0.95); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Quantile allocated %.1f/op, want 0", allocs)
+	}
+}

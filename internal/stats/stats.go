@@ -12,7 +12,6 @@ package stats
 import (
 	"errors"
 	"math"
-	"sort"
 )
 
 // ErrEmpty is returned by estimators that require at least one observation.
@@ -108,42 +107,65 @@ func Median(xs []float64) (float64, error) {
 	return Quantile(xs, 0.5)
 }
 
+// errQuantileRange is shared by the quantile variants so they reject
+// out-of-range (and NaN) q identically.
+var errQuantileRange = errors.New("stats: quantile out of range [0,1]")
+
+// quantileType7 is the ONE type-7 (R/NumPy default) interpolation
+// kernel behind every quantile variant — QuantileSorted, SelectQuantile
+// and OrderStat.Quantile differ only in how they reach an order
+// statistic, so they share the h/lo/frac arithmetic and its edge cases
+// here. kth(k) must return the k-th (0-based) order statistic; it is
+// called with lo first and, only when interpolation is needed, lo+1 —
+// an ordering in-place selectors rely on.
+func quantileType7(n int64, q float64, kth func(k int64) float64) (float64, error) {
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	if !(q >= 0 && q <= 1) { // negated form rejects NaN
+		return 0, errQuantileRange
+	}
+	if n == 1 {
+		return kth(0), nil
+	}
+	h := q * float64(n-1)
+	lo := int64(h)
+	frac := h - float64(lo)
+	vLo := kth(lo)
+	if frac == 0 || lo+1 >= n {
+		return vLo, nil
+	}
+	return vLo*(1-frac) + kth(lo+1)*frac, nil
+}
+
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
 // interpolation between order statistics (type-7, the R/NumPy default).
-// xs is not modified.
+// xs is not modified: the selection runs over a pooled scratch copy, so
+// the call is O(n) expected time and allocation-free in steady state —
+// this is the one-shot quantile path every bootstrap resample of a
+// median/quantile statistic takes.
 func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
 	if !(q >= 0 && q <= 1) { // negated form rejects NaN
-		return 0, errors.New("stats: quantile out of range [0,1]")
+		return 0, errQuantileRange
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	return QuantileSorted(sorted, q)
+	bufp := scratchPool.Get().(*[]float64)
+	if cap(*bufp) < len(xs) {
+		*bufp = make([]float64, len(xs))
+	}
+	buf := (*bufp)[:len(xs)]
+	copy(buf, xs)
+	v, err := SelectQuantile(buf, q)
+	scratchPool.Put(bufp)
+	return v, err
 }
 
 // QuantileSorted is Quantile for data already in ascending order; it does
 // not allocate. Behaviour is undefined if xs is unsorted.
 func QuantileSorted(xs []float64, q float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, ErrEmpty
-	}
-	if !(q >= 0 && q <= 1) { // negated form rejects NaN
-		return 0, errors.New("stats: quantile out of range [0,1]")
-	}
-	if len(xs) == 1 {
-		return xs[0], nil
-	}
-	h := q * float64(len(xs)-1)
-	lo := int(math.Floor(h))
-	hi := lo + 1
-	if hi >= len(xs) {
-		return xs[len(xs)-1], nil
-	}
-	frac := h - float64(lo)
-	return xs[lo]*(1-frac) + xs[hi]*frac, nil
+	return quantileType7(int64(len(xs)), q, func(k int64) float64 { return xs[k] })
 }
 
 // MinMax returns the smallest and largest values in xs.
