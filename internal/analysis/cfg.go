@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A tiny intra-function control-flow graph over statements, built for
+// poolleak's "release on every return path" check. It models the
+// structured control flow Go functions actually use (if/for/range/
+// switch/select, break/continue, return, panic and friends); the rare
+// constructs it approximates are handled conservatively in the
+// direction that avoids false positives: goto and labeled branches end
+// path exploration without reporting, so code using them is under- not
+// over-checked.
+//
+// This is the stdlib-only stand-in for golang.org/x/tools/go/cfg, which
+// the offline build cannot vendor.
+
+type cfgNode struct {
+	stmt  ast.Stmt
+	succs []*cfgNode
+	// terminal marks nodes that end execution without reaching the
+	// function's return path (panic, os.Exit, t.Fatal, goto): paths
+	// through them are not reported as leaks.
+	terminal bool
+}
+
+// funcCFG is the graph for one function body. exit is the single
+// virtual node every return (and the body's fall-off end) reaches.
+type funcCFG struct {
+	nodes []*cfgNode
+	exit  *cfgNode
+}
+
+type cfgBuilder struct {
+	g    *funcCFG
+	info *types.Info
+	// break/continue targets, innermost last.
+	breaks    []*cfgNode
+	continues []*cfgNode
+}
+
+// buildCFG constructs the CFG of a function body.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *funcCFG {
+	g := &funcCFG{exit: &cfgNode{}}
+	b := &cfgBuilder{g: g, info: info}
+	outs := b.stmts(body.List, []*cfgNode{})
+	// Fall-off end of the body reaches exit.
+	link(outs, g.exit)
+	return g
+}
+
+func link(from []*cfgNode, to *cfgNode) {
+	for _, f := range from {
+		f.succs = append(f.succs, to)
+	}
+}
+
+func (b *cfgBuilder) node(s ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: s}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+// stmts threads the statement list: cur is the set of dangling
+// predecessor nodes; the returned set is the dangling outs after the
+// list.
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur []*cfgNode) []*cfgNode {
+	for _, s := range list {
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur []*cfgNode) []*cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		link(cur, n)
+		n.succs = append(n.succs, b.g.exit)
+		return nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cond := b.node(s)
+		link(cur, cond)
+		thenOuts := b.stmts(s.Body.List, []*cfgNode{cond})
+		var elseOuts []*cfgNode
+		if s.Else != nil {
+			elseOuts = b.stmt(s.Else, []*cfgNode{cond})
+		} else {
+			elseOuts = []*cfgNode{cond}
+		}
+		return append(thenOuts, elseOuts...)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head := b.node(s)
+		link(cur, head)
+		b.breaks = append(b.breaks, &cfgNode{})
+		b.continues = append(b.continues, head)
+		bodyOuts := b.stmts(s.Body.List, []*cfgNode{head})
+		if s.Post != nil {
+			bodyOuts = b.stmt(s.Post, bodyOuts)
+		}
+		link(bodyOuts, head)
+		brk := b.breaks[len(b.breaks)-1]
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		outs := []*cfgNode{brk}
+		if s.Cond != nil {
+			outs = append(outs, head) // cond may be false on entry
+		}
+		// `for {}` without cond only exits via break.
+		return outs
+
+	case *ast.RangeStmt:
+		head := b.node(s)
+		link(cur, head)
+		b.breaks = append(b.breaks, &cfgNode{})
+		b.continues = append(b.continues, head)
+		bodyOuts := b.stmts(s.Body.List, []*cfgNode{head})
+		link(bodyOuts, head)
+		brk := b.breaks[len(b.breaks)-1]
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		return []*cfgNode{brk, head}
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		head := b.node(s)
+		link(cur, head)
+		var body *ast.BlockStmt
+		hasDefault := false
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				// Init already runs before head in program order; model
+				// it as part of the head node (it cannot branch).
+			}
+			body = s.Body
+		case *ast.TypeSwitchStmt:
+			body = s.Body
+		case *ast.SelectStmt:
+			body = s.Body
+		}
+		b.breaks = append(b.breaks, &cfgNode{})
+		var outs []*cfgNode
+		for _, cl := range body.List {
+			var stmts []ast.Stmt
+			switch cl := cl.(type) {
+			case *ast.CaseClause:
+				stmts = cl.Body
+				if cl.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				stmts = cl.Body
+				if cl.Comm == nil {
+					hasDefault = true
+				}
+			}
+			outs = append(outs, b.stmts(stmts, []*cfgNode{head})...)
+		}
+		brk := b.breaks[len(b.breaks)-1]
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		outs = append(outs, brk)
+		if !hasDefault {
+			outs = append(outs, head) // no case taken
+		}
+		return outs
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		link(cur, n)
+		switch {
+		case s.Tok.String() == "break" && s.Label == nil && len(b.breaks) > 0:
+			n.succs = append(n.succs, b.breaks[len(b.breaks)-1])
+		case s.Tok.String() == "continue" && s.Label == nil && len(b.continues) > 0:
+			n.succs = append(n.succs, b.continues[len(b.continues)-1])
+		default:
+			// goto / labeled branch: end exploration conservatively.
+			n.terminal = true
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, cur)
+
+	case *ast.ExprStmt:
+		n := b.node(s)
+		link(cur, n)
+		if isTerminalCall(b.info, s.X) {
+			n.terminal = true
+			return nil
+		}
+		return []*cfgNode{n}
+
+	default:
+		// Assignments, declarations, defer, go, send, inc/dec, empty:
+		// straight-line nodes.
+		n := b.node(s)
+		link(cur, n)
+		return []*cfgNode{n}
+	}
+}
+
+// isTerminalCall reports whether expr is a call that never returns:
+// panic, os.Exit, runtime.Goexit, log.Fatal*, or a testing Fatal/Skip
+// method.
+func isTerminalCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln" ||
+			fn.Name() == "Panic" || fn.Name() == "Panicf" || fn.Name() == "Panicln"
+	case "testing":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolLeak checks balanced scratch/pool usage:
+//
+//   - every sync.Pool Get must be matched by a Put (or a defer that
+//     Puts) on every path to a return — checked over the function's
+//     control-flow graph. A Get whose buffer is dropped on an early
+//     error return silently degrades the pool back to
+//     allocate-per-call, which the allocs/op benchmarks only catch
+//     under workloads that take that path;
+//
+//   - internal/pool.Floats is release-free by design (Take recycles the
+//     buffer), so its obligation is aliasing, not release: the slice
+//     from one Take is only valid until the next Take on the same
+//     Floats. Using an earlier Take's result after a later Take on the
+//     same receiver, or returning a Take-derived slice, is reported.
+//
+// //earl:pool-ok <reason> on the acquisition line suppresses a finding
+// (e.g. a Put delegated to a helper the analyzer cannot see through).
+var PoolLeak = &Analyzer{
+	Name: "poolleak",
+	Doc: "sync.Pool Get needs a Put on every return path; a pool.Floats " +
+		"Take result must not outlive the next Take on the same receiver",
+	Run: runPoolLeak,
+}
+
+// floatsTypePath identifies the repo's per-worker scratch buffer type.
+const floatsTypePath = "repro/internal/pool.Floats"
+
+func runPoolLeak(pass *Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkSyncPoolBalance(pass, body)
+			checkFloatsAliasing(pass, body)
+			return true // descend: nested FuncLits get their own pass
+		})
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------
+// sync.Pool Get/Put balance.
+
+// poolMethodCall matches a call to (sync.Pool).Get/Put — possibly
+// through a type-assertion wrapper like pool.Get().(*T) — and returns
+// the receiver's object (nil for non-ident receivers) plus a rendering
+// key for matching Get to Put sites.
+func poolMethodCall(info *types.Info, n ast.Node, method string) (types.Object, string, *ast.CallExpr) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil, "", nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, "", nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || NamedTypePath(sig.Recv().Type()) != "sync.Pool" {
+		return nil, "", nil
+	}
+	obj, key := receiverKey(info, sel.X)
+	return obj, key, call
+}
+
+// receiverKey resolves a method receiver expression to an object (for
+// ident / pkg.Var / x.field chains ending in an ident) and a stable
+// string key.
+func receiverKey(info *types.Info, expr ast.Expr) (types.Object, string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e], e.Name
+	case *ast.SelectorExpr:
+		base, key := receiverKey(info, e.X)
+		if obj := info.Uses[e.Sel]; obj != nil && base == nil {
+			return obj, key + "." + e.Sel.Name
+		}
+		return base, key + "." + e.Sel.Name
+	case *ast.UnaryExpr:
+		return receiverKey(info, e.X)
+	}
+	return nil, ""
+}
+
+// nodeScanRoots returns the sub-nodes actually evaluated when a CFG
+// node for s executes. Compound statements (if/for/switch) become
+// *head* nodes in the CFG whose bodies are separate nodes, so scanning
+// the whole subtree would mis-attribute calls inside branches to the
+// head.
+func nodeScanRoots(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return []ast.Node{s.Cond}
+		}
+		return nil
+	case *ast.RangeStmt:
+		return []ast.Node{s.X}
+	case *ast.SwitchStmt:
+		var r []ast.Node
+		if s.Init != nil {
+			r = append(r, s.Init)
+		}
+		if s.Tag != nil {
+			r = append(r, s.Tag)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					r = append(r, e)
+				}
+			}
+		}
+		return r
+	case *ast.TypeSwitchStmt:
+		var r []ast.Node
+		if s.Init != nil {
+			r = append(r, s.Init)
+		}
+		return append(r, s.Assign)
+	case *ast.SelectStmt:
+		var r []ast.Node
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				r = append(r, cc.Comm)
+			}
+		}
+		return r
+	default:
+		return []ast.Node{s}
+	}
+}
+
+// nodePoolCalls returns every pool call of the given method evaluated
+// at this CFG node. Put scanning includes function literals on purpose:
+// a deferred closure that Puts releases the buffer (conservatively, any
+// closure defining the Put counts — the directive escape covers exotic
+// cases). Get scanning excludes them: a closure's Get belongs to the
+// closure's own check.
+func nodePoolCalls(info *types.Info, stmt ast.Stmt, method string, intoFuncLits bool) []string {
+	var keys []string
+	for _, root := range nodeScanRoots(stmt) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && !intoFuncLits {
+				return false
+			}
+			if _, key, call := poolMethodCall(info, n, method); call != nil {
+				keys = append(keys, key)
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+func checkSyncPoolBalance(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	// Collect Get sites (statement granularity).
+	type getSite struct {
+		key  string
+		pos  token.Pos
+		node *cfgNode
+	}
+	g := buildCFG(body, info)
+	var gets []getSite
+	for _, n := range g.nodes {
+		if n.stmt == nil {
+			continue
+		}
+		// Gets inside nested function literals belong to that literal's
+		// own check.
+		for _, root := range nodeScanRoots(n.stmt) {
+			ast.Inspect(root, func(child ast.Node) bool {
+				if _, ok := child.(*ast.FuncLit); ok {
+					return false
+				}
+				if _, key, call := poolMethodCall(info, child, "Get"); call != nil {
+					gets = append(gets, getSite{key: key, pos: call.Pos(), node: n})
+				}
+				return true
+			})
+		}
+	}
+	if len(gets) == 0 {
+		return
+	}
+	releases := func(n *cfgNode, key string) bool {
+		if n.stmt == nil {
+			return false
+		}
+		for _, k := range nodePoolCalls(info, n.stmt, "Put", true) {
+			if k == key {
+				return true
+			}
+		}
+		return false
+	}
+	for _, get := range gets {
+		if pass.Suppressed(get.pos, "pool-ok") {
+			continue
+		}
+		// The Get statement itself may also Put (single-expression
+		// pipelines); then it is trivially balanced.
+		if releases(get.node, get.key) {
+			continue
+		}
+		if leakyPathExists(g, get.node, func(n *cfgNode) bool { return releases(n, get.key) }) {
+			pass.Reportf(get.pos,
+				"sync.Pool Get from %q has a return path without a matching Put; release the buffer on every path (defer or explicit)", get.key)
+		}
+	}
+}
+
+// leakyPathExists reports whether some path from start's successors
+// reaches the function exit without passing a node for which released
+// returns true.
+func leakyPathExists(g *funcCFG, start *cfgNode, released func(*cfgNode) bool) bool {
+	seen := map[*cfgNode]bool{}
+	var dfs func(n *cfgNode) bool
+	dfs = func(n *cfgNode) bool {
+		if n == g.exit {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		if released(n) || n.terminal {
+			return false
+		}
+		for _, s := range n.succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range start.succs {
+		if dfs(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// pool.Floats Take aliasing.
+
+// takeSite records one pool.Floats Take call and the variable its
+// result is bound to.
+type takeSite struct {
+	recvKey string
+	pos     token.Pos
+	end     token.Pos
+	result  types.Object // nil if the result is not bound to an ident
+}
+
+func checkFloatsAliasing(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var takes []takeSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(assign.Rhs) != 1 || len(assign.Lhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Take" {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || NamedTypePath(sig.Recv().Type()) != floatsTypePath {
+			return true
+		}
+		_, key := receiverKey(info, sel.X)
+		var result types.Object
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				result = obj
+			} else if obj := info.Uses[id]; obj != nil {
+				result = obj
+			}
+		}
+		takes = append(takes, takeSite{recvKey: key, pos: call.Pos(), end: assign.End(), result: result})
+		return true
+	})
+	if len(takes) < 2 {
+		checkFloatsEscape(pass, body, takes)
+		return
+	}
+	// For each pair of Takes on the same receiver, a use of the earlier
+	// result after the later Take means the buffer was clobbered.
+	for i, early := range takes {
+		if early.result == nil {
+			continue
+		}
+		for j, late := range takes {
+			if i == j || late.recvKey != early.recvKey || late.pos <= early.pos {
+				continue
+			}
+			if usePos, used := objUsedAfter(info, body, early.result, late.end); used {
+				if !pass.Suppressed(usePos, "pool-ok") {
+					pass.Reportf(usePos,
+						"use of %s after a later Take on %q: pool.Floats scratch is only valid until the next Take on the same receiver",
+						early.result.Name(), late.recvKey)
+				}
+			}
+		}
+	}
+	checkFloatsEscape(pass, body, takes)
+}
+
+// checkFloatsEscape reports returning a Take-derived slice: the scratch
+// belongs to the worker, not the caller.
+func checkFloatsEscape(pass *Pass, body *ast.BlockStmt, takes []takeSite) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			id, ok := ast.Unparen(res).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			for _, t := range takes {
+				if t.result == obj && t.pos < ret.Pos() {
+					if !pass.Suppressed(ret.Pos(), "pool-ok") {
+						pass.Reportf(ret.Pos(),
+							"returning %s, a pool.Floats Take result: the scratch is reused by the next Take; copy it out instead", obj.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// objUsedAfter reports the first use of obj at a position after the
+// given point.
+func objUsedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, after token.Pos) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= after {
+			return true
+		}
+		if info.Uses[id] == obj {
+			pos, found = id.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

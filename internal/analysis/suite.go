@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// All returns earlvet's analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{HotAlloc, MapOrder, PoolLeak, RngSource, SentinelErr}
+}
+
+// ByName resolves a comma-separated analyzer selection ("" = all).
+func ByName(names []string) ([]*Analyzer, error) {
+	if len(names) == 0 {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to each package unit and returns all
+// diagnostics in (file, position) order.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, *token.FileSet, error) {
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Filenames: pkg.Filenames,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				IsTest:    pkg.IsTest,
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fset, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			all = append(all, pass.Diagnostics()...)
+		}
+	}
+	if fset != nil {
+		sort.SliceStable(all, func(i, j int) bool {
+			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			return pi.Offset < pj.Offset
+		})
+	}
+	// A test-augmented unit re-analyzes the package's library files, so
+	// the same finding can surface twice; dedupe by (position, message).
+	seen := map[string]bool{}
+	var out []Diagnostic
+	for _, d := range all {
+		key := fset.Position(d.Pos).String() + "\x00" + d.Category + "\x00" + d.Message
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	return out, fset, nil
+}
+
+// ApplyFixes applies every diagnostic's first suggested fix to the
+// source files on disk, skipping edits that overlap an already-applied
+// edit. It returns the files rewritten.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) ([]string, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range d.SuggestedFixes[0].TextEdits {
+			pos := fset.Position(te.Pos)
+			end := fset.Position(te.End)
+			if pos.Filename == "" || pos.Filename != end.Filename {
+				continue
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename],
+				edit{start: pos.Offset, end: end.Offset, text: te.NewText})
+		}
+	}
+	var changed []string
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return changed, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		var out []byte
+		last := 0
+		applied := false
+		var prev *edit
+		for i := range edits {
+			e := edits[i]
+			if e.start < last || e.end > len(src) {
+				continue // overlapping or out-of-range edit
+			}
+			// Identical edits arise when several fixes in one file each
+			// carry the same import insertion; apply it once.
+			if prev != nil && e.start == prev.start && e.end == prev.end && string(e.text) == string(prev.text) {
+				continue
+			}
+			prev = &edits[i]
+			out = append(out, src[last:e.start]...)
+			out = append(out, e.text...)
+			last = e.end
+			applied = true
+		}
+		out = append(out, src[last:]...)
+		if !applied {
+			continue
+		}
+		if err := os.WriteFile(file, out, 0o644); err != nil {
+			return changed, err
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}

@@ -1,0 +1,23 @@
+package mr
+
+import "sort"
+
+// collect accumulates values in map-iteration order — the shape whose
+// mechanical fix iterates sorted keys.
+func collect(m map[string]int) []int {
+	var out []int
+	for k, v := range m {
+		out = append(out, len(k)+v)
+	}
+	return out
+}
+
+// sortedKeys is already the sanctioned idiom and must not be rewritten.
+func sortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/pool"
+)
+
+var errBoom = errors.New("boom")
+
+var bufPool = sync.Pool{New: func() any { b := make([]float64, 0, 64); return &b }}
+
+// leak is the historical bug shape: the early error return drops the
+// buffer, silently degrading the pool back to allocate-per-call on
+// that path.
+func leak(fail bool) error {
+	buf := bufPool.Get().(*[]float64) // want `return path without a matching Put`
+	if fail {
+		return errBoom
+	}
+	bufPool.Put(buf)
+	return nil
+}
+
+// deferred is balanced on every path via defer.
+func deferred(fail bool) error {
+	buf := bufPool.Get().(*[]float64)
+	defer bufPool.Put(buf)
+	if fail {
+		return errBoom
+	}
+	*buf = (*buf)[:0]
+	return nil
+}
+
+// explicit is balanced on every path without defer.
+func explicit(fail bool) error {
+	buf := bufPool.Get().(*[]float64)
+	if fail {
+		bufPool.Put(buf)
+		return errBoom
+	}
+	bufPool.Put(buf)
+	return nil
+}
+
+// panicPath: a panic is not a return path.
+func panicPath(fail bool) {
+	buf := bufPool.Get().(*[]float64)
+	if fail {
+		panic("bad state")
+	}
+	bufPool.Put(buf)
+}
+
+// handoff transfers ownership and says so.
+func handoff(sink func(*[]float64)) {
+	//earl:pool-ok the sink goroutine Puts after draining
+	buf := bufPool.Get().(*[]float64)
+	sink(buf)
+}
+
+// clobber uses an earlier Take's scratch after a later Take on the same
+// receiver: pool.Floats recycles the buffer, so a is invalid.
+func clobber(fl *pool.Floats, n int) float64 {
+	a := fl.Take(n)
+	a = append(a, 1)
+	b := fl.Take(n)
+	b = append(b, 2)
+	return a[0] + b[0] // want `only valid until the next Take`
+}
+
+// sequential re-Takes are fine when the earlier result is not touched
+// again.
+func sequential(fl *pool.Floats, n int) float64 {
+	a := fl.Take(n)
+	a = append(a, 1)
+	total := a[0]
+	b := fl.Take(n)
+	b = append(b, 2)
+	return total + b[0]
+}
+
+// escape returns the scratch to the caller, which the next Take will
+// clobber.
+func escape(fl *pool.Floats, n int) []float64 {
+	vals := fl.Take(n)
+	vals = append(vals, 1, 2, 3)
+	return vals // want `copy it out instead`
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// globalDraw is the PR 1 historical bug shape: resample growth drawing
+// from the process-global source, so fixed-seed runs were only
+// reproducible at one parallelism level.
+func globalDraw(n int) int {
+	return rand.IntN(n) // want `process-global source`
+}
+
+func globalShuffle(xs []float64) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-global source`
+}
+
+// wallClockSeed defeats the explicit-seed constructors by seeding them
+// from the clock.
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 0)) // want `wall-clock value seeds NewPCG` `wall-clock value seeds New`
+}
+
+type config struct {
+	Seed int64
+}
+
+func defaultConfig() config {
+	return config{Seed: time.Now().UnixNano()} // want `wall-clock value seeds field Seed`
+}
+
+// seeded is the sanctioned idiom: determinism is visibly the caller's
+// seed argument.
+func seeded(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 1))
+}
+
+// jitter is genuinely nondeterministic on purpose and says so.
+func jitter() int {
+	//earl:rand-ok retry jitter is deliberately nondeterministic
+	return rand.IntN(10)
+}

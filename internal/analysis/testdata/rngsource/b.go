@@ -1,0 +1,9 @@
+package core
+
+import "math/rand" // want `import of math/rand`
+
+// legacy draws from math/rand v1: the global source is seeded at
+// process start even without an explicit Seed call.
+func legacy() int {
+	return rand.Intn(3) // want `process-global source`
+}

@@ -1,0 +1,37 @@
+package core
+
+import "errors"
+
+var ErrTooFewResamples = errors.New("bootstrap: too few resamples")
+
+// errInternal is package-level but unexported (no Err prefix): not a
+// sentinel by the repo's naming convention.
+var errInternal = errors.New("internal")
+
+// identity is the historical bug shape: the comparison silently stops
+// matching once a wrapping layer (fmt.Errorf %w) is added.
+func identity(err error) bool {
+	return err == ErrTooFewResamples // want `use errors.Is`
+}
+
+func identityNe(err error) bool {
+	if ErrTooFewResamples != err { // want `use errors.Is`
+		return false
+	}
+	return true
+}
+
+// nilCheck stays fine: nil comparisons are not sentinel matching.
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+// already correct.
+func wrapped(err error) bool {
+	return errors.Is(err, ErrTooFewResamples)
+}
+
+// locals are not sentinels.
+func localCompare(err error) bool {
+	return err == errInternal
+}

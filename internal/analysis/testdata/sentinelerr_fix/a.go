@@ -1,0 +1,13 @@
+package core
+
+import "fmt"
+
+var ErrBadInput = fmt.Errorf("earl: bad input")
+
+func isBad(err error) bool {
+	return err == ErrBadInput
+}
+
+func isNotBad(err error) bool {
+	return err != ErrBadInput
+}

@@ -242,6 +242,8 @@ func (m *Maintainer) forEachResample(fn func(*resample, *growScratch) error) err
 }
 
 // initResample builds one resample for the first iteration.
+//
+//earl:hotpath
 func (m *Maintainer) initResample(r *resample, nPrime int, ds []float64, scratch *growScratch) error {
 	items := scratch.adds.Take(nPrime)
 	for j := 0; j < nPrime; j++ {
@@ -263,6 +265,8 @@ func (m *Maintainer) initResample(r *resample, nPrime int, ds []float64, scratch
 // one-Update-per-item implementation — only the *state* application is
 // batched (deletes and adds collected into scratch, one interface call
 // per phase) — so fixed-seed results stay bit-identical.
+//
+//earl:hotpath
 func (m *Maintainer) growResample(r *resample, nPrime int, ds []float64, scratch *growScratch) error {
 	keep, err := RetainedSize(r.rng, m.n, nPrime)
 	if err != nil {

@@ -138,6 +138,8 @@ func (s *welfordState) Remove(v float64) error {
 
 // RemoveBatch implements mr.BatchRemovableState: one interface call per
 // generation; removal order matches the per-value loop bit for bit.
+//
+//earl:hotpath
 func (s *welfordState) RemoveBatch(vs []float64) error {
 	for _, v := range vs {
 		s.w.Remove(v)
@@ -153,6 +155,10 @@ func initWelford(values []float64) *welfordState {
 	return st
 }
 
+// updateWelford folds one update batch into the shared Welford state —
+// the per-generation kernel behind every moment reducer.
+//
+//earl:hotpath
 func updateWelford(state mr.State, input any) (*welfordState, error) {
 	st, ok := state.(*welfordState)
 	if !ok {
@@ -274,6 +280,8 @@ func (s *multisetState) Remove(v float64) error {
 }
 
 // RemoveBatch implements mr.BatchRemovableState.
+//
+//earl:hotpath
 func (s *multisetState) RemoveBatch(vs []float64) error {
 	return s.ms.RemoveBatch(vs)
 }
@@ -287,6 +295,8 @@ func (r quantileReducer) Initialize(key string, values []float64) (mr.State, err
 
 // Update implements mr.IncrementalReducer. NaN inputs are rejected (a
 // NaN would corrupt the ordered dictionary for finite values too).
+//
+//earl:hotpath
 func (r quantileReducer) Update(state mr.State, input any) (mr.State, error) {
 	st, ok := state.(*multisetState)
 	if !ok {

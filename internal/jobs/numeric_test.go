@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -191,14 +192,14 @@ func TestMultisetEmptyQuantile(t *testing.T) {
 
 func TestReducersRejectWrongStates(t *testing.T) {
 	for _, job := range []Numeric{Mean(), Median()} {
-		if _, err := job.Reducer.Update("bogus", 1.0); err != mr.ErrBadState {
+		if _, err := job.Reducer.Update("bogus", 1.0); !errors.Is(err, mr.ErrBadState) {
 			t.Fatalf("%s: err = %v", job.Name, err)
 		}
 		st, _ := job.Reducer.Initialize("k", nil)
-		if _, err := job.Reducer.Update(st, "bogus"); err != mr.ErrBadInput {
+		if _, err := job.Reducer.Update(st, "bogus"); !errors.Is(err, mr.ErrBadInput) {
 			t.Fatalf("%s: err = %v", job.Name, err)
 		}
-		if _, err := job.Reducer.Finalize("bogus"); err != mr.ErrBadState {
+		if _, err := job.Reducer.Finalize("bogus"); !errors.Is(err, mr.ErrBadState) {
 			t.Fatalf("%s: err = %v", job.Name, err)
 		}
 	}

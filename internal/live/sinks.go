@@ -18,6 +18,10 @@ import (
 // in-run statSink.
 type statFold Query
 
+// fold parses one delta batch into pooled scratch and batch-grows every
+// statistic's resample set.
+//
+//earl:hotpath
 func (s *statFold) fold(lines []string) error {
 	q := (*Query)(s)
 	// Parse into the query's reusable scratch (mu is held): refreshes on

@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -125,11 +126,11 @@ func TestInitializeOrUpdate(t *testing.T) {
 
 func TestUpdateRejectsWrongTypes(t *testing.T) {
 	r := meanReducer{}
-	if _, err := r.Update("not-a-state", 1.0); err != ErrBadState {
+	if _, err := r.Update("not-a-state", 1.0); !errors.Is(err, ErrBadState) {
 		t.Fatalf("err = %v, want ErrBadState", err)
 	}
 	st, _ := r.Initialize("k", nil)
-	if _, err := r.Update(st, "weird"); err != ErrBadInput {
+	if _, err := r.Update(st, "weird"); !errors.Is(err, ErrBadInput) {
 		t.Fatalf("err = %v, want ErrBadInput", err)
 	}
 }

@@ -797,6 +797,7 @@ func (s *Server) retireEntry(e *watchEntry) {
 // Caller holds Server.mu.
 func (s *Server) collectIdleLocked(cutoff int64) []*watchEntry {
 	var idle []*watchEntry
+	//earl:nondet-ok collected entries are only Closed, each independently; order is immaterial
 	for key, e := range s.watches {
 		if e.lastTouch.Load() < cutoff {
 			delete(s.watches, key)
@@ -981,6 +982,7 @@ func (s *Server) retirePathWatches(path string, onlyStale bool) {
 	s.mu.Lock()
 	cur := s.rewrites[path]
 	var retired []*watchEntry
+	//earl:nondet-ok collected entries are only Closed, each independently; order is immaterial
 	for key, e := range s.watches {
 		if e.spec.Path != path || (onlyStale && e.rewriteGen >= cur) {
 			continue

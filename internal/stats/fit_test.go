@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -25,7 +26,7 @@ func TestFitLinearExact(t *testing.T) {
 }
 
 func TestFitLinearErrors(t *testing.T) {
-	if _, err := FitLinear([]float64{1}, []float64{1}); err != ErrShortInput {
+	if _, err := FitLinear([]float64{1}, []float64{1}); !errors.Is(err, ErrShortInput) {
 		t.Fatalf("short input err = %v", err)
 	}
 	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {

@@ -68,6 +68,8 @@ var ErrNaN = errors.New("stats: NaN value in order-statistic multiset")
 
 // Add inserts one copy of v. Inserting a value not yet in the dictionary
 // costs O(k); batch insertion via AddBatch amortises that.
+//
+//earl:hotpath
 func (o *OrderStat) Add(v float64) error {
 	if v != v {
 		return ErrNaN
@@ -85,6 +87,8 @@ func (o *OrderStat) Add(v float64) error {
 // generation order — no copy is made, otherwise it is sorted into an
 // internal scratch buffer. A batch containing NaN is rejected whole,
 // before any mutation.
+//
+//earl:hotpath
 func (o *OrderStat) AddBatch(vs []float64) error {
 	if len(vs) == 0 {
 		return nil
@@ -203,6 +207,8 @@ func (o *OrderStat) mergeRebuild(vs []float64, kept int) {
 }
 
 // Remove deletes one previously added copy of v.
+//
+//earl:hotpath
 func (o *OrderStat) Remove(v float64) error {
 	slot, ok := o.find(v)
 	if !ok || o.counts[slot] <= 0 {
@@ -219,6 +225,8 @@ func (o *OrderStat) Remove(v float64) error {
 
 // RemoveBatch deletes one previously added copy of every value in vs —
 // O(m log k), allocation-free.
+//
+//earl:hotpath
 func (o *OrderStat) RemoveBatch(vs []float64) error {
 	for _, v := range vs {
 		if err := o.Remove(v); err != nil {
@@ -272,6 +280,8 @@ func (o *OrderStat) Merge(other *OrderStat) {
 }
 
 // Kth returns the k-th (0-based) order statistic in O(log k).
+//
+//earl:hotpath
 func (o *OrderStat) Kth(k int64) (float64, error) {
 	if k < 0 || k >= o.n {
 		return 0, fmt.Errorf("stats: order statistic %d out of range [0,%d)", k, o.n)

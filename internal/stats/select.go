@@ -24,6 +24,8 @@ const selectCutoff = 12
 // everything after is ≥ xs[k]. Median-of-three quickselect with an
 // insertion-sort tail; O(n) expected, allocation-free. It panics if k is
 // out of range, mirroring slice indexing.
+//
+//earl:hotpath
 func Select(xs []float64, k int) {
 	lo, hi := 0, len(xs)-1
 	_ = xs[k] // bounds check up front

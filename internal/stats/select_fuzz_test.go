@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzSelectQuantile checks the selection-based quantile against the
+// sort-based one on arbitrary inputs: same result, and SelectQuantile
+// must only permute its input, never change the multiset.
+func FuzzSelectQuantile(f *testing.F) {
+	f.Add(uint8(128), []byte("AAAAAAAABBBBBBBBCCCCCCCC"))
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(255), []byte{0, 0, 0, 0, 0, 0, 0xf0, 0x3f, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, qb uint8, data []byte) {
+		var xs []float64
+		for len(data) >= 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			data = data[8:]
+			if math.IsNaN(v) {
+				continue // NaN has no defined order statistic
+			}
+			xs = append(xs, v)
+		}
+		q := float64(qb) / 255
+
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		want, errWant := QuantileSorted(sorted, q)
+
+		work := append([]float64(nil), xs...)
+		got, errGot := SelectQuantile(work, q)
+
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("q=%v n=%d: QuantileSorted err %v, SelectQuantile err %v", q, len(xs), errWant, errGot)
+		}
+		if errWant == nil && got != want {
+			t.Fatalf("q=%v n=%d: SelectQuantile = %v, QuantileSorted = %v", q, len(xs), got, want)
+		}
+		// The in-place selection must be a permutation of the input.
+		sort.Float64s(work)
+		for i := range sorted {
+			if work[i] != sorted[i] {
+				t.Fatalf("SelectQuantile mutated the multiset at %d: %v vs %v", i, work[i], sorted[i])
+			}
+		}
+	})
+}

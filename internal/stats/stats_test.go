@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -34,7 +35,7 @@ func TestSumKahan(t *testing.T) {
 }
 
 func TestMeanEmpty(t *testing.T) {
-	if _, err := Mean(nil); err != ErrEmpty {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
 		t.Fatalf("Mean(nil) err = %v, want ErrEmpty", err)
 	}
 }
@@ -57,7 +58,7 @@ func TestVariance(t *testing.T) {
 }
 
 func TestVarianceShort(t *testing.T) {
-	if _, err := Variance([]float64{1}); err != ErrShortInput {
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrShortInput) {
 		t.Fatalf("err = %v, want ErrShortInput", err)
 	}
 }
@@ -109,7 +110,7 @@ func TestQuantileBounds(t *testing.T) {
 	if _, err := Quantile(xs, 1.5); err == nil {
 		t.Fatal("out-of-range quantile should error")
 	}
-	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
 		t.Fatal("empty quantile should return ErrEmpty")
 	}
 }
@@ -137,7 +138,7 @@ func TestMinMax(t *testing.T) {
 	if err != nil || min != -1 || max != 7 {
 		t.Fatalf("MinMax = %v,%v,%v", min, max, err)
 	}
-	if _, _, err := MinMax(nil); err != ErrEmpty {
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
 		t.Fatal("MinMax(nil) should return ErrEmpty")
 	}
 }
