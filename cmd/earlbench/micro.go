@@ -6,12 +6,15 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"math/rand/v2"
 
 	"repro/internal/bootstrap"
+	"repro/internal/colscan"
 	"repro/internal/core"
 	"repro/internal/delta"
 	"repro/internal/dfs"
@@ -23,12 +26,15 @@ import (
 // microResult is one micro-benchmark measurement in the benchmark
 // trajectory file (BENCH_<pr>.json) CI publishes per run.
 type microResult struct {
-	Family      string  `json:"family"` // bootstrap | delta | sampling
+	Family      string  `json:"family"` // bootstrap | delta | sampling | scan_decode | engine
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	Iterations  int     `json:"iterations"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// RecordsPerSec is populated for benchmarks that process a known
+	// record count per op (the scan_decode family): records/op ÷ ns/op.
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
 }
 
 // ioResult is one end-to-end IO measurement (simcost.RecordsRead) in
@@ -37,6 +43,10 @@ type microResult struct {
 type ioResult struct {
 	Name        string `json:"name"`
 	RecordsRead int64  `json:"records_read"`
+	// RecordsPerSec is the sustained ingestion rate: records read per
+	// wall-clock second over repeated warm runs (scan entries report the
+	// raw decode throughput of the split scan substrate instead).
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
 }
 
 // microReport is the top-level JSON document.
@@ -116,17 +126,18 @@ func regressions(baseline, current microReport) []string {
 	return regs
 }
 
-// runMicro measures the four benchmark families — bootstrap resampling,
-// delta maintenance, pre-map sampling (the hot substrates), and the
-// end-to-end engine family (single-statistic vs shared-pass
-// multi-statistic, scalar vs grouped) — with testing.Benchmark. The
+// runMicro measures the five benchmark families — bootstrap resampling,
+// delta maintenance, pre-map sampling (the hot substrates), scan decode
+// (per-record vs columnar split ingestion), and the end-to-end engine
+// family (single-statistic vs shared-pass multi-statistic, scalar vs
+// grouped) — with testing.Benchmark. The
 // substrate families mirror the micro-benchmarks in bench_test.go; the
 // figure-level benchmarks stay in `go test -bench` where their runtime
 // is at home.
 func runMicro() (microReport, error) {
 	var out []microResult
 	var failed []string
-	add := func(family, name string, fn func(b *testing.B)) {
+	addRate := func(family, name string, recsPerOp int64, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
 		if r.N == 0 {
 			// testing.Benchmark swallows b.Fatal and returns a zero
@@ -135,14 +146,22 @@ func runMicro() (microReport, error) {
 			failed = append(failed, family+"/"+name)
 			return
 		}
-		out = append(out, microResult{
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := microResult{
 			Family:      family,
 			Name:        name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			NsPerOp:     ns,
 			Iterations:  r.N,
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
+		}
+		if recsPerOp > 0 && ns > 0 {
+			res.RecordsPerSec = float64(recsPerOp) * 1e9 / ns
+		}
+		out = append(out, res)
+	}
+	add := func(family, name string, fn func(b *testing.B)) {
+		addRate(family, name, 0, fn)
 	}
 
 	// --- Family 1: bootstrap resampling (the CPU hot path). ----------
@@ -245,7 +264,142 @@ func runMicro() (microReport, error) {
 		}
 	})
 
-	// --- Family 4: the end-to-end engine (one generic pipeline for ---
+	// --- Family 4: scan decode (split ingestion substrate). ----------
+	// Three ways to ingest the same records, all walking the same file:
+	//
+	//   PerRecordSeek   one positioned ReadLineAt per record plus a
+	//                   strconv parse — the substrate the pre-map
+	//                   sampler and the maintained refresh path used
+	//                   before the vectorized scan.
+	//   PerRecordStream LineReader streaming plus a strconv parse per
+	//                   line — the substrate the full-scan (post-map)
+	//                   mappers used.
+	//   Columnar        colscan.Decode: the whole split decoded once
+	//                   into column batches — the new substrate behind
+	//                   both routes.
+	//
+	// Every variant must agree on the record count, so records_per_sec
+	// is directly comparable across the three.
+	const scanRecs = 200_000
+	scanSize, err := fsys.Stat("/bench")
+	if err != nil {
+		return microReport{}, err
+	}
+	scanSplits, err := fsys.Splits("/bench", 0)
+	if err != nil {
+		return microReport{}, err
+	}
+	var kvScan strings.Builder
+	for i, v := range sv {
+		fmt.Fprintf(&kvScan, "g%d\t%012.6f\n", i%8, v)
+	}
+	if err := fsys.WriteFile("/bench.kv", []byte(kvScan.String())); err != nil {
+		return microReport{}, err
+	}
+	kvScanSize, err := fsys.Stat("/bench.kv")
+	if err != nil {
+		return microReport{}, err
+	}
+	kvScanSplits, err := fsys.Splits("/bench.kv", 0)
+	if err != nil {
+		return microReport{}, err
+	}
+	// The per-record variants parse with strconv exactly as the
+	// pre-columnar record decoders did; colscan's fast path replaces
+	// them on the new route.
+	parseNumericOld := func(line string) error {
+		_, err := strconv.ParseFloat(strings.TrimSpace(line), 64)
+		return err
+	}
+	parseKVOld := func(line string) error {
+		_, v, ok := strings.Cut(line, "\t")
+		if !ok {
+			return fmt.Errorf("no tab in %q", line)
+		}
+		_, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		return err
+	}
+	seekScan := func(path string, size int64, parse func(string) error) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				var pos int64
+				for pos < size {
+					line, start, err := fsys.ReadLineAt(path, pos, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := parse(line); err != nil {
+						b.Fatal(err)
+					}
+					n++
+					pos = start + int64(len(line)) + 1
+				}
+				if n != scanRecs {
+					b.Fatalf("seek scan saw %d records, want %d", n, scanRecs)
+				}
+			}
+		}
+	}
+	streamScan := func(splits []dfs.Split, parse func(string) error) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for _, sp := range splits {
+					rd, err := fsys.NewLineReader(sp, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for rd.Next() {
+						if err := parse(rd.Text()); err != nil {
+							b.Fatal(err)
+						}
+						n++
+					}
+					if err := rd.Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if n != scanRecs {
+					b.Fatalf("stream scan saw %d records, want %d", n, scanRecs)
+				}
+			}
+		}
+	}
+	columnarScan := func(path string, size int64, splits []dfs.Split, format colscan.Format) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for _, sp := range splits {
+					blk, err := colscan.Decode(fsys, path, size, sp.Offset, sp.Length, format)
+					if err != nil {
+						b.Fatal(err)
+					}
+					n += blk.NumRecords()
+				}
+				if n != scanRecs {
+					b.Fatalf("columnar scan saw %d records, want %d", n, scanRecs)
+				}
+			}
+		}
+	}
+	addRate("scan_decode", fmt.Sprintf("PerRecordSeek/numeric/n=%d", scanRecs), scanRecs,
+		seekScan("/bench", scanSize, parseNumericOld))
+	addRate("scan_decode", fmt.Sprintf("PerRecordStream/numeric/n=%d", scanRecs), scanRecs,
+		streamScan(scanSplits, parseNumericOld))
+	addRate("scan_decode", fmt.Sprintf("Columnar/numeric/n=%d", scanRecs), scanRecs,
+		columnarScan("/bench", scanSize, scanSplits, colscan.FormatNumeric))
+	addRate("scan_decode", fmt.Sprintf("PerRecordSeek/kv/n=%d", scanRecs), scanRecs,
+		seekScan("/bench.kv", kvScanSize, parseKVOld))
+	addRate("scan_decode", fmt.Sprintf("PerRecordStream/kv/n=%d", scanRecs), scanRecs,
+		streamScan(kvScanSplits, parseKVOld))
+	addRate("scan_decode", fmt.Sprintf("Columnar/kv/n=%d", scanRecs), scanRecs,
+		columnarScan("/bench.kv", kvScanSize, kvScanSplits, colscan.FormatKV))
+
+	// --- Family 5: the end-to-end engine (one generic pipeline for ---
 	// scalar, shared-pass multi-statistic and grouped runs).
 	const engineN = 40_000
 	engineData, err := workload.NumericSpec{Dist: workload.Gaussian, N: engineN, Seed: 1}.Generate()
@@ -312,7 +466,7 @@ func runMicro() (microReport, error) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.RunGrouped(env, jobs.Mean(), core.TabKV, "/bench/kv", engineOpts); err != nil {
+			if _, err := core.RunGrouped(env, jobs.Mean(), core.TabRoute(), "/bench/kv", engineOpts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -325,9 +479,28 @@ func runMicro() (microReport, error) {
 	// attribution), which every single pays in full while the multi run
 	// draws it once — the shared pass is *helped*, not hurt, by the
 	// attribution.
+	// ingestRate times reps warm repetitions of run and returns records
+	// read per wall-clock second (the first, cold run has already warmed
+	// the decoded-block cache, so this is the steady-state rate).
+	ingestRate := func(env *core.Env, reps int, run func() error) (float64, error) {
+		before := env.Metrics.RecordsRead.Load()
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := run(); err != nil {
+				return 0, err
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		n := env.Metrics.RecordsRead.Load() - before
+		if elapsed <= 0 {
+			return 0, nil
+		}
+		return float64(n) / elapsed, nil
+	}
 	var engineIO []ioResult
 	var maxSingleRead int64
 	for _, job := range jset4 {
+		job := job
 		env, err := newEngineEnv()
 		if err != nil {
 			return microReport{}, err
@@ -336,7 +509,14 @@ func runMicro() (microReport, error) {
 			return microReport{}, err
 		}
 		read := env.Metrics.RecordsRead.Load()
-		engineIO = append(engineIO, ioResult{Name: "single/" + job.Name, RecordsRead: read})
+		rate, err := ingestRate(env, 8, func() error {
+			_, err := core.Run(env, job, "/bench/data", engineOpts)
+			return err
+		})
+		if err != nil {
+			return microReport{}, err
+		}
+		engineIO = append(engineIO, ioResult{Name: "single/" + job.Name, RecordsRead: read, RecordsPerSec: rate})
 		if read > maxSingleRead {
 			maxSingleRead = read
 		}
@@ -349,7 +529,27 @@ func runMicro() (microReport, error) {
 		return microReport{}, err
 	}
 	multiRead := env.Metrics.RecordsRead.Load()
-	engineIO = append(engineIO, ioResult{Name: "multi/mean+p50+p95+count", RecordsRead: multiRead})
+	multiRate, err := ingestRate(env, 8, func() error {
+		_, err := core.RunMulti(env, jset4, "/bench/data", engineOpts)
+		return err
+	})
+	if err != nil {
+		return microReport{}, err
+	}
+	engineIO = append(engineIO, ioResult{Name: "multi/mean+p50+p95+count", RecordsRead: multiRead, RecordsPerSec: multiRate})
+	// Surface the scan substrate's raw decode throughput alongside the
+	// end-to-end rates: the per-record vs columnar pair is the headline
+	// speedup of the vectorized scan path.
+	for _, r := range out {
+		if r.Family != "scan_decode" || r.RecordsPerSec == 0 {
+			continue
+		}
+		engineIO = append(engineIO, ioResult{
+			Name:          "scan/" + r.Name,
+			RecordsRead:   scanRecs,
+			RecordsPerSec: r.RecordsPerSec,
+		})
+	}
 	if float64(multiRead) > 1.1*float64(maxSingleRead) {
 		return microReport{}, fmt.Errorf(
 			"shared-pass criterion violated: 4-statistic run read %d records vs %d for the largest single (>1.1x)",

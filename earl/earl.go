@@ -220,11 +220,17 @@ func (c *Cluster) ResetMetrics() { c.env.Metrics.Reset() }
 func (c *Cluster) Env() *core.Env { return c.env }
 
 // ParseKV decodes one line into a (group key, value) pair for grouped
-// runs; TabKV handles "key\tvalue" records.
+// runs.
 type ParseKV = core.ParseKV
 
-// TabKV parses "key\tvalue" lines.
-var TabKV ParseKV = core.TabKV
+// Route tells a grouped run how to decode records: a ParseKV for the
+// per-record path plus an optional columnar format that puts the run on
+// the vectorized scan path. Custom parsers use Route{Parse: fn}.
+type Route = core.Route
+
+// TabKV routes "key\tvalue" lines — on the vectorized scan path, since
+// the columnar decoder mirrors this format natively.
+var TabKV Route = core.TabRoute()
 
 // GroupedReport holds per-key early estimates.
 type GroupedReport = core.GroupedReport
@@ -232,8 +238,8 @@ type GroupedReport = core.GroupedReport
 // RunGrouped computes job per group key with an error bound on every
 // group — EARL applied to the native keyed shape of MapReduce data (an
 // extension beyond the paper's global aggregates; see core.RunGrouped).
-func (c *Cluster) RunGrouped(job Job, parse ParseKV, path string, opts Options) (GroupedReport, error) {
-	return core.RunGrouped(c.env, job, parse, path, opts)
+func (c *Cluster) RunGrouped(job Job, route Route, path string, opts Options) (GroupedReport, error) {
+	return core.RunGrouped(c.env, job, route, path, opts)
 }
 
 // Watch is a maintained query handle over continuously ingested data:
@@ -315,8 +321,8 @@ type GroupedWatch struct{ q *live.GroupedQuery }
 // WatchGrouped runs the grouped workflow once and keeps every group's
 // resample set maintainable under appends — including groups that first
 // appear in appended data.
-func (c *Cluster) WatchGrouped(job Job, parse ParseKV, path string, opts Options) (*GroupedWatch, error) {
-	q, err := live.WatchGrouped(c.env, job, parse, path, opts)
+func (c *Cluster) WatchGrouped(job Job, route Route, path string, opts Options) (*GroupedWatch, error) {
+	q, err := live.WatchGrouped(c.env, job, route, path, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,196 @@
+package colscan
+
+import "sync"
+
+// BlockKey identifies one decoded split. Version is the dfs file's
+// write generation (stable across Append, new on WriteFile), so a
+// rewrite under the same path can never serve stale blocks, while
+// appended files keep every already-decoded split hot: append adds new
+// segments, it never changes the bytes behind an existing split.
+type BlockKey struct {
+	Path    string
+	Version int64
+	Offset  int64
+	Length  int64
+	Format  Format
+}
+
+// DefaultCacheBytes bounds the cache's retained decoded state.
+const DefaultCacheBytes = 256 << 20
+
+// Cache is the decoded-block cache: K concurrent watches over one file
+// re-decode nothing. Loads of the same key are single-flighted (one
+// decode, everyone waits on it), and ready blocks are evicted LRU by
+// retained bytes. A Cache is safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int64
+	cur     int64
+	entries map[BlockKey]*cacheEntry
+	// Intrusive LRU list: head is most recent.
+	head, tail *cacheEntry
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key        BlockKey
+	prev, next *cacheEntry
+	once       sync.Once
+	blk        *Block
+	err        error
+	size       int64
+	ready      bool // guarded by Cache.mu
+}
+
+// NewCache builds a cache bounded at maxBytes of retained decoded state
+// (DefaultCacheBytes if maxBytes <= 0).
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{max: maxBytes, entries: map[BlockKey]*cacheEntry{}}
+}
+
+// CacheStats is a point-in-time counters snapshot.
+type CacheStats struct {
+	Hits, Misses int64
+	Bytes        int64
+	Blocks       int
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Bytes: c.cur, Blocks: len(c.entries)}
+}
+
+// Peek returns the block for key if it is already decoded, without
+// triggering a decode. Samplers use it to adopt blocks another watch
+// paid for before their own decode threshold is reached.
+func (c *Cache) Peek(key BlockKey) (*Block, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.ready || e.err != nil {
+		return nil, false
+	}
+	c.touch(e)
+	c.hits++
+	return e.blk, true
+}
+
+// Load returns the decoded block for key, decoding via r (bounded by
+// fileSize) exactly once per key no matter how many goroutines ask.
+// Failed decodes are not cached: the error is returned to every waiter
+// of that flight and the next Load retries.
+func (c *Cache) Load(r ReaderAt, fileSize int64, key BlockKey) (*Block, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.touch(e)
+		if e.ready {
+			c.hits++
+		}
+	} else {
+		e = &cacheEntry{key: key}
+		c.entries[key] = e
+		c.pushFront(e)
+		c.misses++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		blk, err := Decode(r, key.Path, fileSize, key.Offset, key.Length, key.Format)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		e.blk, e.err = blk, err
+		e.ready = true
+		if err == nil {
+			e.size = blk.SizeBytes()
+			c.cur += e.size
+			c.evictLocked(e)
+		} else if c.entries[key] == e {
+			// Do not cache failures: drop the entry so a later Load
+			// (e.g. after the bad data is rewritten) retries.
+			delete(c.entries, key)
+			c.unlink(e)
+		}
+	})
+	return e.blk, e.err
+}
+
+// InvalidatePath drops every block of path — the WriteFile/Rewrite
+// hook. Version keying already protects correctness; this just frees
+// the bytes promptly.
+func (c *Cache) InvalidatePath(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		if key.Path == path && e.ready {
+			delete(c.entries, key)
+			c.unlink(e)
+			c.cur -= e.size
+		}
+	}
+}
+
+// evictLocked drops least-recently-used ready blocks until the budget
+// holds, never evicting keep (the entry just loaded — a block larger
+// than the whole budget must still be served once).
+func (c *Cache) evictLocked(keep *cacheEntry) {
+	e := c.tail
+	for c.cur > c.max && e != nil {
+		prev := e.prev
+		if e != keep && e.ready && e.err == nil {
+			delete(c.entries, e.key)
+			c.unlink(e)
+			c.cur -= e.size
+		}
+		e = prev
+	}
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) touch(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// LoadSplit decodes the split [off,+length) of path, through cache c
+// when non-nil (keyed by the file's write version), directly otherwise.
+func LoadSplit(c *Cache, r ReaderAt, path string, version, fileSize, off, length int64, f Format) (*Block, error) {
+	if c == nil {
+		return Decode(r, path, fileSize, off, length, f)
+	}
+	return c.Load(r, fileSize, BlockKey{Path: path, Version: version, Offset: off, Length: length, Format: f})
+}

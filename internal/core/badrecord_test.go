@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/colscan"
+	"repro/internal/jobs"
+	"repro/internal/workload"
+)
+
+// poisonedData renders xs as records with one NaN record planted
+// mid-file.
+func poisonedData(xs []float64) []byte {
+	body := workload.EncodeLinesFixed(xs)
+	lines := bytes.SplitAfter(body, []byte("\n"))
+	mid := len(lines) / 2
+	var out bytes.Buffer
+	for i, l := range lines {
+		if i == mid {
+			out.WriteString("NaN\n")
+		}
+		out.Write(l)
+	}
+	return out.Bytes()
+}
+
+// TestRunRejectsNaNRecord is the headline bugfix regression: a NaN
+// record mid-file must fail the run with a clean errors.Is-able
+// ErrBadRecord under BOTH samplers — never corrupt the estimate. ForceN
+// covers the whole file so the pre-map sampler is guaranteed to meet
+// the poisoned record.
+func TestRunRejectsNaNRecord(t *testing.T) {
+	for _, sampler := range []SamplerKind{PreMapSampling, PostMapSampling} {
+		env, err := NewEnv(EnvConfig{BlockSize: 1 << 12, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs, err := workload.NumericSpec{Dist: workload.Uniform, N: 4000, Seed: 7}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.FS.WriteFile("/data", poisonedData(xs)); err != nil {
+			t.Fatal(err)
+		}
+		_, err = Run(env, jobs.Mean(), "/data", Options{
+			Sampler: sampler, Seed: 8, ForceB: 8, ForceN: 4001,
+		})
+		if err == nil {
+			t.Fatalf("%s: NaN record did not fail the run", sampler)
+		}
+		if !errors.Is(err, ErrBadRecord) {
+			t.Fatalf("%s: error %v is not errors.Is(ErrBadRecord)", sampler, err)
+		}
+	}
+}
+
+// TestRunGroupedRejectsNaNRecord covers the keyed route: the columnar
+// KV decoder rejects the poisoned value the same way.
+func TestRunGroupedRejectsNaNRecord(t *testing.T) {
+	env, err := NewEnv(EnvConfig{BlockSize: 1 << 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i := 0; i < 3000; i++ {
+		if i == 1500 {
+			buf.WriteString("g1\tNaN\n")
+		}
+		key := "g0"
+		if i%2 == 1 {
+			key = "g1"
+		}
+		fmt.Fprintf(&buf, "%s\t%0.4f\n", key, float64(i%97)+0.5)
+	}
+	if err := env.FS.WriteFile("/kv", buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunGrouped(env, jobs.Mean(), TabRoute(), "/kv", Options{
+		Seed: 10, ForceB: 8, ForceN: 3001,
+	})
+	if !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("grouped run over NaN record: %v", err)
+	}
+}
+
+// TestColumnarMatchesPerRecord pins the tentpole equivalence: the same
+// job run through the vectorized scan path and through the per-record
+// path (ScanFormat stripped, same Parse) produces bit-identical
+// reports, under both samplers.
+func TestColumnarMatchesPerRecord(t *testing.T) {
+	for _, sampler := range []SamplerKind{PreMapSampling, PostMapSampling} {
+		run := func(format colscan.Format) Report {
+			env, xs := testEnv(t, 60_000, workload.Uniform, 31)
+			_ = xs
+			job := jobs.Median()
+			job.ScanFormat = format
+			rep, err := Run(env, job, "/data", Options{Sigma: 0.05, Seed: 32, Sampler: sampler})
+			if err != nil {
+				t.Fatalf("%s format=%d: %v", sampler, format, err)
+			}
+			return rep
+		}
+		cols := run(colscan.FormatNumeric)
+		rows := run(colscan.FormatNone)
+		if math.Float64bits(cols.Estimate) != math.Float64bits(rows.Estimate) ||
+			math.Float64bits(cols.CV) != math.Float64bits(rows.CV) ||
+			cols.SampleSize != rows.SampleSize ||
+			cols.CILo != rows.CILo || cols.CIHi != rows.CIHi {
+			t.Fatalf("%s: columnar report diverged from per-record:\n%+v\n%+v", sampler, cols, rows)
+		}
+	}
+}
+
+// kvData renders 30k `key\tvalue` records over three keys — the shared
+// fixture for the grouped columnar equivalence and determinism tests.
+func kvData() []byte {
+	var buf bytes.Buffer
+	keys := []string{"api", "db", "web"}
+	for i := 0; i < 30_000; i++ {
+		buf.WriteString(keys[i%3])
+		buf.WriteString("\t")
+		buf.Write(workload.EncodeLinesFixed([]float64{float64((i*i)%997) / 7}))
+	}
+	return buf.Bytes()
+}
+
+// TestGroupedColumnarMatchesPerRecord is the keyed-route counterpart:
+// TabRoute (columnar) vs a bare Route{Parse: TabKV} (per-record) on the
+// same data and seed agree group for group, bit for bit.
+func TestGroupedColumnarMatchesPerRecord(t *testing.T) {
+	run := func(route Route) GroupedReport {
+		env, err := NewEnv(EnvConfig{BlockSize: 1 << 14, Seed: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.FS.WriteFile("/kv", kvData()); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunGrouped(env, jobs.Mean(), route, "/kv", Options{Sigma: 0.05, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	cols := run(TabRoute())
+	rows := run(Route{Parse: TabKV})
+	if len(cols.Groups) != len(rows.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(cols.Groups), len(rows.Groups))
+	}
+	for key, g := range cols.Groups {
+		r, ok := rows.Groups[key]
+		if !ok {
+			t.Fatalf("group %q missing on per-record path", key)
+		}
+		if math.Float64bits(g.Estimate) != math.Float64bits(r.Estimate) ||
+			math.Float64bits(g.CV) != math.Float64bits(r.CV) ||
+			g.SampleSize != r.SampleSize {
+			t.Fatalf("group %q diverged:\n%+v\n%+v", key, g, r)
+		}
+	}
+}
+
+// TestGroupedColumnarDeterministicAcrossParallelism extends the
+// fixed-seed golden contract to the vectorized grouped route: the same
+// seed produces bit-identical grouped reports at any Parallelism, even
+// though splits are decoded and folded by a worker pool.
+func TestGroupedColumnarDeterministicAcrossParallelism(t *testing.T) {
+	runAt := func(par int) GroupedReport {
+		env, err := NewEnv(EnvConfig{BlockSize: 1 << 14, Seed: 71})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.FS.WriteFile("/kv", kvData()); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunGrouped(env, jobs.Mean(), TabRoute(), "/kv", Options{
+			Sigma: 0.05, Seed: 72, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	golden := runAt(1)
+	for _, par := range []int{4, 0} {
+		if got := runAt(par); !reflect.DeepEqual(golden, got) {
+			t.Fatalf("Parallelism=%d grouped reports differ from sequential:\n%+v\n%+v", par, golden, got)
+		}
+	}
+}

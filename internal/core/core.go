@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/colscan"
 	"repro/internal/dfs"
 	"repro/internal/mr"
 	"repro/internal/simcost"
@@ -67,6 +68,11 @@ type Env struct {
 	FS      *dfs.FileSystem
 	Engine  *mr.Engine
 	Metrics *simcost.Metrics
+	// Scan is the shared decoded-block cache of the vectorized scan
+	// path: K concurrent watches (or repeated runs) over one file
+	// re-decode nothing. Nil is tolerated everywhere — colscan then
+	// decodes per caller without sharing.
+	Scan *colscan.Cache
 
 	runSeq atomic.Int64
 }
@@ -109,7 +115,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		return nil, err
 	}
 	eng := &mr.Engine{FS: fsys, Cluster: cluster, Metrics: metrics}
-	return &Env{FS: fsys, Engine: eng, Metrics: metrics}, nil
+	return &Env{FS: fsys, Engine: eng, Metrics: metrics, Scan: colscan.NewCache(0)}, nil
 }
 
 // KillNode kills both the DataNode and the compute node with the given

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/aes"
+	"repro/internal/colscan"
 	"repro/internal/jobs"
 	"repro/internal/sampling"
 )
@@ -242,13 +243,51 @@ func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, defe
 	if err != nil {
 		return nil, nil, err
 	}
-	probe, err := pilotSampler.Sample(256)
+	// Built-in jobs carry a columnar format: the pilot rides the
+	// vectorized scan path too (it shares env.Scan's decoded blocks with
+	// the sampled job that follows, and with every other run over the
+	// file). Custom parsers (FormatNone) stay on the per-record path.
+	format := jset[0].ScanFormat
+	if format != colscan.FormatNone {
+		if err := pilotSampler.EnableColumnar(env.Scan, format); err != nil {
+			return nil, nil, err
+		}
+	}
+	parsePilot := func(recs []sampling.Record, into []float64) ([]float64, error) {
+		for _, r := range recs {
+			v, err := jset[0].Parse(r.Line)
+			if err != nil {
+				return nil, fmt.Errorf("core: pilot parse: %w", err)
+			}
+			into = append(into, v)
+		}
+		return into, nil
+	}
+	// drawPilot extends the pilot by up to n values on whichever path is
+	// active, passing sampling.ErrExhausted through to the caller.
+	drawPilot := func(n int, into []float64) ([]float64, error) {
+		if format != colscan.FormatNone {
+			var cols colscan.Cols
+			_, err := pilotSampler.SampleCols(n, &cols)
+			return append(into, cols.Vals...), err
+		}
+		recs, err := pilotSampler.Sample(n)
+		if err != nil && !errors.Is(err, sampling.ErrExhausted) {
+			return into, err
+		}
+		out, perr := parsePilot(recs, into)
+		if perr != nil {
+			return into, perr
+		}
+		return out, err
+	}
 	// Pilot records are real input reads (the sampler backtracks lines out
 	// of DFS blocks), so they are charged to RecordsRead like every other
 	// mapper delivery. The pilot is drawn ONCE per run however many
 	// statistics ride it — charging it is what makes the shared-pilot
 	// saving of RunMulti visible in the counters.
 	defer func() { env.Metrics.RecordsRead.Add(int64(pilotSampler.Taken())) }()
+	pilot, err := drawPilot(256, make([]float64, 0, 256))
 	if errors.Is(err, sampling.ErrExhausted) {
 		// Tiny data set: just run it exactly.
 		fullPlans := make([]aes.Plan, len(jset))
@@ -272,30 +311,12 @@ func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, defe
 	if pilotN > opts.MaxPilot {
 		pilotN = opts.MaxPilot
 	}
-	parsePilot := func(recs []sampling.Record, into []float64) ([]float64, error) {
-		for _, r := range recs {
-			v, err := jset[0].Parse(r.Line)
-			if err != nil {
-				return nil, fmt.Errorf("core: pilot parse: %w", err)
-			}
-			into = append(into, v)
-		}
-		return into, nil
-	}
-	pilot, err := parsePilot(probe, make([]float64, 0, pilotN))
-	if err != nil {
-		return nil, nil, err
-	}
 	forced := opts.ForceB > 1 && opts.ForceN > 0
 	if forced {
 		pilotN = len(pilot) // plan is forced: the probe alone suffices for estTotal
 	}
 	if pilotN > len(pilot) {
-		more, err := pilotSampler.Sample(pilotN - len(pilot))
-		if err != nil && !errors.Is(err, sampling.ErrExhausted) {
-			return nil, nil, err
-		}
-		if pilot, err = parsePilot(more, pilot); err != nil {
+		if pilot, err = drawPilot(pilotN-len(pilot), pilot); err != nil && !errors.Is(err, sampling.ErrExhausted) {
 			return nil, nil, err
 		}
 	}
@@ -437,6 +458,8 @@ func runSampledJob(env *Env, jset []jobs.Numeric, path string, opts Options, pla
 		Sinks:    []ResultSink{sink},
 		InitialN: initialN,
 		MaxN:     maxSample,
+		Format:   primary.ScanFormat,
+		Key:      primary.Name,
 	})
 	if err != nil {
 		return nil, nil, err

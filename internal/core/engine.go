@@ -5,11 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strconv"
-	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/colscan"
 	"repro/internal/dfs"
 	"repro/internal/mr"
 	"repro/internal/sampling"
@@ -41,18 +40,35 @@ import (
 // partition and the ResultSink entry the value is folded into.
 type ParseKV func(line string) (key string, value float64, err error)
 
+// ErrBadRecord re-exports the decode layer's errors.Is-able sentinel:
+// malformed lines and non-finite (NaN/±Inf) values. A run that samples
+// a poisoned record fails with it instead of corrupting the estimate.
+var ErrBadRecord = colscan.ErrBadRecord
+
 // TabKV parses the "key\tvalue" records produced by workload.KVSpec.
+// NaN/±Inf values and tab-less lines are rejected wrapping ErrBadRecord
+// (with bounded quoting — a malformed multi-MB line must not balloon
+// the §3.3 error files).
 func TabKV(line string) (string, float64, error) {
-	i := strings.IndexByte(line, '\t')
-	if i < 0 {
-		return "", 0, fmt.Errorf("core: record %q has no tab", line)
-	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+	k, v, err := colscan.ParseKVString(line)
 	if err != nil {
-		return "", 0, fmt.Errorf("core: bad value in %q: %w", line, err)
+		return "", 0, fmt.Errorf("core: %w", err)
 	}
-	return line[:i], v, nil
+	return k, v, nil
 }
+
+// Route bundles the engine's record-decoding choices: the per-record
+// parser (always required — the reference semantics) and the columnar
+// format the vectorized scan path may decode the same records with.
+// FormatNone keeps a custom parser on the per-record path.
+type Route struct {
+	Parse  ParseKV
+	Format colscan.Format
+}
+
+// TabRoute is the grouped default: TabKV with the columnar "key\tvalue"
+// decoder behind it.
+func TabRoute() Route { return Route{Parse: TabKV, Format: colscan.FormatKV} }
 
 // ResultSink is the engine's result-maintenance abstraction: one sink
 // per reduce partition consumes routed growth deltas and answers the
@@ -81,6 +97,14 @@ type engineSpec struct {
 	Sinks    []ResultSink // one per reduce partition
 	InitialN int64        // SSABE's initial sample target
 	MaxN     int64        // expansion cap (records)
+	// Format puts the mappers on the vectorized scan path: draws arrive
+	// as parsed columns and whole batches are emitted as []float64.
+	// FormatNone (custom parsers) keeps the per-record Route path.
+	Format colscan.Format
+	// Key is the reduce key every record routes to under FormatNumeric
+	// (the scalar one-key degenerate case); FormatKV records carry
+	// their own keys.
+	Key string
 }
 
 // engineResult is what the engine hands back to the driver; the results
@@ -125,7 +149,7 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 		return engineResult{}, err
 	}
 	m := len(owned)
-	sources, err := NewRecordSources(env, path, owned, opts, 0)
+	sources, err := NewRecordSources(env, path, owned, opts, 0, spec.Format)
 	if err != nil {
 		return engineResult{}, err
 	}
@@ -150,6 +174,18 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 	mapLoop := func(ctx *mr.MapStream, idx int) error {
 		var lastGen int64
 		const batch = 128
+		// The vectorized scan path: a columnar-capable source under a
+		// concrete format delivers parsed columns, and the mapper emits
+		// whole batches ([]float64 per reduce key) instead of one boxed
+		// float64 per record. Record sequences and generation contents
+		// are bit-identical to the per-record path — emission stays
+		// share-gated, and a batch never exceeds the remaining share.
+		cs, _ := sources[idx].(ColSource)
+		useCols := spec.Format != colscan.FormatNone && cs != nil
+		var buckets map[string][]float64
+		if useCols && spec.Format == colscan.FormatKV {
+			buckets = map[string][]float64{}
+		}
 		for {
 			if ctx.Terminated() {
 				if !ctx.NodeAlive() {
@@ -163,6 +199,29 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 				k := share - sent[idx].Load()
 				if k > batch {
 					k = batch
+				}
+				if useCols {
+					// Fresh columns per batch: the emitted slices cross
+					// the shuffle channel and are retained by the
+					// reducer until its next fold.
+					cols := &colscan.Cols{}
+					n, err := cs.DrawCols(int(k), cols)
+					if n > 0 {
+						if spec.Format == colscan.FormatKV {
+							emitKeyed(ctx, cols, buckets)
+						} else {
+							ctx.Emit(spec.Key, cols.Vals)
+						}
+						sent[idx].Add(int64(n))
+						emitted.Add(int64(n))
+					}
+					if errors.Is(err, sampling.ErrExhausted) {
+						dry[idx].Store(true)
+						exhausted.Add(1)
+					} else if err != nil {
+						return err
+					}
+					continue
 				}
 				lines, err := sources[idx].Draw(int(k))
 				for _, line := range lines {
@@ -268,13 +327,21 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 					formatErrorFile(errorFile{CV: cv, Gen: g}))
 			}
 			for kv := range in {
-				v, ok := kv.Value.(float64)
-				if !ok {
+				switch v := kv.Value.(type) {
+				case float64:
+					buf[kv.Key] = append(buf[kv.Key], v)
+					bufN++
+					received.Add(1)
+				case []float64:
+					// One batch from the vectorized scan path: count
+					// every record toward the growth trigger, exactly
+					// like the per-record arrivals.
+					buf[kv.Key] = append(buf[kv.Key], v...)
+					bufN += len(v)
+					received.Add(int64(len(v)))
+				default:
 					return fmt.Errorf("core: reducer got %T", kv.Value)
 				}
-				buf[kv.Key] = append(buf[kv.Key], v)
-				bufN++
-				received.Add(1)
 				// Grow (and publish an error file) once the mappers have
 				// delivered everything they will deliver for the current
 				// target: either the target itself is met, or every mapper
@@ -311,11 +378,41 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 	if err != nil {
 		return engineResult{}, err
 	}
+	// Data corruption is not a lost node: a mapper that died on a bad
+	// record (NaN/±Inf or a malformed line) must fail the run so the
+	// poisoned record surfaces through the §3.3 error path, instead of
+	// being tolerated as §3.4 node loss and silently reporting an
+	// estimate over partial data.
+	for _, merr := range sres.MapperErrs {
+		if errors.Is(merr, ErrBadRecord) {
+			return engineResult{}, merr
+		}
+	}
 	return engineResult{
 		Generations: int(gen.Load()),
 		FailedMaps:  len(sres.FailedMappers),
 		Sources:     sources,
 	}, nil
+}
+
+// emitKeyed buckets one decoded batch by group key and emits one fresh
+// []float64 per key (the batched grouped route). scratch is the
+// mapper's reusable bucket map; emitted slices are copies because they
+// cross the shuffle channel and outlive the next batch. Emission order
+// over keys is map order — safe here because the reducer buffers a full
+// generation and folds it canonically (sorted keys, sorted values), so
+// within-generation arrival order never reaches the resample streams.
+func emitKeyed(ctx *mr.MapStream, cols *colscan.Cols, scratch map[string][]float64) {
+	for i, key := range cols.Keys {
+		scratch[key] = append(scratch[key], cols.Vals[i])
+	}
+	for key, vs := range scratch { //earl:nondet-ok reducer buffers the generation and folds it canonically (sorted keys, sorted values)
+		if len(vs) == 0 {
+			continue
+		}
+		ctx.Emit(key, append([]float64(nil), vs...))
+		scratch[key] = vs[:0]
+	}
 }
 
 // shareOf splits a total target across m mappers.

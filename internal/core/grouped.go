@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/colscan"
 	"repro/internal/delta"
 	"repro/internal/jobs"
 	"repro/internal/sampling"
@@ -25,8 +26,8 @@ import (
 // initial sample from the pilot's distinct-key count (≈64 records per
 // group, floored at MinPilot) and relies on the expansion loop — a
 // documented extension beyond the paper.
-func RunGrouped(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Options) (GroupedReport, error) {
-	rep, _, err := RunGroupedLive(env, job, parse, path, opts)
+func RunGrouped(env *Env, job jobs.Numeric, route Route, path string, opts Options) (GroupedReport, error) {
+	rep, _, err := RunGroupedLive(env, job, route, path, opts)
 	return rep, err
 }
 
@@ -45,7 +46,7 @@ type GroupedLiveState struct {
 
 // RunGroupedLive is RunGrouped, additionally returning the run's retained
 // state for maintained (continuous-ingest) queries.
-func RunGroupedLive(env *Env, job jobs.Numeric, parse ParseKV, path string, opts Options) (GroupedReport, *GroupedLiveState, error) {
+func RunGroupedLive(env *Env, job jobs.Numeric, route Route, path string, opts Options) (GroupedReport, *GroupedLiveState, error) {
 	opts = opts.withDefaults()
 	if env == nil || env.FS == nil || env.Engine == nil {
 		return GroupedReport{}, nil, errors.New("core: incomplete Env")
@@ -53,8 +54,8 @@ func RunGroupedLive(env *Env, job jobs.Numeric, parse ParseKV, path string, opts
 	if job.Reducer == nil {
 		return GroupedReport{}, nil, errors.New("core: job needs a Reducer")
 	}
-	if parse == nil {
-		return GroupedReport{}, nil, errors.New("core: RunGrouped needs a ParseKV")
+	if route.Parse == nil {
+		return GroupedReport{}, nil, errors.New("core: RunGrouped needs a Route")
 	}
 	size, err := env.FS.Stat(path)
 	if err != nil {
@@ -66,21 +67,36 @@ func RunGroupedLive(env *Env, job jobs.Numeric, parse ParseKV, path string, opts
 	if err != nil {
 		return GroupedReport{}, nil, err
 	}
-	probe, err := pilotSampler.Sample(512)
-	if err != nil && !errors.Is(err, sampling.ErrExhausted) {
-		return GroupedReport{}, nil, err
+	if route.Format != colscan.FormatNone {
+		if err := pilotSampler.EnableColumnar(env.Scan, route.Format); err != nil {
+			return GroupedReport{}, nil, err
+		}
+	}
+	keys := map[string]struct{}{}
+	if route.Format != colscan.FormatNone {
+		var cols colscan.Cols
+		if _, err := pilotSampler.SampleCols(512, &cols); err != nil && !errors.Is(err, sampling.ErrExhausted) {
+			return GroupedReport{}, nil, err
+		}
+		for _, k := range cols.Keys {
+			keys[k] = struct{}{}
+		}
+	} else {
+		probe, err := pilotSampler.Sample(512)
+		if err != nil && !errors.Is(err, sampling.ErrExhausted) {
+			return GroupedReport{}, nil, err
+		}
+		for _, r := range probe {
+			k, _, perr := route.Parse(r.Line)
+			if perr != nil {
+				return GroupedReport{}, nil, fmt.Errorf("core: pilot parse: %w", perr)
+			}
+			keys[k] = struct{}{}
+		}
 	}
 	// Pilot reads are charged like any other mapper delivery (see the
 	// scalar driver) so grouped runs account their planning cost too.
 	env.Metrics.RecordsRead.Add(int64(pilotSampler.Taken()))
-	keys := map[string]struct{}{}
-	for _, r := range probe {
-		k, _, perr := parse(r.Line)
-		if perr != nil {
-			return GroupedReport{}, nil, fmt.Errorf("core: pilot parse: %w", perr)
-		}
-		keys[k] = struct{}{}
-	}
 	if len(keys) == 0 {
 		return GroupedReport{}, nil, errors.New("core: no records found")
 	}
@@ -115,10 +131,11 @@ func RunGroupedLive(env *Env, job jobs.Numeric, parse ParseKV, path string, opts
 	res, err := runEngine(env, path, opts, engineSpec{
 		Name:     "earl-grouped-" + job.Name,
 		ErrTag:   job.Name + "-grouped",
-		Route:    parse,
+		Route:    route.Parse,
 		Sinks:    sinks,
 		InitialN: int64(initialN),
 		MaxN:     maxSample,
+		Format:   route.Format,
 	})
 	if err != nil {
 		return GroupedReport{}, nil, err

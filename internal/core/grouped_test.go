@@ -42,7 +42,7 @@ func groupedEnv(t testing.TB, keys, n int, seed uint64) (*Env, map[string]float6
 
 func TestRunGroupedMeanPerKey(t *testing.T) {
 	env, truth := groupedEnv(t, 8, 120_000, 3)
-	rep, err := RunGrouped(env, jobs.Mean(), TabKV, "/kv", Options{Sigma: 0.05, Seed: 4})
+	rep, err := RunGrouped(env, jobs.Mean(), TabRoute(), "/kv", Options{Sigma: 0.05, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,16 +78,16 @@ func TestRunGroupedMeanPerKey(t *testing.T) {
 
 func TestRunGroupedValidation(t *testing.T) {
 	env, _ := groupedEnv(t, 2, 100, 5)
-	if _, err := RunGrouped(nil, jobs.Mean(), TabKV, "/kv", Options{}); err == nil {
+	if _, err := RunGrouped(nil, jobs.Mean(), TabRoute(), "/kv", Options{}); err == nil {
 		t.Fatal("nil env should error")
 	}
-	if _, err := RunGrouped(env, jobs.Numeric{}, TabKV, "/kv", Options{}); err == nil {
+	if _, err := RunGrouped(env, jobs.Numeric{}, TabRoute(), "/kv", Options{}); err == nil {
 		t.Fatal("empty job should error")
 	}
-	if _, err := RunGrouped(env, jobs.Mean(), nil, "/kv", Options{}); err == nil {
+	if _, err := RunGrouped(env, jobs.Mean(), Route{}, "/kv", Options{}); err == nil {
 		t.Fatal("nil parser should error")
 	}
-	if _, err := RunGrouped(env, jobs.Mean(), TabKV, "/missing", Options{}); err == nil {
+	if _, err := RunGrouped(env, jobs.Mean(), TabRoute(), "/missing", Options{}); err == nil {
 		t.Fatal("missing path should error")
 	}
 }
@@ -135,7 +135,7 @@ func TestRunGroupedSkewedKeys(t *testing.T) {
 	if err := env.FS.WriteFile("/skew", []byte(sb.String())); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := RunGrouped(env, jobs.Mean(), TabKV, "/skew", Options{Sigma: 0.05, Seed: 9})
+	rep, err := RunGrouped(env, jobs.Mean(), TabRoute(), "/skew", Options{Sigma: 0.05, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

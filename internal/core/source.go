@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/colscan"
 	"repro/internal/dfs"
 	"repro/internal/pool"
 	"repro/internal/sampling"
@@ -21,6 +22,16 @@ import (
 type RecordSource interface {
 	Draw(k int) ([]string, error)
 	Weight() int64
+}
+
+// ColSource is a RecordSource that can additionally deliver draws as
+// parsed columns — the vectorized scan path. DrawCols appends up to k
+// records to out and reports how many; the record sequence under a
+// fixed seed is identical to Draw's (either entry point may consume the
+// stream at any point).
+type ColSource interface {
+	RecordSource
+	DrawCols(k int, out *colscan.Cols) (int, error)
 }
 
 // preMapSource wraps the Algorithm 2 sampler. Draws are charged as
@@ -42,6 +53,14 @@ func (p preMapSource) Draw(k int) ([]string, error) {
 	return lines, err
 }
 
+func (p preMapSource) DrawCols(k int, out *colscan.Cols) (int, error) {
+	n, err := p.s.SampleCols(k, out)
+	if p.metrics != nil {
+		p.metrics.RecordsRead.Add(int64(n))
+	}
+	return n, err
+}
+
 func (p preMapSource) Weight() int64 { return p.s.OwnedBytes() }
 
 // errSource is a source whose region could not be scanned (e.g. a block
@@ -51,8 +70,9 @@ func (p preMapSource) Weight() int64 { return p.s.OwnedBytes() }
 // task — instead of the whole run aborting.
 type errSource struct{ err error }
 
-func (e errSource) Draw(int) ([]string, error) { return nil, e.err }
-func (e errSource) Weight() int64              { return 0 }
+func (e errSource) Draw(int) ([]string, error)               { return nil, e.err }
+func (e errSource) DrawCols(int, *colscan.Cols) (int, error) { return 0, e.err }
+func (e errSource) Weight() int64                            { return 0 }
 
 // postMapSource wraps the Algorithm 1 pooled sampler. The pool-filling
 // scan already charged every record as mapper input; draws come from
@@ -70,11 +90,33 @@ func (p postMapSource) Draw(k int) ([]string, error) {
 
 func (p postMapSource) Weight() int64 { return int64(p.s.Total()) }
 
+// postMapColsSource wraps the columnar post-map pool: decoded split
+// blocks instead of per-record string pairs. Built only when the run's
+// route has a columnar format; its Draw degrades to an error because
+// the engine always takes DrawCols on such runs.
+type postMapColsSource struct{ s *sampling.PostMapCols }
+
+func (p postMapColsSource) Draw(int) ([]string, error) {
+	return nil, fmt.Errorf("core: columnar post-map source has no line path")
+}
+
+func (p postMapColsSource) DrawCols(k int, out *colscan.Cols) (int, error) {
+	return p.s.DrawCols(k, out)
+}
+
+func (p postMapColsSource) Weight() int64 { return int64(p.s.Total()) }
+
 // NewRecordSources builds one retained sampling stream per mapper over
 // the given split ownership, per opts.Sampler. seedSalt decorrelates
 // streams built for different ingest generations of the same maintained
 // run (0 for the initial run); determinism follows the engine-wide
 // contract — streams depend only on (Seed, seedSalt, mapper index).
+//
+// A non-None format puts the sources on the vectorized scan path:
+// pre-map samplers resolve hot splits against decoded blocks (shared
+// through env.Scan) and post-map pools hold block references instead of
+// parsed string pairs. FormatNone (a custom parser the decoder cannot
+// mirror) keeps the per-record path.
 //
 // For post-map sampling this performs the full scan of the owned splits
 // (Algorithm 1 pools every record before drawing), with the per-mapper
@@ -82,11 +124,35 @@ func (p postMapSource) Weight() int64 { return int64(p.s.Total()) }
 // failure (e.g. a block with no live replica) yields an errSource for
 // that mapper rather than failing construction, preserving the §3.4
 // behaviour: the mapper fails, the run finishes on surviving data.
-func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, seedSalt uint64) ([]RecordSource, error) {
+func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, seedSalt uint64, format colscan.Format) ([]RecordSource, error) {
+	var version, size int64
+	if format != colscan.FormatNone && opts.Sampler == PostMapSampling {
+		var err error
+		if version, err = env.FS.Version(path); err != nil {
+			return nil, err
+		}
+		if size, err = env.FS.Stat(path); err != nil {
+			return nil, err
+		}
+	}
 	sources := make([]RecordSource, len(owned))
 	err := pool.ForEach(len(owned), len(owned), func(idx int) error {
-		switch opts.Sampler {
-		case PostMapSampling:
+		switch {
+		case opts.Sampler == PostMapSampling && format != colscan.FormatNone:
+			pmap := sampling.NewPostMapCols(opts.Seed + seedSalt + uint64(idx)*7919)
+			for _, sp := range owned[idx] {
+				blk, err := colscan.LoadSplit(env.Scan, env.FS, path, version, size, sp.Offset, sp.Length, format)
+				if err != nil {
+					sources[idx] = errSource{err: err}
+					return nil
+				}
+				// The pool conceptually delivered every decoded record
+				// to this mapper, exactly like the line-pool scan.
+				env.Metrics.RecordsRead.Add(int64(blk.NumRecords()))
+				pmap.AddBlock(blk)
+			}
+			sources[idx] = postMapColsSource{s: pmap}
+		case opts.Sampler == PostMapSampling:
 			pmap := sampling.NewPostMap(opts.Seed + seedSalt + uint64(idx)*7919)
 			for _, sp := range owned[idx] {
 				rd, err := env.FS.NewLineReader(sp, 0)
@@ -108,6 +174,11 @@ func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, 
 			sampler, err := sampling.NewPreMapOwned(env.FS, path, owned[idx], opts.Seed+seedSalt+uint64(idx)*104729)
 			if err != nil {
 				return err
+			}
+			if format != colscan.FormatNone {
+				if err := sampler.EnableColumnar(env.Scan, format); err != nil {
+					return err
+				}
 			}
 			sources[idx] = preMapSource{s: sampler, metrics: env.Metrics}
 		}

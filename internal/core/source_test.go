@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/colscan"
 	"repro/internal/dfs"
 	"repro/internal/sampling"
 	"repro/internal/workload"
@@ -19,7 +20,7 @@ func TestNewRecordSourcesDraws(t *testing.T) {
 	}
 	owned := [][]dfs.Split{splits[:len(splits)/2], splits[len(splits)/2:]}
 	for _, sampler := range []SamplerKind{PreMapSampling, PostMapSampling} {
-		sources, err := NewRecordSources(env, "/data", owned, Options{Sampler: sampler, Seed: 7}, 0)
+		sources, err := NewRecordSources(env, "/data", owned, Options{Sampler: sampler, Seed: 7}, 0, colscan.FormatNone)
 		if err != nil {
 			t.Fatalf("%s: %v", sampler, err)
 		}
@@ -63,7 +64,7 @@ func TestNewRecordSourcesToleratesDeadScan(t *testing.T) {
 	for i, sp := range splits {
 		owned[i] = []dfs.Split{sp}
 	}
-	sources, err := NewRecordSources(env, "/data", owned, Options{Sampler: PostMapSampling, Seed: 8}, 0)
+	sources, err := NewRecordSources(env, "/data", owned, Options{Sampler: PostMapSampling, Seed: 8}, 0, colscan.FormatNone)
 	if err != nil {
 		t.Fatalf("construction must tolerate dead blocks, got %v", err)
 	}

@@ -93,6 +93,10 @@ type fileMeta struct {
 	size     int64
 	blocks   []*blockMeta
 	segments []int64 // start offset of every write/append segment, ascending
+	// version is the file's write generation: a fresh id per WriteFile,
+	// stable across Append (appends add segments, they never change the
+	// bytes behind an existing offset). Decoded-block caches key on it.
+	version int64
 }
 
 type blockMeta struct {
@@ -153,10 +157,24 @@ func (fs *FileSystem) WriteFile(path string, data []byte) error {
 	if old, ok := fs.files[path]; ok {
 		fs.dropBlocksLocked(old)
 	}
-	meta := &fileMeta{size: int64(len(data)), segments: []int64{0}}
+	fs.nextID++
+	meta := &fileMeta{size: int64(len(data)), segments: []int64{0}, version: fs.nextID}
 	fs.appendBlocksLocked(meta, data, 0, live)
 	fs.files[path] = meta
 	return nil
+}
+
+// Version returns the file's write generation: fresh per WriteFile,
+// stable across Append. (path, Version, offset) uniquely identifies
+// immutable content, which is what the colscan block cache keys on.
+func (fs *FileSystem) Version(path string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	meta, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return meta.version, nil
 }
 
 // appendBlocksLocked partitions data into blocks starting at file offset
@@ -218,7 +236,11 @@ func (fs *FileSystem) Append(path string, data []byte) error {
 	}
 	meta, ok := fs.files[path]
 	if !ok {
-		meta = &fileMeta{segments: []int64{0}}
+		// Creating via Append is a write generation like WriteFile: a
+		// deleted-and-recreated path must never alias its predecessor's
+		// decoded blocks.
+		fs.nextID++
+		meta = &fileMeta{segments: []int64{0}, version: fs.nextID}
 		fs.appendBlocksLocked(meta, data, 0, live)
 		meta.size = int64(len(data))
 		fs.files[path] = meta

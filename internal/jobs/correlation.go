@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"strconv"
 	"strings"
 
+	"repro/internal/colscan"
 	"repro/internal/stats"
 )
 
@@ -77,19 +77,25 @@ func (s *CorrState) Pearson() (float64, error) {
 // Pair is one (x, y) observation.
 type Pair struct{ X, Y float64 }
 
-// ParsePair decodes an "x,y" line.
+// ParsePair decodes an "x,y" line without the per-record allocations of
+// strings.Split (one slice header plus two substrings per call on the
+// hot scan path), and with the shared NaN/±Inf guard: non-finite
+// coordinates wrap colscan.ErrBadRecord like every other decoder.
+//
+//earl:hotpath
 func ParsePair(line string) (Pair, error) {
-	parts := strings.Split(strings.TrimSpace(line), ",")
-	if len(parts) != 2 {
-		return Pair{}, fmt.Errorf("jobs: pair record needs 2 fields, got %q", line)
+	i := strings.IndexByte(line, ',')
+	if i < 0 || strings.IndexByte(line[i+1:], ',') >= 0 {
+		return Pair{}, fmt.Errorf("jobs: pair record needs 2 fields, got %s: %w",
+			colscan.Quote(line), colscan.ErrBadRecord)
 	}
-	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	x, err := colscan.ParseValueString(line[:i])
 	if err != nil {
-		return Pair{}, fmt.Errorf("jobs: bad x in %q: %w", line, err)
+		return Pair{}, fmt.Errorf("jobs: bad x: %w", err)
 	}
-	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	y, err := colscan.ParseValueString(line[i+1:])
 	if err != nil {
-		return Pair{}, fmt.Errorf("jobs: bad y in %q: %w", line, err)
+		return Pair{}, fmt.Errorf("jobs: bad y: %w", err)
 	}
 	return Pair{X: x, Y: y}, nil
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/bootstrap"
+	"repro/internal/colscan"
 	"repro/internal/mr"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -30,25 +31,35 @@ type Numeric struct {
 	Statistic bootstrap.Statistic
 	// Parse decodes one input line into the job's value.
 	Parse func(line string) (float64, error)
+	// ScanFormat is the columnar format the vectorized scan path may
+	// decode this job's records with; the zero value (FormatNone) keeps
+	// a custom Parse on the per-record path. Every built-in job reads
+	// one-float-per-line records and sets FormatNumeric.
+	ScanFormat colscan.Format
 }
+
+// numericScan marks a one-float-per-line job for the columnar decoder.
+const numericScan = colscan.FormatNumeric
 
 // Mean returns the mean job (identity correction).
 func Mean() Numeric {
 	return Numeric{
-		Name:      "mean",
-		Reducer:   meanReducer{},
-		Statistic: bootstrap.Mean,
-		Parse:     workload.DecodeLine,
+		Name:       "mean",
+		Reducer:    meanReducer{},
+		Statistic:  bootstrap.Mean,
+		Parse:      workload.DecodeLine,
+		ScanFormat: numericScan,
 	}
 }
 
 // Sum returns the sum job; Correct scales by 1/p (§2.1's SUM example).
 func Sum() Numeric {
 	return Numeric{
-		Name:      "sum",
-		Reducer:   sumReducer{},
-		Statistic: bootstrap.Sum,
-		Parse:     workload.DecodeLine,
+		Name:       "sum",
+		Reducer:    sumReducer{},
+		Statistic:  bootstrap.Sum,
+		Parse:      workload.DecodeLine,
+		ScanFormat: numericScan,
 	}
 }
 
@@ -60,27 +71,30 @@ func Count() Numeric {
 		Statistic: func(xs []float64) (float64, error) {
 			return float64(len(xs)), nil
 		},
-		Parse: workload.DecodeLine,
+		Parse:      workload.DecodeLine,
+		ScanFormat: numericScan,
 	}
 }
 
 // Variance returns the sample-variance job.
 func Variance() Numeric {
 	return Numeric{
-		Name:      "variance",
-		Reducer:   varianceReducer{},
-		Statistic: stats.Variance,
-		Parse:     workload.DecodeLine,
+		Name:       "variance",
+		Reducer:    varianceReducer{},
+		Statistic:  stats.Variance,
+		Parse:      workload.DecodeLine,
+		ScanFormat: numericScan,
 	}
 }
 
 // StdDev returns the standard-deviation job.
 func StdDev() Numeric {
 	return Numeric{
-		Name:      "stddev",
-		Reducer:   stddevReducer{},
-		Statistic: bootstrap.StdDev,
-		Parse:     workload.DecodeLine,
+		Name:       "stddev",
+		Reducer:    stddevReducer{},
+		Statistic:  bootstrap.StdDev,
+		Parse:      workload.DecodeLine,
+		ScanFormat: numericScan,
 	}
 }
 
@@ -88,10 +102,11 @@ func StdDev() Numeric {
 // where the jackknife fails and closed-form error analysis is hopeless.
 func Median() Numeric {
 	return Numeric{
-		Name:      "median",
-		Reducer:   quantileReducer{q: 0.5},
-		Statistic: bootstrap.Median,
-		Parse:     workload.DecodeLine,
+		Name:       "median",
+		Reducer:    quantileReducer{q: 0.5},
+		Statistic:  bootstrap.Median,
+		Parse:      workload.DecodeLine,
+		ScanFormat: numericScan,
 	}
 }
 
@@ -109,7 +124,8 @@ func Quantile(q float64) (Numeric, error) {
 		Statistic: func(xs []float64) (float64, error) {
 			return stats.Quantile(xs, q)
 		},
-		Parse: workload.DecodeLine,
+		Parse:      workload.DecodeLine,
+		ScanFormat: numericScan,
 	}, nil
 }
 
@@ -117,10 +133,11 @@ func Quantile(q float64) (Numeric, error) {
 // Appendix A over 0/1 records.
 func Proportion() Numeric {
 	return Numeric{
-		Name:      "proportion",
-		Reducer:   meanReducer{}, // the proportion is the mean of 0/1 data
-		Statistic: bootstrap.Mean,
-		Parse:     workload.DecodeLine,
+		Name:       "proportion",
+		Reducer:    meanReducer{}, // the proportion is the mean of 0/1 data
+		Statistic:  bootstrap.Mean,
+		Parse:      workload.DecodeLine,
+		ScanFormat: numericScan,
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 type GroupedQuery struct {
 	watchBase
 	job    jobs.Numeric
-	parse  core.ParseKV
+	route  core.Route
 	b      int
 	maints map[string]*delta.Maintainer
 
@@ -33,8 +33,8 @@ type GroupedQuery struct {
 
 // WatchGrouped runs the grouped early workflow once and returns a
 // maintained handle over its per-group state.
-func WatchGrouped(env *core.Env, job jobs.Numeric, parse core.ParseKV, path string, opts core.Options) (*GroupedQuery, error) {
-	rep, st, err := core.RunGroupedLive(env, job, parse, path, opts)
+func WatchGrouped(env *core.Env, job jobs.Numeric, route core.Route, path string, opts core.Options) (*GroupedQuery, error) {
+	rep, st, err := core.RunGroupedLive(env, job, route, path, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -43,13 +43,14 @@ func WatchGrouped(env *core.Env, job jobs.Numeric, parse core.ParseKV, path stri
 			env:      env,
 			path:     path,
 			opts:     st.Opts,
+			format:   route.Format,
 			sources:  st.Sources,
 			dry:      make([]bool, len(st.Sources)),
 			estTotal: st.EstTotal,
 			synced:   st.SyncedBytes,
 		},
 		job:       job,
-		parse:     parse,
+		route:     route,
 		b:         st.B,
 		maints:    st.Maints,
 		last:      rep,

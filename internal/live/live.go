@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/colscan"
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/pool"
@@ -73,6 +74,10 @@ type maintSink interface {
 	// fold parses the drawn lines and grows the maintained state in
 	// canonical order (the determinism contract of the in-run engine).
 	fold(lines []string) error
+	// foldCols is fold for records drawn already decoded (the vectorized
+	// scan path); the grown state is identical to fold's on the same
+	// record sequence.
+	foldCols(cols *colscan.Cols) error
 	// size returns the records currently held in the maintained sample.
 	size() int64
 	// errEstimate returns the current worst error; +Inf when it cannot
@@ -89,6 +94,9 @@ type watchBase struct {
 	env  *core.Env
 	path string
 	opts core.Options
+	// format is the columnar decode format of the watched records;
+	// FormatNone keeps every refresh on the per-record path.
+	format colscan.Format
 
 	sources  []core.RecordSource
 	dry      []bool // aligned with sources
@@ -133,7 +141,7 @@ func (b *watchBase) refreshSampled(size int64, sk maintSink) error {
 	b.sources, b.dry = compactSources(b.sources, b.dry)
 	if size > b.synced {
 		newSources, estNew, err := buildRefreshSources(
-			b.env, b.path, b.opts, b.synced, size, b.estTotal, b.refreshGen)
+			b.env, b.path, b.opts, b.format, b.synced, size, b.estTotal, b.refreshGen)
 		if err != nil {
 			return err
 		}
@@ -153,11 +161,7 @@ func (b *watchBase) refreshSampled(size int64, sk maintSink) error {
 		b.estTotal += estNew
 		b.synced = size
 		if nDelta > 0 {
-			lines, err := b.drawAcross(from, len(b.sources), int(nDelta))
-			if err != nil {
-				return err
-			}
-			if err := sk.fold(lines); err != nil {
+			if _, err := b.drawAndFold(from, len(b.sources), int(nDelta), sk, true); err != nil {
 				return err
 			}
 		}
@@ -177,19 +181,44 @@ func (b *watchBase) refreshSampled(size int64, sk maintSink) error {
 		if k <= 0 {
 			break
 		}
-		lines, err := b.drawAcross(0, len(b.sources), int(k))
+		n, err := b.drawAndFold(0, len(b.sources), int(k), sk, false)
 		if err != nil {
 			return err
 		}
-		if len(lines) == 0 {
+		if n == 0 {
 			break // every region exhausted: finish with achieved accuracy
-		}
-		if err := sk.fold(lines); err != nil {
-			return err
 		}
 		cv = sk.errEstimate()
 	}
 	return nil
+}
+
+// drawAndFold draws up to total records across sources[from:to] on the
+// query's active path (decoded columns when the watch has a columnar
+// format, parsed lines otherwise) and folds them into the sink,
+// returning how many records were drawn. foldEmpty preserves the delta
+// branch's behaviour of folding even an empty draw (the fold counts a
+// generation); the expansion loop instead checks the count first so an
+// exhausted file terminates it.
+func (b *watchBase) drawAndFold(from, to, total int, sk maintSink, foldEmpty bool) (int, error) {
+	if b.format != colscan.FormatNone {
+		cols, err := b.drawColsAcross(from, to, total)
+		if err != nil {
+			return 0, err
+		}
+		if cols.Len() == 0 && !foldEmpty {
+			return 0, nil
+		}
+		return cols.Len(), sk.foldCols(cols)
+	}
+	lines, err := b.drawAcross(from, to, total)
+	if err != nil {
+		return 0, err
+	}
+	if len(lines) == 0 && !foldEmpty {
+		return 0, nil
+	}
+	return len(lines), sk.fold(lines)
 }
 
 // closeBase releases the retained samplers; the last report stays
@@ -297,6 +326,105 @@ func (b *watchBase) drawOne(i, k int) (lines []string, dry bool, err error) {
 	return lines, false, nil
 }
 
+// drawColsAcross is drawAcross on the vectorized scan path: the same
+// largest-remainder apportionment over the same per-source rng streams
+// (DrawCols consumes a source's stream exactly as Draw does), with the
+// per-slot column batches concatenated in source order — the record
+// sequence is identical to drawAcross's at any parallelism.
+func (b *watchBase) drawColsAcross(from, to, total int) (*colscan.Cols, error) {
+	type slot struct {
+		idx   int
+		share int
+	}
+	var slots []slot
+	var weightSum int64
+	for i := from; i < to; i++ {
+		if b.dry[i] {
+			continue
+		}
+		w := b.sources[i].Weight()
+		if w <= 0 {
+			continue
+		}
+		slots = append(slots, slot{idx: i})
+		weightSum += w
+	}
+	flat := &colscan.Cols{}
+	if len(slots) == 0 || weightSum == 0 {
+		return flat, nil
+	}
+	assigned := 0
+	for si := range slots {
+		w := b.sources[slots[si].idx].Weight()
+		slots[si].share = int(int64(total) * w / weightSum)
+		assigned += slots[si].share
+	}
+	for si := 0; assigned < total; si = (si + 1) % len(slots) {
+		slots[si].share++
+		assigned++
+	}
+
+	out := make([]colscan.Cols, len(slots))
+	workers := pool.Workers(b.opts.Parallelism)
+	err := pool.ForEach(len(slots), workers, func(si int) error {
+		s := slots[si]
+		if s.share == 0 {
+			return nil
+		}
+		dry, err := b.drawOneCols(s.idx, s.share, &out[si])
+		if err != nil {
+			return err
+		}
+		if dry {
+			b.dry[s.idx] = true // distinct index per worker: no race
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	got := 0
+	for i := range out {
+		flat.Keys = append(flat.Keys, out[i].Keys...)
+		flat.Vals = append(flat.Vals, out[i].Vals...)
+		got += out[i].Len()
+	}
+	// Redistribute any dry-source shortfall sequentially (deterministic
+	// source order), exactly like drawAcross.
+	for si := range slots {
+		if flat.Len() >= total {
+			break
+		}
+		if b.dry[slots[si].idx] {
+			continue
+		}
+		dry, err := b.drawOneCols(slots[si].idx, total-flat.Len(), flat)
+		if err != nil {
+			return nil, err
+		}
+		if dry {
+			b.dry[slots[si].idx] = true
+		}
+	}
+	return flat, nil
+}
+
+// drawOneCols draws up to k decoded records from source i into out.
+func (b *watchBase) drawOneCols(i, k int, out *colscan.Cols) (dry bool, err error) {
+	cs, ok := b.sources[i].(core.ColSource)
+	if !ok {
+		return false, fmt.Errorf("live: source %d has no columnar path", i)
+	}
+	_, err = cs.DrawCols(k, out)
+	if errors.Is(err, sampling.ErrExhausted) {
+		return true, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
 // compactSources drops permanently-dry sources so a long-lived watch
 // does not accumulate one dead shard set per refresh — post-map sources
 // in particular pin their undrawn records in memory until released. Dry
@@ -337,7 +465,7 @@ func splitsSince(env *core.Env, path string, splitSize, synced int64) ([]dfs.Spl
 // pre-map — the same §3.3 estimator the initial run uses, with the mean
 // taken from the estTotal records known to span the synced bytes.
 // Shared by the single/multi-statistic and grouped maintained queries.
-func buildRefreshSources(env *core.Env, path string, opts core.Options, synced, size, estTotal int64, refreshGen int) ([]core.RecordSource, int64, error) {
+func buildRefreshSources(env *core.Env, path string, opts core.Options, format colscan.Format, synced, size, estTotal int64, refreshGen int) ([]core.RecordSource, int64, error) {
 	splits, err := splitsSince(env, path, opts.SplitSize, synced)
 	if err != nil {
 		return nil, 0, err
@@ -353,7 +481,7 @@ func buildRefreshSources(env *core.Env, path string, opts core.Options, synced, 
 	for i, sp := range splits {
 		owned[i%m] = append(owned[i%m], sp)
 	}
-	sources, err := core.NewRecordSources(env, path, owned, opts, uint64(refreshGen)*refreshSalt)
+	sources, err := core.NewRecordSources(env, path, owned, opts, uint64(refreshGen)*refreshSalt, format)
 	if err != nil {
 		return nil, 0, err
 	}

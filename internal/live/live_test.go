@@ -334,7 +334,7 @@ func TestWatchGroupedRefresh(t *testing.T) {
 	if err := env.FS.WriteFile("/kv", enc([]string{"a", "b"}, 30_000, 62, 0)); err != nil {
 		t.Fatal(err)
 	}
-	q, err := live.WatchGrouped(env, jobs.Mean(), core.TabKV, "/kv", core.Options{Sigma: 0.08, Seed: 63})
+	q, err := live.WatchGrouped(env, jobs.Mean(), core.TabRoute(), "/kv", core.Options{Sigma: 0.08, Seed: 63})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestWatchGroupedConcurrentAppendRace(t *testing.T) {
 	if err := env.FS.WriteFile("/kv", enc([]string{"a", "b"}, 20_000, 72, 0)); err != nil {
 		t.Fatal(err)
 	}
-	q, err := live.WatchGrouped(env, jobs.Mean(), core.TabKV, "/kv", core.Options{Sigma: 0.1, Seed: 73})
+	q, err := live.WatchGrouped(env, jobs.Mean(), core.TabRoute(), "/kv", core.Options{Sigma: 0.1, Seed: 73})
 	if err != nil {
 		t.Fatal(err)
 	}

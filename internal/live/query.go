@@ -51,6 +51,7 @@ func WatchMulti(env *core.Env, jset []jobs.Numeric, path string, opts core.Optio
 			env:      env,
 			path:     path,
 			opts:     st.Opts,
+			format:   jset[0].ScanFormat,
 			sources:  st.Sources,
 			dry:      make([]bool, len(st.Sources)),
 			estTotal: st.EstTotal,

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/colscan"
 	"repro/internal/core"
 )
 
@@ -35,6 +36,24 @@ func (s *statFold) fold(lines []string) error {
 		}
 		vals = append(vals, v)
 	}
+	sort.Float64s(vals)
+	for _, st := range q.stats {
+		if err := st.Maint.Grow(vals); err != nil {
+			return err
+		}
+	}
+	q.generations++
+	return nil
+}
+
+// foldCols is fold for an already-decoded delta batch — the vectorized
+// scan path skips the per-record parse entirely.
+//
+//earl:hotpath
+func (s *statFold) foldCols(cols *colscan.Cols) error {
+	q := (*Query)(s)
+	vals := q.scratch.Take(cols.Len())
+	vals = append(vals, cols.Vals...)
 	sort.Float64s(vals)
 	for _, st := range q.stats {
 		if err := st.Maint.Grow(vals); err != nil {
@@ -85,6 +104,32 @@ func (g *groupFold) fold(lines []string) error {
 	// Route into the query's reusable scratch (mu is held): buffers of
 	// keys seen in earlier folds are emptied and refilled, mirroring the
 	// scalar path's scratch reuse.
+	groups := q.takeGroupScratch()
+	for _, line := range lines {
+		key, v, perr := q.route.Parse(line)
+		if perr != nil {
+			return fmt.Errorf("live: parse: %w", perr)
+		}
+		groups[key] = append(groups[key], v)
+	}
+	return g.growGroups(groups)
+}
+
+// foldCols is fold for an already-decoded delta batch: the keys arrive
+// interned from the columnar decoder, so routing is map inserts only.
+//
+//earl:hotpath
+func (g *groupFold) foldCols(cols *colscan.Cols) error {
+	q := (*GroupedQuery)(g)
+	groups := q.takeGroupScratch()
+	for i, key := range cols.Keys {
+		groups[key] = append(groups[key], cols.Vals[i])
+	}
+	return g.growGroups(groups)
+}
+
+// takeGroupScratch returns the reusable per-key routing buffers, emptied.
+func (q *GroupedQuery) takeGroupScratch() map[string][]float64 {
 	if q.groupScratch == nil {
 		q.groupScratch = map[string][]float64{}
 	}
@@ -92,13 +137,13 @@ func (g *groupFold) fold(lines []string) error {
 	for key, vals := range groups {
 		groups[key] = vals[:0]
 	}
-	for _, line := range lines {
-		key, v, perr := q.parse(line)
-		if perr != nil {
-			return fmt.Errorf("live: parse: %w", perr)
-		}
-		groups[key] = append(groups[key], v)
-	}
+	return groups
+}
+
+// growGroups folds the routed delta into per-group resample sets in
+// canonical order (sorted keys, sorted deltas).
+func (g *groupFold) growGroups(groups map[string][]float64) error {
+	q := (*GroupedQuery)(g)
 	keys := q.keyScratch[:0]
 	for key, vals := range groups {
 		if len(vals) > 0 {

@@ -94,13 +94,19 @@ type MapStream struct {
 
 // Emit routes one pair to its reduce partition, blocking if the reducer
 // is behind (backpressure stands in for the TCP transfer windows of the
-// real pipelined Hadoop).
+// real pipelined Hadoop). A []float64 value is a batch of records
+// sharing one key (the vectorized scan path) and is charged per record,
+// so the counters read the same whichever path emitted.
 func (m *MapStream) Emit(key string, value any) {
 	p := m.part(key, len(m.chans))
 	if p < 0 || p >= len(m.chans) {
 		p = 0
 	}
-	m.eng.Metrics.RecordsMapped.Add(1)
+	if batch, ok := value.([]float64); ok {
+		m.eng.Metrics.RecordsMapped.Add(int64(len(batch)))
+	} else {
+		m.eng.Metrics.RecordsMapped.Add(1)
+	}
 	m.eng.Metrics.BytesShuffled.Add(int64(len(key)) + ValueSize(value))
 	m.chans[p] <- KV{Key: key, Value: value}
 }

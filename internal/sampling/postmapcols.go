@@ -1,0 +1,78 @@
+package sampling
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/colscan"
+)
+
+// PostMapCols is the post-map sampler (Algorithm 1) over decoded
+// columnar blocks: instead of pooling one parsed string pair per record
+// (the PostMap shape — two allocations and ~50 bytes of header per
+// record), the map-side scan decodes each split into one shared block
+// and the pool is a flat slice of 8-byte (block, record) references.
+// Draws are the same incremental Fisher–Yates shuffle as PostMap —
+// without replacement, ErrExhausted when dry — and deliver parsed
+// columns straight to the engine's batch route.
+type PostMapCols struct {
+	blocks []*colscan.Block
+	refs   []colRef
+	drawn  int
+	rng    *rand.Rand
+}
+
+type colRef struct {
+	blk int32
+	rec int32
+}
+
+// NewPostMapCols builds an empty columnar pool with its own seeded rng
+// stream (the same stream constant as PostMap: a fixed seed draws the
+// same record permutation on either representation of the pool).
+func NewPostMapCols(seed uint64) *PostMapCols {
+	return &PostMapCols{rng: rand.New(rand.NewPCG(seed, 0x3c6ef372fe94f82b))}
+}
+
+// AddBlock pools every record of one decoded split. Blocks are added
+// in split order before the first draw, mirroring PostMap's scan-order
+// Add calls.
+func (s *PostMapCols) AddBlock(b *colscan.Block) {
+	bi := int32(len(s.blocks))
+	s.blocks = append(s.blocks, b)
+	for r := 0; r < b.NumRecords(); r++ {
+		s.refs = append(s.refs, colRef{blk: bi, rec: int32(r)})
+	}
+}
+
+// Total returns the number of records pooled.
+func (s *PostMapCols) Total() int { return len(s.refs) }
+
+// Remaining returns how many pooled records have not been drawn yet.
+func (s *PostMapCols) Remaining() int { return len(s.refs) - s.drawn }
+
+// DrawCols appends n records drawn uniformly without replacement to
+// out. It returns the number appended; fewer than n only with
+// ErrExhausted.
+func (s *PostMapCols) DrawCols(n int, out *colscan.Cols) (int, error) {
+	got := 0
+	for got < n {
+		if s.drawn >= len(s.refs) {
+			return got, ErrExhausted
+		}
+		// Incremental Fisher–Yates: the prefix [0, drawn) is the sample
+		// so far; one uniform pick from the suffix extends it.
+		j := s.drawn + s.rng.IntN(len(s.refs)-s.drawn)
+		s.refs[s.drawn], s.refs[j] = s.refs[j], s.refs[s.drawn]
+		ref := s.refs[s.drawn]
+		s.blocks[ref.blk].AppendCols(out, int(ref.rec))
+		s.drawn++
+		got++
+	}
+	return got, nil
+}
+
+// Reset forgets draw state, restarting the without-replacement stream
+// over the same pool.
+func (s *PostMapCols) Reset() {
+	s.drawn = 0
+}

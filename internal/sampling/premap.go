@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/rand/v2"
 
+	"repro/internal/colscan"
 	"repro/internal/dfs"
 )
 
@@ -53,6 +54,42 @@ type PreMap struct {
 	bytes  int64 // total bytes of sampled lines (for fraction estimates)
 	rng    *rand.Rand
 	chunk  int
+
+	// Columnar state (EnableColumnar): draws resolve against decoded
+	// split blocks instead of per-record ReadLineAt seeks, once a split
+	// is hot enough to be worth decoding (or another watch already paid
+	// for its block in the shared cache).
+	colFormat colscan.Format
+	cache     *colscan.Cache
+	version   int64
+	blocks    []*colscan.Block // per owned split, lazily resolved
+	hits      []int            // per owned split: seek-path resolutions so far
+}
+
+// decodeAfterHits is the floor of the per-split hot threshold: below
+// it, draws always stay on the positioned-read path (a pilot probing
+// 256 records, or an o(N) refresh reading ~24, must not decode whole
+// splits). The full threshold is byte-break-even (hotThreshold): a
+// split is decoded only once its seek windows would have read about as
+// many bytes as the split body itself, so columnar decode never
+// inflates a run's I/O beyond ~2x the pure seek path — the §3.3
+// sub-scan property figures 5 and 10 reproduce. A block already
+// decoded by anyone else (cache Peek) is adopted immediately.
+const decodeAfterHits = 32
+
+// hotThreshold returns the seek-hit count at which decoding sp becomes
+// byte-neutral: hits × seek-window ≥ split length, floored at
+// decodeAfterHits.
+func (s *PreMap) hotThreshold(sp dfs.Split) int {
+	window := s.chunk
+	if window <= 0 {
+		window = 256 // ReadLineAt's default chunk
+	}
+	t := int(sp.Length / int64(2*window))
+	if t < decodeAfterHits {
+		t = decodeAfterHits
+	}
+	return t
 }
 
 // NewPreMap opens a pre-map sampler over path, using splits of splitSize
@@ -98,34 +135,105 @@ func NewPreMapOwned(fsys *dfs.FileSystem, path string, splits []dfs.Split, seed 
 	}, nil
 }
 
+// EnableColumnar switches this sampler's draws onto the vectorized scan
+// path: hot splits are decoded once into colscan blocks (through cache
+// when non-nil, so concurrent watches share the decode) and SampleCols
+// delivers parsed columns instead of raw lines. The record sequence a
+// fixed seed produces is bit-identical to the Sample path — both
+// resolve the same drawn byte positions to the same record starts and
+// keep the same without-replacement bookkeeping.
+func (s *PreMap) EnableColumnar(cache *colscan.Cache, format colscan.Format) error {
+	if format == colscan.FormatNone {
+		return errors.New("sampling: EnableColumnar needs a concrete format")
+	}
+	ver, err := s.fs.Version(s.path)
+	if err != nil {
+		return err
+	}
+	s.colFormat = format
+	s.cache = cache
+	s.version = ver
+	s.blocks = make([]*colscan.Block, len(s.splits))
+	s.hits = make([]int, len(s.splits))
+	return nil
+}
+
 // Sample draws n additional distinct lines uniformly at random, extending
 // the sample drawn so far (sampling without replacement across calls). It
 // returns fewer than n records only with ErrExhausted.
 func (s *PreMap) Sample(n int) ([]Record, error) {
+	out := make([]Record, 0, n)
+	err := s.sampleLoop(n, &out, nil)
+	return out, err
+}
+
+// SampleCols is Sample on the columnar path: the n drawn records are
+// appended to out as parsed columns (values, plus keys under FormatKV),
+// validated by the colscan decoder (NaN/±Inf reject). It returns the
+// number of records appended; fewer than n only with ErrExhausted.
+// EnableColumnar must have been called.
+func (s *PreMap) SampleCols(n int, out *colscan.Cols) (int, error) {
+	if s.colFormat == colscan.FormatNone {
+		return 0, errors.New("sampling: SampleCols before EnableColumnar")
+	}
+	before := out.Len()
+	err := s.sampleLoop(n, nil, out)
+	return out.Len() - before, err
+}
+
+// sampleLoop is the shared draw loop behind Sample and SampleCols: one
+// rng draw per iteration, the same rejection and without-replacement
+// bookkeeping on both paths, so a fixed seed yields the same record
+// sequence regardless of which entry point (or mix) consumes it.
+func (s *PreMap) sampleLoop(n int, recs *[]Record, cols *colscan.Cols) error {
 	if s.size == 0 || s.owned == 0 {
 		if n == 0 {
-			return nil, nil
+			return nil
 		}
-		return nil, ErrExhausted
+		return ErrExhausted
 	}
-	out := make([]Record, 0, n)
+	got := 0
 	// Retry budget: rejection sampling against the already-taken set. As
 	// the sampled fraction approaches 1 the rejection rate rises; the
 	// budget scales generously so legitimate draws still succeed, and a
 	// truly exhausted file terminates via the budget.
 	budget := 64*n + 4096
-	for len(out) < n && budget > 0 {
+	for got < n && budget > 0 {
 		budget--
 		// Pick a random byte position uniformly over the *owned* splits
 		// (a random split weighted by its length, then a random position
 		// inside it — the paper's per-split bookkeeping).
-		pos := s.ownedPos(s.rng.Int64N(s.owned))
+		pos, si := s.ownedPos(s.rng.Int64N(s.owned))
+		if cols != nil {
+			blk, err := s.blockFor(si)
+			if err != nil {
+				return err
+			}
+			if blk != nil {
+				rec := blk.FindRecord(pos)
+				if rec >= 0 {
+					start := blk.Start(rec)
+					if _, dup := s.taken[si][start]; dup {
+						continue
+					}
+					s.taken[si][start] = struct{}{}
+					s.nTaken++
+					s.bytes += int64(blk.RecLen(rec)) + 1
+					blk.AppendCols(cols, rec)
+					got++
+					continue
+				}
+				// pos precedes the split's first record (the tail of a
+				// record owned by the previous split): the seek path
+				// below backtracks across the boundary and rejects it.
+			}
+		}
 		line, start, err := s.fs.ReadLineAt(s.path, pos, s.chunk)
 		if err == io.EOF {
 			continue
 		}
 		if err != nil {
-			return out, err
+			return err
 		}
 		// Backtracking can cross a split boundary: accept the line only
 		// if it starts inside an owned split, so samplers with disjoint
@@ -137,26 +245,67 @@ func (s *PreMap) Sample(n int) ([]Record, error) {
 		if _, dup := s.taken[osi][start]; dup {
 			continue
 		}
+		if cols != nil {
+			if err := colscan.AppendParsedLine(cols, s.colFormat, line); err != nil {
+				return err
+			}
+		} else {
+			*recs = append(*recs, Record{Line: line, Split: osi, Offset: start})
+		}
 		s.taken[osi][start] = struct{}{}
 		s.nTaken++
 		s.bytes += int64(len(line)) + 1
-		out = append(out, Record{Line: line, Split: osi, Offset: start})
+		if s.hits != nil {
+			s.hits[osi]++
+		}
+		got++
 	}
-	if len(out) < n {
-		return out, ErrExhausted
+	if got < n {
+		return ErrExhausted
 	}
-	return out, nil
+	return nil
 }
 
-// ownedPos maps x ∈ [0, owned) to a file offset inside the owned splits.
-func (s *PreMap) ownedPos(x int64) int64 {
+// blockFor resolves the decoded block for owned split si, or nil while
+// the split is still below its hot threshold (the caller stays on the
+// seek path). Blocks decoded by other watches are adopted from the
+// shared cache without counting toward the threshold.
+func (s *PreMap) blockFor(si int) (*colscan.Block, error) {
+	if blk := s.blocks[si]; blk != nil {
+		return blk, nil
+	}
+	sp := s.splits[si]
+	if s.cache != nil {
+		key := colscan.BlockKey{Path: s.path, Version: s.version, Offset: sp.Offset, Length: sp.Length, Format: s.colFormat}
+		if blk, ok := s.cache.Peek(key); ok {
+			s.blocks[si] = blk
+			return blk, nil
+		}
+	}
+	if s.hits[si] < s.hotThreshold(sp) {
+		return nil, nil
+	}
+	blk, err := colscan.LoadSplit(s.cache, s.fs, s.path, s.version, s.size, sp.Offset, sp.Length, s.colFormat)
+	if err != nil {
+		return nil, err
+	}
+	// Charge the decode like the scan it is: the whole split body in one
+	// positioned read (colscan already issued it through s.fs, so dfs
+	// metrics saw the bytes and the seek — nothing extra to do here).
+	s.blocks[si] = blk
+	return blk, nil
+}
+
+// ownedPos maps x ∈ [0, owned) to a file offset inside the owned splits,
+// also returning the owned-split index it landed in.
+func (s *PreMap) ownedPos(x int64) (int64, int) {
 	for i := range s.splits {
 		if x < s.splits[i].Length {
-			return s.splits[i].Offset + x
+			return s.splits[i].Offset + x, i
 		}
 		x -= s.splits[i].Length
 	}
-	return s.splits[len(s.splits)-1].End() - 1
+	return s.splits[len(s.splits)-1].End() - 1, len(s.splits) - 1
 }
 
 // splitFor returns the index of the owned split containing pos.

@@ -557,7 +557,7 @@ func (s *Server) Query(ctx context.Context, spec QuerySpec) (QueryResult, error)
 		if jerr != nil {
 			return QueryResult{}, jerr
 		}
-		grep, gerr := core.RunGrouped(s.env, job, core.TabKV, spec.Path, spec.options())
+		grep, gerr := core.RunGrouped(s.env, job, core.TabRoute(), spec.Path, spec.options())
 		if gerr != nil {
 			return QueryResult{}, gerr
 		}
@@ -731,7 +731,7 @@ func (s *Server) createWatch(spec QuerySpec) (watchHandle, error) {
 		if err != nil {
 			return nil, err
 		}
-		q, err := live.WatchGrouped(s.env, job, core.TabKV, spec.Path, spec.options())
+		q, err := live.WatchGrouped(s.env, job, core.TabRoute(), spec.Path, spec.options())
 		if err != nil {
 			return nil, err
 		}
@@ -957,6 +957,11 @@ func (s *Server) Rewrite(path string, data []byte) (int64, error) {
 	s.retirePathWatches(path, false)
 	if err := s.env.FS.WriteFile(path, data); err != nil {
 		return 0, err
+	}
+	if s.env.Scan != nil {
+		// Version keying already protects correctness; dropping the old
+		// contents' decoded blocks just frees the bytes promptly.
+		s.env.Scan.InvalidatePath(path)
 	}
 	size, err := s.env.FS.Stat(path)
 	if err != nil {

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/colscan"
 )
 
 // Dist identifies a numeric value distribution.
@@ -107,11 +109,16 @@ func EncodeLinesFixed(xs []float64) []byte {
 	return buf.Bytes()
 }
 
-// DecodeLine parses one text record back into a float.
+// DecodeLine parses one text record back into a float. Non-finite
+// values (NaN, ±Inf) and malformed lines are rejected wrapping
+// colscan.ErrBadRecord — one poisoned record must surface through the
+// §3.3 error path, not corrupt an order-statistic dictionary. Quoted
+// error content is bounded (a truncated multi-MB line must not balloon
+// error files).
 func DecodeLine(line string) (float64, error) {
-	v, err := strconv.ParseFloat(strings.TrimSpace(line), 64)
+	v, err := colscan.ParseValueString(line)
 	if err != nil {
-		return 0, fmt.Errorf("workload: bad record %q: %w", line, err)
+		return 0, fmt.Errorf("workload: bad record: %w", err)
 	}
 	return v, nil
 }
