@@ -16,12 +16,14 @@
 //	                fixed seed at any value
 //	-json           run the benchmark families — the hot substrates
 //	                (bootstrap resampling, delta maintenance, pre-map
-//	                sampling) plus the end-to-end engine family
+//	                sampling), scan decode, the end-to-end engine family
 //	                (single-statistic vs 4-statistic shared pass,
 //	                scalar vs grouped, with records-read measurements)
-//	                — and emit the results as JSON instead of figure
-//	                tables; CI publishes this as the benchmark
-//	                trajectory artifact (BENCH_pr4.json)
+//	                and the query-plan family (σ pushdown vs post-hoc
+//	                filtering, π overhead, grouped-with-filter) — and
+//	                emit the results as JSON instead of figure tables;
+//	                CI publishes this as the benchmark trajectory
+//	                artifact (BENCH_<pr>.json)
 //	-compare FILE   with -json: compare against a baseline BENCH_*.json
 //	                and exit non-zero on a >2x ns/op regression in any
 //	                benchmark present in both files (CI pins the

@@ -19,6 +19,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/dfs"
 	"repro/internal/jobs"
+	"repro/internal/plan"
 	"repro/internal/sampling"
 	"repro/internal/workload"
 )
@@ -26,7 +27,7 @@ import (
 // microResult is one micro-benchmark measurement in the benchmark
 // trajectory file (BENCH_<pr>.json) CI publishes per run.
 type microResult struct {
-	Family      string  `json:"family"` // bootstrap | delta | sampling | scan_decode | engine
+	Family      string  `json:"family"` // bootstrap | delta | sampling | scan_decode | engine | plan
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	Iterations  int     `json:"iterations"`
@@ -126,11 +127,13 @@ func regressions(baseline, current microReport) []string {
 	return regs
 }
 
-// runMicro measures the five benchmark families — bootstrap resampling,
+// runMicro measures the six benchmark families — bootstrap resampling,
 // delta maintenance, pre-map sampling (the hot substrates), scan decode
-// (per-record vs columnar split ingestion), and the end-to-end engine
+// (per-record vs columnar split ingestion), the end-to-end engine
 // family (single-statistic vs shared-pass multi-statistic, scalar vs
-// grouped) — with testing.Benchmark. The
+// grouped), and the query-plan family (σ pushdown vs user-level
+// post-hoc filtering, π overhead, grouped-with-filter) — with
+// testing.Benchmark. The
 // substrate families mirror the micro-benchmarks in bench_test.go; the
 // figure-level benchmarks stay in `go test -bench` where their runtime
 // is at home.
@@ -471,6 +474,118 @@ func runMicro() (microReport, error) {
 			}
 		}
 	})
+
+	// --- Family 6: the query-plan layer (σ/π/γ pushdown). ------------
+	// Pushdown runs the filter inside the post-map pool fill — σ is
+	// evaluated against the columnar decode, survivors alone enter the
+	// pool, and SSABE sizes the run against the effective subpopulation,
+	// so the per-record work past the decode is bounded by the sample,
+	// not the file. The post-hoc baseline is what a user without the
+	// plan layer writes — decode every record, filter in a loop, reduce
+	// over every survivor — whose post-decode work grows with the file.
+	const planN = 400_000
+	planData, err := workload.NumericSpec{Dist: workload.Uniform, N: planN, Seed: 3}.Generate()
+	if err != nil {
+		return microReport{}, err
+	}
+	newPlanEnv := func() (*core.Env, error) {
+		env, err := core.NewEnv(core.EnvConfig{Seed: 3})
+		if err != nil {
+			return nil, err
+		}
+		if err := env.FS.WriteFile("/bench/plan", workload.EncodeLinesFixed(planData)); err != nil {
+			return nil, err
+		}
+		env.Metrics.Reset()
+		return env, nil
+	}
+	planOpts := core.Options{Sigma: 0.05, Seed: 4}
+	planBench := func(spec plan.Spec) func(b *testing.B) {
+		return func(b *testing.B) {
+			env, err := newPlanEnv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunPlan(env, spec, planOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// The post-hoc baseline filters ABOVE the record decode — without
+	// the plan layer there is no way to run σ inside the columnar scan
+	// (filtered decode is exactly what the pushdown adds), so every
+	// record is materialized as a line and parsed before the predicate
+	// can look at it. It also answers less: an exact mean over the
+	// survivors, with no confidence interval.
+	postHocBench := func(thresh float64) func(b *testing.B) {
+		return func(b *testing.B) {
+			env, err := newPlanEnv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			splits, err := env.FS.Splits("/bench/plan", 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var sum float64
+				n := 0
+				for _, sp := range splits {
+					rd, err := env.FS.NewLineReader(sp, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for rd.Next() {
+						v, err := strconv.ParseFloat(strings.TrimSpace(rd.Text()), 64)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if v < thresh {
+							sum += v
+							n++
+						}
+					}
+					if err := rd.Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if n == 0 {
+					b.Fatal("post-hoc filter kept nothing")
+				}
+				_ = sum / float64(n)
+			}
+		}
+	}
+	for _, sel := range []struct {
+		label  string
+		filter string
+		thresh float64
+	}{
+		{"sel=1%", "v < 1", 1},
+		{"sel=10%", "v < 10", 10},
+		{"sel=90%", "v < 90", 90},
+	} {
+		add("plan", fmt.Sprintf("PushdownFilter/mean/%s/n=%d", sel.label, planN),
+			planBench(plan.Spec{Path: "/bench/plan", Stats: []string{"mean"}, Filter: sel.filter, Sampler: "post-map"}))
+		add("plan", fmt.Sprintf("PostHocFilter/mean/%s/n=%d", sel.label, planN),
+			postHocBench(sel.thresh))
+	}
+	// Derived-column overhead: the same sampled mean with and without an
+	// affine π — the delta is the per-record expression-eval cost on the
+	// pushdown path (the no-derive spec is degenerate and takes the
+	// legacy path, so the pair brackets the whole plan overhead).
+	add("plan", fmt.Sprintf("Derive/none/n=%d", planN),
+		planBench(plan.Spec{Path: "/bench/plan", Stats: []string{"mean"}}))
+	add("plan", fmt.Sprintf("Derive/affine/n=%d", planN),
+		planBench(plan.Spec{Path: "/bench/plan", Stats: []string{"mean"}, Derive: "v * 2 + 1"}))
+	// Grouped-with-filter: σ and a computed γ label in one pushed-down
+	// pass (4 value-derived groups over the filtered half).
+	add("plan", fmt.Sprintf("GroupedFilter/mean/groups=4/n=%d", planN),
+		planBench(plan.Spec{Path: "/bench/plan", Stats: []string{"mean"}, Filter: "v < 50", GroupBy: "floor(v / 12.5)"}))
 
 	// Shared-pass IO: records read by each statistic alone vs all four
 	// in one pass. The multi run must stay within 1.1× of the most

@@ -17,6 +17,18 @@
 //
 //	earlctl -job mean -job p50 -job p95 -job count -n 1000000
 //	earlctl -job mean -job p99 -n 500000 -watch 3
+//
+// -filter, -derive and -by lift the run onto the query-plan layer: the
+// same composable σ/π/γ algebra (and the same spec validation) earld's
+// HTTP API and the earl library expose. The filter is pushed below
+// sampling, so sample sizing and the reported confidence intervals are
+// relative to the filtered subpopulation:
+//
+//	earlctl -job mean -filter "v > 50" -n 1000000
+//	earlctl -job p95 -filter "v > 0" -derive "log(v)" -n 500000
+//	earlctl -job mean -by "floor(v / 25)" -n 500000      # grouped by bucket
+//	earlctl -job mean -by key -keys 12 -n 500000         # grouped by record key
+//	earlctl -job mean -filter "v < 10" -watch 3          # maintained plan
 package main
 
 import (
@@ -26,11 +38,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/earl"
+	"repro/internal/colscan"
 	"repro/internal/jobs"
 	"repro/internal/workload"
 )
@@ -66,6 +80,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		par     = fs.Int("parallelism", 0, "resampling worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 		watch   = fs.Int("watch", 0, "continuous ingest: append+refresh cycles after the first answer")
 		appendN = fs.Int("append-n", 0, "records per appended batch (-watch); n/10 if 0")
+		filter  = fs.String("filter", "", "query plan σ: boolean expression records must satisfy, e.g. 'v > 50 && v < 90'")
+		derive  = fs.String("derive", "", "query plan π: numeric expression replacing the analyzed value, e.g. 'log(v)'")
+		by      = fs.String("by", "", "query plan γ: 'key' or a numeric bucketing expression, e.g. 'floor(v / 25)'")
+		keys    = fs.Int("keys", 8, "distinct keys for generated key\\tvalue data (plans that read key)")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +107,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if jobNames[0] == "kmeans" {
+		if *filter != "" || *derive != "" || *by != "" {
+			return fmt.Errorf("kmeans does not take -filter/-derive/-by")
+		}
 		return runKMeans(stdout, cluster, *n, *k, *sigma, *seed)
 	}
 
@@ -111,6 +132,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -sampler %q (pre-map|post-map)", *sampler)
 	}
+
+	if *filter != "" || *derive != "" || *by != "" {
+		if *kill != "" {
+			return fmt.Errorf("-kill is not supported with -filter/-derive/-by")
+		}
+		opts := earl.Options{
+			Sigma:       *sigma,
+			Sampler:     samplerKind,
+			Seed:        *seed + 7,
+			Parallelism: *par,
+		}
+		return runPlanQuery(stdout, cluster, opts, planParams{
+			stats: jobNames, filter: *filter, derive: *derive, by: *by,
+			dist: *dist, n: *n, keys: *keys, seed: *seed,
+			cycles: *watch, appendN: *appendN, sampler: *sampler,
+		})
+	}
+
 	xs, err := genValues(jobNames[0], *dist, *n, *seed)
 	if err != nil {
 		return err
@@ -298,6 +337,162 @@ func runMultiWatch(stdout io.Writer, cluster *earl.Cluster, jset []earl.Job, opt
 			rep.Job, exact, 100*relErr(rep.Estimate, exact))
 	}
 	return nil
+}
+
+// planParams bundles the query-plan demo knobs (-filter/-derive/-by).
+type planParams struct {
+	stats              []string
+	filter, derive, by string
+	dist               string
+	n, keys            int
+	seed               uint64
+	cycles, appendN    int
+	sampler            string
+}
+
+// runPlanQuery runs a -filter/-derive/-by invocation through the public
+// query-plan surface: the fluent builder assembles the spec, the engine
+// validates and compiles it (the same shared path earld's HTTP API
+// uses), and the filter is pushed below sampling. Plans that read the
+// record key get generated "key\tvalue" data; everything else reuses
+// the numeric -dist generators.
+func runPlanQuery(stdout io.Writer, cluster *earl.Cluster, opts earl.Options, p planParams) error {
+	q := earl.NewQuery("/data").
+		Filter(p.filter).
+		Derive(p.derive).
+		GroupBy(p.by).
+		Stats(p.stats...)
+
+	// Normalize + compile up front: positioned expression errors surface
+	// before any data is generated, and the compiled plan's input format
+	// decides which generator to run.
+	norm, err := q.Spec().Normalize()
+	if err != nil {
+		return err
+	}
+	prog, err := norm.Compile()
+	if err != nil {
+		return err
+	}
+	// A degenerate "by key" compiles to a nil program (legacy grouped
+	// path, tab-separated route), so it needs KV data too.
+	kv := norm.GroupBy == "key" || (prog != nil && prog.InputFormat() == colscan.FormatKV)
+	writeBatch := func(n int, seed uint64, first bool) error {
+		if kv {
+			recs, err := workload.KVSpec{Keys: p.keys, N: n, Seed: seed}.Generate()
+			if err != nil {
+				return err
+			}
+			if first {
+				return cluster.WriteFile("/data", workload.EncodeStrings(recs))
+			}
+			return cluster.Append("/data", workload.EncodeStrings(recs))
+		}
+		xs, err := genValues(norm.Stats[0], p.dist, n, seed)
+		if err != nil {
+			return err
+		}
+		if first {
+			return cluster.WriteValues("/data", xs)
+		}
+		return cluster.AppendValues("/data", xs)
+	}
+	if err := writeBatch(p.n, p.seed, true); err != nil {
+		return err
+	}
+	cluster.ResetMetrics()
+
+	fmt.Fprintf(stdout, "plan         : %s over %d records (σ=%.3g, %s sampling)\n",
+		planDesc(norm), p.n, opts.Sigma, p.sampler)
+
+	if p.cycles > 0 {
+		return runPlanWatch(stdout, cluster, q, opts, p, writeBatch)
+	}
+
+	res, err := q.Run(cluster, opts)
+	if err != nil {
+		return err
+	}
+	m := cluster.Metrics()
+	printPlanResult(stdout, res)
+	fmt.Fprintf(stdout, "I/O          : %d records / %.2f MB read\n",
+		m.RecordsRead, float64(m.BytesRead)/(1<<20))
+	return nil
+}
+
+// runPlanWatch maintains the plan under append+refresh cycles.
+func runPlanWatch(stdout io.Writer, cluster *earl.Cluster, q *earl.Query, opts earl.Options, p planParams, writeBatch func(n int, seed uint64, first bool) error) error {
+	w, err := q.Watch(cluster, opts)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	fmt.Fprintln(stdout, "first answer :")
+	printPlanResult(stdout, w.Result())
+
+	appendN := p.appendN
+	if appendN <= 0 {
+		appendN = p.n / 10
+		if appendN < 1 {
+			appendN = 1
+		}
+	}
+	for cycle := 1; cycle <= p.cycles; cycle++ {
+		if err := writeBatch(appendN, p.seed+uint64(100+cycle), false); err != nil {
+			return err
+		}
+		before := cluster.Metrics()
+		res, err := w.Refresh()
+		if err != nil {
+			return err
+		}
+		cost := cluster.Metrics().Sub(before)
+		fmt.Fprintf(stdout, "refresh %-2d   : +%d records; read %d records / %.2f KB (maintained sample %d)\n",
+			cycle, appendN, cost.RecordsRead, float64(cost.BytesRead)/(1<<10), w.SampleSize())
+		printPlanResult(stdout, res)
+	}
+	return nil
+}
+
+// planDesc renders a normalized plan spec for display:
+// "mean+p95 where (v > 10) derive (v * 2) by floor(v / 25)".
+func planDesc(spec earl.PlanSpec) string {
+	desc := strings.Join(spec.Stats, "+")
+	if spec.Filter != "" {
+		desc += " where " + spec.Filter
+	}
+	if spec.Derive != "" {
+		desc += " derive " + spec.Derive
+	}
+	if spec.GroupBy != "" {
+		desc += " by " + spec.GroupBy
+	}
+	return desc
+}
+
+// printPlanResult prints either shape of a plan result: one line per
+// statistic for scalar plans, one line per group (sorted) for grouped
+// ones.
+func printPlanResult(stdout io.Writer, res *earl.PlanResult) {
+	if res.Groups != nil {
+		g := res.Groups
+		fmt.Fprintf(stdout, "groups       : %d groups of %s, sample %d, %d iteration(s), converged=%v\n",
+			len(g.Groups), g.Job, g.SampleSize, g.Iterations, g.Converged)
+		names := make([]string, 0, len(g.Groups))
+		for name := range g.Groups {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			gr := g.Groups[name]
+			fmt.Fprintf(stdout, "  %-12s: %.6g (cv %.4f, sample %d)\n", name, gr.Estimate, gr.CV, gr.SampleSize)
+		}
+		return
+	}
+	for _, rep := range res.Reports {
+		fmt.Fprintf(stdout, "%-12s : %.6g  (cv %.4f, 95%% CI [%.6g, %.6g], B=%d, sample %d, converged=%v)\n",
+			rep.Job, rep.Estimate, rep.CV, rep.CILo, rep.CIHi, rep.B, rep.SampleSize, rep.Converged)
+	}
 }
 
 // jobSetName joins the statistic names for display ("mean+p50+p95").

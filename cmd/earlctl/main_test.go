@@ -119,3 +119,54 @@ func TestRunRejectsKMeansInMulti(t *testing.T) {
 		t.Fatal("kmeans in a multi-statistic query should fail")
 	}
 }
+
+// TestRunPlanFilter: -filter lifts the run onto the query-plan layer;
+// the estimate must reflect the filtered subpopulation (uniform values
+// above 50 average near 75, far from the unfiltered 50).
+func TestRunPlanFilter(t *testing.T) {
+	out := smoke(t, "-job", "mean", "-filter", "v > 50", "-n", "40000", "-seed", "11")
+	for _, want := range []string{"plan", "where v > 50", "mean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunPlanGroupedByExpr: -by with a bucketing expression runs the
+// grouped plan over plain numeric data.
+func TestRunPlanGroupedByExpr(t *testing.T) {
+	out := smoke(t, "-job", "mean", "-by", "floor(v / 25)", "-n", "40000", "-seed", "12")
+	if !strings.Contains(out, "groups") || !strings.Contains(out, "by floor(v / 25)") {
+		t.Fatalf("grouped plan output unexpected:\n%s", out)
+	}
+}
+
+// TestRunPlanByKeyWatch: a degenerate "by key" plan generates KV data
+// and stays maintainable under -watch.
+func TestRunPlanByKeyWatch(t *testing.T) {
+	out := smoke(t, "-job", "mean", "-by", "key", "-keys", "4", "-n", "30000", "-watch", "1", "-append-n", "6000", "-seed", "13")
+	for _, want := range []string{"first answer", "refresh 1", "k0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("by-key watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunPlanRejectsBadExpressions: malformed or mistyped expressions
+// fail with positioned errors from the shared validation path.
+func TestRunPlanRejectsBadExpressions(t *testing.T) {
+	cases := [][]string{
+		{"-job", "mean", "-filter", "v +", "-n", "1000"},            // malformed
+		{"-job", "mean", "-filter", "v + 1", "-n", "1000"},          // not boolean
+		{"-job", "mean", "-derive", "v > 1", "-n", "1000"},          // not numeric
+		{"-job", "mean", "-job", "p95", "-by", "key", "-n", "1000"}, // grouped multi-stat
+		{"-job", "mean", "-filter", "v > 1", "-kill", "2", "-n", "1000"},
+		{"-job", "kmeans", "-filter", "v > 1", "-n", "1000"},
+	}
+	for _, args := range cases {
+		var out, errw strings.Builder
+		if err := run(args, &out, &errw); err == nil {
+			t.Fatalf("earlctl %v should fail", args)
+		}
+	}
+}

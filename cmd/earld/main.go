@@ -15,13 +15,23 @@
 //	curl localhost:8080/watch/w1
 //	curl localhost:8080/metrics
 //
-// A jobs list computes several statistics in one shared sampling pass
-// (one report per statistic), and grouped maintained queries watch
-// per-key aggregates over "key\tvalue" records — both flow through the
-// same dedup registry and result cache as scalar queries:
+// Query bodies are the engine-wide canonical plan spec: a stats list
+// computes several statistics in one shared sampling pass (one report
+// per statistic), and filter/derive/by are the σ/π/γ query-plan
+// expressions — the filter is pushed below sampling, so sample sizing
+// and the reported confidence intervals are relative to the filtered
+// subpopulation. Grouped queries ("by") watch per-group aggregates —
+// over "key\tvalue" records for by:"key", or bucketed by a numeric
+// expression. Everything flows through the same dedup registry and
+// result cache as scalar queries; {"job":...}, {"jobs":[...]} and
+// {"grouped":true} remain accepted as aliases for stats / by:"key":
 //
 //	curl -X POST localhost:8080/query \
-//	     -d '{"jobs":["mean","p50","p95","count"],"path":"/t/latency"}'
+//	     -d '{"stats":["mean","p50","p95","count"],"path":"/t/latency"}'
+//	curl -X POST localhost:8080/query \
+//	     -d '{"stats":["mean"],"path":"/t/latency","filter":"v > 50","derive":"log(v)"}'
+//	curl -X POST localhost:8080/watch \
+//	     -d '{"stats":["mean"],"path":"/t/latency","by":"floor(v / 25)"}'
 //	curl -X POST localhost:8080/watch -d '{"job":"mean","grouped":true,"path":"/t/kv"}'
 //
 // The optional -demo-records flag preloads a Gaussian dataset at

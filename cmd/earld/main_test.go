@@ -52,6 +52,30 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("query response missing report: %v", q)
 	}
 
+	// Plan fields ride the same body: a pushed-down filter answers over
+	// the subpopulation, a malformed expression is a client error (400)
+	// with the offending column, not a 500.
+	fq := post("/query", `{"stats":["mean"],"path":"/demo/gaussian","filter":"v > 0"}`)
+	if frep, ok := fq["report"].(map[string]any); !ok || frep["SampleSize"] == nil {
+		t.Fatalf("filtered query response missing report: %v", fq)
+	}
+	resp400, err := http.Post(base+"/query", "application/json",
+		strings.NewReader(`{"stats":["mean"],"path":"/demo/gaussian","filter":"v +"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var badBody map[string]any
+	if err := json.NewDecoder(resp400.Body).Decode(&badBody); err != nil {
+		t.Fatal(err)
+	}
+	resp400.Body.Close()
+	if resp400.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed filter should be 400, got %d: %v", resp400.StatusCode, badBody)
+	}
+	if msg, _ := badBody["error"].(string); !strings.Contains(msg, "column") {
+		t.Fatalf("expression error should carry its column: %v", badBody)
+	}
+
 	w1 := post("/watch", `{"job":"mean","path":"/demo/gaussian","sigma":0.05}`)
 	id, _ := w1["id"].(string)
 	if id == "" {

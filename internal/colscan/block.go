@@ -68,6 +68,24 @@ func (b *Block) SizeBytes() int64 {
 	return n + 64
 }
 
+// Values returns the block's parsed value column. The slice is shared
+// with the block and must be treated as read-only: blocks are handed to
+// every concurrent watch on the file.
+func (b *Block) Values() []float64 { return b.vals }
+
+// AppendKeys appends every record's interned key string to dst in file
+// order (nothing under FormatNumeric). The appended strings are shared
+// with the block's dictionary — no per-record allocation.
+func (b *Block) AppendKeys(dst []string) []string {
+	if b.format != FormatKV {
+		return dst
+	}
+	for _, ki := range b.keys {
+		dst = append(dst, b.dict[ki])
+	}
+	return dst
+}
+
 // AppendCols appends record i to out (value, plus key under FormatKV).
 // The key string is shared with the block's dictionary — no allocation.
 func (b *Block) AppendCols(out *Cols, i int) {

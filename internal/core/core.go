@@ -49,6 +49,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/colscan"
@@ -164,22 +165,29 @@ func cleanupErrorFiles(fsys *dfs.FileSystem, prefix string) {
 	}
 }
 
-// readErrors lists and parses all error files under prefix, returning
-// the average cv across reducers and the *maximum* generation seen.
-// Mappers act once per new maximum: with several reducers, only the one
-// that crosses a growth trigger rewrites its file, so waiting for every
-// reducer to reach a generation can stall forever. Averaging in a stale
-// (higher) cv from a quieter reducer is safe — it can only delay
-// termination, and final convergence is re-checked per group from the
-// states themselves.
-func readErrors(fsys *dfs.FileSystem, prefix string) (avgCV float64, maxGen int64, ok bool) {
+// readErrors lists and parses the error files under prefix, returning
+// the average cv across reducers and the *minimum* round all parts of
+// them have published. Mappers act once per new minimum: a round's
+// feedback is only a consistent snapshot when every partition has
+// folded and published that round — acting earlier would average fresh
+// cvs with stale ones and make the expansion schedule (and hence the
+// final sample) depend on error-file write timing. Every partition
+// folds each round (the reducers poll for round completion instead of
+// waiting on an arrival of their own), so the minimum advances whenever
+// the run does; if a partition's file is lost to failures the mappers
+// simply stop acting and the §3.4 watchdog ends the run with achieved
+// accuracy. NaN cvs — partitions no group key routes to, which have no
+// opinion — are excluded from the average, while +Inf ones (data
+// present but not yet trustworthy) propagate and keep the expansion
+// going.
+func readErrors(fsys *dfs.FileSystem, prefix string, parts int) (avgCV float64, minRound int64, ok bool) {
 	paths := fsys.List(prefix)
-	if len(paths) == 0 {
+	if len(paths) < parts {
 		return 0, 0, false
 	}
 	var sum float64
-	n := 0
-	maxGen = -1
+	n, read := 0, 0
+	minRound = -1
 	for _, p := range paths {
 		b, err := fsys.ReadFile(p)
 		if err != nil {
@@ -189,14 +197,21 @@ func readErrors(fsys *dfs.FileSystem, prefix string) (avgCV float64, maxGen int6
 		if err != nil {
 			continue
 		}
+		read++
+		if minRound < 0 || e.Gen < minRound {
+			minRound = e.Gen
+		}
+		if math.IsNaN(e.CV) {
+			continue
+		}
 		sum += e.CV
 		n++
-		if e.Gen > maxGen {
-			maxGen = e.Gen
-		}
 	}
-	if maxGen < 0 || n == 0 {
+	if read < parts || minRound < 0 {
 		return 0, 0, false
 	}
-	return sum / float64(n), maxGen, true
+	if n == 0 {
+		return math.Inf(1), minRound, true
+	}
+	return sum / float64(n), minRound, true
 }

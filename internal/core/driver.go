@@ -3,12 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 
 	"repro/internal/aes"
 	"repro/internal/colscan"
 	"repro/internal/jobs"
+	"repro/internal/plan"
 	"repro/internal/sampling"
 )
 
@@ -140,6 +142,7 @@ type LiveState struct {
 	Sources     []RecordSource // retained per-mapper samplers (without-replacement across refreshes)
 	Opts        Options        // with defaults applied
 	Generations int            // Grow generations applied so far
+	SelSE       float64        // relative std. error of the filtered-subpopulation size estimate (0 = exact)
 }
 
 // Run executes job over the line-encoded numeric file at path with early
@@ -154,7 +157,7 @@ func Run(env *Env, job jobs.Numeric, path string, opts Options) (Report, error) 
 // (internal/live builds on this). The state's Stats[0].Maint is nil when
 // the run fell back to the exact full-data job.
 func RunLive(env *Env, job jobs.Numeric, path string, opts Options) (Report, *LiveState, error) {
-	reps, st, err := runMultiLive(env, []jobs.Numeric{job}, path, opts, false)
+	reps, st, err := runMultiLive(env, []jobs.Numeric{job}, path, opts, nil, false)
 	if err != nil {
 		return Report{}, nil, err
 	}
@@ -168,7 +171,7 @@ func RunLive(env *Env, job jobs.Numeric, path string, opts Options) (Report, *Li
 // builds an incremental exact state with a single scan instead of
 // running a whole-file job whose output it would throw away.
 func RunLiveDeferExact(env *Env, job jobs.Numeric, path string, opts Options) (Report, *LiveState, error) {
-	reps, st, err := runMultiLive(env, []jobs.Numeric{job}, path, opts, true)
+	reps, st, err := runMultiLive(env, []jobs.Numeric{job}, path, opts, nil, true)
 	if err != nil {
 		return Report{}, nil, err
 	}
@@ -201,13 +204,13 @@ func RunMulti(env *Env, jset []jobs.Numeric, path string, opts Options) ([]Repor
 // RunMultiLive is RunMulti, additionally returning the retained working
 // state (one StatState per statistic) for maintained queries.
 func RunMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options) ([]Report, *LiveState, error) {
-	return runMultiLive(env, jset, path, opts, false)
+	return runMultiLive(env, jset, path, opts, nil, false)
 }
 
 // RunMultiLiveDeferExact is RunMultiLive with the deferred-exact
 // fall-back contract of RunLiveDeferExact.
 func RunMultiLiveDeferExact(env *Env, jset []jobs.Numeric, path string, opts Options) ([]Report, *LiveState, error) {
-	return runMultiLive(env, jset, path, opts, true)
+	return runMultiLive(env, jset, path, opts, nil, true)
 }
 
 // jobsetTag names a statistic set for error-file namespaces and MR job
@@ -220,7 +223,7 @@ func jobsetTag(jset []jobs.Numeric) string {
 	return strings.Join(names, "+")
 }
 
-func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, deferExact bool) ([]Report, *LiveState, error) {
+func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, prog *plan.Program, deferExact bool) ([]Report, *LiveState, error) {
 	opts = opts.withDefaults()
 	if env == nil || env.FS == nil || env.Engine == nil {
 		return nil, nil, errors.New("core: incomplete Env")
@@ -247,7 +250,12 @@ func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, defe
 	// vectorized scan path too (it shares env.Scan's decoded blocks with
 	// the sampled job that follows, and with every other run over the
 	// file). Custom parsers (FormatNone) stay on the per-record path.
+	// A plan run scans under the plan's own input format: the filter may
+	// read the key column even though the statistics only see numbers.
 	format := jset[0].ScanFormat
+	if prog != nil {
+		format = prog.InputFormat()
+	}
 	if format != colscan.FormatNone {
 		if err := pilotSampler.EnableColumnar(env.Scan, format); err != nil {
 			return nil, nil, err
@@ -263,9 +271,37 @@ func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, defe
 		}
 		return into, nil
 	}
+	var pilotSc *plan.Scratch
+	if prog != nil {
+		pilotSc = plan.NewScratch()
+	}
 	// drawPilot extends the pilot by up to n values on whichever path is
-	// active, passing sampling.ErrExhausted through to the caller.
+	// active, passing sampling.ErrExhausted through to the caller. Under
+	// a plan, n counts POST-FILTER records: the pilot keeps drawing raw
+	// records through σ/π until n survivors arrive (or the file is dry),
+	// so SSABE sizes the sample against the filtered subpopulation — the
+	// population the statistics and their confidence intervals are about.
 	drawPilot := func(n int, into []float64) ([]float64, error) {
+		if prog != nil {
+			var raw, kept colscan.Cols
+			for n > 0 {
+				raw.Reset()
+				got, serr := pilotSampler.SampleCols(n, &raw)
+				if got > 0 {
+					kept.Reset()
+					k, aerr := prog.Apply(pilotSc, &raw, &kept, false)
+					if aerr != nil {
+						return into, aerr
+					}
+					into = append(into, kept.Vals...)
+					n -= k
+				}
+				if serr != nil {
+					return into, serr
+				}
+			}
+			return into, nil
+		}
 		if format != colscan.FormatNone {
 			var cols colscan.Cols
 			_, err := pilotSampler.SampleCols(n, &cols)
@@ -297,13 +333,33 @@ func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, defe
 		if deferExact {
 			return exactReports(jset, 0, false), exactLiveState(opts, fullPlans, 0, size), nil
 		}
-		reps, estN, err := runExactMulti(env, jset, path, opts)
+		reps, estN, err := runExactMulti(env, jset, path, opts, prog)
 		return reps, exactLiveState(opts, fullPlans, estN, size), err
 	}
 	if err != nil {
 		return nil, nil, err
 	}
-	estTotal := pilotSampler.EstimatedTotalRecords()
+	// effTotal estimates the population the run is over: the whole file,
+	// scaled by the pilot's observed selectivity when a filter is pushed
+	// down. Filter-then-sample means every N below — SSABE's, the
+	// expansion cap's, the correction fraction p's — is denominated in
+	// effective (post-filter subpopulation) records.
+	effTotal := func() int64 {
+		raw := pilotSampler.EstimatedTotalRecords()
+		if prog == nil || !prog.HasFilter() {
+			return raw
+		}
+		taken := pilotSampler.Taken()
+		if taken == 0 {
+			return raw
+		}
+		est := int64(float64(raw) * float64(len(pilot)) / float64(taken))
+		if est < 1 {
+			est = 1
+		}
+		return est
+	}
+	estTotal := effTotal()
 	pilotN := int(opts.PilotFraction * float64(estTotal))
 	if pilotN < opts.MinPilot {
 		pilotN = opts.MinPilot
@@ -314,13 +370,33 @@ func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, defe
 	forced := opts.ForceB > 1 && opts.ForceN > 0
 	if forced {
 		pilotN = len(pilot) // plan is forced: the probe alone suffices for estTotal
+		if prog != nil && prog.HasFilter() && pilotN < opts.MinPilot {
+			// Under a filter the pilot doubles as the selectivity
+			// estimator; the probe alone makes the effective-N denominator
+			// (and every corrected statistic) too noisy.
+			pilotN = opts.MinPilot
+		}
 	}
 	if pilotN > len(pilot) {
 		if pilot, err = drawPilot(pilotN-len(pilot), pilot); err != nil && !errors.Is(err, sampling.ErrExhausted) {
 			return nil, nil, err
 		}
 	}
-	estTotal = pilotSampler.EstimatedTotalRecords() // refined by the larger pilot
+	estTotal = effTotal() // refined by the larger pilot
+
+	// selSE is the relative standard error of the pilot's selectivity
+	// estimate — the only noisy factor in the effective subpopulation
+	// size. FinishReport widens extensive statistics' intervals by it;
+	// it is 0 (no widening, bit-identical reports) without a filter.
+	var selSE float64
+	if prog != nil && prog.HasFilter() {
+		if taken := pilotSampler.Taken(); taken > 0 && len(pilot) > 0 {
+			sel := float64(len(pilot)) / float64(taken)
+			if sel < 1 {
+				selSE = math.Sqrt((1 - sel) / (sel * float64(taken)))
+			}
+		}
+	}
 
 	plans := make([]aes.Plan, len(jset))
 	useFull := false
@@ -353,7 +429,7 @@ func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, defe
 		if deferExact {
 			return exactReports(jset, estTotal, true), exactLiveState(opts, plans, estTotal, size), nil
 		}
-		reps, _, err := runExactMulti(env, jset, path, opts)
+		reps, _, err := runExactMulti(env, jset, path, opts, prog)
 		for i := range reps {
 			reps[i].EstTotalN = estTotal
 		}
@@ -361,7 +437,7 @@ func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, defe
 	}
 
 	// ---- Pipelined sampling job (§2.1's modified Hadoop flow). --------
-	reps, st, err := runSampledJob(env, jset, path, opts, plans, estTotal, size)
+	reps, st, err := runSampledJob(env, jset, path, opts, plans, prog, estTotal, size, selSE)
 	for i := range reps {
 		reps[i].EstTotalN = estTotal
 	}
@@ -383,16 +459,19 @@ func exactReports(jset []jobs.Numeric, estTotal int64, setEst bool) []Report {
 // runExactMulti executes every statistic exactly over ONE full scan of
 // the file (the stock-Hadoop fall-back, preserving the multi-statistic
 // read-once contract) and returns the record count observed. A single
-// statistic keeps the historical runExact path bit-for-bit.
-func runExactMulti(env *Env, jset []jobs.Numeric, path string, opts Options) ([]Report, int64, error) {
-	if len(jset) == 1 {
+// statistic without a plan keeps the historical runExact path
+// bit-for-bit; a plan run filters/derives each scanned record through
+// the per-record reference evaluator, so the exact answer is over
+// exactly the subpopulation the sampled path estimates.
+func runExactMulti(env *Env, jset []jobs.Numeric, path string, opts Options, prog *plan.Program) ([]Report, int64, error) {
+	if len(jset) == 1 && prog == nil {
 		rep, err := runExact(env, jset[0], path, opts)
 		if err != nil {
 			return nil, 0, err
 		}
 		return []Report{rep}, int64(rep.SampleSize), nil
 	}
-	outs, n, err := runExactMultiJob(env, jset, path, opts.SplitSize)
+	outs, n, err := runExactMultiJob(env, jset, path, opts.SplitSize, prog)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -428,7 +507,7 @@ func exactLiveState(opts Options, plans []aes.Plan, estTotal, syncedBytes int64)
 
 // runSampledJob drives the generic engine with a statSink: one reduce
 // partition whose sink feeds every statistic from the shared sample.
-func runSampledJob(env *Env, jset []jobs.Numeric, path string, opts Options, plans []aes.Plan, estTotal, syncedBytes int64) ([]Report, *LiveState, error) {
+func runSampledJob(env *Env, jset []jobs.Numeric, path string, opts Options, plans []aes.Plan, prog *plan.Program, estTotal, syncedBytes int64, selSE float64) ([]Report, *LiveState, error) {
 	var initialN int64
 	for _, p := range plans {
 		if int64(p.N) > initialN {
@@ -446,20 +525,36 @@ func runSampledJob(env *Env, jset []jobs.Numeric, path string, opts Options, pla
 	}
 	tag := jobsetTag(jset)
 	primary := jset[0]
+	format := primary.ScanFormat
+	route := func(line string) (string, float64, error) {
+		// The one-key degenerate case: every record routes to the
+		// single reduce partition under the job-set's own name.
+		v, err := primary.Parse(line)
+		return primary.Name, v, err
+	}
+	if prog != nil {
+		// Plan runs draw transformed columns straight from the pushed-
+		// down sources; the per-record route must never fire (a filter
+		// cannot be expressed as ParseKV — it would have to drop lines).
+		format = prog.InputFormat()
+		route = func(string) (string, float64, error) {
+			return "", 0, errors.New("core: plan runs use the columnar path")
+		}
+	}
 	res, err := runEngine(env, path, opts, engineSpec{
-		Name:   "earl-" + tag,
-		ErrTag: tag,
-		Route: func(line string) (string, float64, error) {
-			// The one-key degenerate case: every record routes to the
-			// single reduce partition under the job-set's own name.
-			v, err := primary.Parse(line)
-			return primary.Name, v, err
-		},
+		Name:     "earl-" + tag,
+		ErrTag:   tag,
+		Route:    route,
 		Sinks:    []ResultSink{sink},
 		InitialN: initialN,
 		MaxN:     maxSample,
-		Format:   primary.ScanFormat,
+		Format:   format,
 		Key:      primary.Name,
+		// A scalar plan may scan keyed input (a filter over the key
+		// column) while still routing every survivor to the one
+		// synthetic reduce key.
+		Keyed: prog == nil && format == colscan.FormatKV,
+		Prog:  prog,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -471,6 +566,7 @@ func runSampledJob(env *Env, jset []jobs.Numeric, path string, opts Options, pla
 		Sources:     res.Sources,
 		Opts:        opts,
 		Generations: res.Generations,
+		SelSE:       selSE,
 	}
 	reps := make([]Report, len(jset))
 	for i, sr := range sink.stats {
@@ -479,7 +575,7 @@ func runSampledJob(env *Env, jset []jobs.Numeric, path string, opts Options, pla
 			return nil, nil, fmt.Errorf("core: no results (sample never arrived): %w", err)
 		}
 		p := float64(sr.maint.N()) / float64(estTotal)
-		rep, err := FinishReport(sr.job, opts, vals, sr.lastCV, p)
+		rep, err := FinishReport(sr.job, opts, vals, sr.lastCV, p, selSE)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/colscan"
 	"repro/internal/dfs"
 	"repro/internal/mr"
+	"repro/internal/plan"
 	"repro/internal/sampling"
 )
 
@@ -102,9 +104,18 @@ type engineSpec struct {
 	// FormatNone (custom parsers) keeps the per-record Route path.
 	Format colscan.Format
 	// Key is the reduce key every record routes to under FormatNumeric
-	// (the scalar one-key degenerate case); FormatKV records carry
-	// their own keys.
+	// (the scalar one-key degenerate case); keyed records carry their
+	// own keys.
 	Key string
+	// Keyed marks runs whose emitted records carry per-record reduce
+	// keys (grouped runs). Legacy runs derive it from Format, but a
+	// scalar plan can scan FormatKV input (a key-filter over "k\tv"
+	// lines) while still routing everything to the one synthetic Key.
+	Keyed bool
+	// Prog, when non-nil, is the compiled query plan pushed into the
+	// sampling sources: σ runs at pool fill / draw time, so every record
+	// reaching the mappers is already filtered, derived and labeled.
+	Prog *plan.Program
 }
 
 // engineResult is what the engine hands back to the driver; the results
@@ -149,7 +160,7 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 		return engineResult{}, err
 	}
 	m := len(owned)
-	sources, err := NewRecordSources(env, path, owned, opts, 0, spec.Format)
+	sources, err := NewRecordSources(env, path, owned, opts, 0, spec.Format, spec.Prog)
 	if err != nil {
 		return engineResult{}, err
 	}
@@ -183,7 +194,7 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 		cs, _ := sources[idx].(ColSource)
 		useCols := spec.Format != colscan.FormatNone && cs != nil
 		var buckets map[string][]float64
-		if useCols && spec.Format == colscan.FormatKV {
+		if useCols && spec.Keyed {
 			buckets = map[string][]float64{}
 		}
 		for {
@@ -207,7 +218,7 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 					cols := &colscan.Cols{}
 					n, err := cs.DrawCols(int(k), cols)
 					if n > 0 {
-						if spec.Format == colscan.FormatKV {
+						if spec.Keyed {
 							emitKeyed(ctx, cols, buckets)
 						} else {
 							ctx.Emit(spec.Key, cols.Vals)
@@ -241,8 +252,9 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 				}
 				continue
 			}
-			// Feedback poll: average the reducers' error files (§3.3).
-			avg, g, ok := readErrors(env.FS, errPrefix)
+			// Feedback poll: average the reducers' error files (§3.3),
+			// acting only on rounds every partition has published.
+			avg, g, ok := readErrors(env.FS, errPrefix, len(spec.Sinks))
 			if ok && g > lastGen {
 				lastGen = g
 				if avg <= opts.Sigma {
@@ -295,6 +307,9 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 			sink := spec.Sinks[part]
 			buf := map[string][]float64{}
 			bufN := 0
+			foldedEver := false     // any record ever folded into this sink
+			var round int64         // this partition's completed growth rounds
+			lastFolded := int64(-1) // last expansion target folded for
 			growAll := func() error {
 				// Fold keys in sorted order with sorted deltas: the
 				// per-generation multiset is deterministic, but map
@@ -316,40 +331,83 @@ func runEngine(env *Env, path string, opts Options, spec engineSpec) (engineResu
 					if err := sink.Grow(key, vals); err != nil {
 						return err
 					}
+					foldedEver = true
 				}
 				buf = map[string][]float64{}
 				bufN = 0
-				g := gen.Add(1)
+				round++
+				// gen tracks the run's round count: the max over the
+				// partitions' local rounds (they advance in lockstep —
+				// the feedback barrier below holds every round open
+				// until all partitions publish it).
+				for {
+					cur := gen.Load()
+					if round <= cur || gen.CompareAndSwap(cur, round) {
+						break
+					}
+				}
 				cv := sink.ErrorEstimate()
+				if !foldedEver {
+					// A partition no group key routes to has no opinion:
+					// NaN is skipped by the mappers' cv average (unlike
+					// +Inf, which means "has data, needs more" and must
+					// keep the expansion going).
+					cv = math.NaN()
+				}
 				ctrl.PublishError(cv)
 				return env.FS.WriteFile(
 					fmt.Sprintf("%spart-%d", errPrefix, part),
-					formatErrorFile(errorFile{CV: cv, Gen: g}))
+					formatErrorFile(errorFile{CV: cv, Gen: round}))
 			}
-			for kv := range in {
-				switch v := kv.Value.(type) {
-				case float64:
-					buf[kv.Key] = append(buf[kv.Key], v)
-					bufN++
-					received.Add(1)
-				case []float64:
-					// One batch from the vectorized scan path: count
-					// every record toward the growth trigger, exactly
-					// like the per-record arrivals.
-					buf[kv.Key] = append(buf[kv.Key], v...)
-					bufN += len(v)
-					received.Add(int64(len(v)))
-				default:
-					return fmt.Errorf("core: reducer got %T", kv.Value)
+			// The receive loop polls as well as consumes: a round can
+			// complete globally (received == target) without this
+			// partition seeing another arrival, and the feedback barrier
+			// needs every partition's error file for the round. Each
+			// partition folds exactly once per expansion target — the
+			// round's full routed multiset, whatever the arrival
+			// interleaving — which is what keeps multi-partition runs
+			// deterministic.
+			tick := time.NewTicker(100 * time.Microsecond)
+			defer tick.Stop()
+			for open := true; open; {
+				select {
+				case kv, ok := <-in:
+					if !ok {
+						open = false
+						break
+					}
+					switch v := kv.Value.(type) {
+					case float64:
+						buf[kv.Key] = append(buf[kv.Key], v)
+						bufN++
+						received.Add(1)
+					case []float64:
+						// One batch from the vectorized scan path: count
+						// every record toward the growth trigger, exactly
+						// like the per-record arrivals.
+						buf[kv.Key] = append(buf[kv.Key], v...)
+						bufN += len(v)
+						received.Add(int64(len(v)))
+					default:
+						return fmt.Errorf("core: reducer got %T", kv.Value)
+					}
+				case <-tick.C:
 				}
-				// Grow (and publish an error file) once the mappers have
-				// delivered everything they will deliver for the current
-				// target: either the target itself is met, or every mapper
-				// has settled (met its share or run dry) and the channel
-				// has drained.
+				// Grow (and publish the round's error file) once the
+				// mappers have delivered everything they will deliver for
+				// the current target: either the target itself is met
+				// (every routed record of the round has been buffered by
+				// its partition), or every mapper has settled (met its
+				// share or run dry) and the channel has drained — the
+				// latter only with deltas in hand, so a dry pipeline
+				// cannot mint empty rounds.
 				target := ctrl.ExpansionTarget()
+				if target == lastFolded {
+					continue
+				}
 				if received.Load() >= target ||
-					(received.Load() == emitted.Load() && allSettled(sent, dry, target, m)) {
+					(bufN > 0 && received.Load() == emitted.Load() && allSettled(sent, dry, target, m)) {
+					lastFolded = target
 					if err := growAll(); err != nil {
 						return err
 					}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/mr"
+	"repro/internal/plan"
 )
 
 // runExact executes job over the whole file as a standard batch MR job —
@@ -33,16 +34,32 @@ func runExact(env *Env, job jobs.Numeric, path string, opts Options) (Report, er
 	}, nil
 }
 
-// exactMapper parses each line and emits it under a single key.
+// exactMapper parses each line and emits it under a single key. A
+// non-nil prog routes every line through the plan's per-record
+// reference evaluator instead: filtered-out lines are dropped, derived
+// values replace the parsed ones, and seen counts only survivors — the
+// exact fall-back computes over exactly the subpopulation the sampled
+// path estimates.
 type exactMapper struct {
 	job  jobs.Numeric
+	prog *plan.Program
 	seen *atomic.Int64
 }
 
 // Map implements mr.Mapper.
 func (m exactMapper) Map(off int64, line string, emit mr.Emitter) error {
-	v, err := m.job.Parse(line)
-	if err != nil {
+	var v float64
+	var err error
+	if m.prog != nil {
+		var keep bool
+		keep, _, v, err = m.prog.EvalLine(line)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+	} else if v, err = m.job.Parse(line); err != nil {
 		return err
 	}
 	m.seen.Add(1)
@@ -108,7 +125,7 @@ func (r exactMultiReducer) Reduce(key string, values []any, emit mr.Emitter) err
 // the input format, so the first job's Parse stands for all) and the
 // reducer applies every statistic to the collected values — the exact
 // fall-back keeps the multi-statistic read-once contract.
-func runExactMultiJob(env *Env, jset []jobs.Numeric, path string, splitSize int64) ([]float64, int, error) {
+func runExactMultiJob(env *Env, jset []jobs.Numeric, path string, splitSize int64, prog *plan.Program) ([]float64, int, error) {
 	if jset[0].Parse == nil {
 		return nil, 0, fmt.Errorf("core: job %q needs Parse", jset[0].Name)
 	}
@@ -117,13 +134,16 @@ func runExactMultiJob(env *Env, jset []jobs.Numeric, path string, splitSize int6
 		Name:        "exact-" + jobsetTag(jset),
 		InputPath:   path,
 		SplitSize:   splitSize,
-		Mapper:      exactMapper{job: jset[0], seen: &seen},
+		Mapper:      exactMapper{job: jset[0], prog: prog, seen: &seen},
 		Reducer:     exactMultiReducer{jset: jset},
 		NumReducers: 1,
 	}
 	res, err := env.Engine.Run(mjob)
 	if err != nil {
 		return nil, 0, err
+	}
+	if len(res.Output) == 0 && prog != nil {
+		return nil, 0, fmt.Errorf("core: no records matched filter")
 	}
 	if len(res.Output) != len(jset) {
 		return nil, 0, fmt.Errorf("core: exact multi job emitted %d results for %d statistics", len(res.Output), len(jset))

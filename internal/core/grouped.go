@@ -7,6 +7,7 @@ import (
 	"repro/internal/colscan"
 	"repro/internal/delta"
 	"repro/internal/jobs"
+	"repro/internal/plan"
 	"repro/internal/sampling"
 )
 
@@ -47,6 +48,14 @@ type GroupedLiveState struct {
 // RunGroupedLive is RunGrouped, additionally returning the run's retained
 // state for maintained (continuous-ingest) queries.
 func RunGroupedLive(env *Env, job jobs.Numeric, route Route, path string, opts Options) (GroupedReport, *GroupedLiveState, error) {
+	return runGroupedLive(env, job, route, path, opts, nil)
+}
+
+// runGroupedLive is the grouped driver. A non-nil prog replaces the
+// route entirely: records decode under the plan's input format, the
+// pushed-down σ/π/γ kernels transform them, and the emitted group keys
+// are the plan's labels — route may be zero in that case.
+func runGroupedLive(env *Env, job jobs.Numeric, route Route, path string, opts Options, prog *plan.Program) (GroupedReport, *GroupedLiveState, error) {
 	opts = opts.withDefaults()
 	if env == nil || env.FS == nil || env.Engine == nil {
 		return GroupedReport{}, nil, errors.New("core: incomplete Env")
@@ -54,8 +63,16 @@ func RunGroupedLive(env *Env, job jobs.Numeric, route Route, path string, opts O
 	if job.Reducer == nil {
 		return GroupedReport{}, nil, errors.New("core: job needs a Reducer")
 	}
-	if route.Parse == nil {
+	if route.Parse == nil && prog == nil {
 		return GroupedReport{}, nil, errors.New("core: RunGrouped needs a Route")
+	}
+	format := route.Format
+	routeParse := route.Parse
+	if prog != nil {
+		format = prog.InputFormat()
+		routeParse = func(string) (string, float64, error) {
+			return "", 0, errors.New("core: plan runs use the columnar path")
+		}
 	}
 	size, err := env.FS.Stat(path)
 	if err != nil {
@@ -67,13 +84,41 @@ func RunGroupedLive(env *Env, job jobs.Numeric, route Route, path string, opts O
 	if err != nil {
 		return GroupedReport{}, nil, err
 	}
-	if route.Format != colscan.FormatNone {
-		if err := pilotSampler.EnableColumnar(env.Scan, route.Format); err != nil {
+	if format != colscan.FormatNone {
+		if err := pilotSampler.EnableColumnar(env.Scan, format); err != nil {
 			return GroupedReport{}, nil, err
 		}
 	}
 	keys := map[string]struct{}{}
-	if route.Format != colscan.FormatNone {
+	kept := 0
+	switch {
+	case prog != nil:
+		// Draw raw records through the plan until 512 survive (or the
+		// file is dry): the distinct labels — and the selectivity — both
+		// come from the post-filter stream the run is actually about.
+		sc := plan.NewScratch()
+		var raw, out colscan.Cols
+		for need := 512; need > 0; {
+			raw.Reset()
+			got, serr := pilotSampler.SampleCols(need, &raw)
+			if got > 0 {
+				k, aerr := prog.Apply(sc, &raw, &out, false)
+				if aerr != nil {
+					return GroupedReport{}, nil, aerr
+				}
+				need -= k
+			}
+			if errors.Is(serr, sampling.ErrExhausted) {
+				break
+			} else if serr != nil {
+				return GroupedReport{}, nil, serr
+			}
+		}
+		kept = out.Len()
+		for _, k := range out.Keys {
+			keys[k] = struct{}{}
+		}
+	case format != colscan.FormatNone:
 		var cols colscan.Cols
 		if _, err := pilotSampler.SampleCols(512, &cols); err != nil && !errors.Is(err, sampling.ErrExhausted) {
 			return GroupedReport{}, nil, err
@@ -81,7 +126,7 @@ func RunGroupedLive(env *Env, job jobs.Numeric, route Route, path string, opts O
 		for _, k := range cols.Keys {
 			keys[k] = struct{}{}
 		}
-	} else {
+	default:
 		probe, err := pilotSampler.Sample(512)
 		if err != nil && !errors.Is(err, sampling.ErrExhausted) {
 			return GroupedReport{}, nil, err
@@ -98,9 +143,21 @@ func RunGroupedLive(env *Env, job jobs.Numeric, route Route, path string, opts O
 	// scalar driver) so grouped runs account their planning cost too.
 	env.Metrics.RecordsRead.Add(int64(pilotSampler.Taken()))
 	if len(keys) == 0 {
+		if prog != nil && prog.HasFilter() {
+			return GroupedReport{}, nil, errors.New("core: no records matched filter")
+		}
 		return GroupedReport{}, nil, errors.New("core: no records found")
 	}
 	estTotal := pilotSampler.EstimatedTotalRecords()
+	if prog != nil && prog.HasFilter() {
+		// Effective (subpopulation) total, as in the scalar driver.
+		if taken := pilotSampler.Taken(); taken > 0 {
+			estTotal = int64(float64(estTotal) * float64(kept) / float64(taken))
+			if estTotal < 1 {
+				estTotal = 1
+			}
+		}
+	}
 
 	b := opts.ForceB
 	if b <= 1 {
@@ -131,11 +188,13 @@ func RunGroupedLive(env *Env, job jobs.Numeric, route Route, path string, opts O
 	res, err := runEngine(env, path, opts, engineSpec{
 		Name:     "earl-grouped-" + job.Name,
 		ErrTag:   job.Name + "-grouped",
-		Route:    route.Parse,
+		Route:    routeParse,
 		Sinks:    sinks,
 		InitialN: int64(initialN),
 		MaxN:     maxSample,
-		Format:   route.Format,
+		Format:   format,
+		Keyed:    true,
+		Prog:     prog,
 	})
 	if err != nil {
 		return GroupedReport{}, nil, err

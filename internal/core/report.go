@@ -39,7 +39,19 @@ type GroupedReport struct {
 // job's correct() exactly like the estimate — an uncorrected interval
 // around a corrected extensive statistic (SUM, COUNT) could never cover
 // the true value.
-func FinishReport(job jobs.Numeric, opts Options, vals []float64, cv, p float64) (Report, error) {
+//
+// selSE is the relative standard error of the estimated (sub)population
+// size; it is nonzero only when a pushed-down filter made the
+// population an ESTIMATE (effective N = raw N × pilot selectivity)
+// rather than a byte-derived count. Extensive statistics divide by that
+// estimate, so their corrected values inherit its noise on top of the
+// bootstrap's — the percentile interval alone would systematically
+// under-cover the subpopulation truth. The interval is widened by the
+// delta method: the selectivity term (z·selSE·estimate at the report's
+// confidence level) combines with each percentile half-width in
+// quadrature. p-invariant statistics (mean, quantiles) never touch the
+// population estimate and are left exactly as before.
+func FinishReport(job jobs.Numeric, opts Options, vals []float64, cv, p, selSE float64) (Report, error) {
 	est, err := stats.Mean(vals)
 	if err != nil {
 		return Report{}, err
@@ -52,13 +64,27 @@ func FinishReport(job jobs.Numeric, opts Options, vals []float64, cv, p float64)
 	if p > 1 {
 		p = 1
 	}
+	cEst := job.Reducer.Correct(est, p)
 	cLo, cHi := job.Reducer.Correct(lo, p), job.Reducer.Correct(hi, p)
 	if cLo > cHi {
 		cLo, cHi = cHi, cLo
 	}
+	if selSE > 0 && pSensitive(job, p) {
+		conf := opts.Confidence
+		if conf <= 0 {
+			conf = 0.95
+		}
+		z, zerr := stats.NormalQuantile(0.5 + conf/2)
+		if zerr != nil {
+			return Report{}, zerr
+		}
+		extra := z * selSE * math.Abs(cEst)
+		cLo = cEst - math.Sqrt((cEst-cLo)*(cEst-cLo)+extra*extra)
+		cHi = cEst + math.Sqrt((cHi-cEst)*(cHi-cEst)+extra*extra)
+	}
 	return Report{
 		Job:         job.Name,
-		Estimate:    job.Reducer.Correct(est, p),
+		Estimate:    cEst,
 		Uncorrected: est,
 		CV:          cv,
 		CILo:        cLo,
@@ -66,6 +92,13 @@ func FinishReport(job jobs.Numeric, opts Options, vals []float64, cv, p float64)
 		Converged:   cv <= opts.Sigma,
 		FractionP:   p,
 	}, nil
+}
+
+// pSensitive reports whether the job's correction actually uses the
+// sampling fraction (probed numerically: extensive statistics like SUM
+// and COUNT scale by 1/p, intensive ones return their input unchanged).
+func pSensitive(job jobs.Numeric, p float64) bool {
+	return job.Reducer.Correct(1, p) != 1 || job.Reducer.Correct(-3, p) != -3
 }
 
 // GroupedReportFrom assembles per-group results from the maintained resample

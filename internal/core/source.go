@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/colscan"
 	"repro/internal/dfs"
+	"repro/internal/plan"
 	"repro/internal/pool"
 	"repro/internal/sampling"
 	"repro/internal/simcost"
@@ -106,6 +107,59 @@ func (p postMapColsSource) DrawCols(k int, out *colscan.Cols) (int, error) {
 
 func (p postMapColsSource) Weight() int64 { return int64(p.s.Total()) }
 
+// xformColSource pushes a compiled plan into a sampling stream: draws
+// from the inner source are raw records, the program's vectorized
+// kernels filter/derive/label them, and only surviving transformed
+// records reach the caller — so k means "k post-filter records" and
+// every expansion target upstream is denominated in effective
+// (subpopulation) records. prefiltered marks inner streams whose σ
+// already ran at pool-fill time (AddBlockKept), where the rejection
+// loop degenerates to a single transform pass.
+//
+// Plans are columnar by construction (a Program always has a concrete
+// input format), so the per-record Draw path degrades to an error like
+// postMapColsSource's.
+type xformColSource struct {
+	inner       ColSource
+	prog        *plan.Program
+	prefiltered bool
+	sc          *plan.Scratch
+	raw         colscan.Cols
+}
+
+func (x *xformColSource) Draw(int) ([]string, error) {
+	return nil, fmt.Errorf("core: plan sources have no line path")
+}
+
+func (x *xformColSource) DrawCols(k int, out *colscan.Cols) (int, error) {
+	got := 0
+	for got < k {
+		// Ask for the remaining shortfall in raw records. Under a
+		// selective σ one raw batch yields fewer than asked, so loop;
+		// chunking does not change the inner draw sequence (a stream
+		// drawn 10+10 equals one drawn 20).
+		x.raw.Reset()
+		n, err := x.inner.DrawCols(k-got, &x.raw)
+		if n > 0 {
+			kept, aerr := x.prog.Apply(x.sc, &x.raw, out, x.prefiltered)
+			if aerr != nil {
+				return got, aerr
+			}
+			got += kept
+		}
+		if err != nil {
+			return got, err // sampling.ErrExhausted passes through
+		}
+	}
+	return got, nil
+}
+
+// Weight stays proportional to the records the source covers: a
+// prefiltered pool counts exactly its kept records; a pre-map stream
+// keeps its byte weight (selectivity is assumed uniform across owned
+// regions, as record density already is).
+func (x *xformColSource) Weight() int64 { return x.inner.Weight() }
+
 // NewRecordSources builds one retained sampling stream per mapper over
 // the given split ownership, per opts.Sampler. seedSalt decorrelates
 // streams built for different ingest generations of the same maintained
@@ -124,7 +178,13 @@ func (p postMapColsSource) Weight() int64 { return int64(p.s.Total()) }
 // failure (e.g. a block with no live replica) yields an errSource for
 // that mapper rather than failing construction, preserving the §3.4
 // behaviour: the mapper fails, the run finishes on surviving data.
-func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, seedSalt uint64, format colscan.Format) ([]RecordSource, error) {
+//
+// A non-nil prog pushes the compiled plan into every stream: post-map
+// pools are filled through the vectorized σ kernel (only surviving
+// records of each cached decoded block are pooled — the block itself is
+// shared and never re-decoded or mutated), and every stream is wrapped
+// so draws deliver transformed post-filter records.
+func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, seedSalt uint64, format colscan.Format, prog *plan.Program) ([]RecordSource, error) {
 	var version, size int64
 	if format != colscan.FormatNone && opts.Sampler == PostMapSampling {
 		var err error
@@ -137,9 +197,20 @@ func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, 
 	}
 	sources := make([]RecordSource, len(owned))
 	err := pool.ForEach(len(owned), len(owned), func(idx int) error {
+		wrap := func(inner ColSource, prefiltered bool) RecordSource {
+			if prog == nil {
+				return inner
+			}
+			return &xformColSource{inner: inner, prog: prog, prefiltered: prefiltered, sc: plan.NewScratch()}
+		}
 		switch {
 		case opts.Sampler == PostMapSampling && format != colscan.FormatNone:
 			pmap := sampling.NewPostMapCols(opts.Seed + seedSalt + uint64(idx)*7919)
+			var keepScratch []int32
+			var keepSc *plan.Scratch
+			if prog != nil && prog.HasFilter() {
+				keepSc = plan.NewScratch()
+			}
 			for _, sp := range owned[idx] {
 				blk, err := colscan.LoadSplit(env.Scan, env.FS, path, version, size, sp.Offset, sp.Length, format)
 				if err != nil {
@@ -149,9 +220,14 @@ func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, 
 				// The pool conceptually delivered every decoded record
 				// to this mapper, exactly like the line-pool scan.
 				env.Metrics.RecordsRead.Add(int64(blk.NumRecords()))
-				pmap.AddBlock(blk)
+				if keepSc != nil {
+					keepScratch = prog.KeepBlock(keepSc, blk, keepScratch[:0])
+					pmap.AddBlockKept(blk, keepScratch)
+				} else {
+					pmap.AddBlock(blk)
+				}
 			}
-			sources[idx] = postMapColsSource{s: pmap}
+			sources[idx] = wrap(postMapColsSource{s: pmap}, keepSc != nil)
 		case opts.Sampler == PostMapSampling:
 			pmap := sampling.NewPostMap(opts.Seed + seedSalt + uint64(idx)*7919)
 			for _, sp := range owned[idx] {
@@ -180,7 +256,7 @@ func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, 
 					return err
 				}
 			}
-			sources[idx] = preMapSource{s: sampler, metrics: env.Metrics}
+			sources[idx] = wrap(preMapSource{s: sampler, metrics: env.Metrics}, false)
 		}
 		return nil
 	})

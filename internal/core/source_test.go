@@ -20,7 +20,7 @@ func TestNewRecordSourcesDraws(t *testing.T) {
 	}
 	owned := [][]dfs.Split{splits[:len(splits)/2], splits[len(splits)/2:]}
 	for _, sampler := range []SamplerKind{PreMapSampling, PostMapSampling} {
-		sources, err := NewRecordSources(env, "/data", owned, Options{Sampler: sampler, Seed: 7}, 0, colscan.FormatNone)
+		sources, err := NewRecordSources(env, "/data", owned, Options{Sampler: sampler, Seed: 7}, 0, colscan.FormatNone, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", sampler, err)
 		}
@@ -64,7 +64,7 @@ func TestNewRecordSourcesToleratesDeadScan(t *testing.T) {
 	for i, sp := range splits {
 		owned[i] = []dfs.Split{sp}
 	}
-	sources, err := NewRecordSources(env, "/data", owned, Options{Sampler: PostMapSampling, Seed: 8}, 0, colscan.FormatNone)
+	sources, err := NewRecordSources(env, "/data", owned, Options{Sampler: PostMapSampling, Seed: 8}, 0, colscan.FormatNone, nil)
 	if err != nil {
 		t.Fatalf("construction must tolerate dead blocks, got %v", err)
 	}

@@ -36,6 +36,14 @@ func ByName(name string) (Numeric, error) {
 			return Quantile(math.Round(v/100*1e12) / 1e12)
 		}
 	}
+	// The canonical Name of a quantile job ("quantile-0.5") resolves to
+	// itself, so normalized specs (internal/plan) round-trip through the
+	// same table every front-end spelling goes through.
+	if frac, ok := strings.CutPrefix(name, "quantile-"); ok {
+		if v, err := strconv.ParseFloat(frac, 64); err == nil {
+			return Quantile(v)
+		}
+	}
 	if frac, ok := strings.CutPrefix(name, "q"); ok {
 		if v, err := strconv.ParseFloat(frac, 64); err == nil {
 			return Quantile(v)

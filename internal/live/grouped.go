@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/delta"
 	"repro/internal/jobs"
+	"repro/internal/plan"
 )
 
 // GroupedQuery is a maintained per-key EARL query: every group's
@@ -34,7 +35,24 @@ type GroupedQuery struct {
 // WatchGrouped runs the grouped early workflow once and returns a
 // maintained handle over its per-group state.
 func WatchGrouped(env *core.Env, job jobs.Numeric, route core.Route, path string, opts core.Options) (*GroupedQuery, error) {
-	rep, st, err := core.RunGroupedLive(env, job, route, path, opts)
+	return watchGrouped(env, job, route, path, opts, nil)
+}
+
+// watchGrouped is the shared grouped watch constructor; a non-nil prog
+// is a compiled query plan whose γ labels the groups (route may be zero
+// then — records decode under the plan's input format). prog nil is the
+// legacy path, bit-identical to the historical WatchGrouped.
+func watchGrouped(env *core.Env, job jobs.Numeric, route core.Route, path string, opts core.Options, prog *plan.Program) (*GroupedQuery, error) {
+	var rep core.GroupedReport
+	var st *core.GroupedLiveState
+	var err error
+	format := route.Format
+	if prog != nil {
+		rep, st, err = core.RunPlanGroupedLive(env, job, path, opts, prog)
+		format = prog.InputFormat()
+	} else {
+		rep, st, err = core.RunGroupedLive(env, job, route, path, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +61,8 @@ func WatchGrouped(env *core.Env, job jobs.Numeric, route core.Route, path string
 			env:      env,
 			path:     path,
 			opts:     st.Opts,
-			format:   route.Format,
+			format:   format,
+			prog:     prog,
 			sources:  st.Sources,
 			dry:      make([]bool, len(st.Sources)),
 			estTotal: st.EstTotal,

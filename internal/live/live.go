@@ -50,6 +50,7 @@ import (
 	"repro/internal/colscan"
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/plan"
 	"repro/internal/pool"
 	"repro/internal/sampling"
 )
@@ -97,6 +98,9 @@ type watchBase struct {
 	// format is the columnar decode format of the watched records;
 	// FormatNone keeps every refresh on the per-record path.
 	format colscan.Format
+	// prog is the compiled query plan pushed into every refresh's new
+	// sampler streams; nil for legacy (plan-free) watches.
+	prog *plan.Program
 
 	sources  []core.RecordSource
 	dry      []bool // aligned with sources
@@ -141,7 +145,7 @@ func (b *watchBase) refreshSampled(size int64, sk maintSink) error {
 	b.sources, b.dry = compactSources(b.sources, b.dry)
 	if size > b.synced {
 		newSources, estNew, err := buildRefreshSources(
-			b.env, b.path, b.opts, b.format, b.synced, size, b.estTotal, b.refreshGen)
+			b.env, b.path, b.opts, b.format, b.prog, b.synced, size, b.estTotal, b.refreshGen)
 		if err != nil {
 			return err
 		}
@@ -465,7 +469,14 @@ func splitsSince(env *core.Env, path string, splitSize, synced int64) ([]dfs.Spl
 // pre-map — the same §3.3 estimator the initial run uses, with the mean
 // taken from the estTotal records known to span the synced bytes.
 // Shared by the single/multi-statistic and grouped maintained queries.
-func buildRefreshSources(env *core.Env, path string, opts core.Options, format colscan.Format, synced, size, estTotal int64, refreshGen int) ([]core.RecordSource, int64, error) {
+//
+// A non-nil prog pushes the plan into the new streams, so refresh draws
+// deliver post-filter transformed records and every estimate stays
+// denominated in the effective subpopulation: post-map weights count
+// kept records, and the pre-map mean-record-length estimator divides
+// raw bytes by bytes-per-EFFECTIVE-record (estTotal is effective under
+// a plan), embedding the selectivity without an extra correction.
+func buildRefreshSources(env *core.Env, path string, opts core.Options, format colscan.Format, prog *plan.Program, synced, size, estTotal int64, refreshGen int) ([]core.RecordSource, int64, error) {
 	splits, err := splitsSince(env, path, opts.SplitSize, synced)
 	if err != nil {
 		return nil, 0, err
@@ -481,7 +492,7 @@ func buildRefreshSources(env *core.Env, path string, opts core.Options, format c
 	for i, sp := range splits {
 		owned[i%m] = append(owned[i%m], sp)
 	}
-	sources, err := core.NewRecordSources(env, path, owned, opts, uint64(refreshGen)*refreshSalt, format)
+	sources, err := core.NewRecordSources(env, path, owned, opts, uint64(refreshGen)*refreshSalt, format, prog)
 	if err != nil {
 		return nil, 0, err
 	}

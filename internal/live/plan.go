@@ -1,0 +1,25 @@
+package live
+
+import (
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// WatchPlan opens a maintained query from a plan.Spec: the spec is
+// normalized and compiled once (core.PreparePlan), the σ/π/γ program is
+// pushed into the initial run's sampling sources and every refresh's
+// new streams, and exactly one of the two handles is returned — a
+// *Query for scalar plans, a *GroupedQuery when the plan groups.
+// Degenerate specs run the legacy paths bit-identically.
+func WatchPlan(env *core.Env, spec plan.Spec, opts core.Options) (*Query, *GroupedQuery, error) {
+	pq, err := core.PreparePlan(spec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pq.Grouped() {
+		gq, err := watchGrouped(env, pq.Jobs[0], core.TabRoute(), pq.Spec.Path, pq.Opts, pq.Prog)
+		return nil, gq, err
+	}
+	q, err := watchMulti(env, pq.Jobs, pq.Spec.Path, pq.Opts, pq.Prog)
+	return q, nil, err
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/jobs"
 	"repro/internal/mr"
+	"repro/internal/plan"
 	"repro/internal/pool"
 )
 
@@ -18,6 +19,7 @@ type Query struct {
 	jobs    []jobs.Numeric
 	stats   []core.StatState // one per statistic; Maint nil on the exact path
 	scratch pool.Floats      // refresh-fold parse buffer (guarded by mu)
+	selSE   float64          // subpopulation-size uncertainty carried into every report (plan watches)
 
 	// exact-maintenance path (tiny data / SSABE said sampling won't pay)
 	exactStates []mr.State // one incremental reduce state per statistic
@@ -39,19 +41,33 @@ func Watch(env *core.Env, job jobs.Numeric, path string, opts core.Options) (*Qu
 // statistics share the maintained sample, so a refresh costs one delta
 // scan regardless of how many statistics ride the watch.
 func WatchMulti(env *core.Env, jset []jobs.Numeric, path string, opts core.Options) (*Query, error) {
-	// RunMultiLiveDeferExact skips the exact MR jobs on the fall-back
+	return watchMulti(env, jset, path, opts, nil)
+}
+
+// watchMulti is the shared scalar watch constructor; a non-nil prog is
+// a compiled query plan pushed into the run and every later refresh
+// (opts must then already carry the spec's knobs — see
+// core.PreparePlan). prog nil is the legacy path, bit-identical to the
+// historical WatchMulti.
+func watchMulti(env *core.Env, jset []jobs.Numeric, path string, opts core.Options, prog *plan.Program) (*Query, error) {
+	// RunPlanMultiLiveDeferExact skips the exact MR jobs on the fall-back
 	// path: the incremental scan below produces the same answers in one
 	// pass and leaves a maintainable state behind.
-	reps, st, err := core.RunMultiLiveDeferExact(env, jset, path, opts)
+	reps, st, err := core.RunPlanMultiLiveDeferExact(env, jset, path, opts, prog)
 	if err != nil {
 		return nil, err
+	}
+	format := jset[0].ScanFormat
+	if prog != nil {
+		format = prog.InputFormat()
 	}
 	q := &Query{
 		watchBase: watchBase{
 			env:      env,
 			path:     path,
 			opts:     st.Opts,
-			format:   jset[0].ScanFormat,
+			format:   format,
+			prog:     prog,
 			sources:  st.Sources,
 			dry:      make([]bool, len(st.Sources)),
 			estTotal: st.EstTotal,
@@ -59,6 +75,7 @@ func WatchMulti(env *core.Env, jset []jobs.Numeric, path string, opts core.Optio
 		},
 		jobs:        jset,
 		stats:       st.Stats,
+		selSE:       st.SelSE,
 		generations: st.Generations,
 		last:        reps,
 	}
@@ -175,7 +192,7 @@ func (q *Query) buildReports() ([]core.Report, error) {
 		}
 		cv := measureOf(q.opts, st.Maint)
 		p := float64(st.Maint.N()) / float64(q.estTotal)
-		rep, err := core.FinishReport(q.jobs[i], q.opts, vals, cv, p)
+		rep, err := core.FinishReport(q.jobs[i], q.opts, vals, cv, p, q.selSE)
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +218,20 @@ func (q *Query) foldExact(splits []dfs.Split) error {
 			return err
 		}
 		for rd.Next() {
+			if q.prog != nil {
+				// Plan watches fold only σ's survivors, carrying the
+				// derived value — the exact state IS the subpopulation
+				// statistic. Every scanned record is charged as read.
+				keep, _, v, perr := q.prog.EvalLine(rd.Text())
+				if perr != nil {
+					return fmt.Errorf("live: parse: %w", perr)
+				}
+				q.env.Metrics.RecordsRead.Add(1)
+				if keep {
+					vals = append(vals, v)
+				}
+				continue
+			}
 			v, perr := q.jobs[0].Parse(rd.Text())
 			if perr != nil {
 				return fmt.Errorf("live: parse: %w", perr)

@@ -1,0 +1,296 @@
+package plan
+
+// This file compiles a checked AST into a linear register program
+// executed over whole columns — the vectorized half of the expression
+// language. Registers are []float64 vectors of the batch length, the
+// register index of every instruction is fixed at compile time (stack
+// depth), and each opcode is one tight loop over the column, so a
+// cached decoded block is filtered with a handful of sequential passes
+// instead of a tree walk per record. Semantics are bit-identical to
+// eval.go's reference walk (same float64 operations in the same order);
+// the FuzzExprEval target holds the two to that contract.
+
+type op uint8
+
+const (
+	opConst op = iota // dst[i] = c
+	opLoadV           // dst[i] = vals[i]
+	opStrEq           // dst[i] = keys[i] == s
+	opStrNe           // dst[i] = keys[i] != s
+	opTrue            // dst[i] = c (a compile-time-known string comparison)
+	opNeg             // dst[i] = -a[i]
+	opNot             // dst[i] = a[i] == 0
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opLt
+	opLe
+	opGt
+	opGe
+	opEqNum
+	opNeNum
+	opAnd
+	opOr
+	opCall1 // dst[i] = f1(a[i])
+	opCall2 // dst[i] = f2(a[i], b[i])
+)
+
+type instr struct {
+	op        op
+	c         float64 // opConst / opTrue
+	s         string  // opStrEq / opStrNe literal
+	f1        func(float64) float64
+	f2        func(float64, float64) float64
+	dst, a, b int
+}
+
+// compiled is one executable expression: the register program, the
+// register count it needs, the checked AST (for the reference walk and
+// canonical printing) and whether it reads the key column.
+type compiled struct {
+	src     string
+	code    []instr
+	nregs   int
+	root    node
+	usesKey bool
+}
+
+// compileExpr parses, checks and compiles src, requiring the given
+// result kind.
+func compileExpr(src string, want kind, what string) (*compiled, error) {
+	root, err := parseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	k, err := checkKind(src, root)
+	if err != nil {
+		return nil, err
+	}
+	if k != want {
+		return nil, posErrf(src, root.pos(), "%s must be a %s expression, got %s", what, want, k)
+	}
+	c := &compiled{src: src, root: root, usesKey: usesKey(root)}
+	depth := c.emit(root, 0)
+	if depth > c.nregs {
+		c.nregs = depth
+	}
+	return c, nil
+}
+
+// emit appends the instructions computing n into register `depth`,
+// returning the stack depth after the push. Register pressure equals
+// expression depth, so nregs stays tiny.
+func (c *compiled) emit(n node, depth int) int {
+	grow := func(d int) {
+		if d > c.nregs {
+			c.nregs = d
+		}
+	}
+	switch n := n.(type) {
+	case *numLit:
+		c.code = append(c.code, instr{op: opConst, c: n.v, dst: depth})
+	case *varRef: // "v"; "key" never reaches a vector slot directly
+		c.code = append(c.code, instr{op: opLoadV, dst: depth})
+	case *unaryOp:
+		c.emit(n.x, depth)
+		o := opNeg
+		if n.op == tBang {
+			o = opNot
+		}
+		c.code = append(c.code, instr{op: o, dst: depth, a: depth})
+	case *binOp:
+		if n.op == tEq || n.op == tNe {
+			if _, ok := kindOfEq(n); ok {
+				c.emitStrCmp(n, depth)
+				break
+			}
+		}
+		c.emit(n.x, depth)
+		c.emit(n.y, depth+1)
+		grow(depth + 2)
+		var o op
+		switch n.op {
+		case tPlus:
+			o = opAdd
+		case tMinus:
+			o = opSub
+		case tStar:
+			o = opMul
+		case tSlash:
+			o = opDiv
+		case tLt:
+			o = opLt
+		case tLe:
+			o = opLe
+		case tGt:
+			o = opGt
+		case tGe:
+			o = opGe
+		case tEq:
+			o = opEqNum
+		case tNe:
+			o = opNeNum
+		case tAndAnd:
+			o = opAnd
+		default:
+			o = opOr
+		}
+		c.code = append(c.code, instr{op: o, dst: depth, a: depth, b: depth + 1})
+	case *callOp:
+		spec := funcs[n.fn]
+		if spec.arity == 1 {
+			c.emit(n.args[0], depth)
+			c.code = append(c.code, instr{op: opCall1, f1: spec.f1, dst: depth, a: depth})
+		} else {
+			c.emit(n.args[0], depth)
+			c.emit(n.args[1], depth+1)
+			grow(depth + 2)
+			c.code = append(c.code, instr{op: opCall2, f2: spec.f2, dst: depth, a: depth, b: depth + 1})
+		}
+	}
+	grow(depth + 1)
+	return depth + 1
+}
+
+// emitStrCmp compiles a string ==/!=. Literal-vs-literal and
+// key-vs-key comparisons are compile-time constants; the mixed forms
+// become one key-column scan.
+func (c *compiled) emitStrCmp(n *binOp, depth int) {
+	xs, xlit := n.x.(*strLit)
+	ys, ylit := n.y.(*strLit)
+	eq := n.op == tEq
+	switch {
+	case xlit && ylit:
+		c.code = append(c.code, instr{op: opTrue, c: b2f((xs.s == ys.s) == eq), dst: depth})
+	case !xlit && !ylit: // key == key
+		c.code = append(c.code, instr{op: opTrue, c: b2f(eq), dst: depth})
+	default:
+		lit := ""
+		if xlit {
+			lit = xs.s
+		} else {
+			lit = ys.s
+		}
+		o := opStrEq
+		if !eq {
+			o = opStrNe
+		}
+		c.code = append(c.code, instr{op: o, s: lit, dst: depth})
+	}
+}
+
+// exec runs the program over one batch and returns the result vector
+// (register 0, valid until the scratch's next exec). keys may be nil
+// when the program does not read the key column.
+//
+//earl:hotpath
+func (c *compiled) exec(sc *Scratch, vals []float64, keys []string) []float64 {
+	regs := sc.grab(c.nregs, len(vals))
+	for _, in := range c.code {
+		d := regs[in.dst]
+		switch in.op {
+		case opConst, opTrue:
+			for i := range d {
+				d[i] = in.c
+			}
+		case opLoadV:
+			copy(d, vals)
+		case opStrEq:
+			for i := range d {
+				d[i] = b2f(keys[i] == in.s)
+			}
+		case opStrNe:
+			for i := range d {
+				d[i] = b2f(keys[i] != in.s)
+			}
+		case opNeg:
+			a := regs[in.a]
+			for i := range d {
+				d[i] = -a[i]
+			}
+		case opNot:
+			a := regs[in.a]
+			for i := range d {
+				d[i] = b2f(a[i] == 0)
+			}
+		case opAdd:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = a[i] + b[i]
+			}
+		case opSub:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = a[i] - b[i]
+			}
+		case opMul:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = a[i] * b[i]
+			}
+		case opDiv:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = a[i] / b[i]
+			}
+		case opLt:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = b2f(a[i] < b[i])
+			}
+		case opLe:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = b2f(a[i] <= b[i])
+			}
+		case opGt:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = b2f(a[i] > b[i])
+			}
+		case opGe:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = b2f(a[i] >= b[i])
+			}
+		case opEqNum:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = b2f(a[i] == b[i])
+			}
+		case opNeNum:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = b2f(a[i] != b[i])
+			}
+		case opAnd:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = b2f(a[i] != 0 && b[i] != 0)
+			}
+		case opOr:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = b2f(a[i] != 0 || b[i] != 0)
+			}
+		case opCall1:
+			a := regs[in.a]
+			for i := range d {
+				d[i] = in.f1(a[i])
+			}
+		case opCall2:
+			a, b := regs[in.a], regs[in.b]
+			for i := range d {
+				d[i] = in.f2(a[i], b[i])
+			}
+		}
+	}
+	return regs[0]
+}
+
+// evalOne runs the reference tree walk for one record — the exact-path
+// and fuzz-oracle entry point.
+func (c *compiled) evalOne(key string, v float64) float64 {
+	return evalNode(c.root, key, v)
+}

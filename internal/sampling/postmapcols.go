@@ -44,6 +44,19 @@ func (s *PostMapCols) AddBlock(b *colscan.Block) {
 	}
 }
 
+// AddBlockKept pools only the given records (ascending indices into b)
+// of one decoded split — the predicate-pushdown fill: a filtering run
+// pools the σ-surviving records of each cached block, so the pool IS
+// the filtered subpopulation and a fixed seed draws the same record
+// permutation as a pool built from a physically pre-filtered file.
+func (s *PostMapCols) AddBlockKept(b *colscan.Block, kept []int32) {
+	bi := int32(len(s.blocks))
+	s.blocks = append(s.blocks, b)
+	for _, r := range kept {
+		s.refs = append(s.refs, colRef{blk: bi, rec: r})
+	}
+}
+
 // Total returns the number of records pooled.
 func (s *PostMapCols) Total() int { return len(s.refs) }
 

@@ -15,11 +15,17 @@ import (
 
 // Handler returns earld's HTTP JSON API over the server:
 //
-//	POST   /query        {job, path, sigma?, sampler?, seed?, parallelism?, grouped?}
-//	                     or {jobs:["mean","p95",...], path, ...} for one
-//	                     shared-pass multi-statistic query
+//	POST   /query        {stats:["mean","p95",...], path, filter?, derive?,
+//	                     by?, sigma?, sampler?, seed?, parallelism?} — the
+//	                     canonical plan.Spec; filter/derive/by are the σ/π/γ
+//	                     query-plan expressions, several stats share one
+//	                     sampling pass. {job:"mean"} / {jobs:[...]} and
+//	                     {grouped:true} are accepted as legacy aliases for
+//	                     stats / by:"key". Malformed expressions are 400s
+//	                     with the offending column.
 //	POST   /watch        same body; dedupes identical maintained queries
-//	                     (scalar, multi-statistic and grouped alike)
+//	                     (scalar, multi-statistic and grouped alike) by the
+//	                     spec's canonical key
 //	GET    /watch/{id}   current report, refreshing once if data was appended
 //	DELETE /watch/{id}?sub=TOKEN  drop the subscription minted by POST /watch
 //	                     (idempotent per token; last one closes the query)

@@ -14,9 +14,11 @@
 //     serving designs make explicit.
 //
 //   - A shared-watch registry. Maintained queries — scalar,
-//     multi-statistic shared-pass (QuerySpec.Jobs) and grouped
-//     (QuerySpec.Grouped) alike — are deduped by their full identity
-//     (job set, path, σ, sampler, seed, parallelism…): the first
+//     multi-statistic shared-pass (QuerySpec.Stats), filtered/derived
+//     (QuerySpec.Filter/Derive) and grouped (QuerySpec.GroupBy) alike —
+//     are deduped by their full canonical plan identity
+//     (statistics, path, filter, derive, group-by, σ, sampler, seed,
+//     parallelism): the first
 //     OpenWatch runs the query and keeps its maintained handle;
 //     identical subsequent opens subscribe to the same underlying
 //     query. After an
@@ -53,6 +55,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/live"
+	"repro/internal/plan"
 	"repro/internal/simcost"
 	"repro/internal/workload"
 )
@@ -108,140 +111,81 @@ func (c Config) withDefaults() Config {
 }
 
 // QuerySpec names one approximate query — the identity the shared-watch
-// registry and the result cache key on. Two specs with the same
-// normalized fields are the same query and may share work.
+// registry and the result cache key on. It IS the engine-wide canonical
+// plan.Spec (path, stats, filter, derive, by, σ, sampler, seed,
+// parallelism), shared verbatim with the public earl builder and
+// earlctl's flags, plus the pre-plan wire spellings kept as decode
+// shims. Two specs that normalize the same way are the same query and
+// may share work — {"job":"p50"}, {"jobs":["p50"]} and
+// {"stats":["p50"]} all key identically.
 type QuerySpec struct {
-	// Job is the statistic: mean, sum, count, median, variance, stddev,
-	// proportion, or pNN / q0.NN for quantiles.
-	Job  string `json:"job"`
-	Path string `json:"path"`
-	// Jobs names several statistics computed as ONE shared-pass
-	// multi-statistic query (one pilot, one sample, one pass over the
-	// records; see core.RunMulti). Mutually exclusive with Job; a
-	// one-element Jobs collapses to Job so the two spellings share
-	// cache/watch identity.
+	plan.Spec
+
+	// Job and Jobs are the legacy spellings of Stats: one statistic, or
+	// several computed as ONE shared-pass multi-statistic query. At most
+	// one of job/jobs/stats may be set; normalize folds them into Stats.
+	Job  string   `json:"job,omitempty"`
 	Jobs []string `json:"jobs,omitempty"`
-	// Grouped runs the per-key variant over "key\tvalue" records.
-	Grouped     bool    `json:"grouped,omitempty"`
-	Sigma       float64 `json:"sigma,omitempty"`       // σ; 0.05 if 0
-	Sampler     string  `json:"sampler,omitempty"`     // pre-map (default) | post-map
-	Seed        uint64  `json:"seed,omitempty"`        // deterministic seed
-	Parallelism int     `json:"parallelism,omitempty"` // resampling pool size; 0 = GOMAXPROCS
+	// Grouped is the legacy spelling of By:"key" — the per-key variant
+	// over "key\tvalue" records.
+	Grouped bool `json:"grouped,omitempty"`
 }
 
-// normalize applies defaults and validates the spec.
+// normalize folds the legacy shims into the plan spec, then applies the
+// engine-wide validation/canonicalization path (plan.Spec.Normalize) —
+// the one shared with earlctl and the earl builder, so malformed
+// expressions fail here with positioned client errors. The returned
+// spec has empty shims: WatchInfo and /metrics always show the
+// canonical form.
 func (q QuerySpec) normalize() (QuerySpec, error) {
 	q.Job = strings.ToLower(strings.TrimSpace(q.Job))
-	if len(q.Jobs) > 0 {
-		// Copy before rewriting: the spec arrived by value but the Jobs
+	set := 0
+	for _, ok := range []bool{q.Job != "", len(q.Jobs) > 0, len(q.Stats) > 0} {
+		if ok {
+			set++
+		}
+	}
+	if set > 1 {
+		return q, errors.New("serve: give one of job, jobs or stats, not several")
+	}
+	switch {
+	case q.Job != "":
+		q.Stats = []string{q.Job}
+	case len(q.Jobs) > 0:
+		// Copy before handing off: the spec arrived by value but the
 		// slice header aliases the caller's backing array.
-		jobs := make([]string, len(q.Jobs))
-		for i, name := range q.Jobs {
-			jobs[i] = strings.ToLower(strings.TrimSpace(name))
+		q.Stats = append([]string(nil), q.Jobs...)
+	}
+	q.Job, q.Jobs = "", nil
+	if q.Grouped {
+		if q.GroupBy != "" && q.GroupBy != "key" {
+			return q, errors.New("serve: grouped conflicts with by; use one")
 		}
-		q.Jobs = jobs
-		if q.Job != "" {
-			return q, errors.New("serve: give job or jobs, not both")
-		}
-		if q.Grouped && len(q.Jobs) > 1 {
-			return q, errors.New("serve: grouped queries take a single job")
-		}
-		if len(q.Jobs) == 1 {
-			q.Job, q.Jobs = q.Jobs[0], nil
-		}
+		q.GroupBy = "key"
+		q.Grouped = false
 	}
-	if q.Job == "" && len(q.Jobs) == 0 {
-		q.Job = "mean"
-	}
-	// Validate every statistic and reject duplicates by RESOLVED name
-	// (p99.9 and q0.999 are the same quantile): a duplicate would yield
-	// two same-named reports the client could not tell apart.
-	seen := map[string]bool{}
-	for _, name := range q.jobNames() {
-		j, err := jobByName(name)
-		if err != nil {
-			return q, err
-		}
-		if seen[j.Name] {
-			return q, fmt.Errorf("serve: duplicate statistic %q in jobs", j.Name)
-		}
-		seen[j.Name] = true
-	}
-	if q.Path == "" {
-		return q, errors.New("serve: query needs a path")
-	}
-	if q.Sigma == 0 {
-		q.Sigma = 0.05
-	}
-	if q.Sigma < 0 {
-		return q, fmt.Errorf("serve: negative sigma %g", q.Sigma)
-	}
-	switch q.Sampler {
-	case "", "pre-map":
-		q.Sampler = string(core.PreMapSampling)
-	case "post-map":
-		q.Sampler = string(core.PostMapSampling)
-	default:
-		return q, fmt.Errorf("serve: unknown sampler %q (pre-map|post-map)", q.Sampler)
-	}
-	if q.Parallelism < 0 {
-		q.Parallelism = 0
+	var err error
+	if q.Spec, err = q.Spec.Normalize(); err != nil {
+		return q, fmt.Errorf("serve: %w", err)
 	}
 	return q, nil
 }
 
-// jobNames returns the statistic names of the spec, single or multi.
-func (q QuerySpec) jobNames() []string {
-	if len(q.Jobs) > 0 {
-		return q.Jobs
-	}
-	return []string{q.Job}
-}
-
 // jobSet resolves every statistic of a normalized spec.
 func (q QuerySpec) jobSet() ([]jobs.Numeric, error) {
-	names := q.jobNames()
-	jset := make([]jobs.Numeric, len(names))
-	for i, name := range names {
-		j, err := jobByName(name)
-		if err != nil {
-			return nil, err
-		}
-		jset[i] = j
+	jset, err := q.Spec.JobSet()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	return jset, nil
 }
 
-// key is the canonical identity string of a normalized spec. Parallelism
-// is deliberately part of it even though results are bit-identical at any
-// parallelism: sharing across parallelism settings would be sound for
-// results but would make a subscriber's requested worker-pool size lie.
-func (q QuerySpec) key() string {
-	return fmt.Sprintf("%s|%s|grouped=%t|σ=%g|%s|seed=%d|par=%d",
-		strings.Join(q.jobNames(), "+"), q.Path, q.Grouped, q.Sigma, q.Sampler, q.Seed, q.Parallelism)
-}
-
-// options translates the spec into driver options.
-func (q QuerySpec) options() core.Options {
-	return core.Options{
-		Sigma:       q.Sigma,
-		Sampler:     core.SamplerKind(q.Sampler),
-		Seed:        q.Seed,
-		Parallelism: q.Parallelism,
-	}
-}
-
-// jobByName resolves a statistic name via the engine-wide table
-// (jobs.ByName), wrapping failures as client errors — a bad job name or
-// an out-of-range quantile is the caller's to fix, and the HTTP layer
-// keys its 400-vs-500 decision on the "serve:" prefix.
-func jobByName(name string) (jobs.Numeric, error) {
-	j, err := jobs.ByName(name)
-	if err != nil {
-		return jobs.Numeric{}, fmt.Errorf("serve: %w", err)
-	}
-	return j, nil
-}
+// key is the canonical identity string of a normalized spec — the
+// engine-wide plan key. Parallelism is deliberately part of it even
+// though results are bit-identical at any parallelism: sharing across
+// parallelism settings would be sound for results but would make a
+// subscriber's requested worker-pool size lie.
+func (q QuerySpec) key() string { return q.Spec.Key() }
 
 // QueryResult is one answered query. Multi-statistic queries fill
 // Reports (one per statistic, in request order) with Report carrying
@@ -552,30 +496,20 @@ func (s *Server) Query(ctx context.Context, spec QuerySpec) (QueryResult, error)
 	start := time.Now()
 	before := s.env.Metrics.Snapshot()
 	res := QueryResult{}
-	if spec.Grouped {
-		job, jerr := jobByName(spec.Job)
-		if jerr != nil {
-			return QueryResult{}, jerr
-		}
-		grep, gerr := core.RunGrouped(s.env, job, core.TabRoute(), spec.Path, spec.options())
-		if gerr != nil {
-			return QueryResult{}, gerr
-		}
-		res.Groups = &grep
+	// One execution path for every flavour: the plan driver. Degenerate
+	// specs (no filter/derive, by "" or "key") run the historical
+	// RunMulti/RunGrouped code bit-identically; single and multi-statistic
+	// one-shots alike cost one shared sampling/IO pass.
+	pr, rerr := core.RunPlan(s.env, spec.Spec, core.Options{})
+	if rerr != nil {
+		return QueryResult{}, rerr
+	}
+	if pr.Groups != nil {
+		res.Groups = pr.Groups
 	} else {
-		// Single and multi-statistic one-shots share the multi path: a
-		// k-statistic spec costs one shared sampling/IO pass (core.RunMulti).
-		jset, jerr := spec.jobSet()
-		if jerr != nil {
-			return QueryResult{}, jerr
-		}
-		reps, rerr := core.RunMulti(s.env, jset, spec.Path, spec.options())
-		if rerr != nil {
-			return QueryResult{}, rerr
-		}
-		res.Report = reps[0]
-		if len(jset) > 1 {
-			res.Reports = reps
+		res.Report = pr.Reports[0]
+		if len(pr.Reports) > 1 {
+			res.Reports = pr.Reports
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -724,28 +658,17 @@ func (s *Server) OpenWatch(ctx context.Context, spec QuerySpec) (WatchInfo, bool
 }
 
 // createWatch runs the initial query for a registry entry, returning
-// the flavour-appropriate maintained handle.
+// the flavour-appropriate maintained handle — one plan-driven path for
+// scalar, multi-statistic and grouped watches alike.
 func (s *Server) createWatch(spec QuerySpec) (watchHandle, error) {
-	if spec.Grouped {
-		job, err := jobByName(spec.Job)
-		if err != nil {
-			return nil, err
-		}
-		q, err := live.WatchGrouped(s.env, job, core.TabRoute(), spec.Path, spec.options())
-		if err != nil {
-			return nil, err
-		}
-		return groupedHandle{q}, nil
-	}
-	jset, err := spec.jobSet()
+	q, gq, err := live.WatchPlan(s.env, spec.Spec, core.Options{})
 	if err != nil {
 		return nil, err
 	}
-	q, err := live.WatchMulti(s.env, jset, spec.Path, spec.options())
-	if err != nil {
-		return nil, err
+	if gq != nil {
+		return groupedHandle{gq}, nil
 	}
-	return queryHandle{q: q, multi: len(jset) > 1}, nil
+	return queryHandle{q: q, multi: len(spec.Stats) > 1}, nil
 }
 
 // newSubLocked mints a subscription token on e. Caller holds Server.mu.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -44,7 +45,7 @@ func newTestServer(t *testing.T, cfg Config, path string, n int) (*Server, *core
 func TestWatchDedupSharesOneQuery(t *testing.T) {
 	s, env := newTestServer(t, Config{}, "/t/data", 60_000)
 	ctx := context.Background()
-	spec := QuerySpec{Job: "mean", Path: "/t/data", Sigma: 0.05, Seed: 3}
+	spec := QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/data", Sigma: 0.05, Seed: 3}}
 
 	a, sharedA, err := s.OpenWatch(ctx, spec)
 	if err != nil {
@@ -117,7 +118,7 @@ func TestConcurrentClientsOneRefreshPerAppend(t *testing.T) {
 	run := func(par int) []batchReport {
 		s, env := newTestServer(t, Config{MaxInFlight: 4, MaxQueue: 4 * K}, "/t/stream", initialN)
 		ctx := context.Background()
-		spec := QuerySpec{Job: "mean", Path: "/t/stream", Sigma: 0.05, Seed: 5, Parallelism: par}
+		spec := QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/stream", Sigma: 0.05, Seed: 5, Parallelism: par}}
 
 		ids := make([]string, K)
 		var wg sync.WaitGroup
@@ -270,7 +271,7 @@ func waitFor(t *testing.T, cond func() bool) {
 func TestQueryCacheInvalidatedByAppend(t *testing.T) {
 	s, env := newTestServer(t, Config{}, "/t/cache", 50_000)
 	ctx := context.Background()
-	spec := QuerySpec{Job: "mean", Path: "/t/cache", Seed: 6}
+	spec := QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/cache", Seed: 6}}
 
 	first, err := s.Query(ctx, spec)
 	if err != nil {
@@ -319,7 +320,7 @@ func TestQueryCacheInvalidatedByAppend(t *testing.T) {
 func TestCloseWatchLastSubscriberCloses(t *testing.T) {
 	s, _ := newTestServer(t, Config{}, "/t/close", 40_000)
 	ctx := context.Background()
-	spec := QuerySpec{Job: "mean", Path: "/t/close", Seed: 8}
+	spec := QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/close", Seed: 8}}
 
 	a, _, err := s.OpenWatch(ctx, spec)
 	if err != nil {
@@ -370,7 +371,7 @@ func TestCloseWatchLastSubscriberCloses(t *testing.T) {
 func TestRewriteRetiresWatches(t *testing.T) {
 	s, _ := newTestServer(t, Config{}, "/t/rw", 50_000)
 	ctx := context.Background()
-	spec := QuerySpec{Job: "mean", Path: "/t/rw", Seed: 11}
+	spec := QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/rw", Seed: 11}}
 
 	w, _, err := s.OpenWatch(ctx, spec)
 	if err != nil {
@@ -415,20 +416,20 @@ func TestWatchRegistryCapAndIdleEviction(t *testing.T) {
 	s, _ := newTestServer(t, Config{MaxWatches: 2, WatchIdleTTL: time.Hour}, "/t/cap", 40_000)
 	ctx := context.Background()
 
-	a, _, err := s.OpenWatch(ctx, QuerySpec{Job: "mean", Path: "/t/cap", Seed: 20})
+	a, _, err := s.OpenWatch(ctx, QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/cap", Seed: 20}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := s.OpenWatch(ctx, QuerySpec{Job: "median", Path: "/t/cap", Seed: 21})
+	b, _, err := s.OpenWatch(ctx, QuerySpec{Job: "median", Spec: plan.Spec{Path: "/t/cap", Seed: 21}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Registry full, everything fresh: a new distinct watch is refused…
-	if _, _, err := s.OpenWatch(ctx, QuerySpec{Job: "sum", Path: "/t/cap", Seed: 22}); !errors.Is(err, ErrOverloaded) {
+	if _, _, err := s.OpenWatch(ctx, QuerySpec{Job: "sum", Spec: plan.Spec{Path: "/t/cap", Seed: 22}}); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("full registry accepted a new watch: %v", err)
 	}
 	// …but subscribing to an existing watch still dedupes freely.
-	if _, shared, err := s.OpenWatch(ctx, QuerySpec{Job: "mean", Path: "/t/cap", Seed: 20}); err != nil || !shared {
+	if _, shared, err := s.OpenWatch(ctx, QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/cap", Seed: 20}}); err != nil || !shared {
 		t.Fatalf("dedup blocked by the cap: shared=%v err=%v", shared, err)
 	}
 
@@ -436,7 +437,7 @@ func TestWatchRegistryCapAndIdleEviction(t *testing.T) {
 	s.mu.Lock()
 	s.byID[b.ID].lastTouch.Store(time.Now().Add(-2 * time.Hour).UnixNano())
 	s.mu.Unlock()
-	c, _, err := s.OpenWatch(ctx, QuerySpec{Job: "sum", Path: "/t/cap", Seed: 22})
+	c, _, err := s.OpenWatch(ctx, QuerySpec{Job: "sum", Spec: plan.Spec{Path: "/t/cap", Seed: 22}})
 	if err != nil {
 		t.Fatalf("idle eviction did not free a slot: %v", err)
 	}
@@ -457,21 +458,25 @@ func TestSpecValidation(t *testing.T) {
 	s, _ := newTestServer(t, Config{}, "/t/val", 4_000)
 	ctx := context.Background()
 	for _, bad := range []QuerySpec{
-		{Job: "nope", Path: "/t/val"},
-		{Job: "p200", Path: "/t/val"}, // out-of-range quantile is a client error too
-		{Job: "qnan", Path: "/t/val"}, // ParseFloat accepts "nan"; must not reach the engine
-		{Job: "pnan", Path: "/t/val"},
+		{Job: "nope", Spec: plan.Spec{Path: "/t/val"}},
+		{Job: "p200", Spec: plan.Spec{Path: "/t/val"}}, // out-of-range quantile is a client error too
+		{Job: "qnan", Spec: plan.Spec{Path: "/t/val"}}, // ParseFloat accepts "nan"; must not reach the engine
+		{Job: "pnan", Spec: plan.Spec{Path: "/t/val"}},
 		{Job: "mean"},
-		{Job: "mean", Path: "/t/val", Sigma: -1},
-		{Job: "mean", Path: "/t/val", Sampler: "mid-map"},
+		{Job: "mean", Spec: plan.Spec{Path: "/t/val", Sigma: -1}},
+		{Job: "mean", Spec: plan.Spec{Path: "/t/val", Sampler: "mid-map"}},
+		{Job: "mean", Spec: plan.Spec{Path: "/t/val", Filter: "v +"}},                   // malformed expression
+		{Job: "mean", Spec: plan.Spec{Path: "/t/val", Filter: "v + 1"}},                 // filter must be boolean
+		{Job: "mean", Spec: plan.Spec{Path: "/t/val", Derive: "v > 1"}},                 // derive must be numeric
+		{Job: "mean", Grouped: true, Spec: plan.Spec{Path: "/t/val", GroupBy: "v - 7"}}, // grouped vs by conflict
 	} {
 		if _, err := s.Query(ctx, bad); err == nil {
 			t.Errorf("spec %+v accepted", bad)
 		}
 	}
-	// Quantile forms parse.
+	// Quantile forms parse (through the shared normalization path).
 	for _, name := range []string{"p99", "p50", "q0.25"} {
-		if _, err := jobByName(name); err != nil {
+		if _, err := (QuerySpec{Job: name, Spec: plan.Spec{Path: "/x"}}).normalize(); err != nil {
 			t.Errorf("job %q rejected: %v", name, err)
 		}
 	}
@@ -483,7 +488,7 @@ func TestSpecValidation(t *testing.T) {
 	if err := s.Env().FS.WriteFile("/t/kv", kv); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Query(ctx, QuerySpec{Job: "mean", Path: "/t/kv", Grouped: true, Sigma: 0.2, Seed: 9})
+	res, err := s.Query(ctx, QuerySpec{Job: "mean", Grouped: true, Spec: plan.Spec{Path: "/t/kv", Sigma: 0.2, Seed: 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +502,7 @@ func TestSpecValidation(t *testing.T) {
 func TestOpenWatchConcurrentCreation(t *testing.T) {
 	s, env := newTestServer(t, Config{MaxInFlight: 4, MaxQueue: 64}, "/t/race", 60_000)
 	ctx := context.Background()
-	spec := QuerySpec{Job: "mean", Path: "/t/race", Seed: 10}
+	spec := QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/race", Seed: 10}}
 
 	const K = 12
 	var wg sync.WaitGroup
@@ -570,7 +575,7 @@ func TestGroupedWatchDedupBitIdentical(t *testing.T) {
 	}
 	env.Metrics.Reset()
 	ctx := context.Background()
-	spec := QuerySpec{Job: "mean", Path: "/t/kv", Grouped: true, Sigma: 0.08, Seed: 3}
+	spec := QuerySpec{Job: "mean", Grouped: true, Spec: plan.Spec{Path: "/t/kv", Sigma: 0.08, Seed: 3}}
 
 	ids := make([]string, K)
 	var wg sync.WaitGroup
@@ -658,7 +663,7 @@ func TestMultiStatQueryAndWatch(t *testing.T) {
 	s, _ := newTestServer(t, Config{}, "/t/multi", 60_000)
 	ctx := context.Background()
 
-	res, err := s.Query(ctx, QuerySpec{Jobs: []string{"mean", "p95", "count"}, Path: "/t/multi", Seed: 4})
+	res, err := s.Query(ctx, QuerySpec{Jobs: []string{"mean", "p95", "count"}, Spec: plan.Spec{Path: "/t/multi", Seed: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -671,7 +676,7 @@ func TestMultiStatQueryAndWatch(t *testing.T) {
 	if res.Reports[1].Job != "quantile-0.95" || res.Reports[2].Job != "count" {
 		t.Fatalf("reports out of order: %s, %s", res.Reports[1].Job, res.Reports[2].Job)
 	}
-	again, err := s.Query(ctx, QuerySpec{Jobs: []string{"mean", "p95", "count"}, Path: "/t/multi", Seed: 4})
+	again, err := s.Query(ctx, QuerySpec{Jobs: []string{"mean", "p95", "count"}, Spec: plan.Spec{Path: "/t/multi", Seed: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -680,11 +685,11 @@ func TestMultiStatQueryAndWatch(t *testing.T) {
 	}
 
 	// jobs:["mean"] and job:"mean" are the same query identity.
-	a, _, err := s.OpenWatch(ctx, QuerySpec{Job: "mean", Path: "/t/multi", Seed: 5})
+	a, _, err := s.OpenWatch(ctx, QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/multi", Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, shared, err := s.OpenWatch(ctx, QuerySpec{Jobs: []string{"mean"}, Path: "/t/multi", Seed: 5})
+	b, shared, err := s.OpenWatch(ctx, QuerySpec{Jobs: []string{"mean"}, Spec: plan.Spec{Path: "/t/multi", Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -693,7 +698,7 @@ func TestMultiStatQueryAndWatch(t *testing.T) {
 	}
 
 	// A multi-stat watch refreshes every statistic with one delta scan.
-	w, _, err := s.OpenWatch(ctx, QuerySpec{Jobs: []string{"mean", "p95"}, Path: "/t/multi", Seed: 6})
+	w, _, err := s.OpenWatch(ctx, QuerySpec{Jobs: []string{"mean", "p95"}, Spec: plan.Spec{Path: "/t/multi", Seed: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -719,11 +724,11 @@ func TestMultiStatQueryAndWatch(t *testing.T) {
 	// Validation: mixed spellings, grouped multi, and duplicates —
 	// including two spellings of the same quantile — are client errors.
 	for _, bad := range []QuerySpec{
-		{Job: "mean", Jobs: []string{"p95"}, Path: "/t/multi"},
-		{Jobs: []string{"mean", "p95"}, Path: "/t/multi", Grouped: true},
-		{Jobs: []string{"mean", "nope"}, Path: "/t/multi"},
-		{Jobs: []string{"mean", "mean"}, Path: "/t/multi"},
-		{Jobs: []string{"p99.9", "q0.999"}, Path: "/t/multi"},
+		{Job: "mean", Jobs: []string{"p95"}, Spec: plan.Spec{Path: "/t/multi"}},
+		{Jobs: []string{"mean", "p95"}, Grouped: true, Spec: plan.Spec{Path: "/t/multi"}},
+		{Jobs: []string{"mean", "nope"}, Spec: plan.Spec{Path: "/t/multi"}},
+		{Jobs: []string{"mean", "mean"}, Spec: plan.Spec{Path: "/t/multi"}},
+		{Jobs: []string{"p99.9", "q0.999"}, Spec: plan.Spec{Path: "/t/multi"}},
 	} {
 		if _, err := s.Query(ctx, bad); err == nil {
 			t.Errorf("spec %+v accepted", bad)
@@ -732,10 +737,106 @@ func TestMultiStatQueryAndWatch(t *testing.T) {
 
 	// normalize must not rewrite the caller's Jobs slice in place.
 	names := []string{"MEAN", "P95"}
-	if _, err := s.Query(ctx, QuerySpec{Jobs: names, Path: "/t/multi", Seed: 8}); err != nil {
+	if _, err := s.Query(ctx, QuerySpec{Jobs: names, Spec: plan.Spec{Path: "/t/multi", Seed: 8}}); err != nil {
 		t.Fatal(err)
 	}
 	if names[0] != "MEAN" || names[1] != "P95" {
 		t.Fatalf("normalize mutated the caller's jobs slice: %v", names)
+	}
+}
+
+// TestSpecAliasKeysIdentical pins the back-compat contract: the legacy
+// job / jobs / grouped spellings and the canonical stats / by fields
+// normalize to the SAME cache and dedup key, so old and new clients
+// share watches and cache entries.
+func TestSpecAliasKeysIdentical(t *testing.T) {
+	key := func(q QuerySpec) string {
+		t.Helper()
+		n, err := q.normalize()
+		if err != nil {
+			t.Fatalf("normalize %+v: %v", q, err)
+		}
+		return n.key()
+	}
+	base := plan.Spec{Path: "/t/data", Sigma: 0.05, Seed: 3}
+	if a, b := key(QuerySpec{Job: "p50", Spec: base}), key(QuerySpec{Jobs: []string{"p50"}, Spec: base}); a != b {
+		t.Fatalf("job vs jobs keys differ:\n%s\n%s", a, b)
+	}
+	stats := base
+	stats.Stats = []string{"p50"}
+	if a, b := key(QuerySpec{Job: "p50", Spec: base}), key(QuerySpec{Spec: stats}); a != b {
+		t.Fatalf("job vs stats keys differ:\n%s\n%s", a, b)
+	}
+	// Two spellings of the same quantile canonicalize together.
+	q05 := base
+	q05.Stats = []string{"q0.5"}
+	if a, b := key(QuerySpec{Job: "p50", Spec: base}), key(QuerySpec{Spec: q05}); a != b {
+		t.Fatalf("p50 vs q0.5 keys differ:\n%s\n%s", a, b)
+	}
+	// grouped:true is by:"key".
+	byKey := base
+	byKey.GroupBy = "key"
+	if a, b := key(QuerySpec{Job: "mean", Grouped: true, Spec: base}), key(QuerySpec{Job: "mean", Spec: byKey}); a != b {
+		t.Fatalf("grouped vs by:key keys differ:\n%s\n%s", a, b)
+	}
+	// Expression whitespace canonicalizes away.
+	f1, f2 := base, base
+	f1.Filter, f2.Filter = "v>50&&v<90", "v > 50  &&  (v < 90)"
+	if a, b := key(QuerySpec{Job: "mean", Spec: f1}), key(QuerySpec{Job: "mean", Spec: f2}); a != b {
+		t.Fatalf("equivalent filter spellings key differently:\n%s\n%s", a, b)
+	}
+}
+
+// TestPlanQueryOverServe runs σ/π/γ specs through the server surface: a
+// pushed-down filter answers over the subpopulation (and caches), and a
+// grouped-by-expression watch dedupes across equivalent spellings.
+func TestPlanQueryOverServe(t *testing.T) {
+	env, err := core.NewEnv(core.EnvConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(env, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := workload.NumericSpec{Dist: workload.Uniform, N: 60_000, Seed: 2}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.FS.WriteFile("/t/u", workload.EncodeLinesFixed(xs)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	spec := QuerySpec{Spec: plan.Spec{Path: "/t/u", Stats: []string{"mean"}, Filter: "v > 50", Seed: 3}}
+	res, err := s.Query(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform[0,100) above 50 averages near 75; the unfiltered mean is 50.
+	if res.Report.Estimate < 65 || res.Report.Estimate > 85 {
+		t.Fatalf("filtered mean %.3f does not look like the v>50 subpopulation", res.Report.Estimate)
+	}
+	again, err := s.Query(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Report != res.Report {
+		t.Fatalf("identical plan query missed the cache (cached=%v)", again.Cached)
+	}
+
+	a, _, err := s.OpenWatch(ctx, QuerySpec{Spec: plan.Spec{Path: "/t/u", Stats: []string{"mean"}, GroupBy: "floor(v/25)", Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, shared, err := s.OpenWatch(ctx, QuerySpec{Spec: plan.Spec{Path: "/t/u", Stats: []string{"mean"}, GroupBy: "floor(v / 25)", Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared || a.ID != b.ID {
+		t.Fatalf("equivalent grouped plan spellings did not dedupe: %v vs %v (shared=%v)", a.ID, b.ID, shared)
+	}
+	if a.Groups == nil || len(a.Groups.Groups) != 4 {
+		t.Fatalf("grouped plan watch returned %+v", a.Groups)
 	}
 }
