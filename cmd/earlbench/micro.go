@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bootstrap"
 	"repro/internal/colscan"
+	"repro/internal/colseg"
 	"repro/internal/core"
 	"repro/internal/delta"
 	"repro/internal/dfs"
@@ -27,7 +28,7 @@ import (
 // microResult is one micro-benchmark measurement in the benchmark
 // trajectory file (BENCH_<pr>.json) CI publishes per run.
 type microResult struct {
-	Family      string  `json:"family"` // bootstrap | delta | sampling | scan_decode | engine | plan
+	Family      string  `json:"family"` // bootstrap | delta | sampling | scan_decode | colseg | engine | plan
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	Iterations  int     `json:"iterations"`
@@ -402,6 +403,110 @@ func runMicro() (microReport, error) {
 	addRate("scan_decode", fmt.Sprintf("Columnar/kv/n=%d", scanRecs), scanRecs,
 		columnarScan("/bench.kv", kvScanSize, kvScanSplits, colscan.FormatKV))
 
+	// --- Family 4b: persistent columnar sidecars (colseg) ---
+	//
+	// The cold-read ladder the sidecar PR is about:
+	//
+	//   Columnar (family 4)  cold TEXT decode: parse every record
+	//   ColdSidecar          cold SIDECAR read: CRC + conversion copy,
+	//                        zero parsing (the new cold path)
+	//   WarmCache            decoded-block cache hit: no I/O at all
+	//
+	// plus the write-side costs: Encode (ingest-time sidecar build) and
+	// CompactBackfill (full rebuild of a sidecar-less file). The
+	// acceptance criterion — cold sidecar ≥ 3× cold text — is enforced
+	// below next to the shared-pass check.
+	sidecarReader := colseg.NewReader(fsys)
+	coldSidecar := func(path string, splits []dfs.Split, format colscan.Format) func(b *testing.B) {
+		version, err := fsys.Version(path)
+		if err != nil {
+			version = -1 // surfaces as a guaranteed miss inside the loop
+		}
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for _, sp := range splits {
+					blk, ok, err := sidecarReader.LoadColumns(colscan.BlockKey{
+						Path: path, Version: version, Offset: sp.Offset, Length: sp.Length, Format: format,
+					})
+					if err != nil || !ok {
+						b.Fatalf("sidecar read %s [%d,+%d): ok=%v err=%v", path, sp.Offset, sp.Length, ok, err)
+					}
+					n += blk.NumRecords()
+				}
+				if n != scanRecs {
+					b.Fatalf("sidecar scan saw %d records, want %d", n, scanRecs)
+				}
+			}
+		}
+	}
+	warmCache := func(path string, size int64, splits []dfs.Split, format colscan.Format) func(b *testing.B) {
+		version, _ := fsys.Version(path)
+		cache := colscan.NewCache(0)
+		cache.SetStore(sidecarReader)
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for _, sp := range splits {
+					blk, err := cache.Load(fsys, size, colscan.BlockKey{
+						Path: path, Version: version, Offset: sp.Offset, Length: sp.Length, Format: format,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					n += blk.NumRecords()
+				}
+				if n != scanRecs {
+					b.Fatalf("cached scan saw %d records, want %d", n, scanRecs)
+				}
+			}
+		}
+	}
+	addRate("colseg", fmt.Sprintf("ColdSidecar/numeric/n=%d", scanRecs), scanRecs,
+		coldSidecar("/bench", scanSplits, colscan.FormatNumeric))
+	addRate("colseg", fmt.Sprintf("ColdSidecar/kv/n=%d", scanRecs), scanRecs,
+		coldSidecar("/bench.kv", kvScanSplits, colscan.FormatKV))
+	addRate("colseg", fmt.Sprintf("WarmCache/numeric/n=%d", scanRecs), scanRecs,
+		warmCache("/bench", scanSize, scanSplits, colscan.FormatNumeric))
+	benchRaw, err := fsys.ReadFile("/bench")
+	if err != nil {
+		return microReport{}, err
+	}
+	benchSegs, err := fsys.Segments("/bench")
+	if err != nil {
+		return microReport{}, err
+	}
+	addRate("colseg", fmt.Sprintf("Encode/numeric/n=%d", scanRecs), scanRecs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := colseg.Build(colscan.FormatNumeric, 1, benchRaw, benchSegs, 1<<16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// CompactBackfill rebuilds from the replicas: a DisableSidecars
+	// ingest simulates the pre-sidecar fleet, and each op truncates the
+	// sidecar to force the full re-encode path.
+	cfs := dfs.New(dfs.Config{BlockSize: 1 << 16, Replication: 2, DataNodes: 5, Seed: 2, DisableSidecars: true})
+	if err := cfs.WriteFile("/bench", benchRaw); err != nil {
+		return microReport{}, err
+	}
+	addRate("colseg", fmt.Sprintf("CompactBackfill/numeric/n=%d", scanRecs), scanRecs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfs.TruncateSidecar("/bench", 0) // no-op on the very first op (no sidecar yet)
+			st, err := cfs.Compact("/bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !st.Rebuilt {
+				b.Fatal("Compact skipped the rebuild")
+			}
+		}
+	})
+
 	// --- Family 5: the end-to-end engine (one generic pipeline for ---
 	// scalar, shared-pass multi-statistic and grouped runs).
 	const engineN = 40_000
@@ -656,7 +761,7 @@ func runMicro() (microReport, error) {
 	// end-to-end rates: the per-record vs columnar pair is the headline
 	// speedup of the vectorized scan path.
 	for _, r := range out {
-		if r.Family != "scan_decode" || r.RecordsPerSec == 0 {
+		if (r.Family != "scan_decode" && r.Family != "colseg") || r.RecordsPerSec == 0 {
 			continue
 		}
 		engineIO = append(engineIO, ioResult{
@@ -669,6 +774,24 @@ func runMicro() (microReport, error) {
 		return microReport{}, fmt.Errorf(
 			"shared-pass criterion violated: 4-statistic run read %d records vs %d for the largest single (>1.1x)",
 			multiRead, maxSingleRead)
+	}
+	// The sidecar PR's acceptance criterion: a cold read served from the
+	// persistent columnar sidecar must sustain at least 3x the cold text
+	// decode's record rate on the same data and split geometry.
+	rateOf := func(family, prefix string) float64 {
+		for _, r := range out {
+			if r.Family == family && strings.HasPrefix(r.Name, prefix) {
+				return r.RecordsPerSec
+			}
+		}
+		return 0
+	}
+	coldText := rateOf("scan_decode", "Columnar/numeric/")
+	coldSide := rateOf("colseg", "ColdSidecar/numeric/")
+	if coldText <= 0 || coldSide < 3*coldText {
+		return microReport{}, fmt.Errorf(
+			"cold-read criterion violated: sidecar %.3gM rec/s < 3x text decode %.3gM rec/s",
+			coldSide/1e6, coldText/1e6)
 	}
 
 	if len(failed) > 0 {

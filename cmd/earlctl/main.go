@@ -84,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		derive  = fs.String("derive", "", "query plan π: numeric expression replacing the analyzed value, e.g. 'log(v)'")
 		by      = fs.String("by", "", "query plan γ: 'key' or a numeric bucketing expression, e.g. 'floor(v / 25)'")
 		keys    = fs.Int("keys", 8, "distinct keys for generated key\\tvalue data (plans that read key)")
+		compact = fs.Bool("compact", false, "after the run, compact /data's columnar sidecar to full coverage and report it")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if jobNames[0] == "kmeans" {
 		if *filter != "" || *derive != "" || *by != "" {
 			return fmt.Errorf("kmeans does not take -filter/-derive/-by")
+		}
+		if *compact {
+			return fmt.Errorf("kmeans does not take -compact")
 		}
 		return runKMeans(stdout, cluster, *n, *k, *sigma, *seed)
 	}
@@ -136,6 +140,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *filter != "" || *derive != "" || *by != "" {
 		if *kill != "" {
 			return fmt.Errorf("-kill is not supported with -filter/-derive/-by")
+		}
+		if *compact {
+			return fmt.Errorf("-compact is not supported with -filter/-derive/-by")
 		}
 		opts := earl.Options{
 			Sigma:       *sigma,
@@ -207,13 +214,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 			appendN: *appendN, seed: *seed,
 		}
 		if len(jset) > 1 {
-			return runMultiWatch(stdout, cluster, jset, opts, killWait, p)
+			err = runMultiWatch(stdout, cluster, jset, opts, killWait, p)
+		} else {
+			err = runWatch(stdout, cluster, job, opts, killWait, p)
 		}
-		return runWatch(stdout, cluster, job, opts, killWait, p)
+		if err != nil || !*compact {
+			return err
+		}
+		// Watch cycles append in small batches that leave sidecar
+		// coverage behind — exactly what -compact repairs.
+		return compactReport(stdout, cluster)
 	}
 
 	if len(jset) > 1 {
-		return runMultiOnce(stdout, cluster, jset, opts, killWait, *n, *dist)
+		if err := runMultiOnce(stdout, cluster, jset, opts, killWait, *n, *dist); err != nil {
+			return err
+		}
+		if *compact {
+			return compactReport(stdout, cluster)
+		}
+		return nil
 	}
 
 	rep, err := cluster.Run(job, "/data", opts)
@@ -243,6 +263,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "exact        : %.6g  (early result off by %.3f%%)\n", exact, 100*relErr(rep.Estimate, exact))
+	if *compact {
+		return compactReport(stdout, cluster)
+	}
+	return nil
+}
+
+// compactReport compacts /data's persistent columnar sidecar and prints
+// what happened: backfilled or re-encoded to full coverage, or already
+// fully covered from ingest.
+func compactReport(stdout io.Writer, cluster *earl.Cluster) error {
+	st, err := cluster.Compact("/data")
+	if err != nil {
+		return err
+	}
+	action := "already covered"
+	if st.Rebuilt {
+		action = "rebuilt"
+	}
+	fmt.Fprintf(stdout, "compact      : %s — %d chunk(s), %.2f MB sidecar covering %.2f MB of /data\n",
+		action, st.Chunks, float64(st.SidecarBytes)/(1<<20), float64(st.CoveredBytes)/(1<<20))
 	return nil
 }
 

@@ -38,6 +38,7 @@ package earl
 
 import (
 	"repro/internal/core"
+	"repro/internal/dfs"
 	"repro/internal/jobs"
 	"repro/internal/live"
 	"repro/internal/simcost"
@@ -162,6 +163,19 @@ func (c *Cluster) Append(path string, data []byte) error {
 // as WriteValues.
 func (c *Cluster) AppendValues(path string, values []float64) error {
 	return c.env.FS.Append(path, workload.EncodeLinesFixed(values))
+}
+
+// CompactStats re-exports dfs.CompactStats: what a Compact found and did.
+type CompactStats = dfs.CompactStats
+
+// Compact rebuilds path's persistent columnar sidecar to full coverage:
+// it backfills files ingested without one and re-encodes the uncovered
+// tail left behind by small appends, so subsequent cold reads skip the
+// text decode. The data file itself is untouched. A file whose records
+// the columnar validators reject returns the decode error and keeps no
+// sidecar.
+func (c *Cluster) Compact(path string) (CompactStats, error) {
+	return c.env.FS.Compact(path)
 }
 
 // Run executes job over path with early accurate results.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // ReaderAt is the positioned-read surface the decoder needs; the dfs
@@ -103,6 +104,49 @@ func (b *Block) AppendAll(out *Cols) {
 			out.Keys = append(out.Keys, b.dict[ki])
 		}
 	}
+}
+
+// NewBlock builds a Block from pre-decoded columns — the entry point of
+// the persistent columnar sidecar path (internal/colseg), where the
+// columns were parsed and validated once at encode time and a cold read
+// is a bounds-checked copy. The constructor re-checks every structural
+// invariant Decode guarantees (column lengths agree, starts strictly
+// ascending, dictionary indices in range, values finite), so a corrupt
+// or hand-rolled sidecar can never smuggle a NaN or a misshapen block
+// past the decode boundary. The slices are retained, not copied.
+func NewBlock(f Format, starts []int64, lastEnd int64, vals []float64, keys []uint32, dict []string) (*Block, error) {
+	if f != FormatNumeric && f != FormatKV {
+		return nil, fmt.Errorf("colscan: no block format %d", f)
+	}
+	if len(vals) != len(starts) {
+		return nil, fmt.Errorf("colscan: %d values for %d record starts", len(vals), len(starts))
+	}
+	for i, s := range starts {
+		if s < 0 || (i > 0 && s <= starts[i-1]) {
+			return nil, fmt.Errorf("colscan: record starts not ascending at %d", i)
+		}
+	}
+	if n := len(starts); n > 0 && lastEnd < starts[n-1] {
+		return nil, fmt.Errorf("colscan: lastEnd %d before final record start %d", lastEnd, starts[n-1])
+	}
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("colscan: non-finite value at record %d", i)
+		}
+	}
+	if f == FormatKV {
+		if len(keys) != len(vals) {
+			return nil, fmt.Errorf("colscan: %d keys for %d values", len(keys), len(vals))
+		}
+		for i, ki := range keys {
+			if int(ki) >= len(dict) {
+				return nil, fmt.Errorf("colscan: key index %d out of dictionary (%d) at record %d", ki, len(dict), i)
+			}
+		}
+	} else if len(keys) != 0 || len(dict) != 0 {
+		return nil, fmt.Errorf("colscan: key columns on a numeric block")
+	}
+	return &Block{format: f, starts: starts, lastEnd: lastEnd, vals: vals, keys: keys, dict: dict}, nil
 }
 
 // FindRecord returns the index of the record containing absolute file

@@ -18,6 +18,17 @@ type BlockKey struct {
 // DefaultCacheBytes bounds the cache's retained decoded state.
 const DefaultCacheBytes = 256 << 20
 
+// ColumnStore is the persistent columnar sidecar surface the cache
+// consults before paying a text decode (internal/colseg's Reader
+// implements it). LoadColumns returns ok=false for a clean miss — no
+// sidecar, stale generation, uncovered split — and an error when a
+// sidecar exists but fails verification; the cache counts and reports
+// the error (see OnSidecarError) and falls back to text decode, so a
+// damaged sidecar can cost speed, never correctness.
+type ColumnStore interface {
+	LoadColumns(key BlockKey) (*Block, bool, error)
+}
+
 // Cache is the decoded-block cache: K concurrent watches over one file
 // re-decode nothing. Loads of the same key are single-flighted (one
 // decode, everyone waits on it), and ready blocks are evicted LRU by
@@ -31,6 +42,12 @@ type Cache struct {
 	head, tail *cacheEntry
 
 	hits, misses int64
+
+	// store, when set, is consulted on every miss before text decode.
+	store        ColumnStore
+	onSidecarErr func(BlockKey, error)
+	sidecarReads int64
+	sidecarErrs  int64
 }
 
 type cacheEntry struct {
@@ -52,18 +69,46 @@ func NewCache(maxBytes int64) *Cache {
 	return &Cache{max: maxBytes, entries: map[BlockKey]*cacheEntry{}}
 }
 
+// SetStore attaches the persistent columnar sidecar store misses
+// consult before text decode (nil detaches it).
+func (c *Cache) SetStore(s ColumnStore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = s
+}
+
+// OnSidecarError registers fn to be called whenever a sidecar read
+// fails verification (once per failed load, outside the cache lock).
+// The load itself proceeds on the text-decode path; the hook is where
+// the server logs the corruption sentinel.
+func (c *Cache) OnSidecarError(fn func(BlockKey, error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onSidecarErr = fn
+}
+
 // CacheStats is a point-in-time counters snapshot.
 type CacheStats struct {
 	Hits, Misses int64
 	Bytes        int64
+	MaxBytes     int64
 	Blocks       int
+	// SidecarReads counts misses served from the persistent columnar
+	// sidecar instead of a text decode; SidecarErrors counts sidecar
+	// loads that failed verification and fell back to text.
+	SidecarReads  int64
+	SidecarErrors int64
 }
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Bytes: c.cur, Blocks: len(c.entries)}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Bytes: c.cur, MaxBytes: c.max, Blocks: len(c.entries),
+		SidecarReads: c.sidecarReads, SidecarErrors: c.sidecarErrs,
+	}
 }
 
 // Peek returns the block for key if it is already decoded, without
@@ -81,10 +126,11 @@ func (c *Cache) Peek(key BlockKey) (*Block, bool) {
 	return e.blk, true
 }
 
-// Load returns the decoded block for key, decoding via r (bounded by
-// fileSize) exactly once per key no matter how many goroutines ask.
-// Failed decodes are not cached: the error is returned to every waiter
-// of that flight and the next Load retries.
+// Load returns the decoded block for key, loading it exactly once per
+// key no matter how many goroutines ask: from the sidecar store when
+// one covers the split, by text decode via r (bounded by fileSize)
+// otherwise. Failed loads are not cached: the error is returned to
+// every waiter of that flight and the next Load retries.
 func (c *Cache) Load(r ReaderAt, fileSize int64, key BlockKey) (*Block, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -102,16 +148,23 @@ func (c *Cache) Load(r ReaderAt, fileSize int64, key BlockKey) (*Block, error) {
 	c.mu.Unlock()
 
 	e.once.Do(func() {
-		blk, err := Decode(r, key.Path, fileSize, key.Offset, key.Length, key.Format)
+		blk, err := c.loadBlock(r, fileSize, key)
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		e.blk, e.err = blk, err
 		e.ready = true
+		if c.entries[key] != e {
+			// The key was invalidated while this load was in flight (a
+			// rewrite under the same path): serve the waiters, but do
+			// not re-populate the cache under the dead key — and do not
+			// account bytes the map no longer references.
+			return
+		}
 		if err == nil {
 			e.size = blk.SizeBytes()
 			c.cur += e.size
 			c.evictLocked(e)
-		} else if c.entries[key] == e {
+		} else {
 			// Do not cache failures: drop the entry so a later Load
 			// (e.g. after the bad data is rewritten) retries.
 			delete(c.entries, key)
@@ -121,18 +174,45 @@ func (c *Cache) Load(r ReaderAt, fileSize int64, key BlockKey) (*Block, error) {
 	return e.blk, e.err
 }
 
+// loadBlock resolves one miss: sidecar first, text decode second.
+func (c *Cache) loadBlock(r ReaderAt, fileSize int64, key BlockKey) (*Block, error) {
+	c.mu.Lock()
+	store, hook := c.store, c.onSidecarErr
+	c.mu.Unlock()
+	if store != nil {
+		blk, ok, err := store.LoadColumns(key)
+		switch {
+		case err != nil:
+			c.mu.Lock()
+			c.sidecarErrs++
+			c.mu.Unlock()
+			if hook != nil {
+				hook(key, err)
+			}
+		case ok:
+			c.mu.Lock()
+			c.sidecarReads++
+			c.mu.Unlock()
+			return blk, nil
+		}
+	}
+	return Decode(r, key.Path, fileSize, key.Offset, key.Length, key.Format)
+}
+
 // InvalidatePath drops every block of path — the WriteFile/Rewrite
-// hook. Version keying already protects correctness; this just frees
-// the bytes promptly.
+// hook. Version keying already protects correctness for ready blocks;
+// dropping in-flight entries as well keeps a decode racing the rewrite
+// from re-populating the cache under the dead (path, version) key.
 func (c *Cache) InvalidatePath(path string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for key, e := range c.entries {
-		if key.Path == path && e.ready {
-			delete(c.entries, key)
-			c.unlink(e)
-			c.cur -= e.size
+		if key.Path != path {
+			continue
 		}
+		delete(c.entries, key)
+		c.unlink(e)
+		c.cur -= e.size // in-flight entries have size 0 until accounted
 	}
 }
 

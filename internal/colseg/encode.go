@@ -1,0 +1,284 @@
+package colseg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/colscan"
+)
+
+// Build encodes a complete sidecar for a data file's current contents.
+// segments is the file's append-segment start offsets (ascending, first
+// 0 — what dfs.Segments returns) and chunkSize the split size the
+// reader's geometry will use (the dfs block size): each segment is
+// tiled independently, exactly like dfs.Splits, so pre-append chunks
+// stay byte-stable when the sidecar is later Extended.
+//
+// Any record the colscan validators reject (malformed line, NaN/±Inf
+// value) fails the whole Build: such files keep no sidecar, and the
+// text decoder remains the single authority on decode errors.
+func Build(f colscan.Format, version int64, data []byte, segments []int64, chunkSize int64) ([]byte, error) {
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("colseg: chunk size %d", chunkSize)
+	}
+	if len(segments) == 0 || segments[0] != 0 {
+		return nil, fmt.Errorf("colseg: segment list must start at 0")
+	}
+	buf := appendHeader(nil, header{format: f, version: version, cover: int64(len(data))})
+	var entries []entry
+	for si, segStart := range segments {
+		segEnd := int64(len(data))
+		if si+1 < len(segments) {
+			segEnd = segments[si+1]
+		}
+		if segStart > segEnd {
+			return nil, fmt.Errorf("colseg: segment %d starts past its end", si)
+		}
+		if segStart > 0 && data[segStart-1] != '\n' {
+			// dfs guarantees record-aligned appends; a violation here
+			// would desynchronize chunk record ownership from Decode's.
+			return nil, fmt.Errorf("colseg: segment %d not record-aligned", si)
+		}
+		var err error
+		buf, entries, err = appendSegmentChunks(buf, entries, f, data[segStart:segEnd], segStart, chunkSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return appendFooter(buf, entries), nil
+}
+
+// Extend grows an existing sidecar with one freshly appended segment.
+// The sidecar must have been built for the same write generation and
+// must cover the file exactly up to segStart (dfs skips extension for
+// sub-threshold appends, so cover can legitimately lag — those files
+// wait for Compact). The pre-append chunk payloads are preserved
+// byte-for-byte: only the header's cover field and the footer move.
+func Extend(sidecar []byte, version int64, segData []byte, segStart, chunkSize int64) ([]byte, error) {
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("colseg: chunk size %d", chunkSize)
+	}
+	h, err := parseHeader(sidecar)
+	if err != nil {
+		return nil, err
+	}
+	if h.version != version {
+		return nil, fmt.Errorf("colseg: sidecar at generation %d, file at %d", h.version, version)
+	}
+	if h.cover != segStart {
+		return nil, fmt.Errorf("colseg: sidecar covers %d bytes, append starts at %d", h.cover, segStart)
+	}
+	if len(sidecar) < headerSize+tailSize {
+		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	count, footerStart, err := parseTail(sidecar[len(sidecar)-tailSize:], int64(len(sidecar)))
+	if err != nil {
+		return nil, err
+	}
+	entries, err := parseEntries(sidecar[footerStart:int64(len(sidecar))-tailSize], count, footerStart)
+	if err != nil {
+		return nil, err
+	}
+	buf := appendHeader(make([]byte, 0, len(sidecar)+len(segData)), // chunks dominate; rough pre-size
+		header{format: h.format, version: h.version, cover: segStart + int64(len(segData))})
+	buf = append(buf, sidecar[headerSize:footerStart]...)
+	buf, entries, err = appendSegmentChunks(buf, entries, h.format, segData, segStart, chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	return appendFooter(buf, entries), nil
+}
+
+// appendSegmentChunks encodes one append segment's chunks onto buf,
+// tiled at chunkSize from segBase — the same geometry dfs.Splits emits
+// for that segment. segData's first byte must be a record start (dfs's
+// record-aligned append invariant).
+//
+//earl:hotpath
+func appendSegmentChunks(buf []byte, entries []entry, f colscan.Format, segData []byte, segBase, chunkSize int64) ([]byte, []entry, error) {
+	// One pass over the segment finds every record's start and content
+	// end (absolute file offsets). The Hadoop split rules then reduce to
+	// slicing this list: a chunk owns the records starting inside it.
+	var starts, ends []int64
+	for pos := 0; pos < len(segData); {
+		nl := bytes.IndexByte(segData[pos:], '\n')
+		starts = append(starts, segBase+int64(pos))
+		if nl < 0 {
+			ends = append(ends, segBase+int64(len(segData)))
+			pos = len(segData)
+		} else {
+			ends = append(ends, segBase+int64(pos+nl))
+			pos += nl + 1
+		}
+	}
+	segEnd := segBase + int64(len(segData))
+	rec := 0
+	for off := segBase; off < segEnd; off += chunkSize {
+		end := off + chunkSize
+		if end > segEnd {
+			end = segEnd
+		}
+		lo := rec
+		for rec < len(starts) && starts[rec] < end {
+			rec++
+		}
+		pos := int64(len(buf))
+		var err error
+		buf, err = appendChunk(buf, f, off, segBase, segData, starts[lo:rec], ends[lo:rec])
+		if err != nil {
+			return nil, nil, err
+		}
+		payload := buf[pos:]
+		entries = append(entries, entry{
+			offset: off,
+			length: end - off,
+			pos:    pos,
+			size:   int64(len(payload)),
+			crc:    checksum(payload),
+		})
+	}
+	return buf, entries, nil
+}
+
+// appendChunk encodes one split's records. starts/ends are absolute
+// file offsets of the owned records; lines are sliced out of segData
+// (whose first byte sits at file offset segBase) and parsed with the
+// exact colscan validators, so the decoded block is bit-identical to a
+// text Decode of the same split.
+//
+//earl:hotpath
+func appendChunk(buf []byte, f colscan.Format, chunkOff, segBase int64, segData []byte, starts, ends []int64) ([]byte, error) {
+	n := len(starts)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	if n == 0 {
+		// Match Decode's empty block exactly: zero lastEnd.
+		return binary.LittleEndian.AppendUint64(buf, 0), nil
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ends[n-1]))
+	for _, s := range starts {
+		d := s - chunkOff
+		if d < 0 || d > math.MaxUint32 {
+			return nil, fmt.Errorf("colseg: record start %d outside chunk at %d", s, chunkOff)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	var keys []uint32
+	var dict [][]byte
+	var intern map[string]uint32
+	if f == colscan.FormatKV {
+		keys = make([]uint32, 0, n)
+		intern = make(map[string]uint32)
+	}
+	for i := 0; i < n; i++ {
+		line := segData[starts[i]-segBase : ends[i]-segBase]
+		var v float64
+		var err error
+		if f == colscan.FormatKV {
+			tab := bytes.IndexByte(line, '\t')
+			if tab < 0 {
+				return nil, fmt.Errorf("colseg: no tab separator in record %s: %w",
+					colscan.Quote(string(line)), colscan.ErrBadRecord)
+			}
+			ki, ok := intern[string(line[:tab])]
+			if !ok {
+				ki = uint32(len(dict))
+				dict = append(dict, line[:tab])
+				intern[string(line[:tab])] = ki
+			}
+			keys = append(keys, ki)
+			v, err = colscan.ParseValue(line[tab+1:])
+		} else {
+			v, err = colscan.ParseValue(line)
+		}
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	if f == colscan.FormatKV {
+		for _, ki := range keys {
+			buf = binary.LittleEndian.AppendUint32(buf, ki)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dict)))
+		for _, k := range dict {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+			buf = append(buf, k...)
+		}
+	}
+	return buf, nil
+}
+
+// decodeChunk loads one verified chunk payload into a colscan block:
+// bounds-checked slice reads and one conversion copy per column, no
+// parsing. chunkOff is the split offset the starts were delta-encoded
+// against.
+//
+//earl:hotpath
+func decodeChunk(payload []byte, f colscan.Format, chunkOff int64) (*colscan.Block, error) {
+	p := payload
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: chunk shorter than its count", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) < 8 {
+		return nil, fmt.Errorf("%w: chunk missing lastEnd", ErrCorrupt)
+	}
+	lastEnd := int64(binary.LittleEndian.Uint64(p))
+	p = p[8:]
+	if n == 0 {
+		blk, err := colscan.NewBlock(f, nil, lastEnd, nil, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return blk, nil
+	}
+	need := int64(n) * 12 // starts + vals
+	if f == colscan.FormatKV {
+		need += int64(n)*4 + 4
+	}
+	if int64(len(p)) < need {
+		return nil, fmt.Errorf("%w: chunk truncated (%d of %d column bytes)", ErrCorrupt, len(p), need)
+	}
+	starts := make([]int64, n)
+	for i := range starts {
+		starts[i] = chunkOff + int64(binary.LittleEndian.Uint32(p[i*4:]))
+	}
+	p = p[n*4:]
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+	}
+	p = p[n*8:]
+	var keys []uint32
+	var dict []string
+	if f == colscan.FormatKV {
+		keys = make([]uint32, n)
+		for i := range keys {
+			keys[i] = binary.LittleEndian.Uint32(p[i*4:])
+		}
+		p = p[n*4:]
+		nd := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		dict = make([]string, 0, nd)
+		for i := 0; i < nd; i++ {
+			if len(p) < 4 {
+				return nil, fmt.Errorf("%w: dictionary truncated", ErrCorrupt)
+			}
+			kl := int(binary.LittleEndian.Uint32(p))
+			p = p[4:]
+			if kl < 0 || len(p) < kl {
+				return nil, fmt.Errorf("%w: dictionary entry truncated", ErrCorrupt)
+			}
+			dict = append(dict, string(p[:kl]))
+			p = p[kl:]
+		}
+	}
+	blk, err := colscan.NewBlock(f, starts, lastEnd, vals, keys, dict)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return blk, nil
+}

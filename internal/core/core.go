@@ -49,10 +49,12 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"sync/atomic"
 
 	"repro/internal/colscan"
+	"repro/internal/colseg"
 	"repro/internal/dfs"
 	"repro/internal/mr"
 	"repro/internal/simcost"
@@ -91,7 +93,16 @@ type EnvConfig struct {
 	SlotsPerNode int   // concurrent tasks per node; 2 if 0
 	BlockSize    int64 // DFS block size; dfs.DefaultBlockSize if 0
 	Replication  int   // block replicas; 3 if 0
-	Seed         uint64
+	// CacheBytes bounds the decoded-block scan cache
+	// (colscan.DefaultCacheBytes if 0) — earld exposes it as
+	// -cache-bytes.
+	CacheBytes int64
+	// DisableSidecars turns off persistent columnar sidecars end to
+	// end: dfs skips encoding at ingest and the scan cache gets no
+	// sidecar store, so every cold read text-decodes. The equivalence
+	// goldens pin that results are bit-identical either way.
+	DisableSidecars bool
+	Seed            uint64
 }
 
 // NewEnv builds a fresh simulated cluster: DFS, MR engine and a shared
@@ -105,18 +116,31 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	metrics := &simcost.Metrics{}
 	fsys := dfs.New(dfs.Config{
-		BlockSize:   cfg.BlockSize,
-		Replication: cfg.Replication,
-		DataNodes:   cfg.DataNodes,
-		Metrics:     metrics,
-		Seed:        cfg.Seed,
+		BlockSize:       cfg.BlockSize,
+		Replication:     cfg.Replication,
+		DataNodes:       cfg.DataNodes,
+		Metrics:         metrics,
+		Seed:            cfg.Seed,
+		DisableSidecars: cfg.DisableSidecars,
 	})
 	cluster, err := mr.NewCluster(cfg.DataNodes, cfg.SlotsPerNode)
 	if err != nil {
 		return nil, err
 	}
 	eng := &mr.Engine{FS: fsys, Cluster: cluster, Metrics: metrics}
-	return &Env{FS: fsys, Engine: eng, Metrics: metrics, Scan: colscan.NewCache(0)}, nil
+	scan := colscan.NewCache(cfg.CacheBytes)
+	if !cfg.DisableSidecars {
+		// Cold cache misses consult the persistent columnar sidecars
+		// before paying a text decode. A sidecar that fails
+		// verification is logged and the load falls back to text —
+		// corruption costs speed, never a wrong answer.
+		scan.SetStore(colseg.NewReader(fsys))
+		scan.OnSidecarError(func(key colscan.BlockKey, err error) {
+			log.Printf("colseg: sidecar read %s [%d,+%d): %v (falling back to text decode)",
+				key.Path, key.Offset, key.Length, err)
+		})
+	}
+	return &Env{FS: fsys, Engine: eng, Metrics: metrics, Scan: scan}, nil
 }
 
 // KillNode kills both the DataNode and the compute node with the given

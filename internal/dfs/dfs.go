@@ -55,6 +55,10 @@ type Config struct {
 	DataNodes   int              // cluster size; 5 (the paper's testbed) if zero
 	Metrics     *simcost.Metrics // optional I/O accounting sink
 	Seed        uint64           // seed for replica placement decisions
+	// DisableSidecars turns off the automatic columnar sidecar encoding
+	// at WriteFile/Append (see sidecar.go). The explicit Compact entry
+	// point still builds one — the knob gates ingest-time work only.
+	DisableSidecars bool
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +84,11 @@ type FileSystem struct {
 	nextID   int64
 	nodes    []*dataNode
 	files    map[string]*fileMeta
+	// sidecars holds each file's persistent columnar segment encoding
+	// (internal/colseg), keyed by data path. A sidecar is derived state
+	// — rebuildable from the file at any time, dropped with it, never
+	// replicated: losing one costs a text decode, not data.
+	sidecars map[string][]byte
 	metrics  *simcost.Metrics
 }
 
@@ -110,10 +119,11 @@ type blockMeta struct {
 func New(cfg Config) *FileSystem {
 	cfg = cfg.withDefaults()
 	fs := &FileSystem{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x6a09e667f3bcc908)),
-		files:   make(map[string]*fileMeta),
-		metrics: cfg.Metrics,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x6a09e667f3bcc908)),
+		files:    make(map[string]*fileMeta),
+		sidecars: make(map[string][]byte),
+		metrics:  cfg.Metrics,
 	}
 	for i := 0; i < cfg.DataNodes; i++ {
 		fs.nodes = append(fs.nodes, &dataNode{id: i, alive: true, blocks: make(map[int64][]byte)})
@@ -161,6 +171,7 @@ func (fs *FileSystem) WriteFile(path string, data []byte) error {
 	meta := &fileMeta{size: int64(len(data)), segments: []int64{0}, version: fs.nextID}
 	fs.appendBlocksLocked(meta, data, 0, live)
 	fs.files[path] = meta
+	fs.buildSidecarLocked(path, meta, data)
 	return nil
 }
 
@@ -244,6 +255,7 @@ func (fs *FileSystem) Append(path string, data []byte) error {
 		fs.appendBlocksLocked(meta, data, 0, live)
 		meta.size = int64(len(data))
 		fs.files[path] = meta
+		fs.buildSidecarLocked(path, meta, data)
 		return nil
 	}
 	if meta.size > 0 {
@@ -260,6 +272,7 @@ func (fs *FileSystem) Append(path string, data []byte) error {
 	fs.appendBlocksLocked(meta, data, base, live)
 	meta.segments = append(meta.segments, base)
 	meta.size += int64(len(data))
+	fs.extendSidecarLocked(path, meta, data, base)
 	return nil
 }
 
@@ -305,6 +318,7 @@ func (fs *FileSystem) Delete(path string) error {
 	}
 	fs.dropBlocksLocked(meta)
 	delete(fs.files, path)
+	delete(fs.sidecars, path)
 	return nil
 }
 

@@ -1,0 +1,227 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/colscan"
+	"repro/internal/colseg"
+)
+
+// Sidecar policy: the filesystem builds a persistent columnar segment
+// sidecar (internal/colseg) for every ingested file whose records the
+// columnar validators accept, so cold reads skip the text decode. A
+// sidecar is derived state — never the source of truth — which sets the
+// gating rules:
+//
+//   - files under the engine's internal namespace (error files, scratch)
+//     and files below sidecarMinBytes are skipped: churn-heavy or too
+//     small to ever repay the encode;
+//   - appends extend the sidecar only for batches of at least
+//     sidecarAppendMinBytes; smaller batches leave coverage behind
+//     (reads of the uncovered tail fall back to text decode) until an
+//     explicit Compact re-encodes to full coverage;
+//   - a file with any record the colscan validators reject gets no
+//     sidecar at all, keeping the text decoder the single authority on
+//     decode errors (a NaN-poisoned file must fail a run the same way
+//     whether or not a sidecar scheme exists).
+const (
+	sidecarMinBytes       = 4 << 10
+	sidecarAppendMinBytes = 64 << 10
+	sidecarSkipPrefix     = "/earl/"
+)
+
+// sniffFormat guesses a file's record shape from its first line; the
+// full Build pass then validates every record against the guess.
+func sniffFormat(data []byte) colscan.Format {
+	line := data
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line = data[:i]
+	}
+	if bytes.IndexByte(line, '\t') >= 0 {
+		return colscan.FormatKV
+	}
+	return colscan.FormatNumeric
+}
+
+// buildSidecarLocked replaces path's sidecar after a WriteFile (or a
+// file-creating Append). Any pre-existing sidecar is dropped first so a
+// rewrite can never leave a stale encoding behind, whatever the gates
+// decide about the new contents. Encode failures are silent: the file
+// simply stays text-only.
+func (fs *FileSystem) buildSidecarLocked(path string, meta *fileMeta, data []byte) {
+	delete(fs.sidecars, path)
+	if fs.cfg.DisableSidecars || int64(len(data)) < sidecarMinBytes ||
+		strings.HasPrefix(path, sidecarSkipPrefix) {
+		return
+	}
+	sc, err := colseg.Build(sniffFormat(data), meta.version, data, meta.segments, fs.cfg.BlockSize)
+	if err != nil {
+		return
+	}
+	fs.sidecars[path] = sc
+	if fs.metrics != nil {
+		fs.metrics.BytesWritten.Add(int64(len(sc)))
+	}
+}
+
+// extendSidecarLocked grows path's sidecar with one appended segment.
+// Extension requires an existing sidecar whose coverage reaches exactly
+// the append point; anything else (small initial write, earlier
+// sub-threshold appends) is left for Compact. Only the footer and the
+// new segment's chunks are written — pre-append chunks stay byte-stable.
+func (fs *FileSystem) extendSidecarLocked(path string, meta *fileMeta, segData []byte, segStart int64) {
+	if fs.cfg.DisableSidecars || int64(len(segData)) < sidecarAppendMinBytes {
+		return
+	}
+	sc, ok := fs.sidecars[path]
+	if !ok {
+		return
+	}
+	ext, err := colseg.Extend(sc, meta.version, segData, segStart, fs.cfg.BlockSize)
+	if err != nil {
+		return
+	}
+	fs.sidecars[path] = ext
+	if fs.metrics != nil {
+		fs.metrics.BytesWritten.Add(int64(len(ext) - len(sc)))
+	}
+}
+
+// SidecarStat reports the size of path's columnar sidecar, false when
+// the path has none. It implements half of colseg.Store.
+func (fs *FileSystem) SidecarStat(path string) (int64, bool) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	sc, ok := fs.sidecars[path]
+	return int64(len(sc)), ok
+}
+
+// ReadSidecarAt fills p from path's sidecar starting at off, charging
+// one disk seek and the bytes read like any positioned read. n < len(p)
+// with a nil error means the sidecar ended. It implements the other
+// half of colseg.Store.
+func (fs *FileSystem) ReadSidecarAt(path string, off int64, p []byte) (int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	sc, ok := fs.sidecars[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: sidecar for %s", ErrNotFound, path)
+	}
+	if off < 0 {
+		return 0, errors.New("dfs: negative offset")
+	}
+	if off >= int64(len(sc)) {
+		return 0, nil
+	}
+	n := copy(p, sc[off:])
+	if fs.metrics != nil {
+		fs.metrics.DiskSeeks.Add(1)
+		fs.metrics.BytesRead.Add(int64(n))
+	}
+	return n, nil
+}
+
+// CompactStats reports what Compact found and did.
+type CompactStats struct {
+	Path         string
+	Rebuilt      bool  // false: existing sidecar already had full coverage
+	Chunks       int   // chunks in the (resulting) sidecar
+	SidecarBytes int64 // sidecar size
+	CoveredBytes int64 // data bytes the sidecar covers
+}
+
+// Compact rebuilds path's columnar sidecar to full coverage: it
+// backfills files ingested without one (pre-sidecar files, small
+// writes, DisableSidecars ingest) and re-encodes the uncovered tail
+// left behind by sub-threshold appends. The data file itself is not
+// touched — splits, versions and cached blocks all stay valid. Reading
+// the file back for the rebuild is charged as one sequential scan.
+//
+// A file whose records the columnar validators reject returns the
+// validation error (wrapping colscan.ErrBadRecord) and keeps no
+// sidecar; an empty file is a no-op.
+func (fs *FileSystem) Compact(path string) (CompactStats, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	meta, ok := fs.files[path]
+	if !ok {
+		return CompactStats{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	st := CompactStats{Path: path}
+	if meta.size == 0 {
+		return st, nil
+	}
+	if sc, ok := fs.sidecars[path]; ok {
+		if info, err := colseg.Inspect(sc); err == nil &&
+			info.Version == meta.version && info.Cover == meta.size {
+			st.Chunks = info.Chunks
+			st.SidecarBytes = int64(len(sc))
+			st.CoveredBytes = info.Cover
+			return st, nil
+		}
+	}
+	data := make([]byte, 0, meta.size)
+	for _, blk := range meta.blocks {
+		payload, err := fs.replicaPayloadLocked(blk)
+		if err != nil {
+			return st, err
+		}
+		data = append(data, payload...)
+	}
+	if fs.metrics != nil {
+		fs.metrics.DiskSeeks.Add(1)
+		fs.metrics.BytesRead.Add(int64(len(data)))
+	}
+	sc, err := colseg.Build(sniffFormat(data), meta.version, data, meta.segments, fs.cfg.BlockSize)
+	if err != nil {
+		return st, fmt.Errorf("dfs: compact %s: %w", path, err)
+	}
+	fs.sidecars[path] = sc
+	if fs.metrics != nil {
+		fs.metrics.BytesWritten.Add(int64(len(sc)))
+	}
+	info, err := colseg.Inspect(sc)
+	if err != nil {
+		return st, err
+	}
+	st.Rebuilt = true
+	st.Chunks = info.Chunks
+	st.SidecarBytes = int64(len(sc))
+	st.CoveredBytes = info.Cover
+	return st, nil
+}
+
+// CorruptSidecarByte flips one byte of path's sidecar and reports
+// whether a sidecar existed — fault injection for the corrupted-sidecar
+// fallback path, next to KillDataNode in spirit: verification must
+// catch the damage and reads must fall back to text decode.
+func (fs *FileSystem) CorruptSidecarByte(path string, off int64) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	sc, ok := fs.sidecars[path]
+	if !ok || off < 0 || off >= int64(len(sc)) {
+		return false
+	}
+	// Copy-on-write: concurrent readers may hold the old slice.
+	dup := append([]byte(nil), sc...)
+	dup[off] ^= 0xFF
+	fs.sidecars[path] = dup
+	return true
+}
+
+// TruncateSidecar cuts path's sidecar to n bytes (fault injection for
+// the truncated-footer fallback path). Reports whether a sidecar
+// existed and was at least n bytes long.
+func (fs *FileSystem) TruncateSidecar(path string, n int64) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	sc, ok := fs.sidecars[path]
+	if !ok || n < 0 || n > int64(len(sc)) {
+		return false
+	}
+	fs.sidecars[path] = sc[:n:n]
+	return true
+}

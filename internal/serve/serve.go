@@ -242,10 +242,25 @@ type Stats struct {
 type MetricsReport struct {
 	Server  Stats            `json:"server"`
 	Cluster simcost.Snapshot `json:"cluster"`
+	// Scan is the decoded-block cache: hit/miss counters, retained
+	// bytes against the -cache-bytes budget, and how many cold misses
+	// the persistent columnar sidecars served (or failed to serve).
+	Scan ScanCacheStats `json:"scanCache"`
 	// PerQuery aggregates cost deltas by query identity (see the package
 	// comment for the overlap caveat).
 	PerQuery map[string]QueryCost `json:"perQuery"`
 	Watches  []WatchInfo          `json:"watches"`
+}
+
+// ScanCacheStats mirrors colscan.CacheStats with JSON names.
+type ScanCacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Bytes         int64 `json:"bytes"`
+	MaxBytes      int64 `json:"maxBytes"`
+	Blocks        int   `json:"blocks"`
+	SidecarReads  int64 `json:"sidecarReads"`
+	SidecarErrors int64 `json:"sidecarErrors"`
 }
 
 // QueryCost is the accumulated cost of all executions of one query key.
@@ -952,6 +967,14 @@ func (s *Server) Metrics() MetricsReport {
 		Server:   s.Stats(),
 		Cluster:  s.env.Metrics.Snapshot(),
 		PerQuery: map[string]QueryCost{},
+	}
+	if s.env.Scan != nil {
+		cs := s.env.Scan.Stats()
+		rep.Scan = ScanCacheStats{
+			Hits: cs.Hits, Misses: cs.Misses,
+			Bytes: cs.Bytes, MaxBytes: cs.MaxBytes, Blocks: cs.Blocks,
+			SidecarReads: cs.SidecarReads, SidecarErrors: cs.SidecarErrors,
+		}
 	}
 	s.mu.Lock()
 	for k, v := range s.perQuery {

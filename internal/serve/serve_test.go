@@ -840,3 +840,29 @@ func TestPlanQueryOverServe(t *testing.T) {
 		t.Fatalf("grouped plan watch returned %+v", a.Groups)
 	}
 }
+
+// TestMetricsExposeScanCache pins the observability satellite: GET
+// /metrics carries the decoded-block cache counters, including how many
+// cold misses the persistent columnar sidecars served, and they move
+// when queries run.
+func TestMetricsExposeScanCache(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, "/t/scan", 60_000)
+	rep := s.Metrics()
+	if rep.Scan.MaxBytes <= 0 {
+		t.Fatalf("scanCache.maxBytes = %d, want the configured budget", rep.Scan.MaxBytes)
+	}
+	spec := QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/scan", Seed: 11, Sampler: "post-map"}}
+	if _, err := s.Query(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	rep = s.Metrics()
+	if rep.Scan.Misses == 0 {
+		t.Fatalf("scanCache counted no misses after a cold query: %+v", rep.Scan)
+	}
+	if rep.Scan.SidecarReads == 0 {
+		t.Fatalf("cold post-map query read nothing from the sidecar: %+v", rep.Scan)
+	}
+	if rep.Scan.SidecarErrors != 0 {
+		t.Fatalf("clean data produced %d sidecar errors", rep.Scan.SidecarErrors)
+	}
+}
