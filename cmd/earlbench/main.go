@@ -18,9 +18,11 @@
 //	                (bootstrap resampling, delta maintenance, pre-map
 //	                sampling), scan decode, the end-to-end engine family
 //	                (single-statistic vs 4-statistic shared pass,
-//	                scalar vs grouped, with records-read measurements)
-//	                and the query-plan family (σ pushdown vs post-hoc
-//	                filtering, π overhead, grouped-with-filter) — and
+//	                scalar vs grouped, with records-read measurements),
+//	                the query-plan family (σ pushdown vs post-hoc
+//	                filtering, π overhead, grouped-with-filter) and the
+//	                commit-journal family (journaled commit, recovery
+//	                replay, snapshot vs live reads) — and
 //	                emit the results as JSON instead of figure tables;
 //	                CI publishes this as the benchmark trajectory
 //	                artifact (BENCH_<pr>.json)

@@ -28,7 +28,7 @@ import (
 // microResult is one micro-benchmark measurement in the benchmark
 // trajectory file (BENCH_<pr>.json) CI publishes per run.
 type microResult struct {
-	Family      string  `json:"family"` // bootstrap | delta | sampling | scan_decode | colseg | engine | plan
+	Family      string  `json:"family"` // bootstrap | delta | sampling | scan_decode | colseg | engine | plan | journal
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	Iterations  int     `json:"iterations"`
@@ -128,13 +128,14 @@ func regressions(baseline, current microReport) []string {
 	return regs
 }
 
-// runMicro measures the six benchmark families — bootstrap resampling,
+// runMicro measures the benchmark families — bootstrap resampling,
 // delta maintenance, pre-map sampling (the hot substrates), scan decode
 // (per-record vs columnar split ingestion), the end-to-end engine
 // family (single-statistic vs shared-pass multi-statistic, scalar vs
-// grouped), and the query-plan family (σ pushdown vs user-level
-// post-hoc filtering, π overhead, grouped-with-filter) — with
-// testing.Benchmark. The
+// grouped), the query-plan family (σ pushdown vs user-level
+// post-hoc filtering, π overhead, grouped-with-filter), and the
+// commit-journal family (journaled commit, crash-recovery replay,
+// snapshot-pinned vs live reads) — with testing.Benchmark. The
 // substrate families mirror the micro-benchmarks in bench_test.go; the
 // figure-level benchmarks stay in `go test -bench` where their runtime
 // is at home.
@@ -691,6 +692,93 @@ func runMicro() (microReport, error) {
 	// pass (4 value-derived groups over the filtered half).
 	add("plan", fmt.Sprintf("GroupedFilter/mean/groups=4/n=%d", planN),
 		planBench(plan.Spec{Path: "/bench/plan", Stats: []string{"mean"}, Filter: "v < 50", GroupBy: "floor(v / 12.5)"}))
+
+	// --- Family 7: the commit journal (durability substrate). --------
+	// CommitWrite/CommitAppend price the journaled mutation path: frame
+	// the record (CRC-32C over the header+payload), append it to the
+	// log, and apply the new file state. RecoverReplay prices crash
+	// recovery end to end — parse and verify the journal image, then
+	// re-ingest every commit. SnapshotRead vs LiveRead brackets the
+	// MVCC cost of reading through a pinned commit versus the live
+	// chain head.
+	const journalBatch = 1 << 13 // 8 KiB per commit payload
+	journalData := workload.EncodeLinesFixed(planData[:journalBatch/28])
+	newJournalFS := func() *dfs.FileSystem {
+		return dfs.New(dfs.Config{Seed: 5, BlockSize: 1 << 16})
+	}
+	add("journal", fmt.Sprintf("CommitWrite/bytes=%d", len(journalData)), func(b *testing.B) {
+		fsys := newJournalFS()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fsys.WriteFile("/bench/journal", journalData); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("journal", fmt.Sprintf("CommitAppend/bytes=%d", len(journalData)), func(b *testing.B) {
+		fsys := newJournalFS()
+		if err := fsys.WriteFile("/bench/journal", journalData); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%256 == 255 {
+				// Bound file growth so per-op cost stays the steady-state
+				// append, not an ever-longer sidecar extension.
+				b.StopTimer()
+				if err := fsys.WriteFile("/bench/journal", journalData); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			if err := fsys.Append("/bench/journal", journalData); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	const journalCommits = 64
+	{
+		fsys := newJournalFS()
+		if err := fsys.WriteFile("/bench/journal", journalData); err != nil {
+			return microReport{}, err
+		}
+		for i := 1; i < journalCommits; i++ {
+			if err := fsys.Append("/bench/journal", journalData); err != nil {
+				return microReport{}, err
+			}
+		}
+		image := fsys.JournalBytes()
+		add("journal", fmt.Sprintf("RecoverReplay/commits=%d/bytes=%d", journalCommits, len(image)), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dfs.Recover(dfs.Config{Seed: 5, BlockSize: 1 << 16}, image); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		readBuf := make([]byte, journalBatch)
+		readAt := func(b *testing.B, v dfs.View) {
+			b.Helper()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.ReadAt("/bench/journal", int64(i%journalCommits)*journalBatch, readBuf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		add("journal", fmt.Sprintf("LiveRead/bytes=%d", journalBatch), func(b *testing.B) {
+			readAt(b, fsys)
+		})
+		add("journal", fmt.Sprintf("SnapshotRead/bytes=%d", journalBatch), func(b *testing.B) {
+			snap := fsys.Snapshot()
+			defer snap.Release()
+			readAt(b, snap)
+		})
+	}
 
 	// Shared-pass IO: records read by each statistic alone vs all four
 	// in one pass. The multi run must stay within 1.1× of the most

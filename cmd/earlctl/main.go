@@ -85,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		by      = fs.String("by", "", "query plan γ: 'key' or a numeric bucketing expression, e.g. 'floor(v / 25)'")
 		keys    = fs.Int("keys", 8, "distinct keys for generated key\\tvalue data (plans that read key)")
 		compact = fs.Bool("compact", false, "after the run, compact /data's columnar sidecar to full coverage and report it")
+		journal = fs.Bool("journal", false, "after the run, print the DFS commit journal's health counters")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -218,22 +219,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		} else {
 			err = runWatch(stdout, cluster, job, opts, killWait, p)
 		}
-		if err != nil || !*compact {
+		if err != nil {
 			return err
 		}
 		// Watch cycles append in small batches that leave sidecar
 		// coverage behind — exactly what -compact repairs.
-		return compactReport(stdout, cluster)
+		return finishReports(stdout, cluster, *compact, *journal)
 	}
 
 	if len(jset) > 1 {
 		if err := runMultiOnce(stdout, cluster, jset, opts, killWait, *n, *dist); err != nil {
 			return err
 		}
-		if *compact {
-			return compactReport(stdout, cluster)
-		}
-		return nil
+		return finishReports(stdout, cluster, *compact, *journal)
 	}
 
 	rep, err := cluster.Run(job, "/data", opts)
@@ -263,10 +261,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "exact        : %.6g  (early result off by %.3f%%)\n", exact, 100*relErr(rep.Estimate, exact))
-	if *compact {
-		return compactReport(stdout, cluster)
+	return finishReports(stdout, cluster, *compact, *journal)
+}
+
+// finishReports prints the optional post-run maintenance reports
+// (-compact, -journal) in a fixed order.
+func finishReports(stdout io.Writer, cluster *earl.Cluster, compact, journal bool) error {
+	if compact {
+		if err := compactReport(stdout, cluster); err != nil {
+			return err
+		}
+	}
+	if journal {
+		journalReport(stdout, cluster)
 	}
 	return nil
+}
+
+// journalReport prints the DFS commit journal's health counters — and,
+// on a cluster rebuilt by earl.RecoverCluster, what the replay found.
+func journalReport(stdout io.Writer, cluster *earl.Cluster) {
+	js := cluster.JournalStats()
+	fmt.Fprintf(stdout, "journal      : %d commit(s), %.2f MB log, %d snapshot pin(s)\n",
+		js.Commits, float64(js.Bytes)/(1<<20), js.Pins)
+	if js.Recovered {
+		fmt.Fprintf(stdout, "recovery     : replayed %d commit(s) (%.2f MB); torn tail=%v, %d byte(s) dropped\n",
+			js.Recovery.Commits, float64(js.Recovery.Bytes)/(1<<20), js.Recovery.TornTail, js.Recovery.DroppedBytes)
+	}
 }
 
 // compactReport compacts /data's persistent columnar sidecar and prints

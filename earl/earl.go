@@ -113,13 +113,12 @@ type ClusterConfig = core.EnvConfig
 // ordered by the DFS — the refresh either sees the appended blocks now
 // or picks them up on its next call.
 //
-// One carve-out: do not WriteFile over a path with an open Watch.
-// Maintained queries only move forward over appends — their retained
-// sample and sync point describe the replaced contents, so after a
-// rewrite Refresh returns ErrTruncated (smaller file) or silently
-// treats the unrelated new tail as appended data (same-size or larger
-// file). Close the watches first and re-open them over the new data;
-// internal/serve.Rewrite automates exactly that for the query server. The cost counters in Metrics are
+// Rewrites are isolated, not forbidden: a WriteFile over a path with
+// an open Watch is one journaled DFS commit, every Refresh reads
+// through a snapshot pinned at a single commit point, and a refresh
+// that observes the new write generation rebuilds the maintained state
+// from scratch — so each report reflects exactly one version of the
+// file (pre- or post-rewrite), never a blend. The cost counters in Metrics are
 // cluster-wide aggregates: under concurrent runs, per-run attribution
 // requires snapshot deltas taken by the caller (see internal/serve for
 // the caveats). KillNode/ReviveNode are also safe to call mid-run —
@@ -176,6 +175,49 @@ type CompactStats = dfs.CompactStats
 // sidecar.
 func (c *Cluster) Compact(path string) (CompactStats, error) {
 	return c.env.FS.Compact(path)
+}
+
+// JournalStats re-exports dfs.JournalStats: the commit-journal health
+// snapshot (committed records, journal bytes, active snapshot pins,
+// and crash-recovery replay stats when the cluster was recovered).
+type JournalStats = dfs.JournalStats
+
+// JournalStats snapshots the DFS commit journal's counters.
+func (c *Cluster) JournalStats() JournalStats { return c.env.FS.JournalStats() }
+
+// JournalBytes returns a copy of the cluster's commit-journal image —
+// what a durable deployment would have on disk, including any torn
+// final record an injected crash left behind. RecoverCluster replays
+// it.
+func (c *Cluster) JournalBytes() []byte { return c.env.FS.JournalBytes() }
+
+// FaultPlan re-exports dfs.FaultPlan: the seeded, deterministic
+// fault-injection layer (transient replica read errors, slow replicas,
+// crash at a chosen commit point with an optionally torn final write).
+type FaultPlan = dfs.FaultPlan
+
+// SetFaultPlan installs a fault-injection plan on the cluster's DFS
+// (nil clears it). Injected faults are deterministic in the plan's
+// Seed, so a fixed-seed run answers bit-identically with transient
+// faults on or off — the chaos acceptance suite pins exactly that.
+func (c *Cluster) SetFaultPlan(plan *FaultPlan) { c.env.FS.SetFaultPlan(plan) }
+
+// RecoverStats re-exports dfs.RecoverStats: what a journal replay
+// found and rebuilt.
+type RecoverStats = dfs.RecoverStats
+
+// RecoverCluster rebuilds a cluster from a commit-journal image
+// (JournalBytes of a previous — typically crashed — cluster). Replay
+// funnels every durable commit through the live ingest path, so with
+// the same cfg the recovered cluster answers queries bit-identically
+// to the original at the replayed commit point. A torn final record is
+// truncated cleanly; interior corruption is refused.
+func RecoverCluster(cfg ClusterConfig, image []byte) (*Cluster, RecoverStats, error) {
+	env, rst, err := core.RecoverEnv(cfg, image)
+	if err != nil {
+		return nil, rst, err
+	}
+	return &Cluster{env: env}, rst, nil
 }
 
 // Run executes job over path with early accurate results.

@@ -15,6 +15,8 @@
 //   - zero steady-state allocation on the resampling hot path
 //     (hotalloc);
 //   - balanced scratch/pool usage (poolleak);
+//   - durability: dfs committed file state only changes through the
+//     journaled commit path (journalcommit);
 //
 // plus the API hygiene rule that sentinel errors are matched with
 // errors.Is (sentinelerr).
@@ -28,7 +30,8 @@
 //   - //earl:alloc-ok <reason> — suppresses a hotalloc finding on the
 //     annotated line;
 //   - //earl:pool-ok <reason> — suppresses a poolleak finding;
-//   - //earl:rand-ok <reason> — suppresses an rngsource finding.
+//   - //earl:rand-ok <reason> — suppresses an rngsource finding;
+//   - //earl:commit-ok <reason> — suppresses a journalcommit finding.
 //
 // Every suppressing directive requires a reason; a bare directive is
 // itself reported. A directive covers its own source line and the line

@@ -217,8 +217,8 @@ func TestByName(t *testing.T) {
 	if err != nil || len(as) != 2 || as[0] != MapOrder || as[1] != PoolLeak {
 		t.Fatalf("ByName = %v, %v", as, err)
 	}
-	if got := len(All()); got != 5 {
-		t.Fatalf("All() = %d analyzers, want 5", got)
+	if got := len(All()); got != 6 {
+		t.Fatalf("All() = %d analyzers, want 6", got)
 	}
 }
 
@@ -241,3 +241,5 @@ func TestRepoInvariants(t *testing.T) {
 		t.Errorf("%s: %s: %s", fset.Position(d.Pos), d.Category, d.Message)
 	}
 }
+
+func TestJournalCommit(t *testing.T) { runFixture(t, JournalCommit, "testdata/journalcommit") }

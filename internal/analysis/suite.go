@@ -9,7 +9,7 @@ import (
 
 // All returns earlvet's analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotAlloc, MapOrder, PoolLeak, RngSource, SentinelErr}
+	return []*Analyzer{HotAlloc, JournalCommit, MapOrder, PoolLeak, RngSource, SentinelErr}
 }
 
 // ByName resolves a comma-separated analyzer selection ("" = all).

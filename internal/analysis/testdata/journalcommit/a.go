@@ -1,0 +1,91 @@
+package dfs
+
+// Fixture for the journalcommit analyzer: a miniature of the real dfs
+// package's committed-state types. Mutations of fileMeta/fileChain/
+// chainVersion fields and of the FileSystem.files map are only legal
+// inside apply*-prefixed functions; the sidecar field is derived state
+// and exempt everywhere.
+
+type blockMeta struct{ id int64 }
+
+type fileMeta struct {
+	size     int64
+	blocks   []*blockMeta
+	segments []int64
+	version  int64
+	sidecar  []byte
+}
+
+type chainVersion struct {
+	seq  int64
+	meta *fileMeta
+}
+
+type fileChain struct {
+	versions []chainVersion
+}
+
+type FileSystem struct {
+	files map[string]*fileChain
+	seq   int64
+}
+
+// applyWrite is the blessed shape: mutation inside an apply* helper.
+func (fs *FileSystem) applyWrite(path string, meta *fileMeta) {
+	ch, ok := fs.files[path]
+	if !ok {
+		ch = &fileChain{}
+		fs.files[path] = ch
+	}
+	ch.versions = append(ch.versions, chainVersion{seq: fs.seq, meta: meta})
+	meta.version = fs.seq
+}
+
+// applyPrune may also drop chains.
+func (fs *FileSystem) applyPrune(path string) {
+	delete(fs.files, path)
+}
+
+// truncate is the bug shape: it edits installed state directly, so the
+// journal never hears about the mutation and recovery replays the old
+// size.
+func (fs *FileSystem) truncate(path string, n int64) {
+	ch := fs.files[path]
+	v := &ch.versions[len(ch.versions)-1]
+	v.meta.size = n                       // want `truncate mutates fileMeta.size outside the commit path`
+	v.meta.blocks = v.meta.blocks[:1]     // want `truncate mutates fileMeta.blocks outside the commit path`
+	v.meta.segments = v.meta.segments[:1] // want `truncate mutates fileMeta.segments outside the commit path`
+}
+
+// rebless bumps a write generation in place: same hazard.
+func (fs *FileSystem) rebless(meta *fileMeta) {
+	meta.version++ // want `rebless mutates fileMeta.version outside the commit path`
+}
+
+// graft swaps chain internals around without a commit.
+func (fs *FileSystem) graft(dst, src *fileChain, path string) {
+	dst.versions = src.versions // want `graft mutates fileChain.versions outside the commit path`
+	dst.versions[0].meta = nil  // want `graft mutates chainVersion.meta outside the commit path`
+	dst.versions[0].seq = 0     // want `graft mutates chainVersion.seq outside the commit path`
+	fs.files[path] = dst        // want `graft mutates the FileSystem.files chain map outside the commit path`
+	delete(fs.files, path)      // want `graft mutates the FileSystem.files chain map outside the commit path`
+}
+
+// compact rebuilds derived columnar state: sidecar is exempt by design.
+func (fs *FileSystem) compact(meta *fileMeta, sc []byte) {
+	meta.sidecar = sc
+}
+
+// build constructs a FRESH meta — composite literals and locals are not
+// mutations of installed state.
+func build(n int64) *fileMeta {
+	m := &fileMeta{size: n, segments: []int64{0}}
+	local := chainVersion{seq: 1, meta: m}
+	_ = local
+	return m
+}
+
+// blessed documents why a carve-out is legal.
+func (fs *FileSystem) blessed(meta *fileMeta) {
+	meta.version = 0 //earl:commit-ok fixture carve-out exercising suppression
+}

@@ -76,8 +76,33 @@ type Env struct {
 	// re-decode nothing. Nil is tolerated everywhere — colscan then
 	// decodes per caller without sharing.
 	Scan *colscan.Cache
+	// Data, when non-nil, is the view every DATA read of a run goes
+	// through — typically a pinned dfs.Snapshot, so a run (or a watch
+	// refresh) observes one commit point of the filesystem no matter
+	// what lands concurrently. Mutations and the §3.3 error-file
+	// protocol always use the live FS: feedback files are per-run
+	// scratch that must be visible the moment the reducer writes them.
+	Data dfs.View
 
-	runSeq atomic.Int64
+	// runSeq is shared (by pointer) across WithData-derived Envs: two
+	// views of one deployment must never hand out colliding run ids.
+	runSeq *atomic.Int64
+}
+
+// View returns the data-read view: the pinned Data view when set, else
+// the live filesystem.
+func (e *Env) View() dfs.View {
+	if e.Data != nil {
+		return e.Data
+	}
+	return e.FS
+}
+
+// WithData derives an Env whose data reads go through v (usually a
+// pinned snapshot), sharing everything else — including the run-id
+// sequence — with the receiver.
+func (e *Env) WithData(v dfs.View) *Env {
+	return &Env{FS: e.FS, Engine: e.Engine, Metrics: e.Metrics, Scan: e.Scan, Data: v, runSeq: e.runSeq}
 }
 
 // NextRunID returns a process-unique id for one driver run. Every
@@ -105,24 +130,59 @@ type EnvConfig struct {
 	Seed            uint64
 }
 
-// NewEnv builds a fresh simulated cluster: DFS, MR engine and a shared
-// metrics sink.
-func NewEnv(cfg EnvConfig) (*Env, error) {
+// defaulted fills EnvConfig's zero values with the paper's testbed
+// shape so NewEnv and RecoverEnv agree on what a default cluster is.
+func (cfg EnvConfig) defaulted() EnvConfig {
 	if cfg.DataNodes <= 0 {
 		cfg.DataNodes = 5
 	}
 	if cfg.SlotsPerNode <= 0 {
 		cfg.SlotsPerNode = 2
 	}
-	metrics := &simcost.Metrics{}
-	fsys := dfs.New(dfs.Config{
+	return cfg
+}
+
+// dfsConfig maps a defaulted EnvConfig onto the DFS's own config.
+func (cfg EnvConfig) dfsConfig(metrics *simcost.Metrics) dfs.Config {
+	return dfs.Config{
 		BlockSize:       cfg.BlockSize,
 		Replication:     cfg.Replication,
 		DataNodes:       cfg.DataNodes,
 		Metrics:         metrics,
 		Seed:            cfg.Seed,
 		DisableSidecars: cfg.DisableSidecars,
-	})
+	}
+}
+
+// NewEnv builds a fresh simulated cluster: DFS, MR engine and a shared
+// metrics sink.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	cfg = cfg.defaulted()
+	metrics := &simcost.Metrics{}
+	return envAround(cfg, dfs.New(cfg.dfsConfig(metrics)), metrics)
+}
+
+// RecoverEnv rebuilds a cluster from a commit-journal image (FS.
+// JournalBytes of a previous — typically crashed — cluster), replaying
+// every durable commit onto a fresh deployment shaped by cfg. A torn
+// final record is truncated cleanly; interior corruption is refused
+// (see dfs.Recover). The same cfg.Seed reproduces the same recovered
+// state, so queries over the recovered cluster answer bit-identically
+// to the original at the replayed commit point.
+func RecoverEnv(cfg EnvConfig, image []byte) (*Env, dfs.RecoverStats, error) {
+	cfg = cfg.defaulted()
+	metrics := &simcost.Metrics{}
+	fsys, rst, err := dfs.Recover(cfg.dfsConfig(metrics), image)
+	if err != nil {
+		return nil, rst, err
+	}
+	env, err := envAround(cfg, fsys, metrics)
+	return env, rst, err
+}
+
+// envAround wires the MR engine and scan cache around an existing DFS —
+// the shared tail of NewEnv and RecoverEnv.
+func envAround(cfg EnvConfig, fsys *dfs.FileSystem, metrics *simcost.Metrics) (*Env, error) {
 	cluster, err := mr.NewCluster(cfg.DataNodes, cfg.SlotsPerNode)
 	if err != nil {
 		return nil, err
@@ -140,7 +200,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 				key.Path, key.Offset, key.Length, err)
 		})
 	}
-	return &Env{FS: fsys, Engine: eng, Metrics: metrics, Scan: scan}, nil
+	return &Env{FS: fsys, Engine: eng, Metrics: metrics, Scan: scan, runSeq: new(atomic.Int64)}, nil
 }
 
 // KillNode kills both the DataNode and the compute node with the given

@@ -236,13 +236,13 @@ func runMultiLive(env *Env, jset []jobs.Numeric, path string, opts Options, prog
 			return nil, nil, errors.New("core: job needs Reducer and Parse")
 		}
 	}
-	size, err := env.FS.Stat(path)
+	size, err := env.View().Stat(path)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	// ---- Local-mode pilot + SSABE (§3.2), shared by every statistic. --
-	pilotSampler, err := sampling.NewPreMap(env.FS, path, opts.SplitSize, opts.Seed)
+	pilotSampler, err := sampling.NewPreMap(env.View(), path, opts.SplitSize, opts.Seed)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -129,7 +129,7 @@ type engineResult struct {
 // mapperShards splits the file's splits round-robin across at most
 // opts.NumMappers owners (at least one).
 func mapperShards(env *Env, path string, opts Options) ([][]dfs.Split, error) {
-	splits, err := env.FS.Splits(path, opts.SplitSize)
+	splits, err := env.View().Splits(path, opts.SplitSize)
 	if err != nil {
 		return nil, err
 	}

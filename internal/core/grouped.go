@@ -74,13 +74,13 @@ func runGroupedLive(env *Env, job jobs.Numeric, route Route, path string, opts O
 			return "", 0, errors.New("core: plan runs use the columnar path")
 		}
 	}
-	size, err := env.FS.Stat(path)
+	size, err := env.View().Stat(path)
 	if err != nil {
 		return GroupedReport{}, nil, err
 	}
 
 	// Pilot: estimate the distinct-key count to size the initial target.
-	pilotSampler, err := sampling.NewPreMap(env.FS, path, opts.SplitSize, opts.Seed)
+	pilotSampler, err := sampling.NewPreMap(env.View(), path, opts.SplitSize, opts.Seed)
 	if err != nil {
 		return GroupedReport{}, nil, err
 	}

@@ -185,13 +185,14 @@ func (x *xformColSource) Weight() int64 { return x.inner.Weight() }
 // shared and never re-decoded or mutated), and every stream is wrapped
 // so draws deliver transformed post-filter records.
 func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, seedSalt uint64, format colscan.Format, prog *plan.Program) ([]RecordSource, error) {
+	view := env.View()
 	var version, size int64
 	if format != colscan.FormatNone && opts.Sampler == PostMapSampling {
 		var err error
-		if version, err = env.FS.Version(path); err != nil {
+		if version, err = view.Version(path); err != nil {
 			return nil, err
 		}
-		if size, err = env.FS.Stat(path); err != nil {
+		if size, err = view.Stat(path); err != nil {
 			return nil, err
 		}
 	}
@@ -212,7 +213,7 @@ func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, 
 				keepSc = plan.NewScratch()
 			}
 			for _, sp := range owned[idx] {
-				blk, err := colscan.LoadSplit(env.Scan, env.FS, path, version, size, sp.Offset, sp.Length, format)
+				blk, err := colscan.LoadSplit(env.Scan, view, path, version, size, sp.Offset, sp.Length, format)
 				if err != nil {
 					sources[idx] = errSource{err: err}
 					return nil
@@ -231,7 +232,7 @@ func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, 
 		case opts.Sampler == PostMapSampling:
 			pmap := sampling.NewPostMap(opts.Seed + seedSalt + uint64(idx)*7919)
 			for _, sp := range owned[idx] {
-				rd, err := env.FS.NewLineReader(sp, 0)
+				rd, err := view.NewLineReader(sp, 0)
 				if err != nil {
 					sources[idx] = errSource{err: err}
 					return nil
@@ -247,7 +248,7 @@ func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, 
 			}
 			sources[idx] = postMapSource{s: pmap}
 		default: // pre-map
-			sampler, err := sampling.NewPreMapOwned(env.FS, path, owned[idx], opts.Seed+seedSalt+uint64(idx)*104729)
+			sampler, err := sampling.NewPreMapOwned(view, path, owned[idx], opts.Seed+seedSalt+uint64(idx)*104729)
 			if err != nil {
 				return err
 			}
@@ -264,4 +265,31 @@ func NewRecordSources(env *Env, path string, owned [][]dfs.Split, opts Options, 
 		return nil, err
 	}
 	return sources, nil
+}
+
+// Repinner is implemented by sources whose draws read the DFS through a
+// pinned view. Repin re-points them — after a snapshot-pinned build,
+// back at the live filesystem, BEFORE the snapshot is released: a
+// released snapshot's versions may be pruned, so keeping it would turn
+// later draws into not-found errors.
+type Repinner interface {
+	Repin(v dfs.View)
+}
+
+func (p preMapSource) Repin(v dfs.View) { p.s.Repin(v) }
+
+func (x *xformColSource) Repin(v dfs.View) {
+	if r, ok := x.inner.(Repinner); ok {
+		r.Repin(v)
+	}
+}
+
+// RepinSources re-points every view-pinned source (post-map pools hold
+// their records in memory and need none).
+func RepinSources(sources []RecordSource, v dfs.View) {
+	for _, s := range sources {
+		if r, ok := s.(Repinner); ok {
+			r.Repin(v)
+		}
+	}
 }

@@ -4,8 +4,9 @@
 //
 //   - files are split into fixed-size blocks (64 MB default) with
 //     metadata held by a NameNode and block bytes held by DataNodes;
-//   - blocks are replicated; reads fail over to surviving replicas, which
-//     is what lets EARL keep answering through node failures (§3.4);
+//   - blocks are replicated; reads retry with backoff across surviving
+//     replicas, which is what lets EARL keep answering through node
+//     failures (§3.4);
 //   - a rebalancer distributes blocks uniformly across DataNodes — the
 //     property EARL's sampling exploits;
 //   - files expose *logical splits* (the "InputSplit" of MapReduce) and a
@@ -16,6 +17,28 @@
 //   - random positioned reads, used by the pre-map sampler (Algorithm 2),
 //     are charged a disk seek in the cost metrics.
 //
+// # Commit journal and snapshots
+//
+// Every namespace mutation — WriteFile, Append, Delete — is one commit:
+// validated at the entry point, framed as a CRC-verified record in the
+// filesystem's journal (internal/journal), and only then applied to the
+// in-memory namespace. The journal is the durable truth: Recover replays
+// one onto a fresh filesystem, truncating a torn final record (the shape
+// a crash leaves) and rebuilding every file, sidecar and write generation
+// deterministically.
+//
+// The namespace itself is multi-versioned: each path holds a chain of
+// immutable file states, one per commit that touched it, and readers
+// resolve through a commit sequence number. Snapshot pins the current
+// commit and serves every read — ReadAt, Splits, Segments, Version,
+// sidecar reads, line readers — from that one consistent world, even
+// while rewrites land concurrently; Release unpins it and garbage-
+// collects the superseded states no snapshot can see. All mutations to
+// versioned state happen inside apply*-prefixed functions reachable only
+// from the commit helper (machine-checked by earlvet's journalcommit
+// analyzer), so no code path can mutate the namespace without a journal
+// record.
+//
 // Block payloads live in memory; the simcost.Metrics hooks account for
 // the I/O that a disk-backed deployment would perform.
 package dfs
@@ -23,12 +46,15 @@ package dfs
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/journal"
 	"repro/internal/simcost"
 )
 
@@ -37,15 +63,35 @@ const DefaultBlockSize = 64 << 20
 
 // Errors returned by the filesystem.
 var (
-	ErrNotFound    = errors.New("dfs: file not found")
-	ErrExists      = errors.New("dfs: file already exists")
+	ErrNotFound = errors.New("dfs: file not found")
+	ErrExists   = errors.New("dfs: file already exists")
+	// ErrUnavailable is the transient per-attempt read failure: the
+	// replica chosen for one attempt was dead, missing the block, or hit
+	// an injected fault. The read path retries with backoff across
+	// replicas before giving up with ErrNoReplica.
 	ErrUnavailable = errors.New("dfs: no live replica for block")
+	// ErrNoReplica is returned when a block read exhausts its retry
+	// budget without finding a live replica — the §3.4 failure a run
+	// tolerates by finishing on surviving data. errors.Is-able.
+	ErrNoReplica   = errors.New("dfs: block unreadable after retries")
 	ErrNoDataNodes = errors.New("dfs: no live datanodes")
 	// ErrUnalignedAppend is returned by Append when the existing file does
 	// not end with a newline: the boundary record would span the old and
 	// new segments, so existing splits could no longer own stable record
 	// sets — the invariant continuous ingest depends on.
 	ErrUnalignedAppend = errors.New("dfs: append to file without trailing newline")
+	// ErrCrashed is returned by mutations after an injected
+	// crash-at-commit-point fault fired (FaultPlan.CrashAtCommit): the
+	// filesystem refuses further commits, and JournalBytes returns the
+	// crash image Recover replays.
+	ErrCrashed = errors.New("dfs: filesystem crashed at injected commit point")
+)
+
+// Read retry policy: bounded attempts with exponential backoff, spread
+// across replicas (each attempt advances the round-robin tick).
+const (
+	readAttempts    = 6
+	readBackoffBase = 50 * time.Microsecond
 )
 
 // Config configures a FileSystem.
@@ -83,13 +129,20 @@ type FileSystem struct {
 	readTick atomic.Int64
 	nextID   int64
 	nodes    []*dataNode
-	files    map[string]*fileMeta
-	// sidecars holds each file's persistent columnar segment encoding
-	// (internal/colseg), keyed by data path. A sidecar is derived state
-	// — rebuildable from the file at any time, dropped with it, never
-	// replicated: losing one costs a text decode, not data.
-	sidecars map[string][]byte
-	metrics  *simcost.Metrics
+	// files maps each path to its version chain: one immutable fileMeta
+	// per commit that touched the path, resolved by commit sequence.
+	files map[string]*fileChain
+	// jlog is the commit journal — the durable truth every mutation is
+	// framed into before it is applied.
+	jlog      *journal.Log
+	commitSeq int64
+	// pins refcounts the commit sequences active Snapshots hold open;
+	// superseded chain versions survive until no pin can see them.
+	pins      map[int64]int
+	crashed   bool // an injected crash fired; mutations refuse
+	faults    *FaultPlan
+	recovered *RecoverStats // set when this filesystem came from Recover
+	metrics   *simcost.Metrics
 }
 
 type dataNode struct {
@@ -98,14 +151,38 @@ type dataNode struct {
 	blocks map[int64][]byte
 }
 
+// fileChain is one path's version history: states ascending by commit
+// sequence. The last entry is the live state; earlier entries survive
+// only while a pinned Snapshot can still see them.
+type fileChain struct {
+	versions []chainVersion
+}
+
+// chainVersion is one committed state of a path. A nil meta records a
+// deletion (the path does not exist at and after seq, until recreated).
+type chainVersion struct {
+	seq  int64
+	meta *fileMeta
+}
+
+// fileMeta is one immutable committed state of a file. Appends clone it
+// (sharing the unchanged *blockMeta prefix — payloads never mutate);
+// rewrites start a fresh one. The sidecar field is derived columnar
+// state (rebuildable from the file bytes, never journaled) and is the
+// one field mutable outside the commit path.
 type fileMeta struct {
 	size     int64
 	blocks   []*blockMeta
 	segments []int64 // start offset of every write/append segment, ascending
 	// version is the file's write generation: a fresh id per WriteFile,
 	// stable across Append (appends add segments, they never change the
-	// bytes behind an existing offset). Decoded-block caches key on it.
+	// bytes behind an existing offset). Decoded-block caches key on it,
+	// and maintained queries detect rewrites by it changing.
 	version int64
+	// sidecar holds the file's persistent columnar segment encoding
+	// (internal/colseg). Derived state — rebuildable at any time, never
+	// replicated or journaled: losing one costs a text decode, not data.
+	sidecar []byte
 }
 
 type blockMeta struct {
@@ -119,11 +196,12 @@ type blockMeta struct {
 func New(cfg Config) *FileSystem {
 	cfg = cfg.withDefaults()
 	fs := &FileSystem{
-		cfg:      cfg,
-		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x6a09e667f3bcc908)),
-		files:    make(map[string]*fileMeta),
-		sidecars: make(map[string][]byte),
-		metrics:  cfg.Metrics,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x6a09e667f3bcc908)),
+		files:   make(map[string]*fileChain),
+		jlog:    journal.New(),
+		pins:    make(map[int64]int),
+		metrics: cfg.Metrics,
 	}
 	for i := 0; i < cfg.DataNodes; i++ {
 		fs.nodes = append(fs.nodes, &dataNode{id: i, alive: true, blocks: make(map[int64][]byte)})
@@ -150,49 +228,176 @@ func (fs *FileSystem) LiveDataNodes() []int {
 	return ids
 }
 
-// WriteFile stores data at path, replacing any existing file. Data is
-// partitioned into blocks and each block is replicated across distinct
-// live DataNodes (fewer if the cluster is smaller than the replication
-// factor). Write I/O is charged once per replica.
+// metaLocked resolves path's committed state as of commit sequence at
+// (at < 0 means the live state). Missing paths, states deleted at or
+// before at, and paths created after at all report !ok.
+func (fs *FileSystem) metaLocked(path string, at int64) (*fileMeta, bool) {
+	ch, ok := fs.files[path]
+	if !ok || len(ch.versions) == 0 {
+		return nil, false
+	}
+	if at < 0 {
+		v := ch.versions[len(ch.versions)-1]
+		return v.meta, v.meta != nil
+	}
+	for i := len(ch.versions) - 1; i >= 0; i-- {
+		if ch.versions[i].seq <= at {
+			v := ch.versions[i]
+			return v.meta, v.meta != nil
+		}
+	}
+	return nil, false
+}
+
+// WriteFile stores data at path, replacing any existing file, as one
+// journaled commit. Data is partitioned into blocks and each block is
+// replicated across distinct live DataNodes (fewer if the cluster is
+// smaller than the replication factor). Write I/O is charged once per
+// replica. The superseded file state stays readable through Snapshots
+// pinned before the commit.
 func (fs *FileSystem) WriteFile(path string, data []byte) error {
 	if path == "" {
 		return errors.New("dfs: empty path")
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	live := fs.liveLocked()
-	if len(live) == 0 {
+	if len(fs.liveLocked()) == 0 {
 		return ErrNoDataNodes
 	}
-	if old, ok := fs.files[path]; ok {
-		fs.dropBlocksLocked(old)
+	return fs.commitLocked(journal.OpWrite, path, data)
+}
+
+// Append adds data to the end of path as a fresh *segment* commit: new
+// blocks are cut from the old end-of-file (never extending the last
+// block) and replicated across live DataNodes like any other write.
+// Existing blocks, their replicas, and the logical splits over them are
+// untouched — the stability continuous ingest relies on, letting a
+// maintained query process only the appended region.
+//
+// The existing file must end with a newline (record-aligned appends);
+// otherwise ErrUnalignedAppend is returned. Appending to a missing path
+// creates the file.
+func (fs *FileSystem) Append(path string, data []byte) error {
+	if path == "" {
+		return errors.New("dfs: empty path")
 	}
-	fs.nextID++
-	meta := &fileMeta{size: int64(len(data)), segments: []int64{0}, version: fs.nextID}
-	fs.appendBlocksLocked(meta, data, 0, live)
-	fs.files[path] = meta
-	fs.buildSidecarLocked(path, meta, data)
+	if len(data) == 0 {
+		return nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if len(fs.liveLocked()) == 0 {
+		return ErrNoDataNodes
+	}
+	if meta, ok := fs.metaLocked(path, -1); ok && meta.size > 0 {
+		last := meta.blocks[len(meta.blocks)-1]
+		payload, err := fs.replicaPayloadLocked(last)
+		if err != nil {
+			return err
+		}
+		if len(payload) == 0 || payload[len(payload)-1] != '\n' {
+			return fmt.Errorf("%w: %s", ErrUnalignedAppend, path)
+		}
+	}
+	return fs.commitLocked(journal.OpAppend, path, data)
+}
+
+// Delete removes path as one journaled commit. Snapshots pinned before
+// the commit keep reading the file.
+func (fs *FileSystem) Delete(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.metaLocked(path, -1); !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return fs.commitLocked(journal.OpDelete, path, nil)
+}
+
+// commitLocked is THE mutation choke point: it frames one validated
+// mutation as a journal record, advances the commit sequence, and
+// dispatches to the apply function that performs the state change. Every
+// namespace mutation — live traffic and Recover replay alike — funnels
+// through here; nothing else may touch versioned state (enforced by the
+// journalcommit analyzer).
+func (fs *FileSystem) commitLocked(op journal.Op, path string, data []byte) error {
+	if fs.crashed {
+		return ErrCrashed
+	}
+	seq := fs.jlog.Records() + 1
+	if fp := fs.faults; fp != nil && fp.CrashAtCommit > 0 && seq >= fp.CrashAtCommit {
+		// The injected crash strikes while this commit's record is being
+		// written: with TornTail the journal keeps a half-written frame
+		// (Recover must detect and truncate it), without it the record
+		// never reached the disk at all. Either way the mutation is not
+		// applied and the filesystem refuses further commits.
+		fs.crashed = true
+		if fp.TornTail {
+			before := fs.jlog.Size()
+			fs.jlog.Append(op, path, data)
+			fs.jlog.Tear((fs.jlog.Size() - before + 1) / 2)
+		}
+		return ErrCrashed
+	}
+	fs.jlog.Append(op, path, data)
+	fs.commitSeq = seq
+	switch op {
+	case journal.OpWrite:
+		fs.applyWrite(seq, path, data)
+	case journal.OpAppend:
+		fs.applyAppend(seq, path, data)
+	case journal.OpDelete:
+		fs.applyDelete(seq, path)
+	}
 	return nil
 }
 
-// Version returns the file's write generation: fresh per WriteFile,
-// stable across Append. (path, Version, offset) uniquely identifies
-// immutable content, which is what the colscan block cache keys on.
-func (fs *FileSystem) Version(path string) (int64, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	meta, ok := fs.files[path]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
-	}
-	return meta.version, nil
+// applyWrite installs a fresh file state for path: new write generation,
+// new blocks, new sidecar.
+func (fs *FileSystem) applyWrite(seq int64, path string, data []byte) {
+	live := fs.liveLocked()
+	fs.nextID++
+	meta := &fileMeta{size: int64(len(data)), segments: []int64{0}, version: fs.nextID}
+	fs.applyBlocks(meta, data, 0, live)
+	meta.sidecar = fs.buildSidecar(path, meta, data)
+	fs.applyChainPush(path, seq, meta)
 }
 
-// appendBlocksLocked partitions data into blocks starting at file offset
-// base, replicates each across distinct live DataNodes (random placement,
-// like HDFS's rack-unaware policy on a flat topology) and attaches them
-// to meta. Write I/O is charged once per replica.
-func (fs *FileSystem) appendBlocksLocked(meta *fileMeta, data []byte, base int64, live []int) {
+// applyAppend installs a cloned file state extended by one segment. The
+// clone shares the unchanged block prefix with its predecessor —
+// payloads are immutable, so pinned snapshots and the live state read
+// the same bytes through the shared *blockMeta entries.
+func (fs *FileSystem) applyAppend(seq int64, path string, data []byte) {
+	cur, ok := fs.metaLocked(path, -1)
+	if !ok {
+		// Creating via Append is a write generation like WriteFile: a
+		// deleted-and-recreated path must never alias its predecessor's
+		// decoded blocks.
+		fs.applyWrite(seq, path, data)
+		return
+	}
+	live := fs.liveLocked()
+	base := cur.size
+	meta := &fileMeta{
+		size:     base + int64(len(data)),
+		blocks:   append([]*blockMeta(nil), cur.blocks...),
+		segments: append(append([]int64(nil), cur.segments...), base),
+		version:  cur.version,
+	}
+	fs.applyBlocks(meta, data, base, live)
+	meta.sidecar = fs.extendSidecar(cur.sidecar, meta, data, base)
+	fs.applyChainPush(path, seq, meta)
+}
+
+// applyDelete installs a deletion marker for path.
+func (fs *FileSystem) applyDelete(seq int64, path string) {
+	fs.applyChainPush(path, seq, nil)
+}
+
+// applyBlocks partitions data into blocks starting at file offset base,
+// replicates each across distinct live DataNodes (random placement, like
+// HDFS's rack-unaware policy on a flat topology) and attaches them to
+// meta. Write I/O is charged once per replica.
+func (fs *FileSystem) applyBlocks(meta *fileMeta, data []byte, base int64, live []int) {
 	for off := int64(0); off < int64(len(data)) || (off == 0 && len(data) == 0 && base == 0); off += fs.cfg.BlockSize {
 		end := off + fs.cfg.BlockSize
 		if end > int64(len(data)) {
@@ -222,58 +427,96 @@ func (fs *FileSystem) appendBlocksLocked(meta *fileMeta, data []byte, base int64
 	}
 }
 
-// Append adds data to the end of path as a fresh *segment*: new blocks
-// are cut from the old end-of-file (never extending the last block) and
-// replicated across live DataNodes like any other write. Existing blocks,
-// their replicas, and the logical splits over them are untouched — the
-// stability continuous ingest relies on, letting a maintained query
-// process only the appended region.
-//
-// The existing file must end with a newline (record-aligned appends);
-// otherwise ErrUnalignedAppend is returned. Appending to a missing path
-// creates the file.
-func (fs *FileSystem) Append(path string, data []byte) error {
-	if path == "" {
-		return errors.New("dfs: empty path")
-	}
-	if len(data) == 0 {
-		return nil
-	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	live := fs.liveLocked()
-	if len(live) == 0 {
-		return ErrNoDataNodes
-	}
-	meta, ok := fs.files[path]
+// applyChainPush appends one committed state to path's version chain
+// (creating the chain) and prunes states no pinned snapshot can see.
+func (fs *FileSystem) applyChainPush(path string, seq int64, meta *fileMeta) {
+	ch, ok := fs.files[path]
 	if !ok {
-		// Creating via Append is a write generation like WriteFile: a
-		// deleted-and-recreated path must never alias its predecessor's
-		// decoded blocks.
-		fs.nextID++
-		meta = &fileMeta{segments: []int64{0}, version: fs.nextID}
-		fs.appendBlocksLocked(meta, data, 0, live)
-		meta.size = int64(len(data))
-		fs.files[path] = meta
-		fs.buildSidecarLocked(path, meta, data)
-		return nil
+		ch = &fileChain{}
+		fs.files[path] = ch
 	}
-	if meta.size > 0 {
-		last := meta.blocks[len(meta.blocks)-1]
-		payload, err := fs.replicaPayloadLocked(last)
-		if err != nil {
-			return err
+	ch.versions = append(ch.versions, chainVersion{seq: seq, meta: meta})
+	fs.applyChainPrune(path, ch)
+}
+
+// applyChainPrune garbage-collects path's version chain: a non-live
+// state is dropped once its successor's commit precedes every pinned
+// snapshot (no pin can resolve to it anymore), and blocks referenced by
+// no surviving state are removed from the DataNodes. A chain reduced to
+// a single deletion marker disappears entirely.
+func (fs *FileSystem) applyChainPrune(path string, ch *fileChain) {
+	minPin := fs.minPinLocked()
+	var pruned []*fileMeta
+	kept := ch.versions[:0]
+	for i, v := range ch.versions {
+		if i < len(ch.versions)-1 && ch.versions[i+1].seq <= minPin {
+			if v.meta != nil {
+				pruned = append(pruned, v.meta)
+			}
+			continue
 		}
-		if len(payload) == 0 || payload[len(payload)-1] != '\n' {
-			return fmt.Errorf("%w: %s", ErrUnalignedAppend, path)
+		kept = append(kept, v)
+	}
+	ch.versions = kept
+	if len(pruned) > 0 {
+		surviving := make(map[int64]struct{})
+		for _, v := range ch.versions {
+			if v.meta == nil {
+				continue
+			}
+			for _, blk := range v.meta.blocks {
+				surviving[blk.id] = struct{}{}
+			}
+		}
+		dropped := make(map[int64]struct{})
+		for _, meta := range pruned {
+			for _, blk := range meta.blocks {
+				if _, keep := surviving[blk.id]; keep {
+					continue
+				}
+				if _, done := dropped[blk.id]; done {
+					continue
+				}
+				dropped[blk.id] = struct{}{}
+				for _, nid := range blk.replicas {
+					delete(fs.nodes[nid].blocks, blk.id)
+				}
+			}
 		}
 	}
-	base := meta.size
-	fs.appendBlocksLocked(meta, data, base, live)
-	meta.segments = append(meta.segments, base)
-	meta.size += int64(len(data))
-	fs.extendSidecarLocked(path, meta, data, base)
-	return nil
+	if len(ch.versions) == 1 && ch.versions[0].meta == nil {
+		delete(fs.files, path)
+	}
+}
+
+// minPinLocked returns the smallest pinned commit sequence, or MaxInt64
+// when no snapshot is active (everything but the live state prunable).
+func (fs *FileSystem) minPinLocked() int64 {
+	min := int64(math.MaxInt64)
+	for seq := range fs.pins {
+		if seq < min {
+			min = seq
+		}
+	}
+	return min
+}
+
+// Version returns the file's write generation: fresh per WriteFile,
+// stable across Append. (path, Version, offset) uniquely identifies
+// immutable content, which is what the colscan block cache keys on and
+// how maintained queries detect a rewrite under their path.
+func (fs *FileSystem) Version(path string) (int64, error) {
+	return fs.versionAt(path, -1)
+}
+
+func (fs *FileSystem) versionAt(path string, at int64) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	meta, ok := fs.metaLocked(path, at)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return meta.version, nil
 }
 
 // Segments returns the start offset of every segment of path — offset 0
@@ -281,9 +524,13 @@ func (fs *FileSystem) Append(path string, data []byte) error {
 // straddle a segment boundary, so a caller that remembers the file size
 // it has processed can identify the splits covering appended data exactly.
 func (fs *FileSystem) Segments(path string) ([]int64, error) {
+	return fs.segmentsAt(path, -1)
+}
+
+func (fs *FileSystem) segmentsAt(path string, at int64) ([]int64, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	meta, ok := fs.files[path]
+	meta, ok := fs.metaLocked(path, at)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
@@ -300,33 +547,15 @@ func (fs *FileSystem) liveLocked() []int {
 	return ids
 }
 
-func (fs *FileSystem) dropBlocksLocked(meta *fileMeta) {
-	for _, blk := range meta.blocks {
-		for _, nid := range blk.replicas {
-			delete(fs.nodes[nid].blocks, blk.id)
-		}
-	}
-}
-
-// Delete removes path.
-func (fs *FileSystem) Delete(path string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	meta, ok := fs.files[path]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, path)
-	}
-	fs.dropBlocksLocked(meta)
-	delete(fs.files, path)
-	delete(fs.sidecars, path)
-	return nil
-}
-
 // Stat returns the size of the file at path.
 func (fs *FileSystem) Stat(path string) (size int64, err error) {
+	return fs.statAt(path, -1)
+}
+
+func (fs *FileSystem) statAt(path string, at int64) (int64, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	meta, ok := fs.files[path]
+	meta, ok := fs.metaLocked(path, at)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
@@ -335,20 +564,31 @@ func (fs *FileSystem) Stat(path string) (size int64, err error) {
 
 // Exists reports whether path exists.
 func (fs *FileSystem) Exists(path string) bool {
+	return fs.existsAt(path, -1)
+}
+
+func (fs *FileSystem) existsAt(path string, at int64) bool {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	_, ok := fs.files[path]
+	_, ok := fs.metaLocked(path, at)
 	return ok
 }
 
 // List returns all paths with the given prefix, sorted. EARL's feedback
 // protocol (§3.3) lists the per-reducer error files sharing a job prefix.
 func (fs *FileSystem) List(prefix string) []string {
+	return fs.listAt(prefix, -1)
+}
+
+func (fs *FileSystem) listAt(prefix string, at int64) []string {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	var out []string
 	for p := range fs.files {
-		if strings.HasPrefix(p, prefix) {
+		if !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		if _, ok := fs.metaLocked(p, at); ok {
 			out = append(out, p)
 		}
 	}
@@ -356,10 +596,14 @@ func (fs *FileSystem) List(prefix string) []string {
 	return out
 }
 
-// ReadFile returns the whole contents of path, failing over across
-// replicas per block. A sequential whole-file read is charged one seek.
+// ReadFile returns the whole contents of path, retrying across replicas
+// per block. A sequential whole-file read is charged one seek.
 func (fs *FileSystem) ReadFile(path string) ([]byte, error) {
-	size, err := fs.Stat(path)
+	return fs.readFileAt(path, -1)
+}
+
+func (fs *FileSystem) readFileAt(path string, at int64) ([]byte, error) {
+	size, err := fs.statAt(path, at)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +611,7 @@ func (fs *FileSystem) ReadFile(path string) ([]byte, error) {
 	if size == 0 {
 		return buf, nil
 	}
-	if _, err := fs.readAt(path, 0, buf, 1); err != nil {
+	if _, err := fs.readAt(path, at, 0, buf, 1); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -378,13 +622,13 @@ func (fs *FileSystem) ReadFile(path string) ([]byte, error) {
 // the number of bytes read; n < len(p) with a nil error means EOF was
 // reached.
 func (fs *FileSystem) ReadAt(path string, off int64, p []byte) (int, error) {
-	return fs.readAt(path, off, p, 1)
+	return fs.readAt(path, -1, off, p, 1)
 }
 
-func (fs *FileSystem) readAt(path string, off int64, p []byte, seeks int64) (int, error) {
+func (fs *FileSystem) readAt(path string, at, off int64, p []byte, seeks int64) (int, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	meta, ok := fs.files[path]
+	meta, ok := fs.metaLocked(path, at)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
@@ -428,11 +672,33 @@ func (fs *FileSystem) readAt(path string, off int64, p []byte, seeks int64) (int
 	return int(n), nil
 }
 
-// replicaPayloadLocked returns a live replica's bytes for blk, spreading
-// load across live replicas round-robin (fs.rng cannot be used here: the
-// read path holds only the read lock, so it must not mutate shared
-// random state).
+// replicaPayloadLocked returns a replica's bytes for blk, retrying with
+// exponential backoff across live replicas: each attempt advances the
+// round-robin tick to the next live replica, so a dead node, a missing
+// copy, or an injected transient fault costs one backoff step, not the
+// read. A read that exhausts its budget fails wrapping ErrNoReplica.
+// (fs.rng cannot be used here: the read path holds only the read lock,
+// so it must not mutate shared random state.)
 func (fs *FileSystem) replicaPayloadLocked(blk *blockMeta) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(readBackoffBase << uint(attempt-1))
+		}
+		payload, err := fs.replicaAttemptLocked(blk, attempt)
+		if err == nil {
+			return payload, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: block %d after %d attempts: %v", ErrNoReplica, blk.id, readAttempts, lastErr)
+}
+
+// replicaAttemptLocked performs one replica read attempt for blk.
+func (fs *FileSystem) replicaAttemptLocked(blk *blockMeta, attempt int) ([]byte, error) {
+	if fp := fs.faults; fp != nil && fp.readErrorFires(blk.id, attempt) {
+		return nil, fmt.Errorf("%w: injected read fault on block %d", ErrUnavailable, blk.id)
+	}
 	liveIdx := make([]int, 0, len(blk.replicas))
 	for _, nid := range blk.replicas {
 		if fs.nodes[nid].alive {
@@ -443,6 +709,9 @@ func (fs *FileSystem) replicaPayloadLocked(blk *blockMeta) ([]byte, error) {
 		return nil, fmt.Errorf("%w: block %d", ErrUnavailable, blk.id)
 	}
 	nid := liveIdx[int(fs.readTick.Add(1))%len(liveIdx)]
+	if fp := fs.faults; fp != nil && fp.slowNode(nid) {
+		time.Sleep(fp.SlowDelay)
+	}
 	payload, ok := fs.nodes[nid].blocks[blk.id]
 	if !ok {
 		return nil, fmt.Errorf("%w: block %d missing on node %d", ErrUnavailable, blk.id, nid)
@@ -451,8 +720,9 @@ func (fs *FileSystem) replicaPayloadLocked(blk *blockMeta) ([]byte, error) {
 }
 
 // KillDataNode marks a node dead. Blocks whose every replica is dead
-// become unavailable — exactly the failure mode §3.4 tolerates by
-// finishing with an accuracy estimate instead of restarting.
+// become unreadable (ErrNoReplica after retries) — exactly the failure
+// mode §3.4 tolerates by finishing with an accuracy estimate instead of
+// restarting.
 func (fs *FileSystem) KillDataNode(id int) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -477,7 +747,9 @@ func (fs *FileSystem) ReviveDataNode(id int) error {
 // Rebalance redistributes replicas so block counts are as even as
 // possible across live DataNodes — the HDFS balancer the paper notes
 // makes uniform sampling from blocks sound (§1). Returns the number of
-// replica moves performed.
+// replica moves performed. Placement is physical state, not namespace
+// state: moves are not journaled, and pinned snapshots observe them
+// (the bytes they read are identical from any replica).
 func (fs *FileSystem) Rebalance() (moves int, err error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -524,16 +796,24 @@ func (fs *FileSystem) Rebalance() (moves int, err error) {
 	}
 }
 
+// retargetReplicaLocked updates the replica list of the block with
+// blockID after a move. Chain versions share *blockMeta entries, so one
+// update is visible to every state referencing the block.
 func (fs *FileSystem) retargetReplicaLocked(blockID int64, from, to int) {
-	for _, meta := range fs.files {
-		for _, blk := range meta.blocks {
-			if blk.id != blockID {
+	for _, ch := range fs.files {
+		for _, v := range ch.versions {
+			if v.meta == nil {
 				continue
 			}
-			for i, nid := range blk.replicas {
-				if nid == from {
-					blk.replicas[i] = to
-					return
+			for _, blk := range v.meta.blocks {
+				if blk.id != blockID {
+					continue
+				}
+				for i, nid := range blk.replicas {
+					if nid == from {
+						blk.replicas[i] = to
+						return
+					}
 				}
 			}
 		}

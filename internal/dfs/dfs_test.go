@@ -170,8 +170,8 @@ func TestAllReplicasDead(t *testing.T) {
 	}
 	fs.KillDataNode(0)
 	fs.KillDataNode(1)
-	if _, err := fs.ReadFile("/f"); !errors.Is(err, ErrUnavailable) {
-		t.Fatalf("err = %v, want ErrUnavailable", err)
+	if _, err := fs.ReadFile("/f"); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("err = %v, want ErrNoReplica", err)
 	}
 	// Revival restores access.
 	fs.ReviveDataNode(0)

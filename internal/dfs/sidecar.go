@@ -27,6 +27,14 @@ import (
 //     sidecar at all, keeping the text decoder the single authority on
 //     decode errors (a NaN-poisoned file must fail a run the same way
 //     whether or not a sidecar scheme exists).
+//
+// Because a sidecar is derived, it is NOT journaled: Recover rebuilds
+// sidecars as a side effect of replaying the ingest commits, at exactly
+// the ingest-policy coverage. (Coverage added later by Compact is the
+// one thing a crash loses — a speed cost repaid by re-running Compact.)
+// The sidecar field is likewise exempt from the commit-path-only
+// mutation rule: Compact and the corruption fault hooks may swap it in
+// place, under the write lock, without a commit.
 const (
 	sidecarMinBytes       = 4 << 10
 	sidecarAppendMinBytes = 64 << 10
@@ -46,57 +54,60 @@ func sniffFormat(data []byte) colscan.Format {
 	return colscan.FormatNumeric
 }
 
-// buildSidecarLocked replaces path's sidecar after a WriteFile (or a
-// file-creating Append). Any pre-existing sidecar is dropped first so a
-// rewrite can never leave a stale encoding behind, whatever the gates
-// decide about the new contents. Encode failures are silent: the file
-// simply stays text-only.
-func (fs *FileSystem) buildSidecarLocked(path string, meta *fileMeta, data []byte) {
-	delete(fs.sidecars, path)
+// buildSidecar encodes a fresh file state's sidecar, or returns nil
+// when the gates say no. Encode failures are silent: the file simply
+// stays text-only.
+func (fs *FileSystem) buildSidecar(path string, meta *fileMeta, data []byte) []byte {
 	if fs.cfg.DisableSidecars || int64(len(data)) < sidecarMinBytes ||
 		strings.HasPrefix(path, sidecarSkipPrefix) {
-		return
+		return nil
 	}
 	sc, err := colseg.Build(sniffFormat(data), meta.version, data, meta.segments, fs.cfg.BlockSize)
 	if err != nil {
-		return
+		return nil
 	}
-	fs.sidecars[path] = sc
 	if fs.metrics != nil {
 		fs.metrics.BytesWritten.Add(int64(len(sc)))
 	}
+	return sc
 }
 
-// extendSidecarLocked grows path's sidecar with one appended segment.
-// Extension requires an existing sidecar whose coverage reaches exactly
-// the append point; anything else (small initial write, earlier
-// sub-threshold appends) is left for Compact. Only the footer and the
-// new segment's chunks are written — pre-append chunks stay byte-stable.
-func (fs *FileSystem) extendSidecarLocked(path string, meta *fileMeta, segData []byte, segStart int64) {
-	if fs.cfg.DisableSidecars || int64(len(segData)) < sidecarAppendMinBytes {
-		return
+// extendSidecar grows a predecessor state's sidecar with one appended
+// segment, returning the bytes for the successor state. Extension
+// requires an existing sidecar whose coverage reaches exactly the
+// append point; anything else (small initial write, earlier
+// sub-threshold appends) keeps the old bytes and leaves full coverage
+// for Compact. Only the footer and the new segment's chunks are
+// written — pre-append chunks stay byte-stable, so pinned snapshots
+// sharing the predecessor's bytes are unaffected.
+func (fs *FileSystem) extendSidecar(prev []byte, meta *fileMeta, segData []byte, segStart int64) []byte {
+	if fs.cfg.DisableSidecars || int64(len(segData)) < sidecarAppendMinBytes || prev == nil {
+		return prev
 	}
-	sc, ok := fs.sidecars[path]
-	if !ok {
-		return
-	}
-	ext, err := colseg.Extend(sc, meta.version, segData, segStart, fs.cfg.BlockSize)
+	ext, err := colseg.Extend(prev, meta.version, segData, segStart, fs.cfg.BlockSize)
 	if err != nil {
-		return
+		return prev
 	}
-	fs.sidecars[path] = ext
 	if fs.metrics != nil {
-		fs.metrics.BytesWritten.Add(int64(len(ext) - len(sc)))
+		fs.metrics.BytesWritten.Add(int64(len(ext) - len(prev)))
 	}
+	return ext
 }
 
 // SidecarStat reports the size of path's columnar sidecar, false when
 // the path has none. It implements half of colseg.Store.
 func (fs *FileSystem) SidecarStat(path string) (int64, bool) {
+	return fs.sidecarStatAt(path, -1)
+}
+
+func (fs *FileSystem) sidecarStatAt(path string, at int64) (int64, bool) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	sc, ok := fs.sidecars[path]
-	return int64(len(sc)), ok
+	meta, ok := fs.metaLocked(path, at)
+	if !ok || meta.sidecar == nil {
+		return 0, false
+	}
+	return int64(len(meta.sidecar)), true
 }
 
 // ReadSidecarAt fills p from path's sidecar starting at off, charging
@@ -104,12 +115,17 @@ func (fs *FileSystem) SidecarStat(path string) (int64, bool) {
 // with a nil error means the sidecar ended. It implements the other
 // half of colseg.Store.
 func (fs *FileSystem) ReadSidecarAt(path string, off int64, p []byte) (int, error) {
+	return fs.readSidecarAt(path, -1, off, p)
+}
+
+func (fs *FileSystem) readSidecarAt(path string, at, off int64, p []byte) (int, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	sc, ok := fs.sidecars[path]
-	if !ok {
+	meta, ok := fs.metaLocked(path, at)
+	if !ok || meta.sidecar == nil {
 		return 0, fmt.Errorf("%w: sidecar for %s", ErrNotFound, path)
 	}
+	sc := meta.sidecar
 	if off < 0 {
 		return 0, errors.New("dfs: negative offset")
 	}
@@ -137,8 +153,10 @@ type CompactStats struct {
 // backfills files ingested without one (pre-sidecar files, small
 // writes, DisableSidecars ingest) and re-encodes the uncovered tail
 // left behind by sub-threshold appends. The data file itself is not
-// touched — splits, versions and cached blocks all stay valid. Reading
-// the file back for the rebuild is charged as one sequential scan.
+// touched — splits, versions and cached blocks all stay valid, and no
+// commit is journaled (the sidecar is derived state; see the package
+// policy above). Reading the file back for the rebuild is charged as
+// one sequential scan.
 //
 // A file whose records the columnar validators reject returns the
 // validation error (wrapping colscan.ErrBadRecord) and keeps no
@@ -146,7 +164,7 @@ type CompactStats struct {
 func (fs *FileSystem) Compact(path string) (CompactStats, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	meta, ok := fs.files[path]
+	meta, ok := fs.metaLocked(path, -1)
 	if !ok {
 		return CompactStats{}, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
@@ -154,7 +172,7 @@ func (fs *FileSystem) Compact(path string) (CompactStats, error) {
 	if meta.size == 0 {
 		return st, nil
 	}
-	if sc, ok := fs.sidecars[path]; ok {
+	if sc := meta.sidecar; sc != nil {
 		if info, err := colseg.Inspect(sc); err == nil &&
 			info.Version == meta.version && info.Cover == meta.size {
 			st.Chunks = info.Chunks
@@ -179,7 +197,7 @@ func (fs *FileSystem) Compact(path string) (CompactStats, error) {
 	if err != nil {
 		return st, fmt.Errorf("dfs: compact %s: %w", path, err)
 	}
-	fs.sidecars[path] = sc
+	meta.sidecar = sc
 	if fs.metrics != nil {
 		fs.metrics.BytesWritten.Add(int64(len(sc)))
 	}
@@ -194,34 +212,34 @@ func (fs *FileSystem) Compact(path string) (CompactStats, error) {
 	return st, nil
 }
 
-// CorruptSidecarByte flips one byte of path's sidecar and reports
+// CorruptSidecarByte flips one byte of path's live sidecar and reports
 // whether a sidecar existed — fault injection for the corrupted-sidecar
 // fallback path, next to KillDataNode in spirit: verification must
 // catch the damage and reads must fall back to text decode.
 func (fs *FileSystem) CorruptSidecarByte(path string, off int64) bool {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	sc, ok := fs.sidecars[path]
-	if !ok || off < 0 || off >= int64(len(sc)) {
+	meta, ok := fs.metaLocked(path, -1)
+	if !ok || meta.sidecar == nil || off < 0 || off >= int64(len(meta.sidecar)) {
 		return false
 	}
 	// Copy-on-write: concurrent readers may hold the old slice.
-	dup := append([]byte(nil), sc...)
+	dup := append([]byte(nil), meta.sidecar...)
 	dup[off] ^= 0xFF
-	fs.sidecars[path] = dup
+	meta.sidecar = dup
 	return true
 }
 
-// TruncateSidecar cuts path's sidecar to n bytes (fault injection for
-// the truncated-footer fallback path). Reports whether a sidecar
+// TruncateSidecar cuts path's live sidecar to n bytes (fault injection
+// for the truncated-footer fallback path). Reports whether a sidecar
 // existed and was at least n bytes long.
 func (fs *FileSystem) TruncateSidecar(path string, n int64) bool {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	sc, ok := fs.sidecars[path]
-	if !ok || n < 0 || n > int64(len(sc)) {
+	meta, ok := fs.metaLocked(path, -1)
+	if !ok || meta.sidecar == nil || n < 0 || n > int64(len(meta.sidecar)) {
 		return false
 	}
-	fs.sidecars[path] = sc[:n:n]
+	meta.sidecar = meta.sidecar[:n:n]
 	return true
 }

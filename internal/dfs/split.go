@@ -32,8 +32,12 @@ func (s Split) String() string {
 // byte-for-byte identical after any number of Appends, and the appended
 // region is covered entirely by new splits.
 func (fs *FileSystem) Splits(path string, splitSize int64) ([]Split, error) {
+	return fs.splitsAt(path, -1, splitSize)
+}
+
+func (fs *FileSystem) splitsAt(path string, at, splitSize int64) ([]Split, error) {
 	fs.mu.RLock()
-	meta, ok := fs.files[path]
+	meta, ok := fs.metaLocked(path, at)
 	if !ok {
 		fs.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
@@ -79,6 +83,7 @@ func (fs *FileSystem) Splits(path string, splitSize int64) ([]Split, error) {
 // costs one seek (charged by ReadAt) and subsequent reads are sequential.
 type LineReader struct {
 	fs      *FileSystem
+	at      int64 // commit sequence the reader is pinned to (-1: live)
 	split   Split
 	fileLen int64
 	pos     int64 // next byte offset to fetch from the file
@@ -94,7 +99,11 @@ type LineReader struct {
 // NewLineReader opens a reader over split. chunkSize controls the I/O
 // granularity (64 KiB when <= 0).
 func (fs *FileSystem) NewLineReader(split Split, chunkSize int) (*LineReader, error) {
-	size, err := fs.Stat(split.Path)
+	return fs.newLineReaderAt(split, -1, chunkSize)
+}
+
+func (fs *FileSystem) newLineReaderAt(split Split, at int64, chunkSize int) (*LineReader, error) {
+	size, err := fs.statAt(split.Path, at)
 	if err != nil {
 		return nil, err
 	}
@@ -106,6 +115,7 @@ func (fs *FileSystem) NewLineReader(split Split, chunkSize int) (*LineReader, er
 	}
 	return &LineReader{
 		fs:      fs,
+		at:      at,
 		split:   split,
 		fileLen: size,
 		pos:     split.Offset,
@@ -123,7 +133,7 @@ func (r *LineReader) fill() error {
 		want = r.fileLen - r.pos
 	}
 	buf := make([]byte, want)
-	n, err := r.fs.ReadAt(r.split.Path, r.pos, buf)
+	n, err := r.fs.readAt(r.split.Path, r.at, r.pos, buf, 1)
 	if err != nil {
 		return err
 	}
@@ -237,7 +247,11 @@ func (r *LineReader) Err() error { return r.err }
 // offset at which it starts, and charges the underlying seek. Used by the
 // pre-map sampler to turn a random byte offset into a whole record.
 func (fs *FileSystem) ReadLineAt(path string, pos int64, chunkSize int) (line string, lineStart int64, err error) {
-	size, err := fs.Stat(path)
+	return fs.readLineAt(path, -1, pos, chunkSize)
+}
+
+func (fs *FileSystem) readLineAt(path string, at, pos int64, chunkSize int) (line string, lineStart int64, err error) {
+	size, err := fs.statAt(path, at)
 	if err != nil {
 		return "", 0, err
 	}
@@ -269,7 +283,7 @@ func (fs *FileSystem) ReadLineAt(path string, pos int64, chunkSize int) (line st
 			hi = size
 		}
 		buf := make([]byte, hi-lo)
-		if _, err := fs.ReadAt(path, lo, buf); err != nil {
+		if _, err := fs.readAt(path, at, lo, buf, 1); err != nil {
 			return "", 0, err
 		}
 		// The record containing pos starts after the last '\n' strictly
@@ -299,7 +313,11 @@ func (fs *FileSystem) ReadLineAt(path string, pos int64, chunkSize int) (line st
 // CountLines returns the number of records in the file (used by tests and
 // by exact baselines that need the true N).
 func (fs *FileSystem) CountLines(path string) (int64, error) {
-	data, err := fs.ReadFile(path)
+	return fs.countLinesAt(path, -1)
+}
+
+func (fs *FileSystem) countLinesAt(path string, at int64) (int64, error) {
+	data, err := fs.readFileAt(path, at)
 	if err != nil {
 		return 0, err
 	}

@@ -3,6 +3,7 @@ package live
 import (
 	"repro/internal/core"
 	"repro/internal/delta"
+	"repro/internal/dfs"
 	"repro/internal/jobs"
 	"repro/internal/plan"
 )
@@ -43,30 +44,42 @@ func WatchGrouped(env *core.Env, job jobs.Numeric, route core.Route, path string
 // then — records decode under the plan's input format). prog nil is the
 // legacy path, bit-identical to the historical WatchGrouped.
 func watchGrouped(env *core.Env, job jobs.Numeric, route core.Route, path string, opts core.Options, prog *plan.Program) (*GroupedQuery, error) {
+	// Pin the creation run to one commit point, exactly like the scalar
+	// watch constructor; the recorded write generation is the rewrite
+	// detector for later refreshes.
+	snap := env.FS.Snapshot()
+	defer snap.Release()
+	penv := env.WithData(snap)
 	var rep core.GroupedReport
 	var st *core.GroupedLiveState
 	var err error
 	format := route.Format
 	if prog != nil {
-		rep, st, err = core.RunPlanGroupedLive(env, job, path, opts, prog)
+		rep, st, err = core.RunPlanGroupedLive(penv, job, path, opts, prog)
 		format = prog.InputFormat()
 	} else {
-		rep, st, err = core.RunGroupedLive(env, job, route, path, opts)
+		rep, st, err = core.RunGroupedLive(penv, job, route, path, opts)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &GroupedQuery{
+	ver, err := snap.Version(path)
+	if err != nil {
+		return nil, err
+	}
+	q := &GroupedQuery{
 		watchBase: watchBase{
 			env:      env,
 			path:     path,
 			opts:     st.Opts,
+			origOpts: opts,
 			format:   format,
 			prog:     prog,
 			sources:  st.Sources,
 			dry:      make([]bool, len(st.Sources)),
 			estTotal: st.EstTotal,
 			synced:   st.SyncedBytes,
+			version:  ver,
 		},
 		job:       job,
 		route:     route,
@@ -74,7 +87,9 @@ func watchGrouped(env *core.Env, job jobs.Numeric, route core.Route, path string
 		maints:    st.Maints,
 		last:      rep,
 		baseIters: rep.Iterations,
-	}, nil
+	}
+	core.RepinSources(q.sources, env.FS)
+	return q, nil
 }
 
 // Report returns the most recent grouped result without doing any work.
@@ -113,14 +128,22 @@ func (q *GroupedQuery) Close() {
 func (q *GroupedQuery) Refresh() (core.GroupedReport, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	size, appended, err := q.beginRefresh()
+	snap := q.env.FS.Snapshot()
+	defer snap.Release()
+	size, appended, rewritten, err := q.beginRefresh(snap)
 	if err != nil {
 		return core.GroupedReport{}, err
+	}
+	if rewritten {
+		if err := q.rebuild(snap); err != nil {
+			return core.GroupedReport{}, err
+		}
+		return q.last, nil
 	}
 	if !appended {
 		return q.last, nil
 	}
-	if err := q.refreshSampled(size, (*groupFold)(q)); err != nil {
+	if err := q.refreshSampled(q.env.WithData(snap), size, (*groupFold)(q)); err != nil {
 		return core.GroupedReport{}, err
 	}
 	rep, err := core.GroupedReportFrom(q.job, q.opts, q.maints)
@@ -130,4 +153,40 @@ func (q *GroupedQuery) Refresh() (core.GroupedReport, error) {
 	rep.Iterations = q.baseIters + q.refreshGen
 	q.last = rep
 	return rep, nil
+}
+
+// rebuild re-runs the grouped watch's creation against the pinned
+// snapshot after a rewrite of the watched path, replacing every group's
+// maintained state — identical inputs to a fresh WatchGrouped over the
+// rewritten file, so identical reports.
+func (q *GroupedQuery) rebuild(snap *dfs.Snapshot) error {
+	penv := q.env.WithData(snap)
+	var rep core.GroupedReport
+	var st *core.GroupedLiveState
+	var err error
+	if q.prog != nil {
+		rep, st, err = core.RunPlanGroupedLive(penv, q.job, q.path, q.origOpts, q.prog)
+	} else {
+		rep, st, err = core.RunGroupedLive(penv, q.job, q.route, q.path, q.origOpts)
+	}
+	if err != nil {
+		return err
+	}
+	ver, err := snap.Version(q.path)
+	if err != nil {
+		return err
+	}
+	q.opts = st.Opts
+	q.sources = st.Sources
+	q.dry = make([]bool, len(st.Sources))
+	q.estTotal = st.EstTotal
+	q.synced = st.SyncedBytes
+	q.version = ver
+	q.b = st.B
+	q.maints = st.Maints
+	q.last = rep
+	q.baseIters = rep.Iterations
+	q.groupScratch, q.keyScratch = nil, nil
+	core.RepinSources(q.sources, q.env.FS)
+	return nil
 }

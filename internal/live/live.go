@@ -95,6 +95,11 @@ type watchBase struct {
 	env  *core.Env
 	path string
 	opts core.Options
+	// origOpts are the options the watch was opened with, before any
+	// defaulting — a rewrite-triggered rebuild re-runs the creation with
+	// exactly these, so the rebuilt watch is bit-identical to a fresh
+	// watch opened over the rewritten file.
+	origOpts core.Options
 	// format is the columnar decode format of the watched records;
 	// FormatNone keeps every refresh on the per-record path.
 	format colscan.Format
@@ -106,46 +111,70 @@ type watchBase struct {
 	dry      []bool // aligned with sources
 	estTotal int64
 	synced   int64 // file bytes covered (ingest high-water mark)
+	version  int64 // watched file's write generation at the last sync
 
 	refreshGen int
 	closed     bool
 }
 
-// beginRefresh validates the watched file against the sync point. It
-// returns appended=false when there is nothing to do (the no-op
-// contract: an unconverged answer is only re-expanded when new data
-// arrives; refreshing in place must not silently re-read the file).
-// When data was appended it counts the refresh and advances the
-// refresh generation.
-func (b *watchBase) beginRefresh() (size int64, appended bool, err error) {
+// beginRefresh classifies the watched file against the sync point, all
+// through one pinned view so the verdict and the refresh that follows
+// describe the same commit:
+//
+//   - rewritten=true: the file's write generation changed (WriteFile
+//     replaced it under the watch) — the retained sample and sync point
+//     describe bytes that no longer exist, so the caller must rebuild
+//     from scratch against the same view;
+//   - appended=false: nothing to do (the no-op contract: an unconverged
+//     answer is only re-expanded when new data arrives; refreshing in
+//     place must not silently re-read the file);
+//   - otherwise data was appended: the refresh is counted and the
+//     refresh generation advances.
+func (b *watchBase) beginRefresh(v dfs.View) (size int64, appended, rewritten bool, err error) {
 	if b.closed {
-		return 0, false, ErrClosed
+		return 0, false, false, ErrClosed
 	}
-	size, err = b.env.FS.Stat(b.path)
+	ver, err := v.Version(b.path)
 	if err != nil {
-		return 0, false, err
+		return 0, false, false, err
+	}
+	if ver != b.version {
+		b.refreshGen++
+		return 0, false, true, nil
+	}
+	size, err = v.Stat(b.path)
+	if err != nil {
+		return 0, false, false, err
 	}
 	if size < b.synced {
-		return 0, false, fmt.Errorf("%w: %s", ErrTruncated, b.path)
+		// Unreachable while versions are per-WriteFile (a same-version
+		// file only grows), kept as a tripwire.
+		return 0, false, false, fmt.Errorf("%w: %s", ErrTruncated, b.path)
 	}
 	if size == b.synced {
-		return size, false, nil
+		return size, false, false, nil
 	}
 	b.env.Metrics.Refreshes.Add(1)
 	b.refreshGen++
-	return size, true, nil
+	return size, true, false, nil
 }
 
 // refreshSampled is the maintained-sample refresh described in the
 // package comment: extend coverage over the appended region at the
 // current sampling fraction, then re-expand (over the whole file,
 // without replacement, the in-run doubling schedule) while the sink's
-// error violates σ.
-func (b *watchBase) refreshSampled(size int64, sk maintSink) error {
+// error violates σ. penv's data view is the refresh's pinned snapshot:
+// every source — retained and new alike — is repinned onto it for the
+// duration, so the whole refresh reads one commit point even while
+// ingest lands concurrently, and repinned back onto the live filesystem
+// before the caller releases the snapshot.
+func (b *watchBase) refreshSampled(penv *core.Env, size int64, sk maintSink) error {
 	b.sources, b.dry = compactSources(b.sources, b.dry)
+	core.RepinSources(b.sources, penv.View())
+	defer func() { core.RepinSources(b.sources, b.env.FS) }()
 	if size > b.synced {
 		newSources, estNew, err := buildRefreshSources(
-			b.env, b.path, b.opts, b.format, b.prog, b.synced, size, b.estTotal, b.refreshGen)
+			penv, b.path, b.opts, b.format, b.prog, b.synced, size, b.estTotal, b.refreshGen)
 		if err != nil {
 			return err
 		}
@@ -446,10 +475,11 @@ func compactSources(sources []core.RecordSource, dry []bool) ([]core.RecordSourc
 	return outS, outD
 }
 
-// splitsSince returns the splits wholly beyond the sync point. Splits
-// are segment-aware, so the boundary is exact.
-func splitsSince(env *core.Env, path string, splitSize, synced int64) ([]dfs.Split, error) {
-	splits, err := env.FS.Splits(path, splitSize)
+// splitsSince returns the splits wholly beyond the sync point, read
+// through v (the refresh's pinned snapshot). Splits are segment-aware,
+// so the boundary is exact.
+func splitsSince(v dfs.View, path string, splitSize, synced int64) ([]dfs.Split, error) {
+	splits, err := v.Splits(path, splitSize)
 	if err != nil {
 		return nil, err
 	}
@@ -477,7 +507,7 @@ func splitsSince(env *core.Env, path string, splitSize, synced int64) ([]dfs.Spl
 // raw bytes by bytes-per-EFFECTIVE-record (estTotal is effective under
 // a plan), embedding the selectivity without an extra correction.
 func buildRefreshSources(env *core.Env, path string, opts core.Options, format colscan.Format, prog *plan.Program, synced, size, estTotal int64, refreshGen int) ([]core.RecordSource, int64, error) {
-	splits, err := splitsSince(env, path, opts.SplitSize, synced)
+	splits, err := splitsSince(env.View(), path, opts.SplitSize, synced)
 	if err != nil {
 		return nil, 0, err
 	}

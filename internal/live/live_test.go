@@ -292,23 +292,45 @@ func TestRefreshPostMapSampler(t *testing.T) {
 	}
 }
 
-// TestRefreshAfterCloseAndTruncation covers the failure modes.
-func TestRefreshAfterCloseAndTruncation(t *testing.T) {
+// TestRefreshAfterRewriteAndClose: a rewrite of the watched path makes
+// the next Refresh rebuild from scratch — the report is bit-identical
+// to a fresh watch opened over the rewritten contents — and a closed
+// query refuses further refreshes.
+func TestRefreshAfterRewriteAndClose(t *testing.T) {
+	opts := core.Options{Sigma: 0.05, Seed: 53}
 	env := newEnv(t, 51)
 	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(genValues(t, 50_000, 52))); err != nil {
 		t.Fatal(err)
 	}
-	q, err := live.Watch(env, jobs.Mean(), "/data", core.Options{Sigma: 0.05, Seed: 53})
+	q, err := live.Watch(env, jobs.Mean(), "/data", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Shrink the file behind the handle's back.
-	if err := env.FS.WriteFile("/data", workload.EncodeLinesFixed(genValues(t, 100, 54))); err != nil {
+	// Replace the file behind the handle's back.
+	rewritten := workload.EncodeLinesFixed(genValues(t, 30_000, 54))
+	if err := env.FS.WriteFile("/data", rewritten); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.Refresh(); !errors.Is(err, live.ErrTruncated) {
-		t.Fatalf("truncation not detected: %v", err)
+	rep, err := q.Refresh()
+	if err != nil {
+		t.Fatalf("refresh after rewrite: %v", err)
 	}
+	// A fresh watch over the same (rewritten) file with the same options
+	// must report exactly the same answer.
+	env2 := newEnv(t, 51)
+	if err := env2.FS.WriteFile("/data", rewritten); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := live.Watch(env2, jobs.Mean(), "/data", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := q2.Report()
+	if rep.Estimate != fresh.Estimate || rep.CILo != fresh.CILo || rep.CIHi != fresh.CIHi ||
+		rep.SampleSize != fresh.SampleSize || rep.CV != fresh.CV {
+		t.Fatalf("rebuilt report differs from a fresh watch:\n got %+v\nwant %+v", rep, fresh)
+	}
+	q2.Close()
 	q.Close()
 	if _, err := q.Refresh(); !errors.Is(err, live.ErrClosed) {
 		t.Fatalf("closed query should refuse: %v", err)

@@ -50,10 +50,21 @@ func WatchMulti(env *core.Env, jset []jobs.Numeric, path string, opts core.Optio
 // core.PreparePlan). prog nil is the legacy path, bit-identical to the
 // historical WatchMulti.
 func watchMulti(env *core.Env, jset []jobs.Numeric, path string, opts core.Options, prog *plan.Program) (*Query, error) {
+	// The creation run reads through a pinned snapshot: a rewrite (or
+	// append) landing mid-run cannot give the watch a blended view. The
+	// recorded write generation is what later refreshes compare against
+	// to detect rewrites.
+	snap := env.FS.Snapshot()
+	defer snap.Release()
+	penv := env.WithData(snap)
 	// RunPlanMultiLiveDeferExact skips the exact MR jobs on the fall-back
 	// path: the incremental scan below produces the same answers in one
 	// pass and leaves a maintainable state behind.
-	reps, st, err := core.RunPlanMultiLiveDeferExact(env, jset, path, opts, prog)
+	reps, st, err := core.RunPlanMultiLiveDeferExact(penv, jset, path, opts, prog)
+	if err != nil {
+		return nil, err
+	}
+	ver, err := snap.Version(path)
 	if err != nil {
 		return nil, err
 	}
@@ -66,12 +77,14 @@ func watchMulti(env *core.Env, jset []jobs.Numeric, path string, opts core.Optio
 			env:      env,
 			path:     path,
 			opts:     st.Opts,
+			origOpts: opts,
 			format:   format,
 			prog:     prog,
 			sources:  st.Sources,
 			dry:      make([]bool, len(st.Sources)),
 			estTotal: st.EstTotal,
 			synced:   st.SyncedBytes,
+			version:  ver,
 		},
 		jobs:        jset,
 		stats:       st.Stats,
@@ -82,16 +95,18 @@ func watchMulti(env *core.Env, jset []jobs.Numeric, path string, opts core.Optio
 	if q.stats[0].Maint == nil {
 		// Exact fallback: one scan builds every statistic's incremental
 		// exact state; every refresh after reads only appended splits.
-		splits, err := env.FS.Splits(path, q.opts.SplitSize)
+		splits, err := snap.Splits(path, q.opts.SplitSize)
 		if err != nil {
 			return nil, err
 		}
-		if err := q.foldExact(splits); err != nil {
+		if err := q.foldExact(snap, splits); err != nil {
 			return nil, err
 		}
 		q.estTotal = q.exactN
 		q.last = q.exactReports()
 	}
+	// The snapshot dies with this constructor; later draws read live.
+	core.RepinSources(q.sources, env.FS)
 	return q, nil
 }
 
@@ -156,21 +171,34 @@ func (q *Query) Refresh() (core.Report, error) {
 }
 
 // RefreshAll is Refresh returning every statistic's report, in job
-// order.
+// order. The whole refresh — classification, delta scan, expansion —
+// reads through one pinned snapshot of the DFS, so concurrent ingest
+// (or a rewrite) can never hand it a blended view: the reports reflect
+// either the pre-commit or the post-commit file, exactly. A rewrite of
+// the watched path triggers a full rebuild against the snapshot,
+// bit-identical to a fresh watch opened over the rewritten contents.
 func (q *Query) RefreshAll() ([]core.Report, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	size, appended, err := q.beginRefresh()
+	snap := q.env.FS.Snapshot()
+	defer snap.Release()
+	size, appended, rewritten, err := q.beginRefresh(snap)
 	if err != nil {
 		return nil, err
+	}
+	if rewritten {
+		if err := q.rebuild(snap); err != nil {
+			return nil, err
+		}
+		return append([]core.Report(nil), q.last...), nil
 	}
 	if !appended {
 		return append([]core.Report(nil), q.last...), nil
 	}
 	if q.stats[0].Maint == nil {
-		return q.refreshExact(size)
+		return q.refreshExact(snap, size)
 	}
-	if err := q.refreshSampled(size, (*statFold)(q)); err != nil {
+	if err := q.refreshSampled(q.env.WithData(snap), size, (*statFold)(q)); err != nil {
 		return nil, err
 	}
 	reps, err := q.buildReports()
@@ -179,6 +207,47 @@ func (q *Query) RefreshAll() ([]core.Report, error) {
 	}
 	q.last = reps
 	return append([]core.Report(nil), reps...), nil
+}
+
+// rebuild re-runs the watch's creation against the pinned snapshot —
+// the rewrite path: the retained sample describes bytes that no longer
+// exist, so the maintained state is replaced wholesale. Run inputs
+// (jobs, path, original options, plan, seed) are identical to a fresh
+// Watch over the rewritten file, so the rebuilt reports are too.
+func (q *Query) rebuild(snap *dfs.Snapshot) error {
+	penv := q.env.WithData(snap)
+	reps, st, err := core.RunPlanMultiLiveDeferExact(penv, q.jobs, q.path, q.origOpts, q.prog)
+	if err != nil {
+		return err
+	}
+	ver, err := snap.Version(q.path)
+	if err != nil {
+		return err
+	}
+	q.opts = st.Opts
+	q.sources = st.Sources
+	q.dry = make([]bool, len(st.Sources))
+	q.estTotal = st.EstTotal
+	q.synced = st.SyncedBytes
+	q.version = ver
+	q.stats = st.Stats
+	q.selSE = st.SelSE
+	q.generations = st.Generations
+	q.last = reps
+	q.exactStates, q.exactN = nil, 0
+	if q.stats[0].Maint == nil {
+		splits, err := snap.Splits(q.path, q.opts.SplitSize)
+		if err != nil {
+			return err
+		}
+		if err := q.foldExact(snap, splits); err != nil {
+			return err
+		}
+		q.estTotal = q.exactN
+		q.last = q.exactReports()
+	}
+	core.RepinSources(q.sources, q.env.FS)
+	return nil
 }
 
 // buildReports renders the current maintained state as per-statistic
@@ -209,11 +278,12 @@ func (q *Query) buildReports() ([]core.Report, error) {
 // ---- Exact maintenance (tiny data / SSABE said sampling won't pay) ----
 
 // foldExact streams every record of the given splits into each
-// statistic's incremental reduce state (one scan, shared parse).
-func (q *Query) foldExact(splits []dfs.Split) error {
+// statistic's incremental reduce state (one scan, shared parse),
+// reading through v — the caller's pinned snapshot.
+func (q *Query) foldExact(v dfs.View, splits []dfs.Split) error {
 	var vals []float64
 	for _, sp := range splits {
-		rd, err := q.env.FS.NewLineReader(sp, 0)
+		rd, err := v.NewLineReader(sp, 0)
 		if err != nil {
 			return err
 		}
@@ -257,14 +327,15 @@ func (q *Query) foldExact(splits []dfs.Split) error {
 	return nil
 }
 
-// refreshExact folds only the appended splits into the exact states.
-func (q *Query) refreshExact(size int64) ([]core.Report, error) {
+// refreshExact folds only the appended splits into the exact states,
+// reading through v — the refresh's pinned snapshot.
+func (q *Query) refreshExact(v dfs.View, size int64) ([]core.Report, error) {
 	if size > q.synced {
-		splits, err := splitsSince(q.env, q.path, q.opts.SplitSize, q.synced)
+		splits, err := splitsSince(v, q.path, q.opts.SplitSize, q.synced)
 		if err != nil {
 			return nil, err
 		}
-		if err := q.foldExact(splits); err != nil {
+		if err := q.foldExact(v, splits); err != nil {
 			return nil, err
 		}
 		q.synced = size

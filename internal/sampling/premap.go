@@ -44,7 +44,7 @@ type Record struct {
 // variable-length records the paper accepts the approximation, and so do
 // we (documented here, measured in the Fig. 9 ablation).
 type PreMap struct {
-	fs     *dfs.FileSystem
+	fs     dfs.View
 	path   string
 	splits []dfs.Split          // the splits this sampler owns
 	size   int64                // whole-file size
@@ -94,7 +94,7 @@ func (s *PreMap) hotThreshold(sp dfs.Split) int {
 
 // NewPreMap opens a pre-map sampler over path, using splits of splitSize
 // bytes (DFS block size if 0).
-func NewPreMap(fsys *dfs.FileSystem, path string, splitSize int64, seed uint64) (*PreMap, error) {
+func NewPreMap(fsys dfs.View, path string, splitSize int64, seed uint64) (*PreMap, error) {
 	splits, err := fsys.Splits(path, splitSize)
 	if err != nil {
 		return nil, err
@@ -107,7 +107,7 @@ func NewPreMap(fsys *dfs.FileSystem, path string, splitSize int64, seed uint64) 
 // tasks sample disjoint regions without coordination. A drawn line is
 // accepted only if it *starts* inside an owned split, so two samplers
 // with disjoint split sets can never sample the same record.
-func NewPreMapOwned(fsys *dfs.FileSystem, path string, splits []dfs.Split, seed uint64) (*PreMap, error) {
+func NewPreMapOwned(fsys dfs.View, path string, splits []dfs.Split, seed uint64) (*PreMap, error) {
 	if len(splits) == 0 {
 		return nil, errors.New("sampling: no splits owned")
 	}
@@ -362,6 +362,14 @@ func (s *PreMap) EstimatedFraction() float64 {
 	}
 	return float64(s.nTaken) / float64(total)
 }
+
+// Repin re-points the sampler's reads at v. A sampler built against a
+// pinned snapshot must be repinned to the live filesystem before the
+// snapshot is released (its pinned versions may then be pruned); the
+// without-replacement bookkeeping, the rng stream and any adopted
+// decoded blocks all carry over — over append-only growth the bytes the
+// sampler owns are identical through either view.
+func (s *PreMap) Repin(v dfs.View) { s.fs = v }
 
 // Reset forgets everything sampled, restarting the without-replacement
 // stream (used between independent experiment repetitions).

@@ -183,11 +183,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// retryAfterSeconds is the backoff hint sent with every 503: long
+// enough for a queued burst to drain a slot, short enough that clients
+// honouring it re-arrive while the burst is still being served.
+const retryAfterSeconds = "1"
+
 // writeError maps scheduler and driver errors onto HTTP status codes.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrOverloaded):
+		// Overload is transient by construction (the queue is full NOW);
+		// tell well-behaved clients when to come back instead of letting
+		// them hammer the admission queue.
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownWatch):
 		status = http.StatusNotFound

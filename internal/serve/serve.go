@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dfs"
 	"repro/internal/jobs"
 	"repro/internal/live"
 	"repro/internal/plan"
@@ -246,6 +247,10 @@ type MetricsReport struct {
 	// bytes against the -cache-bytes budget, and how many cold misses
 	// the persistent columnar sidecars served (or failed to serve).
 	Scan ScanCacheStats `json:"scanCache"`
+	// Journal is the dfs commit-journal health snapshot: committed
+	// records, journal bytes, active snapshot pins, and — when the
+	// filesystem was built by crash recovery — what the replay found.
+	Journal dfs.JournalStats `json:"journal"`
 	// PerQuery aggregates cost deltas by query identity (see the package
 	// comment for the overlap caveat).
 	PerQuery map[string]QueryCost `json:"perQuery"`
@@ -283,7 +288,6 @@ type Server struct {
 
 	mu       sync.Mutex
 	pathGen  map[string]int64 // append generation per path
-	rewrites map[string]int64 // rewrite generation per path (Rewrite only)
 	watches  map[string]*watchEntry
 	byID     map[string]*watchEntry
 	cache    map[string]cacheEntry
@@ -295,8 +299,7 @@ type Server struct {
 // watchHandle abstracts the maintained-query flavours the registry
 // serves — scalar/multi-statistic (live.Query) and grouped
 // (live.GroupedQuery) — behind one refresh/report surface, so dedup,
-// refresh serialisation, idle eviction and rewrite retirement are
-// written once.
+// refresh serialisation and idle eviction are written once.
 type watchHandle interface {
 	Refresh() error
 	Refreshes() int
@@ -358,7 +361,6 @@ type watchEntry struct {
 	// refresh can still honour its context's deadline/cancellation.
 	refreshMu    chan struct{}
 	refreshedGen int64               // pathGen the current report reflects; guarded by refreshMu
-	rewriteGen   int64               // path's rewrite generation at registration; immutable
 	subIDs       map[string]struct{} // live subscription tokens, guarded by Server.mu
 	lastTouch    atomic.Int64        // unix nanos of the last open/poll; idle-eviction clock
 }
@@ -397,7 +399,6 @@ func New(env *core.Env, cfg Config) (*Server, error) {
 		cfg:      cfg,
 		slots:    make(chan struct{}, cfg.MaxInFlight),
 		pathGen:  map[string]int64{},
-		rewrites: map[string]int64{},
 		watches:  map[string]*watchEntry{},
 		byID:     map[string]*watchEntry{},
 		cache:    map[string]cacheEntry{},
@@ -617,9 +618,11 @@ func (s *Server) OpenWatch(ctx context.Context, spec QuerySpec) (WatchInfo, bool
 		// The creation run syncs to the file as it stands now; starting
 		// from the pre-creation generation means an append racing the
 		// creation triggers one refresh, which no-ops if the run already
-		// saw those bytes.
+		// saw those bytes. (A rewrite racing the creation is equally
+		// harmless: the creation run reads through a pinned snapshot, and
+		// the generation bump makes the first report pay one refresh,
+		// which rebuilds if the snapshot predated the rewrite.)
 		refreshedGen: s.pathGen[spec.Path],
-		rewriteGen:   s.rewrites[spec.Path],
 	}
 	e.touch()
 	sub := s.newSubLocked(e)
@@ -644,20 +647,6 @@ func (s *Server) OpenWatch(ctx context.Context, spec QuerySpec) (WatchInfo, bool
 	h, err := s.createWatch(spec)
 	cost := s.env.Metrics.Snapshot().Sub(before)
 	release()
-	if err == nil {
-		// Rewrite guard: if the path was replaced while the creation run
-		// was reading it, the run may have seen the old (or a mixed)
-		// view. Self-retire rather than publish a query whose retained
-		// state describes data that no longer exists.
-		s.mu.Lock()
-		rewritten := s.rewrites[spec.Path] != e.rewriteGen
-		s.mu.Unlock()
-		if rewritten {
-			h.Close()
-			h = nil
-			err = fmt.Errorf("serve: %s was rewritten while the watch was being created; retry", spec.Path)
-		}
-	}
 	e.q, e.err = h, err
 	close(e.ready)
 	if err != nil {
@@ -718,16 +707,6 @@ func (s *Server) dropEntry(e *watchEntry) {
 		delete(s.watches, e.key)
 	}
 	delete(s.byID, e.id)
-}
-
-// retireEntry deregisters e and closes its query (waiting out creation
-// and any in-flight refresh).
-func (s *Server) retireEntry(e *watchEntry) {
-	s.dropEntry(e)
-	<-e.ready
-	if e.q != nil {
-		e.q.Close()
-	}
 }
 
 // collectIdleLocked deregisters watches whose last open/poll predates
@@ -801,10 +780,9 @@ func (s *Server) WatchReport(ctx context.Context, id string) (WatchInfo, error) 
 	defer cancel()
 	s.mu.Lock()
 	e, ok := s.byID[id]
-	var gen, rw int64
+	var gen int64
 	if ok {
 		gen = s.pathGen[e.spec.Path]
-		rw = s.rewrites[e.spec.Path]
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -817,13 +795,6 @@ func (s *Server) WatchReport(ctx context.Context, id string) (WatchInfo, error) 
 	}
 	if e.err != nil {
 		return WatchInfo{}, e.err
-	}
-	if rw != e.rewriteGen {
-		// The path was rewritten under this watch and the retire sweep
-		// has not reached it yet: retire it now rather than refresh over
-		// replaced data.
-		s.retireEntry(e)
-		return WatchInfo{}, fmt.Errorf("%w: %s (path was rewritten)", ErrUnknownWatch, id)
 	}
 	e.touch()
 	select {
@@ -878,21 +849,15 @@ func (s *Server) AppendValues(path string, values []float64) (int64, int64, erro
 	return s.Append(path, workload.EncodeLinesFixed(values))
 }
 
-// Rewrite replaces path's contents wholesale. Maintained queries can
-// only move forward over appends — their retained sample and sync point
-// describe the old contents — so every watch over the path is retired
-// FIRST: deregistered and closed (Close waits out any in-flight
-// Refresh) before a byte of the new contents lands, leaving subscribers
-// a clean ErrUnknownWatch / ErrClosed rather than a silently wrong
-// refresh over mixed data. Cached one-shot results are invalidated via
-// the generation bump. A watch whose creation races the rewrite may
-// land on either side of it: created before, it is retired here;
-// after, it observes only the new contents.
+// Rewrite replaces path's contents wholesale and bumps the path's
+// generation. Watches over the path survive: the dfs WriteFile is one
+// journaled commit, every refresh reads through a pinned snapshot, and
+// a refresh that observes the new write generation rebuilds the
+// maintained state from scratch — so the first report a subscriber
+// asks for after a rewrite is bit-identical to a fresh watch opened
+// over the rewritten contents, never a blend of old and new data.
+// Cached one-shot results are invalidated via the generation bump.
 func (s *Server) Rewrite(path string, data []byte) (int64, error) {
-	// Pre-write sweep: every watch registered so far is closed before a
-	// byte of the new contents lands, so no in-flight refresh can read
-	// replaced data.
-	s.retirePathWatches(path, false)
 	if err := s.env.FS.WriteFile(path, data); err != nil {
 		return 0, err
 	}
@@ -905,42 +870,8 @@ func (s *Server) Rewrite(path string, data []byte) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	s.rewrites[path]++
-	s.mu.Unlock()
 	s.bumpGeneration(path)
-	// Post-bump sweep: a watch whose registration slipped between the
-	// first sweep and the write may have read the old contents; its
-	// stale rewriteGen marks it (watches created after the bump carry
-	// the new one and survive). OpenWatch's own rewrite guard catches
-	// creations still in flight here.
-	s.retirePathWatches(path, true)
 	return size, nil
-}
-
-// retirePathWatches deregisters and closes watches over path — all of
-// them, or (onlyStale) just those registered before the path's current
-// rewrite generation.
-func (s *Server) retirePathWatches(path string, onlyStale bool) {
-	s.mu.Lock()
-	cur := s.rewrites[path]
-	var retired []*watchEntry
-	//earl:nondet-ok collected entries are only Closed, each independently; order is immaterial
-	for key, e := range s.watches {
-		if e.spec.Path != path || (onlyStale && e.rewriteGen >= cur) {
-			continue
-		}
-		delete(s.watches, key)
-		delete(s.byID, e.id)
-		retired = append(retired, e)
-	}
-	s.mu.Unlock()
-	for _, e := range retired {
-		<-e.ready
-		if e.q != nil {
-			e.q.Close()
-		}
-	}
 }
 
 // Stats returns the server's own counters.
@@ -966,6 +897,7 @@ func (s *Server) Metrics() MetricsReport {
 	rep := MetricsReport{
 		Server:   s.Stats(),
 		Cluster:  s.env.Metrics.Snapshot(),
+		Journal:  s.env.FS.JournalStats(),
 		PerQuery: map[string]QueryCost{},
 	}
 	if s.env.Scan != nil {

@@ -363,12 +363,12 @@ func TestCloseWatchLastSubscriberCloses(t *testing.T) {
 	}
 }
 
-// TestRewriteRetiresWatches: replacing a watched file's contents must
-// retire its watches (refresh only understands appends — a rewrite
-// would blend the old sample with misaligned "new" data or wedge the
-// handle on ErrTruncated forever), and must invalidate cached one-shot
-// results.
-func TestRewriteRetiresWatches(t *testing.T) {
+// TestRewriteRebuildsWatches: replacing a watched file's contents must
+// NOT kill its watches. The next report pays one refresh that rebuilds
+// the maintained state from scratch — bit-identical to a fresh watch
+// opened over the rewritten contents — and cached one-shot results are
+// invalidated.
+func TestRewriteRebuildsWatches(t *testing.T) {
 	s, _ := newTestServer(t, Config{}, "/t/rw", 50_000)
 	ctx := context.Background()
 	spec := QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/rw", Seed: 11}}
@@ -389,9 +389,29 @@ func TestRewriteRetiresWatches(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := s.WatchReport(ctx, w.ID); !errors.Is(err, ErrUnknownWatch) {
-		t.Fatalf("watch survived a rewrite of its path: %v", err)
+	// The watch survives and its next report reflects ONLY the new data.
+	got, err := s.WatchReport(ctx, w.ID)
+	if err != nil {
+		t.Fatalf("watch died on a rewrite of its path: %v", err)
 	}
+	if got.ID != w.ID {
+		t.Fatalf("rewrite replaced the watch id: %q vs %q", got.ID, w.ID)
+	}
+	// A brand-new server over the rewritten contents gives the reference
+	// answer a fresh watch would.
+	s2, _ := newTestServer(t, Config{}, "/t/rw", 0)
+	if _, err := s2.Rewrite("/t/rw", workload.EncodeLinesFixed(smaller)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, err := s2.OpenWatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Report.Estimate != fresh.Report.Estimate || got.Report.SampleSize != fresh.Report.SampleSize ||
+		got.Report.CILo != fresh.Report.CILo || got.Report.CIHi != fresh.Report.CIHi {
+		t.Fatalf("rebuilt watch differs from a fresh one:\n got %+v\nwant %+v", got.Report, fresh.Report)
+	}
+
 	res, err := s.Query(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -399,13 +419,13 @@ func TestRewriteRetiresWatches(t *testing.T) {
 	if res.Cached {
 		t.Fatal("query after rewrite served the pre-rewrite cached result")
 	}
-	// Watching the rewritten file starts a fresh query.
+	// Re-opening dedupes onto the surviving (rebuilt) watch.
 	w2, shared, err := s.OpenWatch(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if shared || w2.ID == w.ID {
-		t.Fatalf("rewrite did not retire the old watch entry: %+v", w2)
+	if !shared || w2.ID != w.ID {
+		t.Fatalf("rewrite should keep the watch entry alive: %+v", w2)
 	}
 }
 
@@ -864,5 +884,83 @@ func TestMetricsExposeScanCache(t *testing.T) {
 	}
 	if rep.Scan.SidecarErrors != 0 {
 		t.Fatalf("clean data produced %d sidecar errors", rep.Scan.SidecarErrors)
+	}
+}
+
+// TestConcurrentRewriteNeverBlends hammers WatchReport while a rewrite
+// of the watched path lands on another goroutine. Every report must be
+// bit-identical to the pre-rewrite answer OR to a fresh watch over the
+// rewritten contents — never a blend of old and new records. Run under
+// -race this also pins the snapshot/refresh locking. This is the
+// isolation contract that replaced the old "rewrite retires watches"
+// carve-out.
+func TestConcurrentRewriteNeverBlends(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, "/t/blend", 40_000)
+	ctx := context.Background()
+	spec := QuerySpec{Job: "mean", Spec: plan.Spec{Path: "/t/blend", Seed: 17}}
+
+	w, _, err := s.OpenWatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := w.Report
+
+	// Reference post-rewrite answer: a fresh watch on a second cluster
+	// holding only the rewritten contents.
+	newData, err := workload.NumericSpec{Dist: workload.Uniform, N: 15_000, Seed: 18}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded := workload.EncodeLinesFixed(newData)
+	s2, _ := newTestServer(t, Config{}, "/t/blend", 0)
+	if _, err := s2.Rewrite("/t/blend", encoded); err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := s2.OpenWatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := ref.Report
+
+	sameReport := func(a, b core.Report) bool {
+		return a.Estimate == b.Estimate && a.CILo == b.CILo &&
+			a.CIHi == b.CIHi && a.SampleSize == b.SampleSize
+	}
+	if sameReport(pre, post) {
+		t.Fatal("pre- and post-rewrite references coincide; test is vacuous")
+	}
+
+	rewriteDone := make(chan struct{})
+	go func() {
+		defer close(rewriteDone)
+		if _, err := s.Rewrite("/t/blend", encoded); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	sawPost := false
+	for i := 0; ; i++ {
+		info, err := s.WatchReport(ctx, w.ID)
+		if err != nil {
+			t.Fatalf("report %d: %v", i, err)
+		}
+		switch {
+		case sameReport(info.Report, post):
+			sawPost = true
+		case sameReport(info.Report, pre):
+			if sawPost {
+				t.Fatalf("report %d regressed to the pre-rewrite answer", i)
+			}
+		default:
+			t.Fatalf("report %d is a blend: %+v (pre %+v, post %+v)",
+				i, info.Report, pre, post)
+		}
+		select {
+		case <-rewriteDone:
+			if sawPost {
+				return
+			}
+		default:
+		}
 	}
 }
